@@ -1,0 +1,94 @@
+// Shared workload construction for the reproduction benches.
+//
+// Scaling convention (documented per-table in EXPERIMENTS.md): the paper
+// ran 1,210 human spectra against up to 2.65M microbial proteins; we default
+// to 120 synthetic spectra against up to 16K microbial-like proteins — a
+// ~1:10 query scale and ~1:165 database scale — and expose CLI knobs to run
+// larger. All timing columns are simulated-cluster virtual seconds (see
+// src/simmpi), so the *relationships* between rows/columns are what carries
+// over, not the absolute values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "io/fasta.hpp"
+#include "simmpi/netmodel.hpp"
+#include "util/cli.hpp"
+
+namespace msp::bench {
+
+struct Workload {
+  ProteinDatabase db;          ///< full-size database (row subsets are prefixes)
+  std::vector<Spectrum> queries;
+
+  /// FASTA image of the first `sequences` proteins (the paper's "arbitrary
+  /// subsets of sizes 1K, 2K, 4K, ..." are literal prefixes).
+  std::string image_of_first(std::size_t sequences) const {
+    ProteinDatabase subset;
+    subset.proteins.assign(
+        db.proteins.begin(),
+        db.proteins.begin() +
+            static_cast<long>(std::min(sequences, db.proteins.size())));
+    return to_fasta_string(subset);
+  }
+};
+
+inline Workload make_workload(std::size_t sequences, std::size_t query_count,
+                              std::uint64_t seed = 2009) {
+  Workload workload;
+  ProteinGenOptions db_options = microbial_like_options(1.0);
+  db_options.sequence_count = sequences;
+  db_options.seed = seed;
+  workload.db = generate_proteins(db_options);
+
+  QueryGenOptions q_options;
+  q_options.query_count = query_count;
+  q_options.seed = seed + 1;
+  q_options.digest.min_length = 6;
+  q_options.digest.max_length = 30;
+  workload.queries = spectra_of(generate_queries(workload.db, q_options));
+  return workload;
+}
+
+/// The search configuration used by every timing bench (MSPolygraph-style
+/// likelihood scoring; τ = 10 — the low end of the paper's 10..1000 range).
+inline SearchConfig bench_config() {
+  SearchConfig config;
+  config.tolerance_da = 3.0;
+  config.tau = 10;
+  config.min_candidate_length = 6;
+  config.max_candidate_length = 60;
+  config.model = ScoreModel::kLikelihood;
+  return config;
+}
+
+/// The simulated cluster matching Section III's testbed: 8 ranks per node,
+/// gigabit interconnect. μ is calibrated as the *effective* per-stream
+/// one-sided transfer rate of a 2009 TCP-based MPI stack (~22 MB/s); see
+/// EXPERIMENTS.md for the calibration discussion.
+inline sim::NetworkModel bench_network() {
+  sim::NetworkModel network;
+  network.latency_s = 50e-6;
+  network.seconds_per_byte = 4.5e-8;
+  network.shm_latency_s = 1e-6;
+  network.shm_seconds_per_byte = 0.4e-9;
+  network.ranks_per_node = 8;
+  network.node_count = 24;  // the paper's 24-node cluster, cyclic placement
+  return network;
+}
+
+inline sim::ComputeModel bench_compute() { return sim::ComputeModel{}; }
+
+/// Standard CLI options shared by the sweep benches.
+inline void add_common_options(Cli& cli) {
+  cli.add_int("queries", 120, "number of synthetic query spectra");
+  cli.add_string("procs", "1,2,4,8,16,32,64,128",
+                 "comma-separated processor counts");
+  cli.add_int("seed", 2009, "workload seed");
+}
+
+}  // namespace msp::bench

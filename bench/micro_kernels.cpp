@@ -1,0 +1,106 @@
+// google-benchmark micro-benchmarks for the serial kernels: where the per-
+// candidate cost ρ actually goes. These calibrate the ComputeModel's
+// seconds_per_candidate against the real (host) cost of each stage.
+#include <benchmark/benchmark.h>
+
+#include "core/search_engine.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "mass/digest.hpp"
+#include "scoring/hyperscore.hpp"
+#include "scoring/likelihood.hpp"
+#include "scoring/shared_peak.hpp"
+#include "spectra/generator.hpp"
+#include "spectra/theoretical.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace msp;
+
+const Spectrum& sample_spectrum() {
+  static const Spectrum spectrum = [] {
+    SpectrumNoiseModel model;
+    Xoshiro256 rng(42);
+    return simulate_spectrum("ACDEFGHIKLMNPQRSTVWYK", model, rng);
+  }();
+  return spectrum;
+}
+
+void BM_PeptideMass(benchmark::State& state) {
+  const std::string peptide = "ACDEFGHIKLMNPQRSTVWY";
+  for (auto _ : state) benchmark::DoNotOptimize(peptide_mass(peptide));
+}
+BENCHMARK(BM_PeptideMass);
+
+void BM_FragmentIons(benchmark::State& state) {
+  const std::string peptide(static_cast<std::size_t>(state.range(0)), 'A');
+  for (auto _ : state) benchmark::DoNotOptimize(fragment_ions(peptide));
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FragmentIons)->Arg(8)->Arg(16)->Arg(32)->Complexity();
+
+void BM_ScoreSharedPeak(benchmark::State& state) {
+  const BinnedSpectrum binned(sample_spectrum());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(shared_peak_count(binned, "ACDEFGHIKLMNPQRSTVWYK"));
+}
+BENCHMARK(BM_ScoreSharedPeak);
+
+void BM_ScoreHyperscore(benchmark::State& state) {
+  const BinnedSpectrum binned(sample_spectrum());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(hyperscore(binned, "ACDEFGHIKLMNPQRSTVWYK"));
+}
+BENCHMARK(BM_ScoreHyperscore);
+
+void BM_ScoreLikelihood(benchmark::State& state) {
+  const QueryContext context(sample_spectrum());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(likelihood_ratio(context, "ACDEFGHIKLMNPQRSTVWYK"));
+}
+BENCHMARK(BM_ScoreLikelihood);
+
+void BM_Digest(benchmark::State& state) {
+  ProteinGenOptions options;
+  options.sequence_count = 1;
+  options.mean_length = 400;
+  const ProteinDatabase db = generate_proteins(options);
+  DigestOptions digest;
+  digest.missed_cleavages = 2;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(digest_tryptic(db.proteins[0].residues, digest));
+}
+BENCHMARK(BM_Digest);
+
+void BM_SearchShard(benchmark::State& state) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = static_cast<std::size_t>(state.range(0));
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions q_options;
+  q_options.query_count = 20;
+  const auto queries = spectra_of(generate_queries(db, q_options));
+  SearchConfig config;
+  config.model = ScoreModel::kLikelihood;
+  const SearchEngine engine(config);
+  const PreparedQueries prepared = engine.prepare(queries);
+  std::uint64_t candidates = 0;
+  for (auto _ : state) {
+    auto tops = engine.make_tops(queries.size());
+    candidates += engine.search_shard(db, prepared, tops).candidates_evaluated;
+  }
+  state.counters["cand/s"] = benchmark::Counter(
+      static_cast<double>(candidates), benchmark::Counter::kIsRate);
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SearchShard)->Arg(250)->Arg(500)->Arg(1000)->Complexity();
+
+void BM_PrepareQuery(benchmark::State& state) {
+  SearchConfig config;
+  const SearchEngine engine(config);
+  const std::vector<Spectrum> one{sample_spectrum()};
+  for (auto _ : state) benchmark::DoNotOptimize(engine.prepare(one));
+}
+BENCHMARK(BM_PrepareQuery);
+
+}  // namespace

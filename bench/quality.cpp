@@ -1,0 +1,190 @@
+// Quality experiment — the paper's third claim (factor iii in the
+// abstract): "the run-time savings achieved using parallel processing has
+// allowed us to incorporate highly accurate statistical models". Section
+// I-A makes it concrete against X!!Tandem: its speed comes from "a fairly
+// simple, fast statistical model, and an aggressive prefiltering step that
+// could miss true predictions. This is true especially under more complex
+// settings involving metagenomic data."
+//
+// We measure three engines on the same noisy, half-foreign (metagenomic-
+// style) query set, searched against a concatenated target+decoy database:
+//
+//   likelihood      — MSPolygraph's model (this paper's engine),
+//   hyperscore      — the fast model alone,
+//   fast+prefilter  — hyperscore plus the aggressive screen (X!!Tandem-like).
+//
+// Reported per engine: identifications at 5% and 10% FDR, implanted-peptide
+// recovery, fully-scored candidate count, and simulated run-time at p=8 —
+// the accuracy-vs-speed trade the paper's design resolves in favor of
+// accuracy by making the compute affordable in parallel.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/algorithm_a.hpp"
+#include "core/refinement.hpp"
+#include "core/search_engine.hpp"
+#include "dbgen/query_gen.hpp"
+#include "io/fasta.hpp"
+#include "scoring/fdr.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct EngineSpec {
+  const char* name;
+  msp::ScoreModel model;
+  bool prefilter;
+  std::size_t prefilter_min = 4;
+};
+
+struct QualityResult {
+  std::size_t accepted_1pct = 0;
+  std::size_t accepted_5pct = 0;
+  std::size_t recovered = 0;
+  std::uint64_t scored = 0;
+  std::uint64_t prefiltered = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  msp::Cli cli("bench_quality",
+               "accuracy vs speed: likelihood model vs fast prefiltered model");
+  cli.add_int("sequences", 4000, "target database size");
+  cli.add_int("quality-queries", 150, "query spectra (half foreign)");
+  cli.add_int("p", 8, "processor count for the timing column");
+  cli.add_int("seed", 77, "workload seed");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto sequences = static_cast<std::size_t>(cli.get_int("sequences"));
+  const auto query_count =
+      static_cast<std::size_t>(cli.get_int("quality-queries"));
+  const int p = static_cast<int>(cli.get_int("p"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  // Targets, an unsequenced "foreign" organism, and reversed decoys.
+  msp::ProteinGenOptions target_options = msp::microbial_like_options(1.0);
+  target_options.sequence_count = sequences;
+  target_options.seed = seed;
+  const msp::ProteinDatabase targets = msp::generate_proteins(target_options);
+  msp::ProteinGenOptions foreign_options = target_options;
+  foreign_options.seed = seed + 1;
+  foreign_options.id_prefix = "FOREIGN";
+  const msp::ProteinDatabase foreign = msp::generate_proteins(foreign_options);
+  const msp::ProteinDatabase combined =
+      msp::concatenate(targets, msp::make_decoy_database(targets));
+  const std::string image = msp::to_fasta_string(combined);
+
+  // Metagenomic-style queries: noisy spectra, half from the unknown.
+  msp::QueryGenOptions q_options;
+  q_options.query_count = query_count;
+  q_options.seed = seed + 2;
+  q_options.foreign_fraction = 0.5;
+  q_options.noise.peak_dropout = 0.45;
+  q_options.noise.noise_peaks_per_100da = 4.0;
+  const auto generated = msp::generate_queries(targets, q_options, &foreign);
+  const auto queries = msp::spectra_of(generated);
+
+  const EngineSpec engines[] = {
+      {"likelihood (this paper)", msp::ScoreModel::kLikelihood, false},
+      {"hyperscore (fast model)", msp::ScoreModel::kHyperscore, false},
+      {"fast + prefilter (X!!Tandem-like)", msp::ScoreModel::kHyperscore, true, 7},
+  };
+
+  msp::Table table({"engine", "IDs @5% FDR", "IDs @10% FDR",
+                    "implanted recovered", "fully scored", "screened out",
+                    "time p=8 (s)"});
+  for (const EngineSpec& spec : engines) {
+    msp::SearchConfig config = msp::bench::bench_config();
+    config.model = spec.model;
+    config.prefilter = spec.prefilter;
+    config.prefilter_min_shared_peaks = spec.prefilter_min;
+    config.tau = 1;  // best hit per query drives FDR, as in practice
+
+    const msp::sim::Runtime runtime(p, msp::bench::bench_network(),
+                                    msp::bench::bench_compute());
+    const msp::ParallelRunResult run =
+        msp::run_algorithm_a(runtime, image, queries, config);
+
+    QualityResult result;
+    result.seconds = run.report.total_time();
+    result.scored = run.report.sum_counter("candidates");
+    for (const auto& rank : run.report.ranks) {
+      auto it = rank.counters.find("prefiltered");
+      if (it != rank.counters.end()) result.prefiltered += it->second;
+    }
+
+    std::vector<msp::Psm> psms;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (run.hits[q].empty()) continue;
+      const msp::Hit& best = run.hits[q][0];
+      psms.push_back({best.score, msp::is_decoy_id(best.protein_id)});
+      if (!generated[q].foreign &&
+          (best.peptide.find(generated[q].true_peptide) != std::string::npos ||
+           generated[q].true_peptide.find(best.peptide) != std::string::npos))
+        ++result.recovered;
+    }
+    result.accepted_1pct = msp::accepted_at(psms, 0.05);
+    result.accepted_5pct = msp::accepted_at(psms, 0.10);
+
+    table.add_row({spec.name, std::to_string(result.accepted_1pct),
+                   std::to_string(result.accepted_5pct),
+                   std::to_string(result.recovered) + "/" +
+                       std::to_string(query_count / 2),
+                   msp::group_digits(result.scored),
+                   msp::group_digits(result.prefiltered),
+                   msp::Table::cell(result.seconds)});
+  }
+
+  // Fourth row: X!Tandem-style two-pass refinement — cheap survey of the
+  // whole database, accurate model only on the shortlisted proteins.
+  {
+    msp::RefinementOptions refine;
+    refine.first_pass.tolerance_da = msp::bench::bench_config().tolerance_da;
+    refine.second_pass.tolerance_da = refine.first_pass.tolerance_da;
+    refine.first_pass.tau = 3;
+    refine.second_pass.tau = 1;
+    refine.max_refined_proteins = 400;
+    const msp::ProteinDatabase combined_db = msp::read_fasta_string(image);
+    const msp::RefinementResult refined =
+        msp::run_refinement(combined_db, queries, refine);
+    const msp::sim::ComputeModel cost = msp::bench::bench_compute();
+    const double serial_seconds =
+        msp::kernel_cost_seconds(refined.first_pass_stats, cost) +
+        msp::kernel_cost_seconds(refined.second_pass_stats, cost);
+    std::vector<msp::Psm> psms;
+    std::size_t recovered = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      if (refined.hits[q].empty()) continue;
+      const msp::Hit& best = refined.hits[q][0];
+      psms.push_back({best.score, msp::is_decoy_id(best.protein_id)});
+      if (!generated[q].foreign &&
+          (best.peptide.find(generated[q].true_peptide) != std::string::npos ||
+           generated[q].true_peptide.find(best.peptide) != std::string::npos))
+        ++recovered;
+    }
+    table.add_row({"two-pass refinement (X!Tandem-like)",
+                   std::to_string(msp::accepted_at(psms, 0.05)),
+                   std::to_string(msp::accepted_at(psms, 0.10)),
+                   std::to_string(recovered) + "/" +
+                       std::to_string(query_count / 2),
+                   msp::group_digits(
+                       refined.second_pass_stats.candidates_evaluated),
+                   msp::group_digits(
+                       refined.first_pass_stats.candidates_prefiltered),
+                   msp::Table::cell(serial_seconds /
+                                    static_cast<double>(p))});
+  }
+
+  std::cout << "== Quality vs speed (" << msp::group_digits(sequences)
+            << " targets + decoys, " << query_count
+            << " noisy queries, 50% foreign) ==\n";
+  table.print(std::cout);
+  std::cout << "expected shape: the likelihood model identifies the most at "
+               "fixed FDR; the\nprefiltered fast engine is cheapest but "
+               "misses true peptides — the paper's\njustification for "
+               "spending parallel cycles on the accurate model.\n";
+  return 0;
+}

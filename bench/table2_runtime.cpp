@@ -1,0 +1,93 @@
+// Table II reproduction: run-time of Algorithm A for various database and
+// processor sizes, on the simulated cluster (virtual seconds).
+//
+// Paper shape to check (their Table II, 1K..2.65M rows × p = 1..128):
+//   * within a column, run-time grows ~linearly with database size;
+//   * within a row, run-time ~halves per doubling of p for large inputs;
+//   * small inputs stop scaling at large p (latency/overhead-bound — the
+//     paper's footnote 1: "for input sizes < 16K the algorithm scales only
+//     until 8 processors").
+// Also prints the residual-communication/computation ratio the paper
+// reports as 0.36 ± 0.11 for p > 2.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/algorithm_a.hpp"
+#include "util/stats.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  msp::Cli cli("bench_table2_runtime",
+               "Table II: Algorithm A run-time vs database and processor size");
+  msp::bench::add_common_options(cli);
+  cli.add_string("sizes", "1000,2000,4000,8000,16000",
+                 "database sizes (sequence counts)");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto sizes = cli.get_int_list("sizes");
+  const auto procs = cli.get_int_list("procs");
+  const auto query_count = static_cast<std::size_t>(cli.get_int("queries"));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+
+  const std::size_t max_size = static_cast<std::size_t>(
+      *std::max_element(sizes.begin(), sizes.end()));
+  const msp::bench::Workload workload =
+      msp::bench::make_workload(max_size, query_count, seed);
+  const msp::SearchConfig config = msp::bench::bench_config();
+
+  std::vector<std::string> header{"DB size (n)"};
+  for (auto p : procs) header.push_back("p=" + std::to_string(p));
+  msp::Table table(header);
+
+  msp::Accumulator residual_ratio;  // over p > 2 runs, as in the paper
+  std::vector<double> col_sizes, col_times;  // linearity check at max p
+
+  for (auto size : sizes) {
+    const std::string image =
+        workload.image_of_first(static_cast<std::size_t>(size));
+    std::vector<std::string> row{msp::group_digits(
+        static_cast<std::uint64_t>(size))};
+    for (auto p : procs) {
+      const msp::sim::Runtime runtime(static_cast<int>(p),
+                                      msp::bench::bench_network(),
+                                      msp::bench::bench_compute());
+      const msp::ParallelRunResult result =
+          msp::run_algorithm_a(runtime, image, workload.queries, config);
+      const double seconds = result.report.total_time();
+      row.push_back(msp::Table::cell(seconds));
+      if (p > 2) {
+        for (const auto& rank : result.report.ranks) {
+          if (rank.compute_seconds > 0.0)
+            residual_ratio.add(
+                (rank.residual_comm_seconds + rank.sync_wait_seconds) /
+                rank.compute_seconds);
+        }
+      }
+      if (p == procs.back()) {
+        col_sizes.push_back(static_cast<double>(size));
+        col_times.push_back(seconds);
+      }
+    }
+    table.add_row(std::move(row));
+  }
+
+  std::cout << "== Table II: Algorithm A run-time (simulated seconds), "
+            << query_count << " queries ==\n";
+  table.print(std::cout);
+
+  if (col_sizes.size() >= 2) {
+    const msp::LinearFit fit = msp::fit_linear(col_sizes, col_times);
+    std::cout << "\nlinearity in DB size at p=" << procs.back()
+              << ": R^2 = " << msp::Table::cell(fit.r_squared, 4)
+              << " (paper: \"run-time scales linearly with the database "
+                 "size\")\n";
+  } else {
+    std::cout << "\n(single database size: linearity fit skipped)\n";
+  }
+  std::cout << "residual-communication/computation ratio for p > 2: "
+            << msp::Table::cell(residual_ratio.mean(), 2) << " +/- "
+            << msp::Table::cell(residual_ratio.stddev(), 2)
+            << " (paper: 0.36 +/- 0.11)\n";
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Design-choice ablation (Section II-B): database transport (Algorithm A)
+// vs the rejected query-transport model.
+//
+// The paper's argument for database transport: query transport means "a
+// query can get processed in multiple processor locations, and the results
+// have to be sent to one root processor for merging". The measurable
+// consequences in our implementation: query preprocessing is repeated on
+// every rank (p× the prep work) and a top-τ merge phase is appended.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/algorithm_a.hpp"
+#include "core/query_transport.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  msp::Cli cli("bench_transport_ablation",
+               "database transport (Algorithm A) vs query transport");
+  msp::bench::add_common_options(cli);
+  cli.add_int("sequences", 8000, "database size");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto query_count = static_cast<std::size_t>(cli.get_int("queries"));
+  const auto sequences = static_cast<std::size_t>(cli.get_int("sequences"));
+  auto procs = cli.get_int_list("procs");
+  std::erase_if(procs, [](std::int64_t p) { return p < 2; });
+
+  const msp::bench::Workload workload = msp::bench::make_workload(
+      sequences, query_count, static_cast<std::uint64_t>(cli.get_int("seed")));
+  const std::string image = workload.image_of_first(sequences);
+  const msp::SearchConfig config = msp::bench::bench_config();
+
+  msp::Table table({"p", "DB transport (s)", "query transport (s)",
+                    "QT overhead %", "QT compute/rank (s)"});
+  for (auto p : procs) {
+    const msp::sim::Runtime runtime(static_cast<int>(p),
+                                    msp::bench::bench_network(),
+                                    msp::bench::bench_compute());
+    const msp::ParallelRunResult a =
+        msp::run_algorithm_a(runtime, image, workload.queries, config);
+    const msp::ParallelRunResult qt =
+        msp::run_query_transport(runtime, image, workload.queries, config);
+    const double a_seconds = a.report.total_time();
+    const double qt_seconds = qt.report.total_time();
+    table.add_row(
+        {std::to_string(p), msp::Table::cell(a_seconds),
+         msp::Table::cell(qt_seconds),
+         msp::Table::cell(100.0 * (qt_seconds - a_seconds) / a_seconds, 1),
+         msp::Table::cell(qt.report.sum_compute() / static_cast<double>(p))});
+  }
+
+  std::cout << "== Transport-model ablation ("
+            << msp::group_digits(sequences) << " sequences, " << query_count
+            << " queries) ==\n";
+  table.print(std::cout);
+  std::cout << "expected: query transport pays repeated per-rank query prep "
+               "and a merge phase — the paper's reason to reject it.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// De novo sequencing vs database search — the two complementary approaches
+// of the paper's related work (Section I-A). Database search "provides an
+// independent evidence of the peptide" but needs the organism's sequences;
+// de novo needs no database but "has traditionally been handicapped by the
+// large number of peaks that can be missing from an experimental spectrum".
+// This example measures both claims on the same spectra.
+#include <iostream>
+
+#include "core/search_engine.hpp"
+#include "denovo/sequencer.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace msp;
+
+  ProteinGenOptions db_options = microbial_like_options(1.0);
+  db_options.sequence_count = 2000;
+  const ProteinDatabase db = generate_proteins(db_options);
+
+  SearchConfig config;
+  config.tau = 1;
+  const SearchEngine engine(config);
+
+  Table table({"peak dropout", "database search (top-1 correct)",
+               "de novo (complete paths)", "de novo ladder agreement"});
+
+  for (double dropout : {0.0, 0.15, 0.3, 0.45}) {
+    QueryGenOptions q_options;
+    q_options.query_count = 30;
+    q_options.seed = 11 + static_cast<std::uint64_t>(dropout * 100);
+    q_options.noise.peak_dropout = dropout;
+    q_options.noise.mz_sigma_da = 0.05;
+    q_options.noise.noise_peaks_per_100da = 0.5;
+    q_options.noise.precursor_sigma_da = 0.02;  // de novo needs this accurate
+    const auto generated = generate_queries(db, q_options);
+    const auto queries = spectra_of(generated);
+
+    // Database search.
+    const QueryHits hits = engine.search(db, queries);
+    std::size_t db_correct = 0;
+    for (std::size_t q = 0; q < queries.size(); ++q)
+      if (!hits[q].empty() &&
+          (hits[q][0].peptide.find(generated[q].true_peptide) !=
+               std::string::npos ||
+           generated[q].true_peptide.find(hits[q][0].peptide) !=
+               std::string::npos))
+        ++db_correct;
+
+    // De novo.
+    std::size_t complete = 0;
+    double agreement_total = 0.0;
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const denovo::DeNovoResult result =
+          denovo::sequence_peptide(queries[q]);
+      if (result.complete) ++complete;
+      agreement_total +=
+          result.complete
+              ? denovo::ladder_agreement(result.sequence,
+                                         generated[q].true_peptide)
+              : 0.0;
+    }
+
+    table.add_row({Table::cell(dropout, 2),
+                   std::to_string(db_correct) + "/30",
+                   std::to_string(complete) + "/30",
+                   Table::cell(agreement_total / 30.0, 2)});
+  }
+
+  std::cout << "== De novo vs database search as fragment peaks go missing ==\n";
+  table.print(std::cout);
+  std::cout << "\nThe paper's related-work claims, measured: database search "
+               "degrades gracefully\nwith missing peaks (the parent-mass "
+               "window plus statistical scoring carry it),\nwhile de novo "
+               "reconstruction collapses — its paths literally break.\n";
+  return 0;
+}

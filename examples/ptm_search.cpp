@@ -1,0 +1,114 @@
+// PTM-aware searching: the paper's related-work section calls out
+// post-translational modifications as a key driver of candidate explosion
+// (Fig. 1b) and a feature parallel X!Tandem variants lacked.
+//
+// This example: (1) quantifies the variant blow-up for standard variable
+// modifications, (2) generates a phosphopeptide spectrum, shows a plain
+// search miss it, and (3) recovers it by scoring PTM variants of the
+// mass-shifted candidates.
+#include <iostream>
+
+#include "core/search_engine.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "mass/digest.hpp"
+#include "mass/ptm.hpp"
+#include "scoring/likelihood.hpp"
+#include "spectra/preprocess.hpp"
+#include "spectra/theoretical.hpp"
+#include "util/stats.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace msp;
+
+  const std::vector<Ptm> rules{ptm_phospho_s(), ptm_phospho_t(),
+                               ptm_oxidation_m()};
+
+  // (1) Variant blow-up over a realistic digest.
+  ProteinGenOptions db_options = microbial_like_options(1.0);
+  db_options.sequence_count = 300;
+  const ProteinDatabase db = generate_proteins(db_options);
+  DigestOptions digest;
+  digest.min_length = 6;
+  digest.max_length = 30;
+  Accumulator variants_per_peptide;
+  for (const Protein& protein : db.proteins)
+    for (const auto& peptide : digest_tryptic(protein.residues, digest))
+      variants_per_peptide.add(static_cast<double>(count_variants(
+          peptide_string(protein.residues, peptide), rules, 2)));
+  std::cout << "variable PTMs " << rules[0].name << ", " << rules[1].name
+            << ", " << rules[2].name << " (max 2 sites):\n";
+  std::cout << "  mean variants per tryptic peptide: "
+            << variants_per_peptide.mean() << " (max "
+            << variants_per_peptide.max()
+            << ") -> the Fig. 1b candidate multiplier\n\n";
+
+  // (2) A phosphopeptide spectrum misses in a plain search.
+  std::string target;
+  for (const Protein& protein : db.proteins) {
+    for (const auto& peptide : digest_tryptic(protein.residues, digest)) {
+      if (peptide.offset != 0) continue;  // anchored: findable candidate
+      const std::string text = peptide_string(protein.residues, peptide);
+      if (text.find('S') != std::string::npos && text.size() >= 10) {
+        target = text;
+        break;
+      }
+    }
+    if (!target.empty()) break;
+  }
+  const auto variants = enumerate_variants(target, rules, 1);
+  const PtmVariant& phospho = variants[1];
+  std::vector<double> deltas(target.size(), 0.0);
+  for (const auto& [pos, rule] : phospho.sites)
+    deltas[pos] = rules[rule].mass_delta;
+  TheoreticalOptions theo;
+  theo.site_deltas = deltas;
+  const Spectrum spectrum = model_spectrum(target, theo);
+  std::cout << "true (modified) peptide: " << annotate(target, phospho, rules)
+            << "  parent mass " << spectrum.parent_mass() << " Da\n";
+
+  SearchConfig config;
+  config.tau = 3;
+  const SearchEngine engine(config);
+  const std::vector<Spectrum> queries{spectrum};
+  const QueryHits plain = engine.search(db, queries);
+  bool found_plain = false;
+  for (const Hit& hit : plain[0])
+    found_plain |= hit.peptide == target;
+  std::cout << "plain search finds it: " << (found_plain ? "yes" : "no")
+            << " (parent mass shifted by +" << phospho.mass_delta
+            << " Da, outside the window)\n";
+
+  // (3) Variant-expanded rescoring: widen the window by the max PTM delta,
+  // then score each candidate's variants and keep the best.
+  const QueryContext context(preprocess(spectrum), config.bin_width);
+  double best_score = -1e18;
+  std::string best_annotation;
+  for (const Protein& protein : db.proteins) {
+    for (const auto& peptide : digest_tryptic(protein.residues, digest)) {
+      if (peptide.offset != 0) continue;
+      const std::string text = peptide_string(protein.residues, peptide);
+      for (const PtmVariant& variant : enumerate_variants(text, rules, 1)) {
+        const double mass = peptide_mass(text) + variant.mass_delta;
+        if (std::abs(mass - spectrum.parent_mass()) > config.tolerance_da)
+          continue;
+        std::vector<double> site_deltas(text.size(), 0.0);
+        for (const auto& [pos, rule] : variant.sites)
+          site_deltas[pos] = rules[rule].mass_delta;
+        TheoreticalOptions opts;
+        opts.site_deltas = site_deltas;
+        const double score = likelihood_ratio(context, fragment_ions(text, opts));
+        if (score > best_score) {
+          best_score = score;
+          best_annotation = annotate(text, variant, rules);
+        }
+      }
+    }
+  }
+  std::cout << "variant-expanded search best hit: " << best_annotation
+            << " (score " << best_score << ")\n";
+  std::cout << (best_annotation == annotate(target, phospho, rules)
+                    ? "-> exact modified peptide recovered\n"
+                    : "-> differs from the implanted peptide\n");
+  return 0;
+}

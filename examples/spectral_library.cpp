@@ -1,0 +1,92 @@
+// Spectral-library search: MSPolygraph's hybrid scoring in action.
+//
+// Half of the sample's peptides have been measured before (replicate
+// spectra exist → consensus library entries); the other half are new. The
+// engine scores library peptides against their measured consensus pattern
+// and everything else against the on-the-fly b/y model — Section I-A's
+// "combines the use of highly accurate spectral libraries, when available,
+// with the use of on-the-fly generation of sequence averaged model
+// spectra".
+#include <iostream>
+
+#include "core/search_engine.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "mass/digest.hpp"
+#include "spectra/generator.hpp"
+#include "spectra/library.hpp"
+#include "util/rng.hpp"
+#include "util/str.hpp"
+
+int main() {
+  using namespace msp;
+
+  ProteinGenOptions db_options = microbial_like_options(1.0);
+  db_options.sequence_count = 1500;
+  const ProteinDatabase db = generate_proteins(db_options);
+
+  // Sample query peptides; build library entries for every second one.
+  QueryGenOptions q_options;
+  q_options.query_count = 40;
+  q_options.noise.peak_dropout = 0.5;   // very noisy acquisition
+  q_options.noise.noise_peaks_per_100da = 5.0;
+  // Real CID intensities are sequence-specific; the library's whole edge
+  // is capturing that pattern where the generic b/y model cannot.
+  q_options.noise.fragmentation_sigma = 1.4;
+  const auto generated = generate_queries(db, q_options);
+
+  SpectralLibrary library;
+  SpectrumNoiseModel replicate_noise;
+  replicate_noise.peak_dropout = 0.2;
+  replicate_noise.fragmentation_sigma = 1.4;  // same instrument physics
+  for (std::size_t q = 0; q < generated.size(); q += 2) {
+    std::vector<Spectrum> replicates;
+    for (int r = 0; r < 6; ++r) {
+      Xoshiro256 rng(7000 + q * 10 + static_cast<std::uint64_t>(r));
+      replicates.push_back(
+          simulate_spectrum(generated[q].true_peptide, replicate_noise, rng));
+    }
+    library.add_replicates(generated[q].true_peptide, replicates);
+  }
+  std::cout << "database: " << group_digits(db.sequence_count())
+            << " proteins; library: " << library.size()
+            << " consensus entries (built from 6 replicates each)\n\n";
+
+  auto recovery = [&](const SearchConfig& config, bool library_half) {
+    const SearchEngine engine(config);
+    const QueryHits hits = engine.search(db, spectra_of(generated));
+    std::size_t recovered = 0, total = 0;
+    for (std::size_t q = 0; q < generated.size(); ++q) {
+      const bool in_library_half = (q % 2 == 0);
+      if (in_library_half != library_half) continue;
+      ++total;
+      if (!hits[q].empty() &&
+          (hits[q][0].peptide.find(generated[q].true_peptide) !=
+               std::string::npos ||
+           generated[q].true_peptide.find(hits[q][0].peptide) !=
+               std::string::npos))
+        ++recovered;
+    }
+    return std::pair{recovered, total};
+  };
+
+  SearchConfig model_only;
+  model_only.tau = 1;
+  SearchConfig hybrid = model_only;
+  hybrid.library = &library;
+
+  const auto [model_lib_half, lib_total] = recovery(model_only, true);
+  const auto [hybrid_lib_half, lib_total2] = recovery(hybrid, true);
+  const auto [model_new_half, new_total] = recovery(model_only, false);
+  const auto [hybrid_new_half, new_total2] = recovery(hybrid, false);
+
+  std::cout << "top-1 recovery of the true peptide:\n";
+  std::cout << "  peptides WITH a library entry:    model-only "
+            << model_lib_half << "/" << lib_total << "  vs  hybrid "
+            << hybrid_lib_half << "/" << lib_total2 << '\n';
+  std::cout << "  peptides WITHOUT a library entry: model-only "
+            << model_new_half << "/" << new_total << "  vs  hybrid "
+            << hybrid_new_half << "/" << new_total2
+            << "  (identical path — falls back to the b/y model)\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "core/algorithm_a.hpp"
+
+#include <algorithm>
+
+#include "core/packdb.hpp"
+#include "core/partition.hpp"
+#include "core/ring_search.hpp"
+#include "core/search_engine.hpp"
+#include "scoring/top_hits.hpp"
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace detail {
+namespace {
+
+/// Rough per-query memory footprint (peak list + binned vector).
+std::size_t query_bytes(const Spectrum& spectrum) {
+  return spectrum.peaks().size() * sizeof(Peak) + 4096;
+}
+
+}  // namespace
+
+void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
+                      std::span<const Spectrum> local_queries,
+                      std::size_t output_offset, const SearchEngine& engine,
+                      const AlgorithmAOptions& options, QueryHits& all_hits) {
+  const int p = comm.size();
+  const int rank = comm.rank();
+  const auto& cost = comm.compute_model();
+
+  // ---- A1: load the rank's database chunk and prepare its query block ----
+  ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
+  comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
+                         cost.seconds_per_residue_load);
+
+  std::size_t local_query_bytes = 0;
+  for (const Spectrum& q : local_queries) local_query_bytes += query_bytes(q);
+  comm.charge_alloc(local_query_bytes);
+  const PreparedQueries prepared = engine.prepare(local_queries);
+  comm.clock().charge_compute(static_cast<double>(local_queries.size()) *
+                              cost.seconds_per_query_prep);
+
+  std::vector<TopK<Hit>> tops = engine.make_tops(local_queries.size());
+
+  // ---- A2: ring rotation with masked one-sided transport ----
+  std::vector<char> local_pack = pack_database(local_db);
+  comm.charge_alloc(local_pack.size());  // D_local (window)
+  sim::Window window(comm, local_pack);
+
+  std::size_t max_shard = 0;
+  for (int r = 0; r < p; ++r)
+    max_shard = std::max(max_shard, window.shard_size(r));
+  comm.charge_alloc(2 * max_shard);  // D_recv + D_comp
+
+  std::vector<char> comp_buffer = local_pack;  // D_comp starts as own shard
+  std::vector<char> recv_buffer;               // D_recv
+  const int pulls = comm.network().concurrent_pulls(p);
+
+  for (int s = 0; s < p; ++s) {
+    const int next = (rank + s + 1) % p;
+
+    sim::RmaRequest prefetch;
+    if (options.mask) {
+      // Non-blocking request for the *next* iteration's shard (A2's
+      // masking): issued before this iteration's computation.
+      if (s + 1 < p) prefetch = window.rget(next, recv_buffer, pulls);
+    } else if (s > 0) {
+      // Unmasked variant: this iteration's shard is fetched blocking,
+      // fully exposing the transfer (s = 0 processes the local shard).
+      const int current = (rank + s) % p;
+      sim::RmaRequest fetch = window.rget(current, comp_buffer, pulls);
+      window.wait(fetch);
+    }
+
+    const ProteinDatabase shard_db =
+        s == 0 ? std::move(local_db) : unpack_database(comp_buffer);
+    const ShardSearchStats stats = engine.search_shard(shard_db, prepared, tops);
+    comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
+    comm.bump("candidates", stats.candidates_evaluated);
+    comm.bump("prefiltered", stats.candidates_prefiltered);
+    comm.bump("offers", stats.hits_offered);
+
+    if (options.mask && s + 1 < p) {
+      window.wait(prefetch);
+      std::swap(comp_buffer, recv_buffer);
+    }
+    if (options.fence_per_iteration) window.fence();
+  }
+  // Window close is collective (MPI_Win_free): no rank may free its
+  // exposed shard while another can still read it.
+  window.fence();
+
+  // ---- A3: report the top-τ lists for the local queries ----
+  QueryHits local_hits = engine.finalize(tops);
+  std::size_t reported = 0;
+  for (std::size_t q = 0; q < local_hits.size(); ++q) {
+    reported += local_hits[q].size();
+    all_hits[output_offset + q] = std::move(local_hits[q]);
+  }
+  comm.clock().charge_io(static_cast<double>(reported) *
+                         cost.seconds_per_hit_output);
+  comm.bump("hits_reported", reported);
+}
+
+}  // namespace detail
+
+ParallelRunResult run_algorithm_a(const sim::Runtime& runtime,
+                                  const std::string& fasta_image,
+                                  const std::vector<Spectrum>& queries,
+                                  const SearchConfig& config,
+                                  const AlgorithmAOptions& options) {
+  const int p = runtime.size();
+  const SearchEngine engine(config);
+
+  // Per-query output slots; each query is owned by exactly one rank, so the
+  // ranks write disjoint elements (no synchronization needed beyond join).
+  QueryHits all_hits(queries.size());
+
+  sim::RunReport report = runtime.run([&](sim::Comm& comm) {
+    if (options.memory_budget_bytes != 0)
+      comm.set_memory_budget(options.memory_budget_bytes);
+    const QueryRange block = query_block(queries.size(), comm.rank(), p);
+    detail::ring_search_body(
+        comm, fasta_image,
+        std::span<const Spectrum>(queries.data() + block.begin, block.count()),
+        block.begin, engine, options, all_hits);
+  });
+
+  ParallelRunResult result;
+  result.candidates = report.sum_counter("candidates");
+  result.report = std::move(report);
+  result.hits = std::move(all_hits);
+  return result;
+}
+
+}  // namespace msp

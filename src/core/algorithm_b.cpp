@@ -1,0 +1,170 @@
+#include "core/algorithm_b.hpp"
+
+#include <algorithm>
+
+#include "core/packdb.hpp"
+#include "core/partition.hpp"
+#include "core/search_engine.hpp"
+#include "core/sortmz.hpp"
+#include "mass/amino_acid.hpp"
+#include "scoring/top_hits.hpp"
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+/// First rank whose sorted m/z range can still contain a sequence of
+/// neutral mass ≥ needed_mass (the paper's i′). Conservative by a small
+/// slack: skipping is an optimization, never a correctness decision.
+int lowest_useful_rank(const std::vector<MzBoundary>& boundaries,
+                       double needed_mass) {
+  const double needed_mz = needed_mass + kProtonMass - 2.0;  // slack
+  for (int r = 0; r < static_cast<int>(boundaries.size()); ++r) {
+    if (boundaries[static_cast<std::size_t>(r)].end_mz >= needed_mz) return r;
+  }
+  return static_cast<int>(boundaries.size());  // empty sender group
+}
+
+}  // namespace
+
+AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
+                                 const std::string& fasta_image,
+                                 const std::vector<Spectrum>& queries,
+                                 const SearchConfig& config,
+                                 const AlgorithmBOptions& options) {
+  const int p = runtime.size();
+  const SearchEngine engine(config);
+
+  QueryHits all_hits(queries.size());
+
+  sim::RunReport report = runtime.run([&](sim::Comm& comm) {
+    const int rank = comm.rank();
+    const auto& cost = comm.compute_model();
+    if (options.memory_budget_bytes != 0)
+      comm.set_memory_budget(options.memory_budget_bytes);
+
+    // ---- B1: load (identical to A1) ----
+    ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
+    comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
+                           cost.seconds_per_residue_load);
+    const QueryRange block = query_block(queries.size(), rank, p);
+    const std::span<const Spectrum> local_queries(queries.data() + block.begin,
+                                                  block.count());
+    const PreparedQueries prepared = engine.prepare(local_queries);
+    comm.clock().charge_compute(static_cast<double>(block.count()) *
+                                cost.seconds_per_query_prep);
+    std::vector<TopK<Hit>> tops = engine.make_tops(block.count());
+
+    // ---- B2: parallel counting sort by parent m/z ----
+    SortedShard sorted = parallel_sort_by_mz(comm, local_db);
+    local_db = ProteinDatabase{};  // sorted copy replaces the unsorted shard
+    comm.bump("sort_us",
+              static_cast<std::uint64_t>(sorted.sort_seconds * 1e6));
+
+    // ---- B3: restricted ring with masked one-sided transport ----
+    // Sender group {i′, ..., p−1}: only those sorted shards can contain
+    // sequences heavy enough to offer candidates to any local query.
+    const double min_needed =
+        prepared.size() == 0 ? 0.0 : prepared.min_mass() - config.tolerance_da;
+    const int low_rank =
+        prepared.size() == 0 ? p : lowest_useful_rank(sorted.boundaries,
+                                                      min_needed);
+    const int group = p - low_rank;
+    comm.bump("shards_visited", static_cast<std::uint64_t>(group));
+
+    std::vector<char> local_pack = pack_database(sorted.shard);
+    comm.charge_alloc(local_pack.size());
+    sim::Window window(comm, local_pack);
+    std::size_t max_shard = 0;
+    for (int r = 0; r < p; ++r)
+      max_shard = std::max(max_shard, window.shard_size(r));
+    comm.charge_alloc(2 * max_shard + static_cast<std::size_t>(p) *
+                                          sizeof(MzBoundary));
+
+    // Ranks may have different sender-group sizes; iterate to the global
+    // maximum so the per-iteration fences stay collective.
+    const auto max_group =
+        static_cast<int>(comm.allreduce_max(static_cast<double>(group)));
+
+    // Visit own shard first when it is in the group, then rotate within
+    // the group so concurrent ranks spread their pulls.
+    auto shard_at = [&](int t) -> int {
+      if (group == 0 || t >= group) return -1;
+      const int offset = rank >= low_rank ? rank - low_rank : 0;
+      return low_rank + (offset + t) % group;
+    };
+
+    std::vector<char> comp_buffer;
+    std::vector<char> recv_buffer;
+    const int pulls = comm.network().concurrent_pulls(p);
+
+    for (int t = 0; t < max_group; ++t) {
+      const int current = shard_at(t);
+      const int next = shard_at(t + 1);
+
+      sim::RmaRequest prefetch;
+      if (options.mask) {
+        if (next >= 0 && next != rank)
+          prefetch = window.rget(next, recv_buffer, pulls);
+      }
+
+      if (current >= 0) {
+        ProteinDatabase shard_db;
+        if (current == rank) {
+          shard_db = unpack_database(local_pack);
+        } else if (options.mask && t > 0 && !comp_buffer.empty()) {
+          shard_db = unpack_database(comp_buffer);
+        } else {
+          // First remote shard (or unmasked mode): blocking fetch.
+          sim::RmaRequest fetch = window.rget(current, comp_buffer, pulls);
+          window.wait(fetch);
+          shard_db = unpack_database(comp_buffer);
+        }
+        const ShardSearchStats stats =
+            engine.search_shard(shard_db, prepared, tops);
+        comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
+        comm.bump("candidates", stats.candidates_evaluated);
+        comm.bump("prefiltered", stats.candidates_prefiltered);
+        comm.bump("offers", stats.hits_offered);
+      }
+
+      if (options.mask && prefetch.active) {
+        window.wait(prefetch);
+        std::swap(comp_buffer, recv_buffer);
+      }
+      if (options.fence_per_iteration) window.fence();
+    }
+    // Window close is collective (MPI_Win_free semantics).
+    window.fence();
+
+    // ---- report ----
+    QueryHits local_hits = engine.finalize(tops);
+    std::size_t reported = 0;
+    for (std::size_t q = 0; q < local_hits.size(); ++q) {
+      reported += local_hits[q].size();
+      all_hits[block.begin + q] = std::move(local_hits[q]);
+    }
+    comm.clock().charge_io(static_cast<double>(reported) *
+                           cost.seconds_per_hit_output);
+  });
+
+  AlgorithmBResult result;
+  result.candidates = report.sum_counter("candidates");
+  double sort_max = 0.0;
+  double shards_sum = 0.0;
+  for (const auto& r : report.ranks) {
+    auto it = r.counters.find("sort_us");
+    if (it != r.counters.end())
+      sort_max = std::max(sort_max, static_cast<double>(it->second) * 1e-6);
+    auto sv = r.counters.find("shards_visited");
+    if (sv != r.counters.end()) shards_sum += static_cast<double>(sv->second);
+  }
+  result.max_sort_seconds = sort_max;
+  result.mean_shards_visited = shards_sum / static_cast<double>(p);
+  result.report = std::move(report);
+  result.hits = std::move(all_hits);
+  return result;
+}
+
+}  // namespace msp

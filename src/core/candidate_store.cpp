@@ -1,0 +1,334 @@
+#include "core/candidate_store.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+
+#include "core/partition.hpp"
+#include "core/search_engine.hpp"
+#include "mass/amino_acid.hpp"
+#include "scoring/top_hits.hpp"
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+constexpr std::size_t kDirectoryEntries = 256;
+
+/// Per-rank store metadata exchanged after the sort: record count, mass
+/// extremes, and the (implicitly indexed) mass directory.
+struct StoreMeta {
+  std::uint64_t records = 0;
+  double min_mass = 0.0;
+  double max_mass = 0.0;
+  std::array<double, kDirectoryEntries> directory{};
+};
+static_assert(std::is_trivially_copyable_v<StoreMeta>);
+
+CandidateRecord make_record(const Protein& protein, std::uint32_t offset,
+                            std::uint16_t length, FragmentEnd end,
+                            double mass) {
+  MSP_CHECK_MSG(protein.id.size() < sizeof(CandidateRecord{}.protein_id),
+                "candidate store requires protein ids < 24 chars, got '"
+                    << protein.id << "'");
+  CandidateRecord record;
+  record.mass = mass;
+  std::memcpy(record.protein_id, protein.id.data(), protein.id.size());
+  std::memcpy(record.peptide, protein.residues.data() + offset, length);
+  record.offset = offset;
+  record.length = length;
+  record.end = static_cast<std::uint8_t>(end);
+  return record;
+}
+
+/// Enumerate this chunk's candidates inside the global query-mass window
+/// [mass_floor, mass_ceil] — the Section II-A prefix/suffix rule.
+std::vector<CandidateRecord> enumerate_candidates(const ProteinDatabase& db,
+                                                  const SearchConfig& config,
+                                                  double mass_floor,
+                                                  double mass_ceil) {
+  std::vector<CandidateRecord> records;
+  for (const Protein& protein : db.proteins) {
+    const std::size_t len = protein.residues.size();
+    if (len < config.min_candidate_length) continue;
+    const FragmentMassIndex index(protein.residues);
+    const std::size_t max_k = std::min(len, config.max_candidate_length);
+    for (std::size_t k = config.min_candidate_length; k <= max_k; ++k) {
+      const double mass = index.prefix_mass(k);
+      if (mass > mass_ceil) break;
+      if (mass < mass_floor) continue;
+      records.push_back(make_record(protein, 0, static_cast<std::uint16_t>(k),
+                                    FragmentEnd::kPrefix, mass));
+    }
+    for (std::size_t k = config.min_candidate_length; k <= max_k; ++k) {
+      if (k == len) break;  // full sequence already counted as a prefix
+      const double mass = index.suffix_mass(k);
+      if (mass > mass_ceil) break;
+      if (mass < mass_floor) continue;
+      records.push_back(make_record(protein,
+                                    static_cast<std::uint32_t>(len - k),
+                                    static_cast<std::uint16_t>(k),
+                                    FragmentEnd::kSuffix, mass));
+    }
+  }
+  return records;
+}
+
+bool record_order(const CandidateRecord& a, const CandidateRecord& b) {
+  if (a.mass != b.mass) return a.mass < b.mass;
+  const int id_cmp = std::strncmp(a.protein_id, b.protein_id,
+                                  sizeof(a.protein_id));
+  if (id_cmp != 0) return id_cmp < 0;
+  if (a.offset != b.offset) return a.offset < b.offset;
+  return a.length < b.length;
+}
+
+/// Parallel counting sort of candidate records by integer mass bucket —
+/// Algorithm B's step B2 applied to candidates, as the paper anticipated.
+std::vector<CandidateRecord> sort_records_by_mass(
+    sim::Comm& comm, std::vector<CandidateRecord> local) {
+  const int p = comm.size();
+  double local_max = 0.0;
+  for (const CandidateRecord& record : local)
+    local_max = std::max(local_max, record.mass);
+  const double global_max = comm.allreduce_max(local_max);
+  const auto array_size = static_cast<std::size_t>(global_max) + 2;
+
+  std::vector<std::uint64_t> counts(array_size, 0);
+  for (const CandidateRecord& record : local)
+    ++counts[static_cast<std::size_t>(record.mass)];
+  comm.allreduce_sum(counts);
+
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  std::vector<std::uint32_t> owner(array_size, 0);
+  {
+    std::uint64_t running = 0;
+    std::uint32_t rank = 0;
+    for (std::size_t v = 0; v < array_size; ++v) {
+      while (rank + 1 < static_cast<std::uint32_t>(p) && total > 0 &&
+             running >= (static_cast<std::uint64_t>(rank) + 1) * total /
+                            static_cast<std::uint64_t>(p)) {
+        ++rank;
+      }
+      owner[v] = rank;
+      running += counts[v];
+    }
+  }
+
+  std::vector<std::vector<char>> send(static_cast<std::size_t>(p));
+  for (const CandidateRecord& record : local) {
+    auto& payload = send[owner[static_cast<std::size_t>(record.mass)]];
+    const char* bytes = reinterpret_cast<const char*>(&record);
+    payload.insert(payload.end(), bytes, bytes + sizeof(CandidateRecord));
+  }
+  const auto received = comm.alltoallv(send);
+
+  std::vector<CandidateRecord> sorted;
+  for (const auto& payload : received) {
+    MSP_CHECK_MSG(payload.size() % sizeof(CandidateRecord) == 0,
+                  "candidate payload misaligned");
+    const std::size_t count = payload.size() / sizeof(CandidateRecord);
+    const std::size_t base = sorted.size();
+    sorted.resize(base + count);
+    std::memcpy(sorted.data() + base, payload.data(), payload.size());
+  }
+  std::sort(sorted.begin(), sorted.end(), record_order);
+  return sorted;
+}
+
+StoreMeta make_meta(const std::vector<CandidateRecord>& records) {
+  StoreMeta meta;
+  meta.records = records.size();
+  meta.min_mass = records.empty() ? 0.0 : records.front().mass;
+  meta.max_mass = records.empty() ? 0.0 : records.back().mass;
+  for (std::size_t i = 0; i < kDirectoryEntries; ++i) {
+    const std::size_t index =
+        records.empty() ? 0 : i * records.size() / kDirectoryEntries;
+    meta.directory[i] = records.empty() ? 0.0 : records[index].mass;
+  }
+  return meta;
+}
+
+/// Record-index range [first, last) on `meta`'s rank that could contain
+/// masses in [lo, hi], using the coarse directory (over-approximates by at
+/// most one directory stride per side).
+std::pair<std::size_t, std::size_t> directory_range(const StoreMeta& meta,
+                                                    double lo, double hi) {
+  if (meta.records == 0 || hi < meta.min_mass || lo > meta.max_mass)
+    return {0, 0};
+  std::size_t first_sample = 0;
+  while (first_sample + 1 < kDirectoryEntries &&
+         meta.directory[first_sample + 1] < lo)
+    ++first_sample;
+  std::size_t last_sample = first_sample;
+  while (last_sample + 1 < kDirectoryEntries &&
+         meta.directory[last_sample] <= hi)
+    ++last_sample;
+  const std::size_t first =
+      first_sample * meta.records / kDirectoryEntries;
+  const std::size_t last =
+      last_sample + 1 >= kDirectoryEntries
+          ? meta.records
+          : std::min<std::size_t>(
+                meta.records,
+                (last_sample + 1) * meta.records / kDirectoryEntries + 1);
+  return {first, last};
+}
+
+}  // namespace
+
+CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
+                                         const std::string& fasta_image,
+                                         const std::vector<Spectrum>& queries,
+                                         const SearchConfig& config,
+                                         const CandidateStoreOptions& options) {
+  MSP_CHECK_MSG(config.candidate_mode == CandidateMode::kPrefixSuffix,
+                "candidate store implements the paper's prefix/suffix rule");
+  MSP_CHECK_MSG(config.max_candidate_length <
+                    sizeof(CandidateRecord{}.peptide),
+                "candidate store caps peptide length at 63 residues");
+  const int p = runtime.size();
+  const SearchEngine engine(config);
+
+  QueryHits all_hits(queries.size());
+
+  sim::RunReport report = runtime.run([&](sim::Comm& comm) {
+    const int rank = comm.rank();
+    const auto& cost = comm.compute_model();
+    if (options.memory_budget_bytes != 0)
+      comm.set_memory_budget(options.memory_budget_bytes);
+
+    // ---- build: load, window, enumerate, sort ----
+    const double build_start = comm.clock().now();
+    ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
+    comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
+                           cost.seconds_per_residue_load);
+
+    const QueryRange block = query_block(queries.size(), rank, p);
+    const std::span<const Spectrum> local_queries(queries.data() + block.begin,
+                                                  block.count());
+    std::size_t query_bytes = 0;
+    for (const Spectrum& q : local_queries)
+      query_bytes += q.peaks().size() * sizeof(Peak) + 4096;
+    comm.charge_alloc(query_bytes);
+    const PreparedQueries prepared = engine.prepare(local_queries);
+    comm.clock().charge_compute(static_cast<double>(block.count()) *
+                                cost.seconds_per_query_prep);
+
+    // Global query-mass window bounds the store.
+    const double sentinel = 1e30;
+    const double local_lo =
+        prepared.size() == 0 ? sentinel : prepared.min_mass();
+    const double local_hi = prepared.size() == 0 ? -sentinel : prepared.max_mass();
+    const double global_lo = comm.allreduce_min(local_lo) - config.tolerance_da;
+    const double global_hi = comm.allreduce_max(local_hi) + config.tolerance_da;
+
+    std::vector<CandidateRecord> records =
+        global_lo <= global_hi
+            ? enumerate_candidates(local_db, config, global_lo, global_hi)
+            : std::vector<CandidateRecord>{};
+    local_db = ProteinDatabase{};
+    // Generation cost paid ONCE per stored candidate (the strategy's
+    // premise); evaluations later pay only the comparison remainder.
+    comm.clock().charge_compute(static_cast<double>(records.size()) *
+                                cost.seconds_per_candidate *
+                                cost.candidate_generation_fraction);
+    comm.bump("stored", records.size());
+
+    records = sort_records_by_mass(comm, std::move(records));
+    comm.charge_alloc(records.size() * sizeof(CandidateRecord));
+
+    const StoreMeta my_meta = make_meta(records);
+    const std::vector<StoreMeta> metas = comm.allgather(my_meta);
+    comm.charge_alloc(metas.size() * sizeof(StoreMeta));
+    comm.bump("build_us", static_cast<std::uint64_t>(
+                              (comm.clock().now() - build_start) * 1e6));
+
+    const std::span<const char> store_bytes(
+        reinterpret_cast<const char*>(records.data()),
+        records.size() * sizeof(CandidateRecord));
+    sim::Window window(comm, store_bytes);
+
+    // ---- query phase: on-demand partial gets of matching ranges ----
+    std::vector<TopK<Hit>> tops = engine.make_tops(block.count());
+    const double eval_cost = cost.seconds_per_candidate *
+                             (1.0 - cost.candidate_generation_fraction);
+    std::vector<char> fetched;
+    std::uint64_t evaluated = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t fetches = 0;
+
+    for (std::size_t qi = 0; qi < block.count(); ++qi) {
+      const double mass = prepared.masses[qi];
+      const double lo = mass - config.tolerance_da;
+      const double hi = mass + config.tolerance_da;
+      for (int target = 0; target < p; ++target) {
+        const auto [first, last] =
+            directory_range(metas[static_cast<std::size_t>(target)], lo, hi);
+        if (first >= last) continue;
+        sim::RmaRequest fetch = window.rget_range(
+            target, first * sizeof(CandidateRecord),
+            (last - first) * sizeof(CandidateRecord), fetched, 1);
+        window.wait(fetch);
+        ++fetches;
+        const std::size_t count = fetched.size() / sizeof(CandidateRecord);
+        for (std::size_t i = 0; i < count; ++i) {
+          CandidateRecord record;
+          std::memcpy(&record, fetched.data() + i * sizeof(CandidateRecord),
+                      sizeof(CandidateRecord));
+          if (record.mass < lo) continue;
+          if (record.mass > hi) break;  // records sorted by mass
+          const std::string_view peptide(record.peptide, record.length);
+          const double score =
+              engine.score_candidate(prepared.contexts[qi], peptide);
+          ++evaluated;
+          comm.clock().charge_compute(eval_cost);
+          if (score < config.score_cutoff) continue;
+          Hit hit;
+          hit.score = score;
+          hit.protein_id = record.protein_id;  // NUL-padded → C string
+          hit.offset = record.offset;
+          hit.length = record.length;
+          hit.end = static_cast<FragmentEnd>(record.end);
+          hit.mass = record.mass;
+          hit.peptide = std::string(peptide);
+          tops[qi].offer(hit);
+          ++offered;
+        }
+      }
+    }
+    comm.clock().charge_compute(static_cast<double>(offered) *
+                                cost.seconds_per_hit_update);
+    comm.bump("candidates", evaluated);
+    comm.bump("fetches", fetches);
+
+    // Window close is collective.
+    comm.barrier();
+
+    QueryHits local_hits = engine.finalize(tops);
+    std::size_t reported = 0;
+    for (std::size_t q = 0; q < local_hits.size(); ++q) {
+      reported += local_hits[q].size();
+      all_hits[block.begin + q] = std::move(local_hits[q]);
+    }
+    comm.clock().charge_io(static_cast<double>(reported) *
+                           cost.seconds_per_hit_output);
+  });
+
+  CandidateStoreResult result;
+  result.candidates = report.sum_counter("candidates");
+  result.stored_candidates = report.sum_counter("stored");
+  for (const auto& r : report.ranks) {
+    auto it = r.counters.find("build_us");
+    if (it != r.counters.end())
+      result.build_seconds = std::max(
+          result.build_seconds, static_cast<double>(it->second) * 1e-6);
+  }
+  result.report = std::move(report);
+  result.hits = std::move(all_hits);
+  return result;
+}
+
+}  // namespace msp

@@ -1,0 +1,72 @@
+// Candidate-store strategy — the second extension the paper's Discussion
+// proposes: "it may be worth exploring an alternative strategy in which
+// candidates, and not the database sequences, are stored in-memory and are
+// communicated on demand to worker processors. This strategy could
+// drastically reduce the overall computation time. While current
+// approaches are not designed to store such large magnitudes of candidates
+// in memory, our algorithm, because of its space-optimality, makes the
+// investigation of this alternative approach feasible. Furthermore, the
+// sorting version of our approach (Algorithm B) could prove more useful
+// under this setting."
+//
+// Realization:
+//   1. Every rank enumerates its chunk's candidate fragments (prefixes and
+//      suffixes in the global query-mass window) into fixed-size records.
+//   2. The records are parallel counting-sorted by mass across ranks —
+//      Algorithm B's machinery applied to candidates instead of sequences.
+//   3. Query processing fetches, on demand, only the record ranges whose
+//      mass window matches (partial one-sided gets guided by each rank's
+//      mass directory) — no whole-database rotation at all.
+// The trade: candidate generation cost is paid once per candidate (not
+// once per evaluation), and transfers shrink to the matching ranges; in
+// exchange the store is much larger than the raw sequences — measured by
+// bench_candidate_store.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/algorithm_a.hpp"
+#include "core/config.hpp"
+#include "simmpi/runtime.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// Fixed-size candidate record (fixed so a mass range maps to a byte range
+/// that a single partial get can fetch).
+struct CandidateRecord {
+  double mass = 0.0;
+  char protein_id[24] = {};   ///< NUL-padded
+  char peptide[64] = {};      ///< NUL-padded residue string
+  std::uint32_t offset = 0;   ///< within the parent sequence
+  std::uint16_t length = 0;
+  std::uint8_t end = 0;       ///< FragmentEnd underlying value
+  std::uint8_t pad = 0;
+};
+static_assert(sizeof(CandidateRecord) == 104);
+
+struct CandidateStoreOptions {
+  bool fence_per_iteration = true;  ///< kept for symmetry; query phase is
+                                    ///  demand-driven and does not fence
+  std::size_t memory_budget_bytes = 0;
+  /// Directory resolution: each rank publishes this many (mass → record
+  /// index) samples so requesters can bound partial fetches.
+  std::size_t directory_entries = 256;
+};
+
+struct CandidateStoreResult {
+  sim::RunReport report;
+  QueryHits hits;
+  std::uint64_t candidates = 0;        ///< evaluations (scored records)
+  std::uint64_t stored_candidates = 0; ///< records built into the store
+  double build_seconds = 0.0;          ///< max over ranks (store + sort)
+};
+
+CandidateStoreResult run_candidate_store(
+    const sim::Runtime& runtime, const std::string& fasta_image,
+    const std::vector<Spectrum>& queries, const SearchConfig& config,
+    const CandidateStoreOptions& options = {});
+
+}  // namespace msp

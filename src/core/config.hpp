@@ -1,0 +1,74 @@
+// Search configuration shared by every engine variant.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "spectra/library.hpp"
+#include "spectra/preprocess.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+enum class ScoreModel : std::uint8_t {
+  kLikelihood,  ///< MSPolygraph's accurate model (default; the paper's point)
+  kHyperscore,  ///< X!Tandem-style fast baseline
+  kSharedPeak,  ///< simplest; used by tests for hand-checkable scores
+};
+
+enum class CandidateMode : std::uint8_t {
+  /// The paper's Section II-A rule: candidates are prefixes or suffixes of
+  /// database sequences with mass in m(q) ± δ. This is the mode every
+  /// complexity bound and benchmark in the reproduction uses.
+  kPrefixSuffix,
+  /// Extension: candidates are tryptic peptides (internal substrings with
+  /// enzymatic termini, bounded missed cleavages) — what production engines
+  /// (SEQUEST/X!Tandem/MSPolygraph in digest mode) enumerate. The parallel
+  /// algorithms are agnostic to this choice; it only changes the kernel.
+  kTryptic,
+};
+
+struct SearchConfig {
+  /// Parent-mass tolerance δ: a fragment is a candidate for query q iff its
+  /// mass lies within m(q) ± δ (Section II-A).
+  double tolerance_da = 3.0;
+  /// τ: hits retained per query (paper: "between 10 and 1,000").
+  std::size_t tau = 10;
+  /// Candidate length guards: fragments outside are not even windowed.
+  std::size_t min_candidate_length = 6;
+  std::size_t max_candidate_length = 100;
+  ScoreModel model = ScoreModel::kLikelihood;
+  CandidateMode candidate_mode = CandidateMode::kPrefixSuffix;
+  /// Missed cleavages allowed in kTryptic candidate enumeration.
+  std::size_t candidate_missed_cleavages = 2;
+  double bin_width = kDefaultBinWidth;
+  /// Minimum score for a candidate to be reported at all (the paper's
+  /// "user-specified cutoff"); -inf semantics via a very low default.
+  double score_cutoff = -1e18;
+  /// X!!Tandem-style aggressive prefiltering (Section I-A: its speed comes
+  /// from "a fairly simple, fast statistical model, and an aggressive
+  /// prefiltering step that could miss true predictions"): candidates are
+  /// first screened with a cheap shared-peak count and only survivors get
+  /// the full model score. Off by default — MSPolygraph's accuracy-first
+  /// stance is the paper's whole point; bench_quality measures the trade.
+  bool prefilter = false;
+  std::size_t prefilter_min_shared_peaks = 4;
+  /// Charge-state ambiguity handling: low-resolution instruments often
+  /// cannot assign the precursor charge, so the reported value may be
+  /// wrong. When enabled, every query is searched under a parent-mass
+  /// hypothesis for EACH charge in `charge_hypotheses` (its precursor m/z
+  /// reinterpreted at that z) in addition to nothing else — the reported
+  /// charge is only one of the hypotheses. Off by default.
+  bool try_alternate_charges = false;
+  std::vector<int> charge_hypotheses = {1, 2, 3};
+  /// Optional spectral library (MSPolygraph's hybrid mode, Section I-A):
+  /// candidates with a library entry are scored against the measured
+  /// consensus spectrum; the rest fall back to the on-the-fly b/y model.
+  /// Non-owning; must outlive every engine built from this config. Only
+  /// consulted under ScoreModel::kLikelihood.
+  const SpectralLibrary* library = nullptr;
+  PreprocessOptions preprocess;
+};
+
+}  // namespace msp

@@ -1,0 +1,43 @@
+// Hit types: what the search reports per query.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "mass/peptide.hpp"
+
+namespace msp {
+
+/// One candidate that made a query's top-τ list.
+///
+/// Identification is intrinsic (protein id string + terminal + length), not
+/// positional, so the same candidate compares equal no matter which shard
+/// ordering or algorithm produced it — the basis of the cross-algorithm
+/// validation in Section III ("both implementations A & B successfully
+/// reproduce MSPolygraph's output").
+struct Hit {
+  double score = 0.0;
+  std::string protein_id;
+  std::uint32_t offset = 0;  ///< start position within the parent sequence
+  std::uint32_t length = 0;
+  FragmentEnd end = FragmentEnd::kPrefix;
+  double mass = 0.0;       ///< candidate neutral mass
+  std::string peptide;     ///< residue string of the candidate
+
+  /// Total-order tie break for equal scores (TopK contract).
+  std::tuple<std::string_view, std::uint32_t, std::uint32_t> tie_key() const {
+    return {protein_id, offset, length};
+  }
+
+  friend bool operator==(const Hit& a, const Hit& b) {
+    return a.score == b.score && a.protein_id == b.protein_id &&
+           a.offset == b.offset && a.length == b.length && a.end == b.end;
+  }
+};
+
+/// Final result: hits[q] is query q's top-τ, best first.
+using QueryHits = std::vector<std::vector<Hit>>;
+
+}  // namespace msp

@@ -1,0 +1,137 @@
+#include "core/master_worker.hpp"
+
+#include <algorithm>
+
+#include "core/packdb.hpp"
+#include "core/search_engine.hpp"
+#include "core/wire.hpp"
+#include "io/fasta.hpp"
+#include "scoring/top_hits.hpp"
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+constexpr int kTagReady = 1;  ///< worker → master: give me work
+constexpr int kTagBatch = 2;  ///< master → worker: [u64 begin][u64 count]
+constexpr int kTagStop = 3;   ///< master → worker: no work left
+
+std::vector<char> encode_batch(std::size_t begin, std::size_t count) {
+  wire::Writer writer;
+  writer.put_u64(begin);
+  writer.put_u64(count);
+  return writer.take();
+}
+
+std::pair<std::size_t, std::size_t> decode_batch(const std::vector<char>& bytes) {
+  wire::Reader reader(bytes);
+  const std::uint64_t begin = reader.get_u64();
+  const std::uint64_t count = reader.get_u64();
+  return {begin, count};
+}
+
+}  // namespace
+
+ParallelRunResult run_master_worker(const sim::Runtime& runtime,
+                                    const std::string& fasta_image,
+                                    const std::vector<Spectrum>& queries,
+                                    const SearchConfig& config,
+                                    const MasterWorkerOptions& options) {
+  MSP_CHECK_MSG(options.batch_size >= 1, "batch size must be >= 1");
+  const int p = runtime.size();
+  const SearchEngine engine(config);
+
+  QueryHits all_hits(queries.size());
+
+  sim::RunReport report = runtime.run([&](sim::Comm& comm) {
+    const int rank = comm.rank();
+    const auto& cost = comm.compute_model();
+    if (options.memory_budget_bytes != 0)
+      comm.set_memory_budget(options.memory_budget_bytes);
+
+    // Worker-side search of one query batch against the full database.
+    auto process_batch = [&](const ProteinDatabase& db, std::size_t begin,
+                             std::size_t count) {
+      const std::span<const Spectrum> batch(queries.data() + begin, count);
+      const PreparedQueries prepared = engine.prepare(batch);
+      comm.clock().charge_compute(static_cast<double>(count) *
+                                  cost.seconds_per_query_prep);
+      std::vector<TopK<Hit>> tops = engine.make_tops(count);
+      const ShardSearchStats stats = engine.search_shard(db, prepared, tops);
+      comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
+      comm.bump("candidates", stats.candidates_evaluated);
+      comm.bump("prefiltered", stats.candidates_prefiltered);
+      QueryHits hits = engine.finalize(tops);
+      std::size_t reported = 0;
+      for (std::size_t q = 0; q < hits.size(); ++q) {
+        reported += hits[q].size();
+        all_hits[begin + q] = std::move(hits[q]);
+      }
+      comm.clock().charge_io(static_cast<double>(reported) *
+                             cost.seconds_per_hit_output);
+    };
+
+    // Every worker loads the ENTIRE database — the O(N) space baseline.
+    auto load_full_database = [&]() {
+      ProteinDatabase db = read_fasta_string(fasta_image);
+      comm.clock().charge_io(static_cast<double>(db.total_residues()) *
+                             cost.seconds_per_residue_load);
+      std::size_t bytes = 0;
+      for (const Protein& protein : db.proteins)
+        bytes += protein.residues.size() + protein.id.size() + sizeof(Protein);
+      comm.charge_alloc(bytes);
+      return db;
+    };
+
+    if (p == 1) {
+      // Uni-worker degenerate case: serial MSPolygraph.
+      const ProteinDatabase db = load_full_database();
+      for (std::size_t begin = 0; begin < queries.size();
+           begin += options.batch_size) {
+        const std::size_t count =
+            std::min(options.batch_size, queries.size() - begin);
+        process_batch(db, begin, count);
+      }
+      return;
+    }
+
+    if (rank == 0) {
+      // S1/S2/S4: the master loads Q and deals batches on demand.
+      comm.charge_alloc(queries.size() * 64);  // query metadata only
+      std::size_t next = 0;
+      int active_workers = p - 1;
+      while (active_workers > 0) {
+        const sim::Comm::Message ready = comm.recv(sim::Comm::kAnySource,
+                                                   kTagReady);
+        if (next < queries.size()) {
+          const std::size_t count =
+              std::min(options.batch_size, queries.size() - next);
+          comm.send(ready.source, kTagBatch, encode_batch(next, count));
+          next += count;
+        } else {
+          comm.send(ready.source, kTagStop, {});
+          --active_workers;
+        }
+      }
+    } else {
+      // S3: workers request, process, repeat.
+      const ProteinDatabase db = load_full_database();
+      while (true) {
+        comm.send(0, kTagReady, {});
+        const sim::Comm::Message reply = comm.recv(0);
+        if (reply.tag == kTagStop) break;
+        const auto [begin, count] = decode_batch(reply.payload);
+        process_batch(db, begin, count);
+      }
+    }
+  });
+
+  ParallelRunResult result;
+  result.candidates = report.sum_counter("candidates");
+  result.report = std::move(report);
+  result.hits = std::move(all_hits);
+  return result;
+}
+
+}  // namespace msp

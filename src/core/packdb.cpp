@@ -1,0 +1,77 @@
+#include "core/packdb.hpp"
+
+#include "core/wire.hpp"
+
+namespace msp {
+
+std::vector<char> pack_database(const ProteinDatabase& db) {
+  wire::Writer writer;
+  writer.put_u64(db.proteins.size());
+  for (const Protein& protein : db.proteins) {
+    writer.put_string(protein.id);
+    writer.put_string(protein.residues);
+  }
+  return writer.take();
+}
+
+ProteinDatabase unpack_database(std::span<const char> bytes) {
+  wire::Reader reader(bytes.data(), bytes.size());
+  ProteinDatabase db;
+  const std::uint64_t count = reader.get_u64();
+  db.proteins.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Protein protein;
+    protein.id = reader.get_string();
+    protein.residues = reader.get_string();
+    db.proteins.push_back(std::move(protein));
+  }
+  if (!reader.exhausted())
+    throw IoError("packed database has trailing bytes");
+  return db;
+}
+
+ProteinDatabase unpack_database(const std::vector<char>& bytes) {
+  return unpack_database(std::span<const char>(bytes.data(), bytes.size()));
+}
+
+std::vector<char> pack_spectra(std::span<const Spectrum> spectra) {
+  wire::Writer writer;
+  writer.put_u64(spectra.size());
+  for (const Spectrum& spectrum : spectra) {
+    writer.put_string(spectrum.title());
+    writer.put_double(spectrum.precursor_mz());
+    writer.put_i32(spectrum.charge());
+    writer.put_u32(static_cast<std::uint32_t>(spectrum.peaks().size()));
+    for (const Peak& peak : spectrum.peaks()) {
+      writer.put_double(peak.mz);
+      writer.put_double(peak.intensity);
+    }
+  }
+  return writer.take();
+}
+
+std::vector<Spectrum> unpack_spectra(const std::vector<char>& bytes) {
+  wire::Reader reader(bytes);
+  std::vector<Spectrum> spectra;
+  const std::uint64_t count = reader.get_u64();
+  spectra.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::string title = reader.get_string();
+    const double precursor = reader.get_double();
+    const int charge = reader.get_i32();
+    const std::uint32_t peak_count = reader.get_u32();
+    std::vector<Peak> peaks;
+    peaks.reserve(peak_count);
+    for (std::uint32_t k = 0; k < peak_count; ++k) {
+      Peak peak;
+      peak.mz = reader.get_double();
+      peak.intensity = reader.get_double();
+      peaks.push_back(peak);
+    }
+    spectra.emplace_back(std::move(peaks), precursor, charge, std::move(title));
+  }
+  if (!reader.exhausted()) throw IoError("packed spectra have trailing bytes");
+  return spectra;
+}
+
+}  // namespace msp

@@ -1,0 +1,28 @@
+// Packed database shards: the byte images Algorithm A/B move between ranks.
+//
+// The paper transports raw database fragments ("database transport model");
+// we serialize a shard's proteins into one contiguous buffer so an RMA get
+// of the shard is a single modeled transfer, exactly like the C original.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "mass/peptide.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// Serialize a database (shard) into one contiguous byte buffer.
+std::vector<char> pack_database(const ProteinDatabase& db);
+
+/// Inverse of pack_database. Throws IoError on malformed bytes.
+ProteinDatabase unpack_database(std::span<const char> bytes);
+ProteinDatabase unpack_database(const std::vector<char>& bytes);
+
+/// Serialize one spectrum (for p2p query batches in the baseline and the
+/// query-transport ablation).
+std::vector<char> pack_spectra(std::span<const Spectrum> spectra);
+std::vector<Spectrum> unpack_spectra(const std::vector<char>& bytes);
+
+}  // namespace msp

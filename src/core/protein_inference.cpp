@@ -1,0 +1,58 @@
+#include "core/protein_inference.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+std::vector<ProteinEvidence> infer_proteins(const QueryHits& hits,
+                                            const InferenceOptions& options) {
+  MSP_CHECK_MSG(options.max_hit_rank >= 1, "max_hit_rank must be >= 1");
+  struct Working {
+    ProteinEvidence evidence;
+    std::set<std::string> peptides;
+  };
+  std::map<std::string, Working> by_protein;
+
+  for (const auto& query_hits : hits) {
+    const std::size_t depth = std::min(options.max_hit_rank, query_hits.size());
+    for (std::size_t h = 0; h < depth; ++h) {
+      const Hit& hit = query_hits[h];
+      if (hit.score < options.min_score) continue;
+      Working& working = by_protein[hit.protein_id];
+      if (working.evidence.psm_count == 0) {
+        working.evidence.protein_id = hit.protein_id;
+        working.evidence.best_score = hit.score;
+      }
+      ++working.evidence.psm_count;
+      working.evidence.best_score =
+          std::max(working.evidence.best_score, hit.score);
+      working.evidence.score_sum += hit.score;
+      working.peptides.insert(hit.peptide);
+    }
+  }
+
+  std::vector<ProteinEvidence> proteins;
+  proteins.reserve(by_protein.size());
+  for (auto& [id, working] : by_protein) {
+    working.evidence.distinct_peptides = working.peptides.size();
+    proteins.push_back(std::move(working.evidence));
+  }
+  std::sort(proteins.begin(), proteins.end());
+  return proteins;
+}
+
+std::vector<ProteinEvidence> confident_proteins(
+    const QueryHits& hits, std::size_t min_distinct_peptides,
+    const InferenceOptions& options) {
+  std::vector<ProteinEvidence> proteins = infer_proteins(hits, options);
+  std::erase_if(proteins, [&](const ProteinEvidence& evidence) {
+    return evidence.distinct_peptides < min_distinct_peptides;
+  });
+  return proteins;
+}
+
+}  // namespace msp

@@ -1,0 +1,52 @@
+// Protein inference: aggregate peptide-spectrum matches into protein-level
+// evidence — the step that turns the paper's per-query hit lists into the
+// biological answer ("identify the set of proteins ... expressed in a
+// specific organism", Section I's opening problem statement).
+//
+// The standard parsimony-flavoured summary: per protein, the number of
+// PSMs, the number of *distinct* peptides (the field's main confidence
+// signal — one-hit wonders are suspect), and score aggregates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/hit.hpp"
+
+namespace msp {
+
+struct ProteinEvidence {
+  std::string protein_id;
+  std::size_t psm_count = 0;          ///< hits attributed to this protein
+  std::size_t distinct_peptides = 0;  ///< unique peptide strings among them
+  double best_score = 0.0;
+  double score_sum = 0.0;
+
+  /// Ranking: more distinct peptides, then higher total score, then id.
+  friend bool operator<(const ProteinEvidence& a, const ProteinEvidence& b) {
+    if (a.distinct_peptides != b.distinct_peptides)
+      return a.distinct_peptides > b.distinct_peptides;
+    if (a.score_sum != b.score_sum) return a.score_sum > b.score_sum;
+    return a.protein_id < b.protein_id;
+  }
+};
+
+struct InferenceOptions {
+  /// Only hits ranked at most this deep in each query's list count
+  /// (1 = best hit per query, the usual choice).
+  std::size_t max_hit_rank = 1;
+  /// Hits below this score are ignored (the paper's reporting cutoff).
+  double min_score = -1e18;
+};
+
+/// Aggregate per-query hits into ranked protein evidence (best first).
+std::vector<ProteinEvidence> infer_proteins(const QueryHits& hits,
+                                            const InferenceOptions& options = {});
+
+/// Proteins with at least `min_distinct_peptides` (drops one-hit wonders).
+std::vector<ProteinEvidence> confident_proteins(
+    const QueryHits& hits, std::size_t min_distinct_peptides = 2,
+    const InferenceOptions& options = {});
+
+}  // namespace msp

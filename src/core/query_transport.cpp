@@ -1,0 +1,158 @@
+#include "core/query_transport.hpp"
+
+#include <algorithm>
+
+#include "core/packdb.hpp"
+#include "core/partition.hpp"
+#include "core/search_engine.hpp"
+#include "core/wire.hpp"
+#include "scoring/top_hits.hpp"
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+std::vector<char> pack_hits(const std::vector<std::vector<Hit>>& per_query) {
+  wire::Writer writer;
+  writer.put_u64(per_query.size());
+  for (const auto& hits : per_query) {
+    writer.put_u32(static_cast<std::uint32_t>(hits.size()));
+    for (const Hit& hit : hits) {
+      writer.put_double(hit.score);
+      writer.put_string(hit.protein_id);
+      writer.put_u32(hit.offset);
+      writer.put_u32(hit.length);
+      writer.put_u32(static_cast<std::uint32_t>(hit.end));
+      writer.put_double(hit.mass);
+      writer.put_string(hit.peptide);
+    }
+  }
+  return writer.take();
+}
+
+std::vector<std::vector<Hit>> unpack_hits(const std::vector<char>& bytes) {
+  wire::Reader reader(bytes);
+  std::vector<std::vector<Hit>> per_query(reader.get_u64());
+  for (auto& hits : per_query) {
+    hits.resize(reader.get_u32());
+    for (Hit& hit : hits) {
+      hit.score = reader.get_double();
+      hit.protein_id = reader.get_string();
+      hit.offset = reader.get_u32();
+      hit.length = reader.get_u32();
+      const std::uint32_t end = reader.get_u32();
+      if (end > static_cast<std::uint32_t>(FragmentEnd::kInternal))
+        throw IoError("packed hit has invalid fragment-end marker");
+      hit.end = static_cast<FragmentEnd>(end);
+      hit.mass = reader.get_double();
+      hit.peptide = reader.get_string();
+    }
+  }
+  return per_query;
+}
+
+}  // namespace
+
+ParallelRunResult run_query_transport(const sim::Runtime& runtime,
+                                      const std::string& fasta_image,
+                                      const std::vector<Spectrum>& queries,
+                                      const SearchConfig& config,
+                                      const QueryTransportOptions& options) {
+  const int p = runtime.size();
+  const SearchEngine engine(config);
+
+  QueryHits all_hits(queries.size());
+
+  sim::RunReport report = runtime.run([&](sim::Comm& comm) {
+    const int rank = comm.rank();
+    const auto& cost = comm.compute_model();
+    if (options.memory_budget_bytes != 0)
+      comm.set_memory_budget(options.memory_budget_bytes);
+
+    // Static local database shard (never moves — that is the point).
+    const ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
+    comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
+                           cost.seconds_per_residue_load);
+    std::size_t db_bytes = 0;
+    for (const Protein& protein : local_db.proteins)
+      db_bytes += protein.residues.size() + protein.id.size();
+    comm.charge_alloc(db_bytes);
+
+    // Local query block, exposed for ring transport as packed bytes.
+    const QueryRange block = query_block(queries.size(), rank, p);
+    const std::span<const Spectrum> local_queries(queries.data() + block.begin,
+                                                  block.count());
+    std::vector<char> local_query_pack = pack_spectra(local_queries);
+    comm.charge_alloc(local_query_pack.size());
+    sim::Window window(comm, local_query_pack);
+
+    // Partial results for EVERY query block this rank scored — the O(m·τ)
+    // state the database-transport design avoids.
+    std::vector<std::vector<std::vector<Hit>>> partial(
+        static_cast<std::size_t>(p));
+    const int pulls = comm.network().concurrent_pulls(p);
+
+    std::vector<char> incoming;
+    for (int s = 0; s < p; ++s) {
+      const int j = (rank + s) % p;
+      std::vector<Spectrum> batch;
+      if (j == rank) {
+        batch.assign(local_queries.begin(), local_queries.end());
+      } else {
+        sim::RmaRequest fetch = window.rget(j, incoming, pulls);
+        window.wait(fetch);
+        batch = unpack_spectra(incoming);
+      }
+      const PreparedQueries prepared = engine.prepare(batch);
+      comm.clock().charge_compute(static_cast<double>(batch.size()) *
+                                  cost.seconds_per_query_prep);
+      std::vector<TopK<Hit>> tops = engine.make_tops(batch.size());
+      const ShardSearchStats stats =
+          engine.search_shard(local_db, prepared, tops);
+      comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
+      comm.bump("candidates", stats.candidates_evaluated);
+      comm.bump("prefiltered", stats.candidates_prefiltered);
+      partial[static_cast<std::size_t>(j)] = engine.finalize(tops);
+      if (options.fence_per_iteration) window.fence();
+    }
+    // Window close is collective (MPI_Win_free semantics).
+    window.fence();
+
+    // Merge phase: ship partial lists to each block's owner (the
+    // serialization step the paper's database transport avoids).
+    std::vector<std::vector<char>> send(static_cast<std::size_t>(p));
+    for (int r = 0; r < p; ++r)
+      send[static_cast<std::size_t>(r)] =
+          pack_hits(partial[static_cast<std::size_t>(r)]);
+    const std::vector<std::vector<char>> received = comm.alltoallv(send);
+
+    std::vector<TopK<Hit>> merged = engine.make_tops(block.count());
+    for (const auto& payload : received) {
+      const auto partial_hits = unpack_hits(payload);
+      MSP_CHECK(partial_hits.size() == block.count());
+      for (std::size_t q = 0; q < partial_hits.size(); ++q)
+        for (const Hit& hit : partial_hits[q]) merged[q].offer(hit);
+    }
+    comm.clock().charge_compute(static_cast<double>(block.count() * p) *
+                                cost.seconds_per_hit_update *
+                                static_cast<double>(config.tau));
+
+    QueryHits final_hits = engine.finalize(merged);
+    std::size_t reported = 0;
+    for (std::size_t q = 0; q < final_hits.size(); ++q) {
+      reported += final_hits[q].size();
+      all_hits[block.begin + q] = std::move(final_hits[q]);
+    }
+    comm.clock().charge_io(static_cast<double>(reported) *
+                           cost.seconds_per_hit_output);
+  });
+
+  ParallelRunResult result;
+  result.candidates = report.sum_counter("candidates");
+  result.report = std::move(report);
+  result.hits = std::move(all_hits);
+  return result;
+}
+
+}  // namespace msp

@@ -1,0 +1,50 @@
+#include "core/refinement.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/protein_inference.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+RefinementResult run_refinement(const ProteinDatabase& db,
+                                std::span<const Spectrum> queries,
+                                const RefinementOptions& options) {
+  MSP_CHECK_MSG(options.max_refined_proteins >= 1,
+                "refinement needs a non-empty shortlist budget");
+  RefinementResult result;
+
+  // ---- pass 1: cheap survey of the whole database ----
+  const SearchEngine survey(options.first_pass);
+  const PreparedQueries prepared = survey.prepare(queries);
+  auto survey_tops = survey.make_tops(queries.size());
+  result.first_pass_stats = survey.search_shard(db, prepared, survey_tops);
+  const QueryHits survey_hits = survey.finalize(survey_tops);
+
+  // Shortlist proteins by aggregated survey evidence.
+  InferenceOptions inference;
+  inference.max_hit_rank = options.first_pass.tau;
+  std::vector<ProteinEvidence> evidence = infer_proteins(survey_hits, inference);
+  if (evidence.size() > options.max_refined_proteins)
+    evidence.resize(options.max_refined_proteins);
+  std::set<std::string> shortlist;
+  for (const ProteinEvidence& protein : evidence)
+    shortlist.insert(protein.protein_id);
+  result.shortlisted_proteins = shortlist.size();
+
+  ProteinDatabase refined;
+  for (const Protein& protein : db.proteins)
+    if (shortlist.count(protein.id)) refined.proteins.push_back(protein);
+
+  // ---- pass 2: accurate engine over the shortlist only ----
+  const SearchEngine accurate(options.second_pass);
+  const PreparedQueries prepared2 = accurate.prepare(queries);
+  auto tops = accurate.make_tops(queries.size());
+  result.second_pass_stats = accurate.search_shard(refined, prepared2, tops);
+  result.hits = accurate.finalize(tops);
+  return result;
+}
+
+}  // namespace msp

@@ -1,0 +1,54 @@
+// Two-pass refinement search — X!Tandem's signature strategy (Craig &
+// Beavis 2003, the paper's citation [7]: "a method for reducing the time
+// required to match protein sequences with tandem mass spectra").
+//
+// Pass 1 surveys the whole database with a cheap engine (hyperscore, often
+// prefiltered) and keeps a shortlist of proteins with any plausible hit;
+// pass 2 re-searches ONLY the shortlist with the expensive configuration
+// (likelihood model, wider candidate enumeration). The result: most of the
+// database sees only the cheap model — the economics the paper's related
+// work describes, packaged as a reusable strategy rather than a hard-wired
+// accuracy loss.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/hit.hpp"
+#include "core/search_engine.hpp"
+#include "mass/peptide.hpp"
+
+namespace msp {
+
+struct RefinementOptions {
+  /// Cheap survey pass. Defaults: hyperscore + aggressive prefilter.
+  SearchConfig first_pass;
+  /// Accurate pass over the shortlist. Defaults: likelihood model.
+  SearchConfig second_pass;
+  /// Keep at most this many proteins (by first-pass evidence) for pass 2.
+  std::size_t max_refined_proteins = 100;
+
+  RefinementOptions() {
+    first_pass.model = ScoreModel::kHyperscore;
+    first_pass.prefilter = true;
+    first_pass.tau = 3;
+    second_pass.model = ScoreModel::kLikelihood;
+  }
+};
+
+struct RefinementResult {
+  QueryHits hits;  ///< pass-2 hits over the shortlist (authoritative output)
+  std::size_t shortlisted_proteins = 0;
+  ShardSearchStats first_pass_stats;
+  ShardSearchStats second_pass_stats;
+};
+
+/// Serial two-pass search. The shortlist is chosen by summed first-pass
+/// best-hit scores per protein, deterministically.
+RefinementResult run_refinement(const ProteinDatabase& db,
+                                std::span<const Spectrum> queries,
+                                const RefinementOptions& options = {});
+
+}  // namespace msp

@@ -1,0 +1,25 @@
+// Internal: the A2 ring-rotation search body, shared by Algorithm A (world
+// communicator) and the sub-group hybrid (split communicators). Not part of
+// the public API.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "core/algorithm_a.hpp"
+#include "core/hit.hpp"
+#include "core/search_engine.hpp"
+#include "simmpi/comm.hpp"
+
+namespace msp::detail {
+
+/// Execute steps A1–A3 on `comm`: load the (comm.rank(), comm.size())
+/// database chunk of `fasta_image`, search `local_queries` against the
+/// rotating shards, and write each query q's hits to
+/// all_hits[output_offset + q]. Collective over `comm`.
+void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
+                      std::span<const Spectrum> local_queries,
+                      std::size_t output_offset, const SearchEngine& engine,
+                      const AlgorithmAOptions& options, QueryHits& all_hits);
+
+}  // namespace msp::detail

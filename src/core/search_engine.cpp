@@ -1,0 +1,210 @@
+#include "core/search_engine.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "mass/digest.hpp"
+#include "scoring/hyperscore.hpp"
+#include "scoring/shared_peak.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+double PreparedQueries::min_mass() const {
+  return sorted_masses.empty() ? 0.0 : sorted_masses.front();
+}
+
+double PreparedQueries::max_mass() const {
+  return sorted_masses.empty() ? 0.0 : sorted_masses.back();
+}
+
+SearchEngine::SearchEngine(SearchConfig config) : config_(config) {
+  MSP_CHECK_MSG(config_.tolerance_da > 0.0, "tolerance must be positive");
+  MSP_CHECK_MSG(config_.tau >= 1, "tau must be >= 1");
+  MSP_CHECK_MSG(config_.min_candidate_length >= 2,
+                "candidates must have >= 2 residues (fragmentable)");
+  MSP_CHECK_MSG(config_.max_candidate_length >= config_.min_candidate_length,
+                "candidate length bounds inverted");
+}
+
+PreparedQueries SearchEngine::prepare(std::span<const Spectrum> queries) const {
+  PreparedQueries prepared;
+  prepared.spectra.reserve(queries.size());
+  prepared.contexts.reserve(queries.size());
+  prepared.masses.reserve(queries.size());
+  // Each query contributes one (mass, query) search entry per parent-mass
+  // hypothesis: just the reported charge by default, or one per charge in
+  // charge_hypotheses when alternate-charge search is on.
+  std::vector<std::pair<double, std::uint32_t>> entries;
+  for (std::uint32_t i = 0; i < queries.size(); ++i) {
+    const Spectrum& raw = queries[i];
+    Spectrum cleaned = preprocess(raw, config_.preprocess);
+    prepared.masses.push_back(cleaned.parent_mass());
+    if (config_.try_alternate_charges) {
+      for (int z : config_.charge_hypotheses) {
+        MSP_CHECK_MSG(z >= 1, "charge hypotheses must be >= 1");
+        entries.emplace_back(mass_from_mz(raw.precursor_mz(), z), i);
+      }
+    } else {
+      entries.emplace_back(cleaned.parent_mass(), i);
+    }
+    prepared.contexts.emplace_back(cleaned, config_.bin_width);
+    prepared.spectra.push_back(std::move(cleaned));
+  }
+  std::sort(entries.begin(), entries.end());
+  prepared.order.reserve(entries.size());
+  prepared.sorted_masses.reserve(entries.size());
+  for (const auto& [mass, index] : entries) {
+    prepared.sorted_masses.push_back(mass);
+    prepared.order.push_back(index);
+  }
+  return prepared;
+}
+
+double SearchEngine::score_candidate(const QueryContext& context,
+                                     std::string_view peptide) const {
+  switch (config_.model) {
+    case ScoreModel::kLikelihood: {
+      const double model_score = likelihood_ratio(context, peptide);
+      if (config_.library != nullptr) {
+        if (const Spectrum* entry = config_.library->find(peptide)) {
+          // Hybrid evidence: the candidate explains the query if EITHER its
+          // measured consensus pattern or the generic b/y model does —
+          // library information can only strengthen a candidate.
+          return std::max(model_score,
+                          likelihood_ratio_library(context, *entry));
+        }
+      }
+      return model_score;
+    }
+    case ScoreModel::kHyperscore:
+      return hyperscore(context.binned(), peptide);
+    case ScoreModel::kSharedPeak:
+      return static_cast<double>(shared_peak_count(context.binned(), peptide));
+  }
+  throw InvalidArgument("unknown score model");
+}
+
+ShardSearchStats SearchEngine::search_shard(
+    const ProteinDatabase& shard, const PreparedQueries& queries,
+    std::span<TopK<Hit>> tops,
+    std::vector<std::uint64_t>* per_query_candidates) const {
+  MSP_CHECK_MSG(tops.size() == queries.size(),
+                "tops arity must match query arity");
+  ShardSearchStats stats;
+  if (queries.size() == 0 || shard.proteins.empty()) return stats;
+
+  const double delta = config_.tolerance_da;
+  const double query_mass_floor = queries.min_mass() - delta;
+  const double query_mass_ceil = queries.max_mass() + delta;
+
+  // For one fragment mass, visit all queries whose window contains it.
+  auto visit_matches = [&](double mass, std::uint32_t protein_index,
+                           std::uint32_t offset, std::uint32_t length,
+                           FragmentEnd end) {
+    const auto lo = std::lower_bound(queries.sorted_masses.begin(),
+                                     queries.sorted_masses.end(), mass - delta);
+    const auto hi = std::upper_bound(lo, queries.sorted_masses.end(),
+                                     mass + delta);
+    if (lo == hi) return;
+
+    const Protein& protein = shard.proteins[protein_index];
+    const std::string_view peptide =
+        std::string_view(protein.residues).substr(offset, length);
+
+    for (auto it = lo; it != hi; ++it) {
+      const auto sorted_pos =
+          static_cast<std::size_t>(it - queries.sorted_masses.begin());
+      const std::uint32_t q = queries.order[sorted_pos];
+      if (per_query_candidates) ++(*per_query_candidates)[q];
+      if (config_.prefilter &&
+          shared_peak_count(queries.contexts[q].binned(), peptide) <
+              config_.prefilter_min_shared_peaks) {
+        ++stats.candidates_prefiltered;
+        continue;  // the aggressive screen: never fully scored
+      }
+      const double score = score_candidate(queries.contexts[q], peptide);
+      ++stats.candidates_evaluated;
+      if (score < config_.score_cutoff) continue;
+      Hit hit;
+      hit.score = score;
+      hit.protein_id = protein.id;
+      hit.offset = offset;
+      hit.length = length;
+      hit.end = end;
+      hit.mass = mass;
+      hit.peptide = std::string(peptide);
+      tops[q].offer(hit);
+      ++stats.hits_offered;
+    }
+  };
+
+  for (std::uint32_t pi = 0; pi < shard.proteins.size(); ++pi) {
+    const Protein& protein = shard.proteins[pi];
+    const std::size_t len = protein.residues.size();
+    if (len < config_.min_candidate_length) continue;
+    const FragmentMassIndex index(protein.residues);
+    const std::size_t max_k = std::min(len, config_.max_candidate_length);
+
+    if (config_.candidate_mode == CandidateMode::kPrefixSuffix) {
+      // Prefix masses grow monotonically in k: stop past the heaviest window.
+      for (std::size_t k = config_.min_candidate_length; k <= max_k; ++k) {
+        const double mass = index.prefix_mass(k);
+        if (mass > query_mass_ceil) break;
+        if (mass < query_mass_floor) continue;
+        visit_matches(mass, pi, 0, static_cast<std::uint32_t>(k),
+                      FragmentEnd::kPrefix);
+      }
+      for (std::size_t k = config_.min_candidate_length; k <= max_k; ++k) {
+        if (k == len) break;  // the full sequence already counted as a prefix
+        const double mass = index.suffix_mass(k);
+        if (mass > query_mass_ceil) break;
+        if (mass < query_mass_floor) continue;
+        visit_matches(mass, pi, static_cast<std::uint32_t>(len - k),
+                      static_cast<std::uint32_t>(k), FragmentEnd::kSuffix);
+      }
+    } else {
+      // Tryptic extension: enumerate enzymatic peptides; classify termini
+      // so prefix/suffix hits stay comparable with the paper mode.
+      DigestOptions digest;
+      digest.min_length = config_.min_candidate_length;
+      digest.max_length = max_k;
+      digest.missed_cleavages = config_.candidate_missed_cleavages;
+      for (const DigestedPeptide& peptide :
+           digest_tryptic(protein.residues, digest)) {
+        const double mass = index.prefix_mass(peptide.offset + peptide.length) -
+                            index.prefix_mass(peptide.offset) + kWaterMass;
+        if (mass < query_mass_floor || mass > query_mass_ceil) continue;
+        FragmentEnd end = FragmentEnd::kInternal;
+        if (peptide.offset == 0)
+          end = FragmentEnd::kPrefix;
+        else if (peptide.offset + peptide.length == len)
+          end = FragmentEnd::kSuffix;
+        visit_matches(mass, pi, static_cast<std::uint32_t>(peptide.offset),
+                      static_cast<std::uint32_t>(peptide.length), end);
+      }
+    }
+  }
+  return stats;
+}
+
+std::vector<TopK<Hit>> SearchEngine::make_tops(std::size_t query_count) const {
+  return std::vector<TopK<Hit>>(query_count, TopK<Hit>(config_.tau));
+}
+
+QueryHits SearchEngine::finalize(std::vector<TopK<Hit>>& tops) const {
+  QueryHits hits;
+  hits.reserve(tops.size());
+  for (TopK<Hit>& top : tops) hits.push_back(top.sorted());
+  return hits;
+}
+
+QueryHits SearchEngine::search(const ProteinDatabase& db,
+                               std::span<const Spectrum> queries) const {
+  const PreparedQueries prepared = prepare(queries);
+  std::vector<TopK<Hit>> tops = make_tops(queries.size());
+  search_shard(db, prepared, tops);
+  return finalize(tops);
+}
+
+}  // namespace msp

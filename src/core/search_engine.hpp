@@ -1,0 +1,108 @@
+// The serial search kernel shared by every parallelization.
+//
+// Candidate rule (Section II-A): a prefix or suffix of a database sequence
+// is a candidate for query q iff its neutral mass lies within m(q) ± δ.
+// The kernel iterates database-side: for each sequence it walks the running
+// prefix/suffix masses (O(1) each via FragmentMassIndex) and binary-searches
+// the mass-sorted query set for matching windows — the same search the paper
+// describes for Algorithm B ("maintain the local query set Qi also sorted by
+// their m/z values and then use binary search"), applied uniformly.
+//
+// Every algorithm (serial, A, B, master–worker, query transport) funnels
+// through search_shard(), which is what makes the cross-algorithm
+// hit-for-hit validation meaningful.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/hit.hpp"
+#include "mass/peptide.hpp"
+#include "scoring/likelihood.hpp"
+#include "scoring/top_hits.hpp"
+#include "simmpi/netmodel.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// Preprocessed queries plus the mass-sorted view the kernel searches.
+/// The sorted view holds one *entry* per parent-mass hypothesis — exactly
+/// one per query normally, one per charge hypothesis when
+/// SearchConfig::try_alternate_charges is on — so `order`/`sorted_masses`
+/// may be longer than `spectra`.
+struct PreparedQueries {
+  std::vector<Spectrum> spectra;       ///< preprocessed copies
+  std::vector<QueryContext> contexts;  ///< binned + background, per query
+  std::vector<double> masses;          ///< reported parent mass, query order
+  std::vector<std::uint32_t> order;    ///< entry k → query index
+  std::vector<double> sorted_masses;   ///< entry k → hypothesis mass, ascending
+
+  std::size_t size() const { return spectra.size(); }
+  double min_mass() const;  ///< the paper's m(q)_min (0 when empty)
+  double max_mass() const;
+};
+
+struct ShardSearchStats {
+  std::uint64_t candidates_evaluated = 0;  ///< fully scored (the paper's r)
+  std::uint64_t candidates_prefiltered = 0;  ///< screened out cheaply
+  std::uint64_t hits_offered = 0;          ///< top-τ updates attempted
+
+  ShardSearchStats& operator+=(const ShardSearchStats& other) {
+    candidates_evaluated += other.candidates_evaluated;
+    candidates_prefiltered += other.candidates_prefiltered;
+    hits_offered += other.hits_offered;
+    return *this;
+  }
+};
+
+/// Virtual compute seconds one kernel invocation costs under `model` —
+/// the single place where candidate work maps onto the simulated clock.
+inline double kernel_cost_seconds(const ShardSearchStats& stats,
+                                  const sim::ComputeModel& model) {
+  return static_cast<double>(stats.candidates_evaluated) *
+             model.seconds_per_candidate +
+         static_cast<double>(stats.candidates_prefiltered) *
+             model.seconds_per_prefilter +
+         static_cast<double>(stats.hits_offered) * model.seconds_per_hit_update;
+}
+
+class SearchEngine {
+ public:
+  explicit SearchEngine(SearchConfig config);
+
+  const SearchConfig& config() const { return config_; }
+
+  /// Preprocess and index a query set (any subset of the global queries).
+  PreparedQueries prepare(std::span<const Spectrum> queries) const;
+
+  /// Score every candidate of `shard` against every matching query in
+  /// `queries`, updating tops[q]. tops.size() must equal queries.size().
+  /// If `per_query_candidates` is non-null it accumulates, per query, the
+  /// number of candidates evaluated (Fig. 1b measurements).
+  ShardSearchStats search_shard(
+      const ProteinDatabase& shard, const PreparedQueries& queries,
+      std::span<TopK<Hit>> tops,
+      std::vector<std::uint64_t>* per_query_candidates = nullptr) const;
+
+  /// Score one candidate peptide against one query (model dispatch).
+  double score_candidate(const QueryContext& context,
+                         std::string_view peptide) const;
+
+  /// Serial end-to-end search — the p=1 reference every parallel variant is
+  /// validated against.
+  QueryHits search(const ProteinDatabase& db,
+                   std::span<const Spectrum> queries) const;
+
+  /// Extract final per-query hit lists (best-first) from the running tops.
+  QueryHits finalize(std::vector<TopK<Hit>>& tops) const;
+
+  /// A fresh top-τ list per query.
+  std::vector<TopK<Hit>> make_tops(std::size_t query_count) const;
+
+ private:
+  SearchConfig config_;
+};
+
+}  // namespace msp

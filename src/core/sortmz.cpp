@@ -1,0 +1,118 @@
+#include "core/sortmz.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/packdb.hpp"
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+std::uint32_t mz_bucket(const Protein& protein) {
+  const double mz = mz_from_mass(peptide_mass(protein.residues), 1);
+  MSP_CHECK_MSG(mz >= 0.0 && mz < 3.0e5,
+                "parent m/z out of the paper's bounded range: " << mz);
+  return static_cast<std::uint32_t>(mz);
+}
+
+SortedShard parallel_sort_by_mz(sim::Comm& comm, const ProteinDatabase& local) {
+  const int p = comm.size();
+  const auto& cost = comm.compute_model();
+  const double sort_start = comm.clock().now();
+
+  // ---- S1: local m/z values and the global maximum bucket ----
+  std::vector<std::uint32_t> buckets;
+  buckets.reserve(local.proteins.size());
+  for (const Protein& protein : local.proteins)
+    buckets.push_back(mz_bucket(protein));
+  comm.clock().charge_compute(static_cast<double>(local.proteins.size()) *
+                              cost.seconds_per_mz);
+  const double global_max =
+      comm.allreduce_max(buckets.empty()
+                             ? 0.0
+                             : static_cast<double>(
+                                   *std::max_element(buckets.begin(), buckets.end())));
+  const auto array_size = static_cast<std::size_t>(global_max) + 1;
+
+  // ---- S2: global count array (weighted by residues) and redistribution ----
+  std::vector<std::uint64_t> counts(array_size, 0);
+  for (std::size_t i = 0; i < local.proteins.size(); ++i)
+    counts[buckets[i]] += local.proteins[i].length();
+  comm.allreduce_sum(counts);
+
+  // Pivots: walk the global count array once; bucket v belongs to the rank
+  // whose cumulative residue target it falls under. All ranks compute the
+  // identical owner table (no further communication needed).
+  std::uint64_t total_residues = 0;
+  for (std::uint64_t c : counts) total_residues += c;
+  std::vector<std::uint32_t> owner(array_size, 0);
+  std::vector<MzBoundary> boundaries(static_cast<std::size_t>(p));
+  {
+    std::uint64_t running = 0;
+    std::uint32_t rank = 0;
+    bool rank_has_values = false;
+    for (std::size_t v = 0; v < array_size; ++v) {
+      // Close rank r once it holds its cumulative share (r+1)·total/p.
+      while (rank + 1 < static_cast<std::uint32_t>(p) && rank_has_values &&
+             running >= (static_cast<std::uint64_t>(rank) + 1) * total_residues /
+                            static_cast<std::uint64_t>(p)) {
+        ++rank;
+        rank_has_values = false;
+      }
+      owner[v] = rank;
+      if (counts[v] > 0) {
+        if (!rank_has_values) boundaries[rank].begin_mz = static_cast<double>(v);
+        boundaries[rank].end_mz = static_cast<double>(v) + 1.0;
+        rank_has_values = true;
+      }
+      running += counts[v];
+    }
+  }
+  // Ranks that received no buckets keep their zero-width default; give them
+  // a consistent empty range at the previous boundary so lookups stay sane.
+  for (int r = 1; r < p; ++r) {
+    if (boundaries[static_cast<std::size_t>(r)].end_mz == 0.0) {
+      boundaries[static_cast<std::size_t>(r)].begin_mz =
+          boundaries[static_cast<std::size_t>(r - 1)].end_mz;
+      boundaries[static_cast<std::size_t>(r)].end_mz =
+          boundaries[static_cast<std::size_t>(r - 1)].end_mz;
+    }
+  }
+
+  // Pack per-destination sequences and exchange (MPI_Alltoallv).
+  std::vector<ProteinDatabase> outgoing(static_cast<std::size_t>(p));
+  for (std::size_t i = 0; i < local.proteins.size(); ++i)
+    outgoing[owner[buckets[i]]].proteins.push_back(local.proteins[i]);
+  std::vector<std::vector<char>> send(static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r)
+    send[static_cast<std::size_t>(r)] =
+        pack_database(outgoing[static_cast<std::size_t>(r)]);
+  const std::vector<std::vector<char>> received = comm.alltoallv(send);
+
+  SortedShard result;
+  for (const auto& payload : received) {
+    ProteinDatabase part = unpack_database(payload);
+    for (Protein& protein : part.proteins)
+      result.shard.proteins.push_back(std::move(protein));
+  }
+  // Local final ordering within the owned m/z range (cheap integer keys,
+  // precomputed once — mz_bucket is O(sequence length)).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> keyed;
+  keyed.reserve(result.shard.proteins.size());
+  for (std::uint32_t i = 0; i < result.shard.proteins.size(); ++i)
+    keyed.emplace_back(mz_bucket(result.shard.proteins[i]), i);
+  std::stable_sort(keyed.begin(), keyed.end());
+  ProteinDatabase ordered;
+  ordered.proteins.reserve(result.shard.proteins.size());
+  for (const auto& [bucket, i] : keyed)
+    ordered.proteins.push_back(std::move(result.shard.proteins[i]));
+  result.shard = std::move(ordered);
+  comm.clock().charge_compute(static_cast<double>(result.shard.proteins.size()) *
+                              cost.seconds_per_mz * 2.0);
+  result.boundaries = std::move(boundaries);
+  result.sort_seconds = comm.clock().now() - sort_start;
+  return result;
+}
+
+}  // namespace msp

@@ -1,0 +1,43 @@
+// Parallel counting sort of the database by parent m/z (step B2).
+//
+// The paper exploits that parent m/z values are bounded ("within the range
+// [1, ..., 300000]") to sort with a global count array:
+//   S1. each rank computes its sequences' parent m/z values and the global
+//       maximum via Allreduce;
+//   S2. each rank builds a local count array (one slot per integer m/z,
+//       weighted by sequence length so the *residue* load balances),
+//       Allreduce-sums it, derives the partition pivots, and redistributes
+//       sequences with Alltoallv. Equal m/z values land on one rank.
+// Every rank ends with a contiguous m/z range of the sorted database of
+// ≈ N/p residues, plus the p (begin, end) boundary tuples.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mass/peptide.hpp"
+#include "simmpi/comm.hpp"
+
+namespace msp {
+
+/// m/z range owned by one rank after the sort (paper's (begin_i, end_i)).
+struct MzBoundary {
+  double begin_mz = 0.0;  ///< inclusive
+  double end_mz = 0.0;    ///< inclusive upper bound of owned values
+};
+
+struct SortedShard {
+  ProteinDatabase shard;              ///< sequences sorted by parent m/z
+  std::vector<MzBoundary> boundaries; ///< all p ranks' ranges, rank order
+  double sort_seconds = 0.0;          ///< virtual time spent sorting (Table IV)
+};
+
+/// Integer bucket of a sequence for the counting sort: floor of its singly
+/// protonated parent m/z. Bounded in practice exactly as the paper states.
+std::uint32_t mz_bucket(const Protein& protein);
+
+/// Collective: every rank passes its local (unsorted) shard; returns its
+/// sorted shard and the global boundary table. Deterministic.
+SortedShard parallel_sort_by_mz(sim::Comm& comm, const ProteinDatabase& local);
+
+}  // namespace msp

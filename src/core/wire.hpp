@@ -1,0 +1,85 @@
+// Minimal binary (de)serialization for shard transport and p2p payloads.
+// Fixed little-endian-agnostic encoding via memcpy of native types — all
+// "ranks" share one process, so byte order never changes underneath us; the
+// framing still bounds-checks every read so corrupted payloads fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace msp::wire {
+
+class Writer {
+ public:
+  void put_u32(std::uint32_t value) { put_raw(&value, sizeof(value)); }
+  void put_u64(std::uint64_t value) { put_raw(&value, sizeof(value)); }
+  void put_i32(std::int32_t value) { put_raw(&value, sizeof(value)); }
+  void put_double(double value) { put_raw(&value, sizeof(value)); }
+
+  void put_string(std::string_view text) {
+    MSP_CHECK_MSG(text.size() <= UINT32_MAX, "string too long for wire");
+    put_u32(static_cast<std::uint32_t>(text.size()));
+    put_raw(text.data(), text.size());
+  }
+
+  const std::vector<char>& bytes() const { return bytes_; }
+  std::vector<char> take() { return std::move(bytes_); }
+
+ private:
+  void put_raw(const void* data, std::size_t size) {
+    const char* begin = static_cast<const char*>(data);
+    bytes_.insert(bytes_.end(), begin, begin + size);
+  }
+  std::vector<char> bytes_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::vector<char>& bytes)
+      : data_(bytes.data()), size_(bytes.size()) {}
+  Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint32_t get_u32() { return get_pod<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_pod<std::uint64_t>(); }
+  std::int32_t get_i32() { return get_pod<std::int32_t>(); }
+  double get_double() { return get_pod<double>(); }
+
+  std::string get_string() {
+    const std::uint32_t length = get_u32();
+    require(length);
+    std::string out(data_ + offset_, length);
+    offset_ += length;
+    return out;
+  }
+
+  bool exhausted() const { return offset_ == size_; }
+  std::size_t remaining() const { return size_ - offset_; }
+
+ private:
+  template <typename T>
+  T get_pod() {
+    require(sizeof(T));
+    T value;
+    std::memcpy(&value, data_ + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  void require(std::size_t bytes) const {
+    if (offset_ + bytes > size_)
+      throw IoError("wire: truncated payload (need " + std::to_string(bytes) +
+                    " bytes at offset " + std::to_string(offset_) + " of " +
+                    std::to_string(size_) + ")");
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace msp::wire

@@ -1,0 +1,51 @@
+// Models behind Figure 1 of the paper.
+//
+// Fig. 1a plots NCBI GenBank's exponential base-pair growth 1988-2008;
+// Fig. 1b plots how many candidate peptides must be evaluated per spectrum
+// as the biological scope of the sample widens (known protein family →
+// known genome → environmental community), further multiplied by PTMs.
+// Neither figure is a measurement of the authors' cluster — both are
+// data-context plots — so we reproduce them from models calibrated to the
+// public figures they cite.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+struct GrowthPoint {
+  int year = 0;
+  double base_pairs = 0.0;  ///< GenBank nucleotide bases
+  double sequences = 0.0;
+};
+
+/// GenBank growth 1988..last_year. Calibrated to the published release
+/// notes: ~2.3e7 bases in 1988 doubling roughly every 18 months
+/// (~1e11 by 2008).
+std::vector<GrowthPoint> genbank_growth(int first_year = 1988,
+                                        int last_year = 2008);
+
+/// One bar of Fig. 1b: expected candidates per spectrum for a search scope.
+struct CandidateMagnitude {
+  std::string scope;          ///< e.g. "protein family"
+  std::uint64_t database_residues = 0;
+  std::uint64_t candidates_no_ptm = 0;
+  std::uint64_t candidates_with_ptm = 0;
+};
+
+/// Expected number of prefix/suffix candidates per spectrum for a database
+/// with `total_residues` residues and `avg_length` average sequence length,
+/// under mass-window tolerance `tolerance_da`. Derivation: each sequence of
+/// length L offers 2L fragment masses spread over its mass range; the
+/// fraction landing in a ±tolerance window around a typical tryptic parent
+/// mass follows from the fragment-mass density (~1 per avg residue mass Da
+/// per terminal, per sequence).
+double expected_candidates(std::uint64_t total_residues, double avg_length,
+                           double tolerance_da);
+
+/// The three scopes of Fig. 1b with PTM multipliers from the mass/ptm model.
+std::vector<CandidateMagnitude> candidate_magnitudes(double tolerance_da = 3.0);
+
+}  // namespace msp

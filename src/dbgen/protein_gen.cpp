@@ -1,0 +1,87 @@
+#include "dbgen/protein_gen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+/// Cumulative residue frequency table for inverse-CDF sampling.
+std::array<double, 20> cumulative_frequencies() {
+  std::array<double, 20> cdf{};
+  double running = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    running += residue_frequency(residue_from_index(i));
+    cdf[static_cast<std::size_t>(i)] = running;
+  }
+  // Normalize: the table sums to ~0.999; stretch to exactly 1.
+  for (double& v : cdf) v /= running;
+  return cdf;
+}
+
+char sample_residue(const std::array<double, 20>& cdf, Xoshiro256& rng) {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+  const int index = static_cast<int>(it - cdf.begin());
+  return residue_from_index(std::min(index, 19));
+}
+
+}  // namespace
+
+ProteinDatabase generate_proteins(const ProteinGenOptions& options) {
+  MSP_CHECK_MSG(options.mean_length > 0.0, "mean length must be positive");
+  MSP_CHECK_MSG(options.min_length >= 2, "min length must be >= 2");
+  MSP_CHECK_MSG(options.max_length >= options.min_length,
+                "max length must be >= min length");
+
+  const auto cdf = cumulative_frequencies();
+  // Log-normal parameters from mean m and shape sigma: mu = ln m - sigma^2/2.
+  const double mu =
+      std::log(options.mean_length) - options.length_sigma * options.length_sigma / 2.0;
+
+  ProteinDatabase db;
+  db.proteins.reserve(options.sequence_count);
+  for (std::size_t i = 0; i < options.sequence_count; ++i) {
+    // Per-sequence RNG stream: database prefixes are stable across sizes.
+    Xoshiro256 rng(options.seed + 0x9e3779b9ULL * (i + 1));
+    const double drawn = std::exp(mu + options.length_sigma * rng.normal());
+    const auto length = static_cast<std::size_t>(std::clamp(
+        drawn, static_cast<double>(options.min_length),
+        static_cast<double>(options.max_length)));
+    Protein protein;
+    protein.id = options.id_prefix + "_" + std::to_string(i);
+    protein.residues.reserve(length);
+    for (std::size_t r = 0; r < length; ++r)
+      protein.residues.push_back(sample_residue(cdf, rng));
+    db.proteins.push_back(std::move(protein));
+  }
+  return db;
+}
+
+ProteinGenOptions human_like_options(double scale) {
+  MSP_CHECK_MSG(scale > 0.0, "scale must be positive");
+  ProteinGenOptions options;
+  options.sequence_count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(88333 * scale));
+  options.mean_length = 301.66;
+  options.seed = 1988;  // GenBank's first release year; any constant works
+  options.id_prefix = "HUM";
+  return options;
+}
+
+ProteinGenOptions microbial_like_options(double scale) {
+  MSP_CHECK_MSG(scale > 0.0, "scale must be positive");
+  ProteinGenOptions options;
+  options.sequence_count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(2655064 * scale));
+  options.mean_length = 314.44;
+  options.seed = 2009;
+  options.id_prefix = "MIC";
+  return options;
+}
+
+}  // namespace msp

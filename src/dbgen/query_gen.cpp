@@ -1,0 +1,85 @@
+#include "dbgen/query_gen.hpp"
+
+#include <algorithm>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+/// Pick a digestible peptide from a random protein; retries across proteins
+/// because short proteins may yield no peptide in the length window. With
+/// `anchored_only`, only peptides touching a sequence terminus qualify.
+std::pair<std::string, std::uint32_t> sample_peptide(
+    const ProteinDatabase& db, const DigestOptions& digest, bool anchored_only,
+    Xoshiro256& rng) {
+  MSP_CHECK_MSG(!db.proteins.empty(), "query source database is empty");
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    const auto index =
+        static_cast<std::uint32_t>(rng.bounded(db.proteins.size()));
+    const Protein& protein = db.proteins[index];
+    auto peptides = digest_tryptic(protein.residues, digest);
+    if (anchored_only) {
+      std::erase_if(peptides, [&](const DigestedPeptide& peptide) {
+        return peptide.offset != 0 &&
+               peptide.offset + peptide.length != protein.residues.size();
+      });
+    }
+    if (peptides.empty()) continue;
+    const DigestedPeptide& chosen = peptides[rng.bounded(peptides.size())];
+    return {peptide_string(protein.residues, chosen), index};
+  }
+  throw InvalidArgument(
+      "could not sample a tryptic peptide after 1000 attempts; check digest "
+      "length bounds vs. database sequence lengths");
+}
+
+void mutate_one_residue(std::string& peptide, Xoshiro256& rng) {
+  const std::size_t pos = rng.bounded(peptide.size());
+  char replacement = peptide[pos];
+  while (replacement == peptide[pos])
+    replacement = residue_from_index(static_cast<int>(rng.bounded(20)));
+  peptide[pos] = replacement;
+}
+
+}  // namespace
+
+std::vector<GeneratedQuery> generate_queries(const ProteinDatabase& source,
+                                             const QueryGenOptions& options,
+                                             const ProteinDatabase* decoy_source) {
+  MSP_CHECK_MSG(options.mutation_fraction >= 0.0 && options.mutation_fraction <= 1.0,
+                "mutation fraction must be in [0,1]");
+  MSP_CHECK_MSG(options.foreign_fraction >= 0.0 && options.foreign_fraction <= 1.0,
+                "foreign fraction must be in [0,1]");
+  MSP_CHECK_MSG(options.foreign_fraction == 0.0 || decoy_source != nullptr,
+                "foreign queries need a decoy source database");
+
+  std::vector<GeneratedQuery> queries;
+  queries.reserve(options.query_count);
+  for (std::size_t i = 0; i < options.query_count; ++i) {
+    Xoshiro256 rng(options.seed + 0x51ed2701ULL * (i + 1));
+    GeneratedQuery query;
+    query.foreign = decoy_source != nullptr &&
+                    rng.uniform() < options.foreign_fraction;
+    const ProteinDatabase& pool = query.foreign ? *decoy_source : source;
+    auto [peptide, protein_index] =
+        sample_peptide(pool, options.digest, options.anchored_only, rng);
+    if (rng.uniform() < options.mutation_fraction) mutate_one_residue(peptide, rng);
+    query.true_peptide = peptide;
+    query.source_protein = protein_index;
+    query.spectrum = simulate_spectrum(peptide, options.noise, rng,
+                                       "query_" + std::to_string(i));
+    queries.push_back(std::move(query));
+  }
+  return queries;
+}
+
+std::vector<Spectrum> spectra_of(const std::vector<GeneratedQuery>& queries) {
+  std::vector<Spectrum> spectra;
+  spectra.reserve(queries.size());
+  for (const GeneratedQuery& query : queries) spectra.push_back(query.spectrum);
+  return spectra;
+}
+
+}  // namespace msp

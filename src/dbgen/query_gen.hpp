@@ -1,0 +1,51 @@
+// Query-set generator: the stand-in for the paper's 1,210 human experimental
+// spectra. Target peptides are tryptic digests sampled from a source
+// database; each is pushed through the CID noise model. Optionally a
+// fraction of targets is mutated or PTM-modified (the paper's motivation for
+// variant generation), and a fraction is drawn from *outside* the searched
+// database (unsequenced-organism queries, the metagenomics case).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mass/digest.hpp"
+#include "mass/peptide.hpp"
+#include "spectra/generator.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+struct QueryGenOptions {
+  std::size_t query_count = 200;
+  std::uint64_t seed = 1210;  ///< the paper's query count, as a nod
+  DigestOptions digest;       ///< how target peptides are excised
+  SpectrumNoiseModel noise;   ///< measurement simulation
+  double mutation_fraction = 0.0;  ///< fraction with 1 random substitution
+  /// Fraction of queries whose target comes from `decoy_source` instead of
+  /// the searched database (if a decoy source is supplied).
+  double foreign_fraction = 0.0;
+  /// Sample only peptides anchored at a sequence terminus (first or last
+  /// tryptic segment). Matches the paper's Section II-A candidate rule —
+  /// under CandidateMode::kPrefixSuffix only anchored targets are findable.
+  bool anchored_only = true;
+};
+
+struct GeneratedQuery {
+  Spectrum spectrum;
+  std::string true_peptide;   ///< ground truth (post-mutation)
+  std::uint32_t source_protein = 0;
+  bool foreign = false;       ///< true peptide not in the searched database
+};
+
+/// Sample queries from `source`. If `foreign_fraction > 0`, `decoy_source`
+/// must be non-null and disjoint from `source`.
+std::vector<GeneratedQuery> generate_queries(
+    const ProteinDatabase& source, const QueryGenOptions& options,
+    const ProteinDatabase* decoy_source = nullptr);
+
+/// Strip to plain spectra (what the search engine consumes).
+std::vector<Spectrum> spectra_of(const std::vector<GeneratedQuery>& queries);
+
+}  // namespace msp

@@ -1,0 +1,252 @@
+#include "denovo/sequencer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp::denovo {
+namespace {
+
+/// Residue whose mass matches `gap` within tolerance, or 0. Prefers the
+/// closest match; I is reported as L (isobaric).
+char residue_for_gap(double gap, double tolerance) {
+  char best = 0;
+  double best_error = tolerance;
+  for (int i = 0; i < 20; ++i) {
+    const char c = residue_from_index(i);
+    if (c == 'I') continue;  // indistinguishable from L
+    const double error = std::abs(residue_mass(c) - gap);
+    if (error <= best_error) {
+      best_error = error;
+      best = c;
+    }
+  }
+  return best;
+}
+
+/// Residue pair whose summed mass matches `gap`, or empty. Deterministic:
+/// the lexicographically smallest closest pair wins.
+std::string pair_for_gap(double gap, double tolerance) {
+  std::string best;
+  double best_error = tolerance;
+  for (int i = 0; i < 20; ++i) {
+    const char a = residue_from_index(i);
+    if (a == 'I') continue;
+    for (int j = i; j < 20; ++j) {
+      const char b = residue_from_index(j);
+      if (b == 'I') continue;
+      const double error = std::abs(residue_mass(a) + residue_mass(b) - gap);
+      if (error < best_error ||
+          (error == best_error && !best.empty() && std::string{a, b} < best)) {
+        best_error = error;
+        best = {a, b};
+      }
+    }
+  }
+  return best;
+}
+
+std::string edge_for_gap(double gap, const SequencerOptions& options) {
+  if (const char single = residue_for_gap(gap, options.gap_tolerance_da))
+    return std::string(1, single);
+  if (options.allow_two_residue_gaps)
+    return pair_for_gap(gap, options.gap_tolerance_da);
+  return {};
+}
+
+}  // namespace
+
+// The anti-symmetric sandwich DP of Chen et al. 2001 (the paper's citation
+// [6]). Every peak contributes TWO vertices — its b reading at prefix mass
+// v and its y reading at S − v, S = parent residue mass + water — so the
+// graph contains a mirrored copy of the true ladder, and a naive
+// longest-path happily weaves between ladder and mirror (the "symmetric
+// path" trap). Chen et al.'s remedy: grow a prefix path (from mass 0,
+// rightward) and a suffix path (from mass T, leftward) simultaneously,
+// adding vertices strictly outside-in (by distance from the S/2 center).
+// Because a vertex and its mirror twin are equidistant from the center,
+// the only twin a new vertex can conflict with is one of the two current
+// path endpoints — an O(1) check that makes twin exclusion exact.
+DeNovoResult sequence_peptide(const Spectrum& spectrum,
+                              const SequencerOptions& options) {
+  MSP_CHECK_MSG(options.gap_tolerance_da > 0.0, "gap tolerance must be positive");
+  const std::vector<Vertex> vertices =
+      build_spectrum_graph(spectrum, options.graph);
+  const int n = static_cast<int>(vertices.size());
+  const double total = vertices.back().prefix_mass;  // T
+  const double symmetry = total + kWaterMass;        // S: twin(v) = S − v
+
+  const double mean_intensity =
+      spectrum.empty() ? 0.0
+                       : spectrum.total_intensity() /
+                             static_cast<double>(spectrum.size());
+  const double vertex_penalty = options.vertex_penalty_rel * mean_intensity;
+
+  // Twin index per vertex (−1 if its mirror is not in the graph).
+  std::vector<int> twin(static_cast<std::size_t>(n), -1);
+  for (int v = 0; v < n; ++v) {
+    const double target = symmetry - vertices[static_cast<std::size_t>(v)].prefix_mass;
+    for (int u = 0; u < n; ++u) {
+      if (std::abs(vertices[static_cast<std::size_t>(u)].prefix_mass - target) <=
+          options.graph.merge_tolerance_da) {
+        twin[static_cast<std::size_t>(v)] = u;
+        break;
+      }
+    }
+  }
+
+  // Interior vertices processed outside-in.
+  std::vector<int> order;
+  for (int v = 1; v + 1 < n; ++v) order.push_back(v);
+  const double center = symmetry / 2.0;
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double da =
+        std::abs(vertices[static_cast<std::size_t>(a)].prefix_mass - center);
+    const double db =
+        std::abs(vertices[static_cast<std::size_t>(b)].prefix_mass - center);
+    if (da != db) return da > db;
+    return a < b;  // deterministic tie-break
+  });
+
+  // DP state: (left endpoint i, right endpoint j). Backpointers record the
+  // processing step, previous state, and the residue string of the edge.
+  struct Entry {
+    double score = 0.0;
+    int prev_i = -1, prev_j = -1;
+    int prev_step = -1;
+    std::string edge;
+    bool extended_left = false;
+  };
+  // Ordered map: deterministic iteration makes score ties resolve the same
+  // way on every run (first-encountered keeps the win).
+  using StateMap = std::map<std::uint64_t, Entry>;
+  auto key_of = [&](int i, int j) {
+    return static_cast<std::uint64_t>(i) * static_cast<std::uint64_t>(n) +
+           static_cast<std::uint64_t>(j);
+  };
+
+  std::vector<StateMap> steps(order.size() + 1);
+  steps[0][key_of(0, n - 1)] = Entry{};
+
+  for (std::size_t s = 0; s < order.size(); ++s) {
+    const int k = order[s];
+    const Vertex& vertex = vertices[static_cast<std::size_t>(k)];
+    const double vk = vertex.prefix_mass;
+    const double gain =
+        vertex.evidence - vertex_penalty +
+        options.orientation_bonus *
+            (2.0 * vertex.y_evidence - vertex.evidence);
+    // Carry every state forward (skipping vertex k) ...
+    steps[s + 1] = steps[s];
+    // ... and try both extensions.
+    for (const auto& [key, entry] : steps[s]) {
+      const int i = static_cast<int>(key / static_cast<std::uint64_t>(n));
+      const int j = static_cast<int>(key % static_cast<std::uint64_t>(n));
+      const double vi = vertices[static_cast<std::size_t>(i)].prefix_mass;
+      const double vj = vertices[static_cast<std::size_t>(j)].prefix_mass;
+      if (vk <= vi || vk >= vj) continue;
+      // Twin exclusion: the only possibly-used twin is an endpoint.
+      if (twin[static_cast<std::size_t>(k)] == i ||
+          twin[static_cast<std::size_t>(k)] == j)
+        continue;
+      // Extend the prefix path i → k.
+      if (const std::string edge = edge_for_gap(vk - vi, options); !edge.empty()) {
+        Entry candidate{entry.score + gain, i, j, static_cast<int>(s), edge,
+                        true};
+        auto [it, inserted] =
+            steps[s + 1].try_emplace(key_of(k, j), candidate);
+        if (!inserted && candidate.score > it->second.score)
+          it->second = candidate;
+      }
+      // Extend the suffix path k → j.
+      if (const std::string edge = edge_for_gap(vj - vk, options); !edge.empty()) {
+        Entry candidate{entry.score + gain, i, j, static_cast<int>(s), edge,
+                        false};
+        auto [it, inserted] =
+            steps[s + 1].try_emplace(key_of(i, k), candidate);
+        if (!inserted && candidate.score > it->second.score)
+          it->second = candidate;
+      }
+    }
+  }
+
+  // Close the sandwich: the endpoints must join by a final 1–2 residue edge.
+  DeNovoResult result;
+  double best_score = 0.0;
+  std::uint64_t best_key = 0;
+  std::string best_middle;
+  bool found = false;
+  for (const auto& [key, entry] : steps.back()) {
+    const int i = static_cast<int>(key / static_cast<std::uint64_t>(n));
+    const int j = static_cast<int>(key % static_cast<std::uint64_t>(n));
+    const double gap = vertices[static_cast<std::size_t>(j)].prefix_mass -
+                       vertices[static_cast<std::size_t>(i)].prefix_mass;
+    const std::string middle = edge_for_gap(gap, options);
+    if (middle.empty()) continue;
+    if (!found || entry.score > best_score) {
+      found = true;
+      best_score = entry.score;
+      best_key = key;
+      best_middle = middle;
+    }
+  }
+  if (!found) return result;
+
+  // Reconstruct: walk backpointers from the final state.
+  std::string prefix;              // left edges, chronological = N→C
+  std::vector<std::string> suffix; // right edges, chronological = C→N
+  std::uint64_t key = best_key;
+  int step = static_cast<int>(order.size());
+  std::size_t used = 2;  // sentinels
+  while (step > 0) {
+    const auto it = steps[static_cast<std::size_t>(step)].find(key);
+    MSP_CHECK(it != steps[static_cast<std::size_t>(step)].end());
+    const Entry& entry = it->second;
+    if (entry.prev_step < 0) break;  // reached the initial state
+    if (entry.extended_left)
+      prefix.insert(0, entry.edge);  // walking backwards: prepend
+    else
+      suffix.push_back(entry.edge);
+    ++used;
+    key = key_of(entry.prev_i, entry.prev_j);
+    step = entry.prev_step;
+  }
+  result.sequence = prefix + best_middle;
+  for (const std::string& edge : suffix) result.sequence += edge;
+  result.evidence = best_score;
+  result.vertices_used = used;
+  result.complete = true;
+  return result;
+}
+
+double ladder_agreement(const std::string& inferred, const std::string& truth,
+                        double tolerance_da) {
+  if (truth.size() < 2) return inferred == truth ? 1.0 : 0.0;
+  std::vector<double> truth_ladder;
+  double running = 0.0;
+  for (std::size_t i = 0; i + 1 < truth.size(); ++i) {
+    running += residue_mass(truth[i]);
+    truth_ladder.push_back(running);
+  }
+  std::vector<double> inferred_ladder;
+  running = 0.0;
+  for (std::size_t i = 0; i + 1 < inferred.size(); ++i) {
+    running += residue_mass(inferred[i]);
+    inferred_ladder.push_back(running);
+  }
+  std::size_t matched = 0;
+  for (double target : truth_ladder) {
+    for (double have : inferred_ladder) {
+      if (std::abs(have - target) <= tolerance_da) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(truth_ladder.size());
+}
+
+}  // namespace msp::denovo

@@ -1,0 +1,58 @@
+// De novo peptide sequencing by dynamic programming over the spectrum
+// graph — the Chen et al. 2001 formulation the paper cites [6]: find the
+// highest-evidence path from the N-terminal sentinel to the C-terminal
+// sentinel where consecutive vertices differ by the mass of one residue
+// (or, to bridge a missing fragment peak, two residues).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "denovo/spectrum_graph.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp::denovo {
+
+struct SequencerOptions {
+  GraphOptions graph;
+  /// Mass tolerance when matching a vertex gap to residue masses.
+  double gap_tolerance_da = 0.3;
+  /// Allow two-residue edges (bridges ONE missing peak between vertices);
+  /// without this, any missing fragment breaks the path — the handicap the
+  /// paper's related work describes, in its purest form.
+  bool allow_two_residue_gaps = true;
+  /// Per-vertex score penalty as a fraction of the spectrum's mean peak
+  /// intensity. Raw evidence maximization would happily detour through
+  /// low-intensity noise vertices (every visit adds *something*); charging
+  /// each visited vertex this toll makes weak detours net-negative while
+  /// genuine fragment peaks stay profitable.
+  double vertex_penalty_rel = 0.5;
+  /// Ion-series orientation prior: tryptic CID spectra are y-ion dominated,
+  /// so a vertex whose evidence arrived mostly via y-interpretations is
+  /// more likely a true prefix mass than the mirror-image reading. The
+  /// bonus adds `orientation_bonus × (y_evidence − b_evidence)` per vertex,
+  /// which is what separates the true ladder from its reversed twin (both
+  /// have identical total evidence by construction).
+  double orientation_bonus = 0.5;
+};
+
+struct DeNovoResult {
+  /// Inferred sequence, N→C. 'L' stands for the I/L isobaric pair. Empty
+  /// when no full path exists (unsequenceable spectrum).
+  std::string sequence;
+  double evidence = 0.0;       ///< summed vertex evidence along the path
+  std::size_t vertices_used = 0;
+  bool complete = false;       ///< a full 0→T path was found
+};
+
+/// Sequence one spectrum. Deterministic.
+DeNovoResult sequence_peptide(const Spectrum& spectrum,
+                              const SequencerOptions& options = {});
+
+/// Agreement metric for evaluation: fraction of `truth`'s prefix masses
+/// (b-ion ladder) that the inferred sequence reproduces within tolerance —
+/// the standard way to score de novo output, robust to isobaric swaps.
+double ladder_agreement(const std::string& inferred, const std::string& truth,
+                        double tolerance_da = 0.5);
+
+}  // namespace msp::denovo

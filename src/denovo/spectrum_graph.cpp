@@ -1,0 +1,69 @@
+#include "denovo/spectrum_graph.hpp"
+
+#include <algorithm>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp::denovo {
+
+std::vector<Vertex> build_spectrum_graph(const Spectrum& spectrum,
+                                         const GraphOptions& options) {
+  MSP_CHECK_MSG(options.merge_tolerance_da > 0.0,
+                "merge tolerance must be positive");
+  const double parent_residue_mass = spectrum.parent_mass() - kWaterMass;
+  MSP_CHECK_MSG(parent_residue_mass > 0.0,
+                "parent mass too small for de novo interpretation");
+
+  // Candidate vertices from both interpretations of every peak.
+  struct Candidate {
+    double prefix_mass;
+    double evidence;
+    bool via_y;
+  };
+  std::vector<Candidate> candidates;
+  const double floor_intensity =
+      spectrum.max_intensity() * options.min_relative_intensity;
+  for (const Peak& peak : spectrum.peaks()) {
+    if (peak.intensity < floor_intensity) continue;
+    // b-ion: mz = prefix + proton.
+    const double as_b = peak.mz - kProtonMass;
+    // y-ion: mz = (T - prefix) + water + proton.
+    const double as_y = parent_residue_mass - (peak.mz - kProtonMass - kWaterMass);
+    for (bool via_y : {false, true}) {
+      const double prefix = via_y ? as_y : as_b;
+      if (prefix <= options.merge_tolerance_da ||
+          prefix >= parent_residue_mass - options.merge_tolerance_da)
+        continue;  // sentinel territory
+      candidates.push_back({prefix, peak.intensity, via_y});
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.prefix_mass < b.prefix_mass;
+            });
+
+  std::vector<Vertex> vertices;
+  vertices.push_back(Vertex{0.0, 0.0, 0.0, 0});  // N-terminal sentinel
+  for (const Candidate& candidate : candidates) {
+    Vertex& last = vertices.back();
+    if (last.supports > 0 &&
+        candidate.prefix_mass - last.prefix_mass <= options.merge_tolerance_da) {
+      // Merge: weighted-mean position, summed evidence.
+      const double total = last.evidence + candidate.evidence;
+      last.prefix_mass = (last.prefix_mass * last.evidence +
+                          candidate.prefix_mass * candidate.evidence) /
+                         (total > 0.0 ? total : 1.0);
+      last.evidence = total;
+      if (candidate.via_y) last.y_evidence += candidate.evidence;
+      ++last.supports;
+    } else {
+      vertices.push_back(Vertex{candidate.prefix_mass, candidate.evidence,
+                                candidate.via_y ? candidate.evidence : 0.0, 1});
+    }
+  }
+  vertices.push_back(Vertex{parent_residue_mass, 0.0, 0.0, 0});  // C sentinel
+  return vertices;
+}
+
+}  // namespace msp::denovo

@@ -1,0 +1,47 @@
+// Spectrum graph construction for de novo sequencing.
+//
+// The paper's related work (Section I-A) positions de novo identification
+// [Dancik et al. 1999; Chen et al. 2001] as the database-free alternative,
+// "traditionally handicapped by the large number of peaks that can be
+// missing from an experimental spectrum". We implement the classic
+// formulation so that handicap can be measured against database search.
+//
+// Construction: every peak admits two interpretations — as a b-ion (its
+// m/z minus a proton is a prefix residue mass) or as a y-ion (the
+// complementary prefix mass). Each interpretation becomes a graph vertex
+// at its prefix residue mass in [0, T], T = parent residue mass; vertices
+// closer than the merge tolerance coalesce (summing intensity evidence —
+// complementary b/y pairs landing on one vertex corroborate each other).
+// Sentinel vertices at 0 and T anchor the paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+
+namespace msp::denovo {
+
+struct Vertex {
+  double prefix_mass = 0.0;  ///< cumulative residue mass of the prefix
+  double evidence = 0.0;     ///< summed intensity of supporting peaks
+  double y_evidence = 0.0;   ///< the part arriving via y-ion interpretations;
+                             ///  y-ions dominate tryptic CID spectra, so this
+                             ///  split is what disambiguates a ladder from
+                             ///  its reversed mirror image
+  std::uint32_t supports = 0;  ///< number of peak interpretations merged
+};
+
+struct GraphOptions {
+  /// Interpretations within this many daltons merge into one vertex.
+  double merge_tolerance_da = 0.3;
+  /// Peaks below this fraction of the maximum intensity are ignored.
+  double min_relative_intensity = 0.01;
+};
+
+/// Vertices sorted by prefix mass; front() is the 0 sentinel, back() the
+/// T sentinel. Throws InvalidArgument if the parent mass is non-positive.
+std::vector<Vertex> build_spectrum_graph(const Spectrum& spectrum,
+                                         const GraphOptions& options = {});
+
+}  // namespace msp::denovo

@@ -1,0 +1,147 @@
+#include "io/fasta.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+namespace {
+
+void validate_and_append(std::string& residues, std::string_view line,
+                         std::size_t line_number) {
+  for (char c : line) {
+    if (c == '\r' || c == ' ' || c == '\t') continue;  // tolerate whitespace
+    if (c == '*') continue;  // translated stop codons appear in ORF databases
+    if (c < 'A' || c > 'Z') {
+      if (c >= 'a' && c <= 'z') {
+        residues.push_back(static_cast<char>(c - 'a' + 'A'));
+        continue;
+      }
+      throw IoError("FASTA: invalid residue character '" + std::string(1, c) +
+                    "' on line " + std::to_string(line_number));
+    }
+    residues.push_back(c);
+  }
+}
+
+std::string header_id(std::string_view header_line) {
+  // ">id description..." → "id". Header line arrives without the '>'.
+  const std::string text = trim(header_line);
+  const std::size_t space = text.find_first_of(" \t");
+  return space == std::string::npos ? text : text.substr(0, space);
+}
+
+}  // namespace
+
+ProteinDatabase read_fasta(std::istream& in) {
+  ProteinDatabase db;
+  std::string line;
+  std::size_t line_number = 0;
+  Protein current;
+  bool in_record = false;
+
+  auto flush = [&] {
+    if (!in_record) return;
+    if (current.id.empty())
+      throw IoError("FASTA: record with empty id before line " +
+                    std::to_string(line_number));
+    db.proteins.push_back(std::move(current));
+    current = Protein{};
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line == "\r") continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      current.id = header_id(std::string_view(line).substr(1));
+    } else {
+      if (!in_record)
+        throw IoError("FASTA: sequence data before first header at line " +
+                      std::to_string(line_number));
+      validate_and_append(current.residues, line, line_number);
+    }
+  }
+  flush();
+  return db;
+}
+
+ProteinDatabase read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+ProteinDatabase read_fasta_string(std::string_view content) {
+  std::istringstream in{std::string(content)};
+  return read_fasta(in);
+}
+
+ByteRange chunk_range(std::size_t total_bytes, std::size_t rank,
+                      std::size_t p) {
+  MSP_CHECK_MSG(p >= 1, "chunk_range needs p >= 1");
+  MSP_CHECK_MSG(rank < p, "rank out of range");
+  const std::size_t base = total_bytes / p;
+  const std::size_t extra = total_bytes % p;
+  // First `extra` chunks get one additional byte.
+  const std::size_t begin = rank * base + std::min(rank, extra);
+  const std::size_t len = base + (rank < extra ? 1 : 0);
+  return ByteRange{begin, begin + len};
+}
+
+ProteinDatabase read_fasta_chunk(std::string_view content,
+                                 std::size_t chunk_begin,
+                                 std::size_t chunk_end) {
+  MSP_CHECK_MSG(chunk_begin <= chunk_end && chunk_end <= content.size(),
+                "chunk range out of bounds");
+  // Ownership rule: a record is ours iff its header '>' byte is in range.
+  // Find the first header at or after chunk_begin.
+  std::size_t pos = chunk_begin;
+  if (pos > 0 || (pos < content.size() && content[pos] != '>')) {
+    // Skip forward to a '>' that starts a line (preceded by '\n' or BOF).
+    while (pos < chunk_end) {
+      if (content[pos] == '>' && (pos == 0 || content[pos - 1] == '\n')) break;
+      ++pos;
+    }
+  }
+  if (pos >= chunk_end) return ProteinDatabase{};
+
+  // Read forward past chunk_end until the record that *started* before
+  // chunk_end is complete (boundary repair, per step A1).
+  std::size_t stop = chunk_end;
+  while (stop < content.size()) {
+    if (content[stop] == '>' && content[stop - 1] == '\n') break;
+    ++stop;
+  }
+  std::istringstream window{std::string(content.substr(pos, stop - pos))};
+  return read_fasta(window);
+}
+
+void write_fasta(std::ostream& out, const ProteinDatabase& db,
+                 std::size_t width) {
+  MSP_CHECK_MSG(width >= 1, "line width must be >= 1");
+  for (const Protein& protein : db.proteins) {
+    out << '>' << protein.id << '\n';
+    for (std::size_t i = 0; i < protein.residues.size(); i += width) {
+      out << std::string_view(protein.residues).substr(i, width) << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path, const ProteinDatabase& db,
+                      std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create FASTA file: " + path);
+  write_fasta(out, db, width);
+}
+
+std::string to_fasta_string(const ProteinDatabase& db, std::size_t width) {
+  std::ostringstream os;
+  write_fasta(os, db, width);
+  return os.str();
+}
+
+}  // namespace msp

@@ -1,0 +1,53 @@
+// FASTA protein database reader/writer.
+//
+// Besides the ordinary whole-file reader, this module implements the paper's
+// loading step A1: "the loading step loads the database sequence file in
+// parallel such that processor Pi receives roughly the i-th N/p byte chunk of
+// the file. Care is taken to ensure sequences at the boundaries are fully
+// read." read_fasta_chunk() realizes that rule deterministically: a record
+// belongs to the chunk whose byte range contains the '>' of its header, so
+// the p chunks partition the records with no overlap and no loss.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "mass/peptide.hpp"
+
+namespace msp {
+
+/// Parse an entire FASTA stream. Throws IoError on malformed input
+/// (content before the first header, or residue characters outside A-Z).
+ProteinDatabase read_fasta(std::istream& in);
+ProteinDatabase read_fasta_file(const std::string& path);
+ProteinDatabase read_fasta_string(std::string_view content);
+
+/// Parse only the records whose header '>' byte lies in
+/// [chunk_begin, chunk_end) of `content`. Records straddling chunk_end are
+/// read to completion (boundary repair); a chunk that begins mid-record
+/// skips forward to the next header.
+ProteinDatabase read_fasta_chunk(std::string_view content,
+                                 std::size_t chunk_begin,
+                                 std::size_t chunk_end);
+
+/// Byte range [begin, end) of chunk `rank` of `p` equal chunks of a
+/// `total_bytes`-long file (the remainder spread over the first chunks).
+struct ByteRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+ByteRange chunk_range(std::size_t total_bytes, std::size_t rank, std::size_t p);
+
+/// Write `db` as FASTA with lines wrapped at `width` residues.
+void write_fasta(std::ostream& out, const ProteinDatabase& db,
+                 std::size_t width = 70);
+void write_fasta_file(const std::string& path, const ProteinDatabase& db,
+                      std::size_t width = 70);
+
+/// Serialize to an in-memory FASTA string (used by chunk-loading tests and
+/// by the simulated parallel loader, which treats the string as "the file").
+std::string to_fasta_string(const ProteinDatabase& db, std::size_t width = 70);
+
+}  // namespace msp

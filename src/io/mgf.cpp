@@ -1,0 +1,137 @@
+#include "io/mgf.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+namespace {
+
+int parse_charge(const std::string& value, std::size_t line_number) {
+  std::string digits;
+  bool negative = false;
+  for (char c : value) {
+    if (c == '-') negative = true;
+    if (c >= '0' && c <= '9') digits.push_back(c);
+  }
+  if (digits.empty() || negative)
+    throw IoError("MGF: unsupported CHARGE '" + value + "' on line " +
+                  std::to_string(line_number));
+  return std::stoi(digits);
+}
+
+bool parse_peak_line(const std::string& line, Peak& peak) {
+  std::istringstream is(line);
+  double mz = 0, intensity = 0;
+  if (!(is >> mz)) return false;
+  if (!(is >> intensity)) intensity = 1.0;  // MGF allows intensity-less rows
+  peak = Peak{mz, intensity};
+  return true;
+}
+
+}  // namespace
+
+std::vector<Spectrum> read_mgf(std::istream& in) {
+  std::vector<Spectrum> spectra;
+  std::string line;
+  std::size_t line_number = 0;
+
+  bool in_block = false;
+  std::string title;
+  double pepmass = 0.0;
+  int charge = 1;
+  bool have_pepmass = false;
+  std::vector<Peak> peaks;
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string text = trim(line);
+    if (text.empty() || text[0] == '#') continue;
+
+    if (text == "BEGIN IONS") {
+      if (in_block)
+        throw IoError("MGF: nested BEGIN IONS on line " +
+                      std::to_string(line_number));
+      in_block = true;
+      title.clear();
+      pepmass = 0.0;
+      charge = 1;
+      have_pepmass = false;
+      peaks.clear();
+      continue;
+    }
+    if (text == "END IONS") {
+      if (!in_block)
+        throw IoError("MGF: END IONS without BEGIN IONS on line " +
+                      std::to_string(line_number));
+      if (!have_pepmass)
+        throw IoError("MGF: block ending on line " +
+                      std::to_string(line_number) + " lacks PEPMASS");
+      spectra.emplace_back(std::move(peaks), pepmass, charge, std::move(title));
+      peaks = {};
+      title = {};
+      in_block = false;
+      continue;
+    }
+    if (!in_block) continue;  // tolerate preamble junk between blocks
+
+    if (const auto eq = text.find('='); eq != std::string::npos &&
+                                        text.find(' ') > eq) {
+      const std::string key = to_upper(text.substr(0, eq));
+      const std::string value = trim(text.substr(eq + 1));
+      if (key == "TITLE") {
+        title = value;
+      } else if (key == "PEPMASS") {
+        std::istringstream is(value);
+        if (!(is >> pepmass) || pepmass <= 0.0)
+          throw IoError("MGF: bad PEPMASS on line " +
+                        std::to_string(line_number));
+        have_pepmass = true;
+      } else if (key == "CHARGE") {
+        charge = parse_charge(value, line_number);
+      }
+      // Other KEY=VALUE headers (SCANS, RTINSECONDS, ...) are ignored.
+      continue;
+    }
+
+    Peak peak;
+    if (!parse_peak_line(text, peak))
+      throw IoError("MGF: unparseable peak line " + std::to_string(line_number) +
+                    ": '" + text + "'");
+    peaks.push_back(peak);
+  }
+  if (in_block) throw IoError("MGF: unterminated BEGIN IONS block at EOF");
+  return spectra;
+}
+
+std::vector<Spectrum> read_mgf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open MGF file: " + path);
+  return read_mgf(in);
+}
+
+void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra) {
+  out << std::fixed;
+  for (const Spectrum& spectrum : spectra) {
+    out << "BEGIN IONS\n";
+    if (!spectrum.title().empty()) out << "TITLE=" << spectrum.title() << '\n';
+    out << "PEPMASS=" << std::setprecision(6) << spectrum.precursor_mz() << '\n';
+    out << "CHARGE=" << spectrum.charge() << "+\n";
+    for (const Peak& peak : spectrum.peaks())
+      out << std::setprecision(4) << peak.mz << ' ' << std::setprecision(2)
+          << peak.intensity << '\n';
+    out << "END IONS\n";
+  }
+}
+
+void write_mgf_file(const std::string& path, const std::vector<Spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create MGF file: " + path);
+  write_mgf(out, spectra);
+}
+
+}  // namespace msp

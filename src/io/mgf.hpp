@@ -1,0 +1,24 @@
+// Mascot Generic Format (MGF) reader/writer — the de-facto interchange
+// format for MS/MS peak lists, so users can feed real instrument exports to
+// the engine in place of our synthetic queries.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// Parse all BEGIN IONS / END IONS blocks. Recognized headers: TITLE,
+/// PEPMASS (m/z [intensity]), CHARGE ("2+", "2", "+2"), RTINSECONDS
+/// (ignored). Unknown KEY=VALUE headers are skipped. Throws IoError on
+/// structural problems (unterminated block, bad peak line, missing PEPMASS).
+std::vector<Spectrum> read_mgf(std::istream& in);
+std::vector<Spectrum> read_mgf_file(const std::string& path);
+
+void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra);
+void write_mgf_file(const std::string& path, const std::vector<Spectrum>& spectra);
+
+}  // namespace msp

@@ -1,0 +1,174 @@
+#include "io/mzxml.hpp"
+
+#include <bit>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/base64.hpp"
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+namespace {
+
+/// Big-endian (network order) 32-bit float ↔ host conversion.
+float from_network_float(const std::uint8_t* bytes) {
+  std::uint32_t word = (static_cast<std::uint32_t>(bytes[0]) << 24) |
+                       (static_cast<std::uint32_t>(bytes[1]) << 16) |
+                       (static_cast<std::uint32_t>(bytes[2]) << 8) |
+                       static_cast<std::uint32_t>(bytes[3]);
+  return std::bit_cast<float>(word);
+}
+
+void to_network_float(float value, std::uint8_t* bytes) {
+  const auto word = std::bit_cast<std::uint32_t>(value);
+  bytes[0] = static_cast<std::uint8_t>(word >> 24);
+  bytes[1] = static_cast<std::uint8_t>(word >> 16);
+  bytes[2] = static_cast<std::uint8_t>(word >> 8);
+  bytes[3] = static_cast<std::uint8_t>(word);
+}
+
+/// Attribute value from an element's tag text, or empty.
+std::string attribute(std::string_view tag, std::string_view name) {
+  const std::string needle = std::string(name) + "=\"";
+  const std::size_t start = tag.find(needle);
+  if (start == std::string_view::npos) return {};
+  const std::size_t value_begin = start + needle.size();
+  const std::size_t value_end = tag.find('"', value_begin);
+  if (value_end == std::string_view::npos) return {};
+  return std::string(tag.substr(value_begin, value_end - value_begin));
+}
+
+}  // namespace
+
+std::vector<Spectrum> read_mzxml(std::istream& in) {
+  // Slurp: mzXML scans are not line-oriented, so parse over the whole text.
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  std::vector<Spectrum> spectra;
+
+  std::size_t cursor = 0;
+  while (true) {
+    const std::size_t scan_begin = text.find("<scan", cursor);
+    if (scan_begin == std::string::npos) break;
+    const std::size_t scan_tag_end = text.find('>', scan_begin);
+    if (scan_tag_end == std::string::npos)
+      throw IoError("mzXML: unterminated <scan> tag");
+    const std::string_view scan_tag(text.data() + scan_begin,
+                                    scan_tag_end - scan_begin);
+    // Scans nest (<scan>...<scan> for MS2 under MS1); searching for the
+    // closing tag from here is safe because we only extract leaf content.
+    const std::size_t scan_end = text.find("</scan>", scan_tag_end);
+    cursor = scan_tag_end + 1;
+
+    if (attribute(scan_tag, "msLevel") != "2") continue;
+    const std::size_t limit =
+        scan_end == std::string::npos ? text.size() : scan_end;
+
+    // <precursorMz ...>VALUE</precursorMz>
+    const std::size_t precursor_open = text.find("<precursorMz", cursor);
+    if (precursor_open == std::string::npos || precursor_open > limit)
+      throw IoError("mzXML: msLevel=2 scan without <precursorMz>");
+    const std::size_t precursor_tag_end = text.find('>', precursor_open);
+    const std::size_t precursor_close = text.find("</precursorMz>",
+                                                  precursor_tag_end);
+    if (precursor_tag_end == std::string::npos ||
+        precursor_close == std::string::npos)
+      throw IoError("mzXML: malformed <precursorMz>");
+    const std::string_view precursor_tag(text.data() + precursor_open,
+                                         precursor_tag_end - precursor_open);
+    const std::string charge_text = attribute(precursor_tag, "precursorCharge");
+    const int charge = charge_text.empty() ? 1 : std::stoi(charge_text);
+    const double precursor_mz = std::stod(
+        trim(text.substr(precursor_tag_end + 1,
+                         precursor_close - precursor_tag_end - 1)));
+
+    // <peaks ...>BASE64</peaks>
+    const std::size_t peaks_open = text.find("<peaks", precursor_close);
+    if (peaks_open == std::string::npos)
+      throw IoError("mzXML: msLevel=2 scan without <peaks>");
+    const std::size_t peaks_tag_end = text.find('>', peaks_open);
+    const std::size_t peaks_close = text.find("</peaks>", peaks_tag_end);
+    if (peaks_tag_end == std::string::npos || peaks_close == std::string::npos)
+      throw IoError("mzXML: malformed <peaks>");
+    const std::string_view peaks_tag(text.data() + peaks_open,
+                                     peaks_tag_end - peaks_open);
+    const std::string precision = attribute(peaks_tag, "precision");
+    if (!precision.empty() && precision != "32")
+      throw IoError("mzXML: only 32-bit peak payloads are supported");
+
+    std::vector<std::uint8_t> payload;
+    try {
+      payload = base64_decode(
+          std::string_view(text).substr(peaks_tag_end + 1,
+                                        peaks_close - peaks_tag_end - 1));
+    } catch (const InvalidArgument& error) {
+      throw IoError(std::string("mzXML: bad <peaks> payload: ") + error.what());
+    }
+    if (payload.size() % 8 != 0)
+      throw IoError("mzXML: peak payload is not a whole number of m/z-"
+                    "intensity float pairs");
+
+    std::vector<Peak> peaks;
+    peaks.reserve(payload.size() / 8);
+    for (std::size_t i = 0; i < payload.size(); i += 8) {
+      Peak peak;
+      peak.mz = from_network_float(payload.data() + i);
+      peak.intensity = from_network_float(payload.data() + i + 4);
+      peaks.push_back(peak);
+    }
+
+    const std::string scan_number = attribute(scan_tag, "num");
+    spectra.emplace_back(std::move(peaks), precursor_mz, charge,
+                         "scan_" + (scan_number.empty()
+                                        ? std::to_string(spectra.size())
+                                        : scan_number));
+    cursor = peaks_close;
+  }
+  return spectra;
+}
+
+std::vector<Spectrum> read_mzxml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open mzXML file: " + path);
+  return read_mzxml(in);
+}
+
+void write_mzxml(std::ostream& out, const std::vector<Spectrum>& spectra) {
+  out << "<?xml version=\"1.0\" encoding=\"ISO-8859-1\"?>\n";
+  out << "<mzXML xmlns=\"http://sashimi.sourceforge.net/schema_revision/"
+         "mzXML_3.2\">\n";
+  out << " <msRun scanCount=\"" << spectra.size() << "\">\n";
+  std::size_t scan_number = 0;
+  for (const Spectrum& spectrum : spectra) {
+    ++scan_number;
+    std::vector<std::uint8_t> payload(spectrum.size() * 8);
+    for (std::size_t i = 0; i < spectrum.size(); ++i) {
+      to_network_float(static_cast<float>(spectrum.peaks()[i].mz),
+                       payload.data() + i * 8);
+      to_network_float(static_cast<float>(spectrum.peaks()[i].intensity),
+                       payload.data() + i * 8 + 4);
+    }
+    out << "  <scan num=\"" << scan_number << "\" msLevel=\"2\" peaksCount=\""
+        << spectrum.size() << "\">\n";
+    out << "   <precursorMz precursorCharge=\"" << spectrum.charge() << "\">"
+        << std::fixed << std::setprecision(6) << spectrum.precursor_mz()
+        << "</precursorMz>\n";
+    out << "   <peaks precision=\"32\" byteOrder=\"network\" "
+           "contentType=\"m/z-int\">"
+        << base64_encode(payload.data(), payload.size()) << "</peaks>\n";
+    out << "  </scan>\n";
+  }
+  out << " </msRun>\n</mzXML>\n";
+}
+
+void write_mzxml_file(const std::string& path,
+                      const std::vector<Spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create mzXML file: " + path);
+  write_mzxml(out, spectra);
+}
+
+}  // namespace msp

@@ -1,0 +1,30 @@
+// mzXML-lite reader/writer.
+//
+// mzXML was the de-facto instrument-output format of the paper's era
+// (X!Tandem, SEQUEST and MSPolygraph pipelines all consumed it). Peak data
+// is base64-encoded big-endian float pairs inside a <peaks> element; scan
+// metadata lives in attributes. We implement the subset real MS/MS search
+// needs: msLevel-2 <scan> elements with <precursorMz> and 32-bit network-
+// order <peaks> — enough to round-trip our own files and to read typical
+// converter output. Not implemented: zlib-compressed peaks, 64-bit
+// payloads, indexed footers (readers skip what they don't know).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// Parse all msLevel="2" scans. Throws IoError on structural problems
+/// (unterminated elements, undecodable peak payloads, missing precursor).
+std::vector<Spectrum> read_mzxml(std::istream& in);
+std::vector<Spectrum> read_mzxml_file(const std::string& path);
+
+void write_mzxml(std::ostream& out, const std::vector<Spectrum>& spectra);
+void write_mzxml_file(const std::string& path,
+                      const std::vector<Spectrum>& spectra);
+
+}  // namespace msp

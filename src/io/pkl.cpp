@@ -1,0 +1,83 @@
+#include "io/pkl.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+
+std::vector<Spectrum> read_pkl(std::istream& in) {
+  std::vector<Spectrum> spectra;
+  std::string line;
+  std::size_t line_number = 0;
+
+  bool in_block = false;
+  double precursor_mz = 0.0;
+  int charge = 1;
+  std::vector<Peak> peaks;
+
+  auto flush = [&] {
+    if (!in_block) return;
+    spectra.emplace_back(std::move(peaks), precursor_mz, charge,
+                         "pkl_" + std::to_string(spectra.size()));
+    peaks = {};
+    in_block = false;
+  };
+
+  while (std::getline(in, line)) {
+    ++line_number;
+    const std::string text = trim(line);
+    if (text.empty()) {
+      flush();
+      continue;
+    }
+    std::istringstream fields(text);
+    if (!in_block) {
+      // Header: precursor m/z, precursor intensity (ignored), charge.
+      double intensity = 0.0;
+      if (!(fields >> precursor_mz >> intensity >> charge) ||
+          precursor_mz <= 0.0 || charge < 1)
+        throw IoError("PKL: bad header on line " + std::to_string(line_number) +
+                      ": '" + text + "'");
+      in_block = true;
+    } else {
+      Peak peak;
+      if (!(fields >> peak.mz >> peak.intensity))
+        throw IoError("PKL: bad peak on line " + std::to_string(line_number) +
+                      ": '" + text + "'");
+      peaks.push_back(peak);
+    }
+  }
+  flush();
+  return spectra;
+}
+
+std::vector<Spectrum> read_pkl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open PKL file: " + path);
+  return read_pkl(in);
+}
+
+void write_pkl(std::ostream& out, const std::vector<Spectrum>& spectra) {
+  out << std::fixed;
+  for (const Spectrum& spectrum : spectra) {
+    out << std::setprecision(6) << spectrum.precursor_mz() << ' '
+        << std::setprecision(2) << std::max(1.0, spectrum.max_intensity())
+        << ' ' << spectrum.charge() << '\n';
+    for (const Peak& peak : spectrum.peaks())
+      out << std::setprecision(4) << peak.mz << ' ' << std::setprecision(4)
+          << peak.intensity << '\n';
+    out << '\n';
+  }
+}
+
+void write_pkl_file(const std::string& path, const std::vector<Spectrum>& spectra) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create PKL file: " + path);
+  write_pkl(out, spectra);
+}
+
+}  // namespace msp

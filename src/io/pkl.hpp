@@ -1,0 +1,23 @@
+// PKL (Micromass/ProteinLynx) peak-list reader/writer — the other common
+// plain-text interchange format besides MGF; X!Tandem and Mascot both
+// accept it. One block per spectrum: a "precursor_mz intensity charge"
+// header line, then "mz intensity" peak lines, separated by blank lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// Parse every PKL block. Titles are synthesized ("pkl_0", "pkl_1", ...)
+/// since the format carries none. Throws IoError on malformed lines.
+std::vector<Spectrum> read_pkl(std::istream& in);
+std::vector<Spectrum> read_pkl_file(const std::string& path);
+
+void write_pkl(std::ostream& out, const std::vector<Spectrum>& spectra);
+void write_pkl_file(const std::string& path, const std::vector<Spectrum>& spectra);
+
+}  // namespace msp

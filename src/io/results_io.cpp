@@ -1,0 +1,72 @@
+#include "io/results_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+
+namespace {
+constexpr const char* kHeader =
+    "query\trank\tprotein\tpeptide\tend\tmass\tscore";
+}
+
+void write_hits(std::ostream& out, const std::vector<HitRecord>& hits) {
+  out << kHeader << '\n';
+  out << std::fixed;
+  for (const HitRecord& hit : hits) {
+    out << hit.query_title << '\t' << hit.rank << '\t' << hit.protein_id
+        << '\t' << hit.peptide << '\t' << hit.fragment_end << '\t'
+        << std::setprecision(4) << hit.candidate_mass << '\t'
+        << std::setprecision(6) << hit.score << '\n';
+  }
+}
+
+void write_hits_file(const std::string& path, const std::vector<HitRecord>& hits) {
+  std::ofstream out(path);
+  if (!out) throw IoError("cannot create hits file: " + path);
+  write_hits(out, hits);
+}
+
+std::vector<HitRecord> read_hits(std::istream& in) {
+  std::vector<HitRecord> hits;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    if (line_number == 1) {
+      if (line != kHeader)
+        throw IoError("hits file: unexpected header '" + line + "'");
+      continue;
+    }
+    const auto fields = split(line, '\t');
+    if (fields.size() != 7)
+      throw IoError("hits file: expected 7 fields on line " +
+                    std::to_string(line_number));
+    HitRecord hit;
+    hit.query_title = fields[0];
+    hit.rank = static_cast<std::uint32_t>(std::stoul(fields[1]));
+    hit.protein_id = fields[2];
+    hit.peptide = fields[3];
+    if (fields[4] != "P" && fields[4] != "S" && fields[4] != "I")
+      throw IoError("hits file: bad end marker on line " +
+                    std::to_string(line_number));
+    hit.fragment_end = fields[4][0];
+    hit.candidate_mass = std::stod(fields[5]);
+    hit.score = std::stod(fields[6]);
+    hits.push_back(std::move(hit));
+  }
+  return hits;
+}
+
+std::vector<HitRecord> read_hits_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open hits file: " + path);
+  return read_hits(in);
+}
+
+}  // namespace msp

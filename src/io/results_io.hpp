@@ -1,0 +1,30 @@
+// Hit-report serialization (step S3: "reporting at most τ hits per query to
+// an output file"). TSV with a fixed column set so downstream tools and the
+// validation tests can diff outputs across algorithm variants byte-for-byte.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+struct HitRecord {
+  std::string query_title;
+  std::uint32_t rank = 0;       ///< 1-based within the query's top-τ
+  std::string protein_id;
+  std::string peptide;          ///< candidate residue string
+  char fragment_end = 'P';      ///< 'P' prefix / 'S' suffix / 'I' internal
+  double candidate_mass = 0.0;
+  double score = 0.0;
+};
+
+void write_hits(std::ostream& out, const std::vector<HitRecord>& hits);
+void write_hits_file(const std::string& path, const std::vector<HitRecord>& hits);
+
+/// Round-trip reader (used by tests and by the examples' summaries).
+std::vector<HitRecord> read_hits(std::istream& in);
+std::vector<HitRecord> read_hits_file(const std::string& path);
+
+}  // namespace msp

@@ -1,0 +1,48 @@
+#include "mass/digest.hpp"
+
+#include "util/error.hpp"
+
+namespace msp {
+
+bool is_tryptic_site(std::string_view residues, std::size_t i) {
+  if (i + 1 >= residues.size()) return false;  // no cleavage after last residue
+  const char here = residues[i];
+  const char next = residues[i + 1];
+  return (here == 'K' || here == 'R') && next != 'P';
+}
+
+std::vector<DigestedPeptide> digest_tryptic(std::string_view residues,
+                                            const DigestOptions& options) {
+  MSP_CHECK_MSG(options.min_length >= 1, "min_length must be >= 1");
+  MSP_CHECK_MSG(options.max_length >= options.min_length,
+                "max_length must be >= min_length");
+
+  // Segment boundaries: starts of fully-cleaved fragments.
+  std::vector<std::size_t> starts{0};
+  for (std::size_t i = 0; i + 1 < residues.size(); ++i)
+    if (is_tryptic_site(residues, i)) starts.push_back(i + 1);
+  starts.push_back(residues.size());  // sentinel end
+
+  std::vector<DigestedPeptide> out;
+  // A peptide with m missed cleavages spans segments [s, s+m].
+  for (std::size_t s = 0; s + 1 < starts.size(); ++s) {
+    for (std::size_t m = 0; m <= options.missed_cleavages; ++m) {
+      const std::size_t last = s + m;
+      if (last + 1 >= starts.size()) break;
+      const std::size_t begin = starts[s];
+      const std::size_t end = starts[last + 1];
+      const std::size_t length = end - begin;
+      if (length < options.min_length || length > options.max_length) continue;
+      out.push_back(DigestedPeptide{begin, length, m});
+    }
+  }
+  return out;
+}
+
+std::string peptide_string(std::string_view residues,
+                           const DigestedPeptide& peptide) {
+  MSP_CHECK(peptide.offset + peptide.length <= residues.size());
+  return std::string(residues.substr(peptide.offset, peptide.length));
+}
+
+}  // namespace msp

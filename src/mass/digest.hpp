@@ -1,0 +1,46 @@
+// In-silico enzymatic digestion.
+//
+// The query generator uses tryptic digestion (cleave C-terminal to K/R unless
+// followed by P) to sample realistic target peptides, exactly how wet-lab
+// samples are prepared before MS. Candidate generation in the search engine
+// itself uses the paper's prefix/suffix rule, not digestion — the two are
+// deliberately separate code paths.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msp {
+
+struct DigestOptions {
+  /// Peptides with fewer residues are dropped (unobservable in MS).
+  std::size_t min_length = 6;
+  /// Peptides with more residues are dropped (out of instrument range).
+  std::size_t max_length = 40;
+  /// Up to this many internal cleavage sites may be skipped per peptide.
+  std::size_t missed_cleavages = 0;
+};
+
+/// A digested peptide, located within its parent sequence.
+struct DigestedPeptide {
+  std::size_t offset = 0;  ///< start position in the parent
+  std::size_t length = 0;
+  std::size_t missed = 0;  ///< number of missed cleavage sites it spans
+};
+
+/// True iff trypsin cleaves between position i and i+1 of `residues`
+/// (after K or R, not before P).
+bool is_tryptic_site(std::string_view residues, std::size_t i);
+
+/// Fully enumerate tryptic peptides of `residues` under `options`.
+/// Output is ordered by offset, then by length.
+std::vector<DigestedPeptide> digest_tryptic(std::string_view residues,
+                                            const DigestOptions& options);
+
+/// Convenience: materialize a digested peptide's residue string.
+std::string peptide_string(std::string_view residues,
+                           const DigestedPeptide& peptide);
+
+}  // namespace msp

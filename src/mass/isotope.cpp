@@ -1,0 +1,68 @@
+#include "mass/isotope.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+// Averagine composition per 111.1254 Da of peptide (Senko et al. 1995).
+constexpr double kAveragineMass = 111.1254;
+constexpr double kCarbons = 4.9384;
+constexpr double kHydrogens = 7.7583;
+constexpr double kNitrogens = 1.3577;
+constexpr double kOxygens = 1.4773;
+constexpr double kSulfurs = 0.0417;
+
+// Natural heavy-isotope abundances (probability a given atom is +1; sulfur
+// also has a strong +2 isotope handled separately).
+constexpr double kC13 = 0.0107;
+constexpr double kH2 = 0.000115;
+constexpr double kN15 = 0.00364;
+constexpr double kO17 = 0.00038;
+constexpr double kO18 = 0.00205;  // +2
+constexpr double kS33 = 0.0075;
+constexpr double kS34 = 0.0425;  // +2
+
+}  // namespace
+
+double expected_heavy_isotopes(double monoisotopic_mass) {
+  MSP_CHECK_MSG(monoisotopic_mass > 0.0, "mass must be positive");
+  const double units = monoisotopic_mass / kAveragineMass;
+  return units * (kCarbons * kC13 + kHydrogens * kH2 + kNitrogens * kN15 +
+                  kOxygens * kO17 + kSulfurs * kS33);
+}
+
+std::vector<double> isotope_envelope(double monoisotopic_mass,
+                                     std::size_t max_isotopes) {
+  MSP_CHECK_MSG(monoisotopic_mass > 0.0, "mass must be positive");
+  MSP_CHECK_MSG(max_isotopes >= 1, "need at least the monoisotopic peak");
+  const double units = monoisotopic_mass / kAveragineMass;
+
+  // +1 substitutions: Poisson with rate λ1; +2 substitutions (18O, 34S):
+  // Poisson with rate λ2. Envelope = convolution of the two.
+  const double lambda1 = expected_heavy_isotopes(monoisotopic_mass);
+  const double lambda2 = units * (kOxygens * kO18 + kSulfurs * kS34);
+
+  std::vector<double> envelope(max_isotopes + 1, 0.0);
+  // P(j ones) * P(k twos) lands at offset j + 2k.
+  double p1 = std::exp(-lambda1);
+  for (std::size_t j = 0; j <= max_isotopes; ++j) {
+    double p2 = std::exp(-lambda2);
+    for (std::size_t k = 0; j + 2 * k <= max_isotopes; ++k) {
+      envelope[j + 2 * k] += p1 * p2;
+      p2 *= lambda2 / static_cast<double>(k + 1);
+    }
+    p1 *= lambda1 / static_cast<double>(j + 1);
+  }
+
+  const double peak = *std::max_element(envelope.begin(), envelope.end());
+  for (double& value : envelope) value /= peak;
+  // Trim the negligible tail.
+  while (envelope.size() > 1 && envelope.back() < 1e-3) envelope.pop_back();
+  return envelope;
+}
+
+}  // namespace msp

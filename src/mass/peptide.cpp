@@ -1,0 +1,48 @@
+#include "mass/peptide.hpp"
+
+#include "util/error.hpp"
+
+namespace msp {
+
+std::size_t ProteinDatabase::total_residues() const {
+  std::size_t total = 0;
+  for (const auto& protein : proteins) total += protein.length();
+  return total;
+}
+
+double ProteinDatabase::average_length() const {
+  if (proteins.empty()) return 0.0;
+  return static_cast<double>(total_residues()) /
+         static_cast<double>(proteins.size());
+}
+
+std::string_view Peptide::view(const ProteinDatabase& db) const {
+  MSP_CHECK(protein_index < db.proteins.size());
+  const std::string& parent = db.proteins[protein_index].residues;
+  MSP_CHECK(length <= parent.size());
+  if (end == FragmentEnd::kPrefix) return {parent.data(), length};
+  return {parent.data() + parent.size() - length, length};
+}
+
+FragmentMassIndex::FragmentMassIndex(std::string_view residues) {
+  cumulative_.reserve(residues.size() + 1);
+  cumulative_.push_back(0.0);
+  double running = 0.0;
+  for (char c : residues) {
+    running += residue_mass(c);
+    cumulative_.push_back(running);
+  }
+}
+
+double FragmentMassIndex::prefix_mass(std::size_t k) const {
+  MSP_CHECK(k < cumulative_.size());
+  return cumulative_[k] + kWaterMass;
+}
+
+double FragmentMassIndex::suffix_mass(std::size_t k) const {
+  MSP_CHECK(k < cumulative_.size());
+  return cumulative_.back() - cumulative_[cumulative_.size() - 1 - k] +
+         kWaterMass;
+}
+
+}  // namespace msp

@@ -1,0 +1,69 @@
+// Peptide and protein value types.
+//
+// A Protein is a database entry (a full sequence from FASTA or the synthetic
+// generator). A Peptide is a contiguous fragment of a protein — in this
+// paper's formulation, candidates are *prefixes or suffixes* of database
+// sequences whose mass falls in the query window (Section II-A), so a
+// Peptide records its origin (protein index, offset, length, end) rather
+// than copying characters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mass/amino_acid.hpp"
+
+namespace msp {
+
+/// One database protein sequence.
+struct Protein {
+  std::string id;        ///< accession, unique within a database
+  std::string residues;  ///< upper-case residue string
+
+  std::size_t length() const { return residues.size(); }
+};
+
+/// A protein database plus derived totals (paper's n, N).
+struct ProteinDatabase {
+  std::vector<Protein> proteins;
+
+  std::size_t sequence_count() const { return proteins.size(); }
+  /// Total residue count — the paper's N.
+  std::size_t total_residues() const;
+  double average_length() const;
+};
+
+/// Which part of the parent protein a candidate fragment comes from.
+/// kPrefix/kSuffix are the paper's candidate rule; kInternal appears only
+/// in the engine's tryptic-candidate extension mode.
+enum class FragmentEnd : std::uint8_t { kPrefix, kSuffix, kInternal };
+
+/// A candidate peptide: a prefix or suffix of a database protein.
+struct Peptide {
+  std::uint32_t protein_index = 0;  ///< into ProteinDatabase::proteins
+  std::uint32_t length = 0;         ///< number of residues
+  FragmentEnd end = FragmentEnd::kPrefix;
+  double mass = 0.0;  ///< neutral monoisotopic mass (residues + water)
+
+  /// View of the residue characters inside the parent protein.
+  std::string_view view(const ProteinDatabase& db) const;
+};
+
+/// Running prefix/suffix masses of one protein, so candidate masses can be
+/// looked up in O(1) per length. prefix_mass(k) = mass of first k residues
+/// (+ water); suffix_mass(k) = mass of last k residues (+ water).
+class FragmentMassIndex {
+ public:
+  explicit FragmentMassIndex(std::string_view residues);
+
+  std::size_t length() const { return cumulative_.size() - 1; }
+  double prefix_mass(std::size_t k) const;
+  double suffix_mass(std::size_t k) const;
+
+ private:
+  std::vector<double> cumulative_;  ///< cumulative_[k] = sum of first k residues
+};
+
+}  // namespace msp

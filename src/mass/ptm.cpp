@@ -1,0 +1,105 @@
+#include "mass/ptm.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+Ptm ptm_phospho_s() { return Ptm{'S', 79.96633, "Phospho(S)"}; }
+Ptm ptm_phospho_t() { return Ptm{'T', 79.96633, "Phospho(T)"}; }
+Ptm ptm_oxidation_m() { return Ptm{'M', 15.99491, "Oxidation(M)"}; }
+Ptm ptm_acetyl_k() { return Ptm{'K', 42.01057, "Acetyl(K)"}; }
+
+namespace {
+
+/// Collect (site, rule) pairs: every position whose residue matches a rule.
+std::vector<std::pair<std::uint32_t, std::uint32_t>> modifiable_sites(
+    std::string_view peptide, const std::vector<Ptm>& rules) {
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sites;
+  for (std::uint32_t pos = 0; pos < peptide.size(); ++pos)
+    for (std::uint32_t r = 0; r < rules.size(); ++r)
+      if (peptide[pos] == rules[r].residue) sites.emplace_back(pos, r);
+  return sites;
+}
+
+void recurse(const std::vector<std::pair<std::uint32_t, std::uint32_t>>& sites,
+             const std::vector<Ptm>& rules, std::size_t max_mods,
+             std::size_t first, PtmVariant& current,
+             std::vector<PtmVariant>& out) {
+  out.push_back(current);
+  if (current.sites.size() >= max_mods) return;
+  std::uint32_t last_pos =
+      current.sites.empty() ? 0 : current.sites.back().first + 1;
+  for (std::size_t i = first; i < sites.size(); ++i) {
+    // A physical site carries at most one modification; because `sites`
+    // lists (position, rule) pairs sorted by position, requiring a strictly
+    // increasing position guarantees that.
+    if (!current.sites.empty() && sites[i].first < last_pos) continue;
+    current.sites.push_back(sites[i]);
+    current.mass_delta += rules[sites[i].second].mass_delta;
+    recurse(sites, rules, max_mods, i + 1, current, out);
+    current.mass_delta -= rules[sites[i].second].mass_delta;
+    current.sites.pop_back();
+  }
+}
+
+}  // namespace
+
+std::vector<PtmVariant> enumerate_variants(std::string_view peptide,
+                                           const std::vector<Ptm>& rules,
+                                           std::size_t max_mods) {
+  for (const Ptm& rule : rules)
+    MSP_CHECK_MSG(rule.residue >= 'A' && rule.residue <= 'Z',
+                  "PTM rule must target a residue letter");
+  const auto sites = modifiable_sites(peptide, rules);
+  std::vector<PtmVariant> out;
+  PtmVariant current;
+  recurse(sites, rules, max_mods, 0, current, out);
+  return out;
+}
+
+std::uint64_t count_variants(std::string_view peptide,
+                             const std::vector<Ptm>& rules,
+                             std::size_t max_mods) {
+  // Sites at distinct positions are independent; positions matched by k>1
+  // rules contribute a factor handled by per-position rule counts.
+  // count = sum over subsets of positions of size <= max_mods of
+  //         prod(rules matching that position).
+  std::vector<std::uint64_t> per_position;
+  for (char c : peptide) {
+    std::uint64_t matches = 0;
+    for (const Ptm& rule : rules)
+      if (c == rule.residue) ++matches;
+    if (matches > 0) per_position.push_back(matches);
+  }
+  // DP over positions: ways[k] = #assignments using exactly k modified sites.
+  std::vector<std::uint64_t> ways(max_mods + 1, 0);
+  ways[0] = 1;
+  for (std::uint64_t matches : per_position)
+    for (std::size_t k = std::min(max_mods, per_position.size()); k >= 1; --k)
+      ways[k] += ways[k - 1] * matches;
+  std::uint64_t total = 0;
+  for (std::uint64_t w : ways) total += w;
+  return total;
+}
+
+std::string annotate(std::string_view peptide, const PtmVariant& variant,
+                     const std::vector<Ptm>& rules) {
+  std::ostringstream os;
+  std::size_t next = 0;
+  for (std::uint32_t pos = 0; pos < peptide.size(); ++pos) {
+    os << peptide[pos];
+    if (next < variant.sites.size() && variant.sites[next].first == pos) {
+      const Ptm& rule = rules[variant.sites[next].second];
+      os << "[+" << std::fixed << std::setprecision(2) << rule.mass_delta
+         << ']';
+      ++next;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace msp

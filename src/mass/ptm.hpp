@@ -1,0 +1,57 @@
+// Post-translational modifications (PTMs).
+//
+// The paper's related-work discussion singles out PTM support as a feature
+// that multiplies the candidate space (Fig. 1b) and that X!Tandem's parallel
+// variants either lack or bolt on. We model the standard variable-PTM
+// search: each PTM adds a fixed mass delta to a residue type, and a peptide
+// variant chooses a subset of its modifiable sites, bounded by
+// `max_mods_per_peptide`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msp {
+
+/// One modification rule: residues of type `residue` may gain `mass_delta`.
+struct Ptm {
+  char residue = 0;        ///< e.g. 'S' for phosphoserine
+  double mass_delta = 0.0; ///< e.g. +79.96633 for phosphorylation
+  std::string name;        ///< e.g. "Phospho"
+};
+
+/// Commonly searched variable modifications, for examples and benchmarks.
+Ptm ptm_phospho_st();      ///< +79.96633 on S/T (we register S and T separately)
+Ptm ptm_phospho_s();
+Ptm ptm_phospho_t();
+Ptm ptm_oxidation_m();     ///< +15.99491 on M
+Ptm ptm_acetyl_k();        ///< +42.01057 on K
+
+/// One concrete assignment of modifications to sites of a peptide.
+struct PtmVariant {
+  /// Site indices (into the peptide) that carry a modification, paired with
+  /// the PTM index (into the rule list) applied at that site. Sorted by site.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> sites;
+  double mass_delta = 0.0;  ///< total added mass
+};
+
+/// Enumerate all variants of `peptide` under `rules` with at most
+/// `max_mods` modified sites (the unmodified variant is always first).
+/// The count grows as sum_k C(sites, k); callers cap max_mods (typ. 2-3).
+std::vector<PtmVariant> enumerate_variants(std::string_view peptide,
+                                           const std::vector<Ptm>& rules,
+                                           std::size_t max_mods);
+
+/// Number of variants enumerate_variants would return, without materializing
+/// them — used by the Fig. 1b candidate-magnitude model.
+std::uint64_t count_variants(std::string_view peptide,
+                             const std::vector<Ptm>& rules,
+                             std::size_t max_mods);
+
+/// Human-readable form, e.g. "PEPS[+79.97]TIDE".
+std::string annotate(std::string_view peptide, const PtmVariant& variant,
+                     const std::vector<Ptm>& rules);
+
+}  // namespace msp

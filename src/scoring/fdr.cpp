@@ -1,0 +1,87 @@
+#include "scoring/fdr.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+
+ProteinDatabase make_decoy_database(const ProteinDatabase& db,
+                                    const std::string& prefix) {
+  ProteinDatabase decoys;
+  decoys.proteins.reserve(db.proteins.size());
+  for (const Protein& protein : db.proteins) {
+    Protein decoy;
+    decoy.id = prefix + protein.id;
+    decoy.residues.assign(protein.residues.rbegin(), protein.residues.rend());
+    decoys.proteins.push_back(std::move(decoy));
+  }
+  return decoys;
+}
+
+ProteinDatabase concatenate(const ProteinDatabase& targets,
+                            const ProteinDatabase& decoys) {
+  ProteinDatabase combined;
+  combined.proteins.reserve(targets.proteins.size() + decoys.proteins.size());
+  combined.proteins.insert(combined.proteins.end(), targets.proteins.begin(),
+                           targets.proteins.end());
+  combined.proteins.insert(combined.proteins.end(), decoys.proteins.begin(),
+                           decoys.proteins.end());
+  return combined;
+}
+
+bool is_decoy_id(const std::string& protein_id, const std::string& prefix) {
+  return starts_with(protein_id, prefix);
+}
+
+std::vector<double> estimate_q_values(const std::vector<Psm>& psms) {
+  // Sort indices by score descending (ties: decoys first — conservative).
+  std::vector<std::size_t> order(psms.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (psms[a].score != psms[b].score) return psms[a].score > psms[b].score;
+    return psms[a].decoy > psms[b].decoy;
+  });
+
+  // Walk best→worst accumulating counts; FDR(s) with +1 correction.
+  std::vector<double> fdr_at(psms.size(), 1.0);
+  std::size_t targets_seen = 0;
+  std::size_t decoys_seen = 0;
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    const Psm& psm = psms[order[position]];
+    if (psm.decoy)
+      ++decoys_seen;
+    else
+      ++targets_seen;
+    fdr_at[position] = static_cast<double>(decoys_seen + 1) /
+                       static_cast<double>(std::max<std::size_t>(1, targets_seen));
+  }
+  // q-value: minimum FDR at or below this rank (monotone from the back).
+  double running_min = 1.0;
+  std::vector<double> q_sorted(psms.size(), 1.0);
+  for (std::size_t position = order.size(); position-- > 0;) {
+    running_min = std::min(running_min, fdr_at[position]);
+    q_sorted[position] = std::min(1.0, running_min);
+  }
+
+  std::vector<double> q(psms.size(), 1.0);
+  for (std::size_t position = 0; position < order.size(); ++position) {
+    const std::size_t index = order[position];
+    q[index] = psms[index].decoy ? 1.0 : q_sorted[position];
+  }
+  return q;
+}
+
+std::size_t accepted_at(const std::vector<Psm>& psms, double q_threshold) {
+  MSP_CHECK_MSG(q_threshold >= 0.0 && q_threshold <= 1.0,
+                "q threshold must be in [0,1]");
+  const std::vector<double> q = estimate_q_values(psms);
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < psms.size(); ++i)
+    if (!psms[i].decoy && q[i] <= q_threshold) ++accepted;
+  return accepted;
+}
+
+}  // namespace msp

@@ -1,0 +1,28 @@
+#include "scoring/hyperscore.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace msp {
+namespace {
+
+/// log10(n!) via lgamma — exact enough for scores, no overflow.
+double log10_factorial(std::size_t n) {
+  return std::lgamma(static_cast<double>(n) + 1.0) / std::numbers::ln10;
+}
+
+}  // namespace
+
+double hyperscore(const BinnedSpectrum& query,
+                  const std::vector<FragmentIon>& ions) {
+  const PeakMatchStats stats = match_peaks(query, ions);
+  if (stats.matched_intensity <= 0.0) return kHyperscoreFloor;
+  return std::log10(stats.matched_intensity) +
+         log10_factorial(stats.matched_b) + log10_factorial(stats.matched_y);
+}
+
+double hyperscore(const BinnedSpectrum& query, std::string_view peptide) {
+  return hyperscore(query, fragment_ions(peptide));
+}
+
+}  // namespace msp

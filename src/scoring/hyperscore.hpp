@@ -1,0 +1,27 @@
+// X!Tandem-style hyperscore.
+//
+// The paper positions X!!Tandem's speed against MSPolygraph's accuracy: the
+// "fairly simple, fast statistical model" is the hyperscore —
+//   dot(matched intensities) × (#matched b)! × (#matched y)!
+// reported in log10 form. We implement it as the fast baseline so ablation
+// benches can quantify the accuracy/speed trade the paper describes.
+#pragma once
+
+#include <string_view>
+
+#include "scoring/shared_peak.hpp"
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+/// log10 hyperscore of `peptide` against the binned query. Returns a large
+/// negative value (kHyperscoreFloor) when nothing matches.
+double hyperscore(const BinnedSpectrum& query, std::string_view peptide);
+
+/// Variant that reuses precomputed ions (hot path in the engine).
+double hyperscore(const BinnedSpectrum& query,
+                  const std::vector<FragmentIon>& ions);
+
+inline constexpr double kHyperscoreFloor = -1e9;
+
+}  // namespace msp

@@ -1,0 +1,99 @@
+#include "scoring/likelihood.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+QueryContext::QueryContext(const Spectrum& spectrum, double bin_width,
+                           const LikelihoodModel& model)
+    : binned_(spectrum, bin_width),
+      model_(model),
+      parent_mass_(spectrum.parent_mass()) {
+  MSP_CHECK_MSG(model.detection_rate > 0.0 && model.detection_rate < 1.0,
+                "detection rate must be in (0,1)");
+  // p0: occupied-bin density over the spectrum's own m/z span, i.e. the
+  // probability that an arbitrary fragment m/z coincides with some query
+  // peak purely by chance.
+  const double span_bins =
+      spectrum.empty()
+          ? 1.0
+          : std::max(1.0, (spectrum.max_mz() - spectrum.min_mz()) / bin_width);
+  const double density =
+      static_cast<double>(binned_.peak_bin_count()) / span_bins;
+  background_ = std::clamp(density, model.min_background, model.max_background);
+
+  double total = 0.0;
+  std::size_t occupied = 0;
+  for (float value : binned_.intensities()) {
+    if (value > 0.0f) {
+      total += value;
+      ++occupied;
+    }
+  }
+  mean_intensity_ = occupied == 0 ? 1.0 : total / static_cast<double>(occupied);
+}
+
+double likelihood_ratio(const QueryContext& query,
+                        const std::vector<FragmentIon>& ions) {
+  const LikelihoodModel& model = query.model();
+  const double p1 = model.detection_rate;
+  const double p0 = query.background_rate();
+  const double log_match = std::log(p1 / p0);
+  const double log_miss = std::log((1.0 - p1) / (1.0 - p0));
+  const double inv_mean = 1.0 / query.mean_intensity();
+
+  double llr = 0.0;
+  for (const FragmentIon& ion : ions) {
+    const double intensity = query.binned().intensity_at(ion.mz);
+    if (intensity > 0.0) {
+      llr += log_match + std::log1p(intensity * inv_mean);
+    } else {
+      llr += log_miss;
+    }
+  }
+  return llr;
+}
+
+double likelihood_ratio(const QueryContext& query, std::string_view peptide) {
+  return likelihood_ratio(query, fragment_ions(peptide));
+}
+
+double likelihood_ratio_library(const QueryContext& query,
+                                const Spectrum& library_spectrum) {
+  const LikelihoodModel& model = query.model();
+  const double p1 = model.detection_rate;
+  const double p0 = query.background_rate();
+  const double log_match = std::log(p1 / p0);
+  const double log_miss = std::log((1.0 - p1) / (1.0 - p0));
+  const double inv_mean = 1.0 / query.mean_intensity();
+
+  // Weight each expected peak by its consensus intensity (normalized to
+  // mean 1 so library and model scores stay on one scale).
+  double library_mean = 0.0;
+  for (const Peak& peak : library_spectrum.peaks())
+    library_mean += peak.intensity;
+  if (library_spectrum.empty()) return 0.0;
+  library_mean /= static_cast<double>(library_spectrum.size());
+  if (library_mean <= 0.0) return 0.0;
+
+  double llr = 0.0;
+  for (const Peak& expected : library_spectrum.peaks()) {
+    // Clamp the diagnostic weight: without a cap, one strong library peak
+    // missing from a noisy query (dropout!) would swamp all other evidence
+    // and put the library score on a different scale than the model score.
+    const double weight =
+        std::clamp(expected.intensity / library_mean, 0.25, 4.0);
+    const double observed = query.binned().intensity_at(expected.mz);
+    if (observed > 0.0) {
+      llr += weight * (log_match + std::log1p(observed * inv_mean));
+    } else {
+      llr += weight * log_miss;
+    }
+  }
+  return llr;
+}
+
+}  // namespace msp

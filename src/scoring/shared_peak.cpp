@@ -1,0 +1,32 @@
+#include "scoring/shared_peak.hpp"
+
+namespace msp {
+
+PeakMatchStats match_peaks(const BinnedSpectrum& query,
+                           const std::vector<FragmentIon>& ions) {
+  PeakMatchStats stats;
+  stats.total_ions = ions.size();
+  for (const FragmentIon& ion : ions) {
+    const double intensity = query.intensity_at(ion.mz);
+    if (intensity <= 0.0) continue;
+    if (ion.type == FragmentIon::Type::kB)
+      ++stats.matched_b;
+    else
+      ++stats.matched_y;
+    stats.matched_intensity += intensity;
+  }
+  return stats;
+}
+
+PeakMatchStats match_peptide(const BinnedSpectrum& query,
+                             std::string_view peptide) {
+  return match_peaks(query, fragment_ions(peptide));
+}
+
+std::size_t shared_peak_count(const BinnedSpectrum& query,
+                              std::string_view peptide) {
+  const PeakMatchStats stats = match_peptide(query, peptide);
+  return stats.matched_b + stats.matched_y;
+}
+
+}  // namespace msp

@@ -1,0 +1,35 @@
+// Shared-peak-count similarity: the simplest spectrum-vs-model score and the
+// building block both the hyperscore and the likelihood-ratio score reuse.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+#include "spectra/theoretical.hpp"
+
+namespace msp {
+
+struct PeakMatchStats {
+  std::size_t matched_b = 0;       ///< b-ions with a query peak in their bin
+  std::size_t matched_y = 0;
+  std::size_t total_ions = 0;      ///< theoretical ions considered
+  double matched_intensity = 0.0;  ///< sum of matched query-bin intensities
+};
+
+/// Count theoretical ions of `ions` that land in occupied bins of `query`.
+/// Two ions falling in one bin both count (standard practice; the bin width
+/// already encodes the tolerance).
+PeakMatchStats match_peaks(const BinnedSpectrum& query,
+                           const std::vector<FragmentIon>& ions);
+
+/// Convenience: match `peptide`'s ions (no PTM deltas) against `query`.
+PeakMatchStats match_peptide(const BinnedSpectrum& query,
+                             std::string_view peptide);
+
+/// Plain shared-peak count.
+std::size_t shared_peak_count(const BinnedSpectrum& query,
+                              std::string_view peptide);
+
+}  // namespace msp

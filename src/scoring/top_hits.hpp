@@ -1,0 +1,76 @@
+// Bounded top-τ hit list.
+//
+// Step A2 of the paper: "Pi keeps a separate running list of the τ topmost
+// hits for every query in Qi". The list must merge across the p ring
+// iterations and — crucially for validation — must produce the *same* final
+// list regardless of the order candidates were seen in, so Algorithm A at
+// any p, Algorithm B, the master–worker baseline and the serial engine can
+// be compared hit-for-hit. That requires a total order: score descending,
+// then a caller-supplied tie-break key ascending.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+/// Entry must expose `double score` and `Key tie_key() const` where Key is
+/// totally ordered. Smaller tie_key wins among equal scores.
+template <typename Entry>
+class TopK {
+ public:
+  explicit TopK(std::size_t capacity) : capacity_(capacity) {
+    MSP_CHECK_MSG(capacity >= 1, "top-k capacity must be >= 1");
+  }
+
+  static bool better(const Entry& a, const Entry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.tie_key() < b.tie_key();
+  }
+
+  /// Offer a candidate; keeps the best `capacity` seen so far.
+  void offer(const Entry& entry) {
+    if (heap_.size() < capacity_) {
+      heap_.push_back(entry);
+      std::push_heap(heap_.begin(), heap_.end(), better);  // min-heap on "better"
+      return;
+    }
+    // heap_.front() is the *worst* retained entry.
+    if (!better(entry, heap_.front())) return;
+    std::pop_heap(heap_.begin(), heap_.end(), better);
+    heap_.back() = entry;
+    std::push_heap(heap_.begin(), heap_.end(), better);
+  }
+
+  /// Merge another list built with the same capacity (ring-iteration merge).
+  void merge(const TopK& other) {
+    for (const Entry& entry : other.heap_) offer(entry);
+  }
+
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return capacity_; }
+
+  /// Entries best-first; deterministic under the total order.
+  std::vector<Entry> sorted() const {
+    std::vector<Entry> out = heap_;
+    std::sort(out.begin(), out.end(), better);
+    return out;
+  }
+
+  /// The worst score that still makes the list (-inf semantics: callers
+  /// should check full() first).
+  double cutoff() const {
+    MSP_CHECK(!heap_.empty());
+    return heap_.front().score;
+  }
+  bool full() const { return heap_.size() == capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Entry> heap_;  // min-heap: front = worst retained
+};
+
+}  // namespace msp

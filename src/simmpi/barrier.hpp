@@ -1,0 +1,64 @@
+// Abortable reusable barrier.
+//
+// std::barrier cannot be interrupted: if one rank throws while the others
+// are parked at a phase boundary, the run would deadlock. This barrier
+// releases all waiters with an exception once any rank calls abort().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "util/error.hpp"
+
+namespace msp::sim {
+
+/// Thrown in every rank parked at (or later arriving at) an aborted barrier.
+class Aborted : public Error {
+ public:
+  Aborted() : Error("simulated run aborted by another rank's failure") {}
+};
+
+class AbortableBarrier {
+ public:
+  explicit AbortableBarrier(std::size_t parties) : parties_(parties) {
+    MSP_CHECK_MSG(parties >= 1, "barrier needs at least one party");
+  }
+
+  /// Park until all `parties` ranks arrive. Throws Aborted if the run died.
+  void arrive_and_wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (aborted_) throw Aborted();
+    const std::size_t my_generation = generation_;
+    if (++arrived_ == parties_) {
+      arrived_ = 0;
+      ++generation_;
+      cv_.notify_all();
+      return;
+    }
+    cv_.wait(lock, [&] { return generation_ != my_generation || aborted_; });
+    if (aborted_) throw Aborted();
+  }
+
+  /// Release everyone with an exception; subsequent arrivals throw too.
+  void abort() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    aborted_ = true;
+    cv_.notify_all();
+  }
+
+  bool aborted() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aborted_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::size_t parties_;
+  std::size_t arrived_ = 0;
+  std::size_t generation_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace msp::sim

@@ -1,0 +1,368 @@
+#include "simmpi/comm.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <map>
+
+#include "simmpi/shared.hpp"
+
+namespace msp::sim {
+
+Comm::Comm(detail::Shared& shared,
+           std::shared_ptr<detail::CollectiveGroup> group, int group_rank)
+    : shared_(shared),
+      group_(std::move(group)),
+      group_rank_(group_rank),
+      global_rank_(group_->members[static_cast<std::size_t>(group_rank)]),
+      state_(shared.rank_states[static_cast<std::size_t>(global_rank_)]) {}
+
+int Comm::size() const { return static_cast<int>(group_->members.size()); }
+
+int Comm::global_rank_of(int group_rank) const {
+  MSP_CHECK_MSG(group_rank >= 0 && group_rank < size(),
+                "rank " << group_rank << " outside communicator of size "
+                        << size());
+  return group_->members[static_cast<std::size_t>(group_rank)];
+}
+
+VirtualClock& Comm::clock() { return state_.clock; }
+const VirtualClock& Comm::clock() const { return state_.clock; }
+
+const NetworkModel& Comm::network() const { return shared_.network; }
+
+const ComputeModel& Comm::compute_model() const { return shared_.compute; }
+
+const void* const* Comm::post_and_collect(const void* mine) {
+  group_->slots[static_cast<std::size_t>(group_rank_)] = mine;
+  group_->entry_times[static_cast<std::size_t>(group_rank_)] =
+      state_.clock.now();
+  group_->barrier.arrive_and_wait();
+  return group_->slots.data();
+}
+
+double Comm::max_posted_entry() const {
+  double latest = 0.0;
+  for (double t : group_->entry_times) latest = std::max(latest, t);
+  return latest;
+}
+
+void Comm::finish_collective(double cost) {
+  const double completion = max_posted_entry() + cost;
+  state_.clock.sync_until(max_posted_entry());
+  state_.clock.note_comm_issued(cost);
+  state_.clock.wait_until(completion);
+  // Second rendezvous: nobody may repopulate the slots for the next
+  // collective until everyone has read them.
+  group_->barrier.arrive_and_wait();
+}
+
+double Comm::collective_cost(std::size_t bytes) const {
+  return shared_.network.allreduce_cost(bytes, size());
+}
+
+std::unique_ptr<Comm> Comm::split(int color) {
+  struct Claim {
+    int color;
+  };
+  const Claim mine{color};
+  const void* const* slots = post_and_collect(&mine);
+
+  // Everyone derives the same member lists (in group-rank order, mapped to
+  // global ranks, so sub-group rank order is deterministic).
+  std::map<int, std::vector<int>> members_by_color;
+  int my_subrank = -1;
+  for (int r = 0; r < size(); ++r) {
+    const int their_color = static_cast<const Claim*>(slots[r])->color;
+    auto& members = members_by_color[their_color];
+    if (r == group_rank_) my_subrank = static_cast<int>(members.size());
+    members.push_back(global_rank_of(r));
+  }
+  finish_collective(collective_cost(sizeof(int)));
+
+  // The first member of each color allocates the group; the others copy
+  // the shared_ptr out of the leader's slot in a second exchange round.
+  std::shared_ptr<detail::CollectiveGroup> my_group;
+  const std::vector<int>& my_members = members_by_color.at(color);
+  const bool leader = my_members.front() == global_rank_;
+  if (leader) {
+    my_group = std::make_shared<detail::CollectiveGroup>(my_members);
+    shared_.register_group(my_group);
+  }
+  const void* const* group_slots = post_and_collect(leader ? &my_group : nullptr);
+  if (!leader) {
+    // The leader is the first member of our color; locate its slot.
+    for (int r = 0; r < size(); ++r) {
+      if (global_rank_of(r) == my_members.front()) {
+        my_group = *static_cast<const std::shared_ptr<detail::CollectiveGroup>*>(
+            group_slots[r]);
+        break;
+      }
+    }
+  }
+  finish_collective(shared_.network.barrier_cost(size()));
+  MSP_CHECK_MSG(my_group != nullptr, "split failed to locate the sub-group");
+  return std::unique_ptr<Comm>(new Comm(shared_, my_group, my_subrank));
+}
+
+void Comm::barrier() {
+  post_and_collect(nullptr);
+  finish_collective(shared_.network.barrier_cost(size()));
+}
+
+double Comm::allreduce_max(double value) {
+  const void* const* slots = post_and_collect(&value);
+  double result = *static_cast<const double*>(slots[0]);
+  for (int r = 1; r < size(); ++r)
+    result = std::max(result, *static_cast<const double*>(slots[r]));
+  finish_collective(collective_cost(sizeof(double)));
+  return result;
+}
+
+double Comm::allreduce_min(double value) {
+  const void* const* slots = post_and_collect(&value);
+  double result = *static_cast<const double*>(slots[0]);
+  for (int r = 1; r < size(); ++r)
+    result = std::min(result, *static_cast<const double*>(slots[r]));
+  finish_collective(collective_cost(sizeof(double)));
+  return result;
+}
+
+std::uint64_t Comm::allreduce_sum(std::uint64_t value) {
+  const void* const* slots = post_and_collect(&value);
+  std::uint64_t result = 0;
+  for (int r = 0; r < size(); ++r)
+    result += *static_cast<const std::uint64_t*>(slots[r]);
+  finish_collective(collective_cost(sizeof(std::uint64_t)));
+  return result;
+}
+
+void Comm::allreduce_sum(std::vector<std::uint64_t>& values) {
+  struct View {
+    const std::uint64_t* data;
+    std::size_t size;
+  };
+  // Reduce into a scratch copy first: ranks read each other's `values`
+  // concurrently, so in-place accumulation before the closing rendezvous
+  // would be a data race.
+  const View mine{values.data(), values.size()};
+  const void* const* slots = post_and_collect(&mine);
+  std::vector<std::uint64_t> result(values.size(), 0);
+  for (int r = 0; r < size(); ++r) {
+    const View* view = static_cast<const View*>(slots[r]);
+    MSP_CHECK_MSG(view->size == values.size(),
+                  "allreduce_sum: rank " << r << " vector length mismatch");
+    for (std::size_t i = 0; i < values.size(); ++i) result[i] += view->data[i];
+  }
+  finish_collective(collective_cost(values.size() * sizeof(std::uint64_t)));
+  values = std::move(result);
+}
+
+std::vector<std::vector<char>> Comm::alltoallv(
+    const std::vector<std::vector<char>>& send) {
+  MSP_CHECK_MSG(static_cast<int>(send.size()) == size(),
+                "alltoallv: need one payload per rank");
+  const void* const* slots = post_and_collect(&send);
+  std::vector<std::vector<char>> received(static_cast<std::size_t>(size()));
+  std::size_t send_bytes = 0;
+  for (const auto& payload : send) send_bytes += payload.size();
+  std::size_t recv_bytes = 0;
+  for (int r = 0; r < size(); ++r) {
+    const auto* their_send =
+        static_cast<const std::vector<std::vector<char>>*>(slots[r]);
+    MSP_CHECK_MSG(static_cast<int>(their_send->size()) == size(),
+                  "alltoallv: rank " << r << " arity mismatch");
+    received[static_cast<std::size_t>(r)] =
+        (*their_send)[static_cast<std::size_t>(group_rank_)];
+    recv_bytes += received[static_cast<std::size_t>(r)].size();
+  }
+  state_.bytes_sent += send_bytes;
+  state_.bytes_received += recv_bytes;
+  finish_collective(
+      shared_.network.alltoallv_cost(send_bytes, recv_bytes, size()));
+  return received;
+}
+
+std::vector<char> Comm::bcast(int root, const std::vector<char>& payload) {
+  MSP_CHECK_MSG(root >= 0 && root < size(), "bcast: bad root " << root);
+  const void* const* slots =
+      post_and_collect(group_rank_ == root ? &payload : nullptr);
+  const auto* source =
+      static_cast<const std::vector<char>*>(slots[static_cast<std::size_t>(root)]);
+  MSP_CHECK_MSG(source != nullptr, "bcast: root did not post a payload");
+  std::vector<char> result = *source;
+  if (group_rank_ != root) state_.bytes_received += result.size();
+  if (group_rank_ == root)
+    state_.bytes_sent += result.size() * static_cast<std::size_t>(size() - 1);
+  finish_collective(collective_cost(result.size()));
+  return result;
+}
+
+void Comm::send(int destination, int tag, std::vector<char> payload) {
+  MSP_CHECK_MSG(destination >= 0 && destination < size(),
+                "send: bad destination rank " << destination);
+  const int global_destination = global_rank_of(destination);
+  const double depart = state_.clock.now();
+  // Eager protocol: sender pays only the injection latency.
+  const bool local = shared_.network.same_node(global_rank_, global_destination);
+  state_.clock.note_comm_issued(local ? shared_.network.shm_latency_s
+                                      : shared_.network.latency_s);
+  state_.bytes_sent += payload.size();
+  detail::Mailbox& box =
+      shared_.mailboxes[static_cast<std::size_t>(global_destination)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(
+        detail::Envelope{global_rank_, tag, depart, std::move(payload)});
+  }
+  box.cv.notify_all();
+}
+
+Comm::Message Comm::recv(int source, int tag) {
+  const int global_source = source == kAnySource ? -1 : global_rank_of(source);
+  detail::Mailbox& box =
+      shared_.mailboxes[static_cast<std::size_t>(global_rank_)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  auto match = [&]() -> std::deque<detail::Envelope>::iterator {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if ((global_source == -1 || it->source == global_source) &&
+          (tag == kAnyTag || it->tag == tag))
+        return it;
+    }
+    return box.queue.end();
+  };
+  auto it = match();
+  while (it == box.queue.end()) {
+    if (shared_.aborted()) throw Aborted();
+    box.cv.wait_for(lock, std::chrono::milliseconds(50));
+    it = match();
+  }
+  detail::Envelope envelope = std::move(*it);
+  box.queue.erase(it);
+  lock.unlock();
+
+  const double cost = shared_.network.transfer_cost(
+      envelope.payload.size(), envelope.source, global_rank_, /*concurrent=*/1);
+  state_.clock.note_comm_issued(cost);
+  state_.clock.wait_until(envelope.depart_time + cost);
+  state_.bytes_received += envelope.payload.size();
+
+  // Translate the sender back into this communicator's rank space.
+  int group_source = -1;
+  for (int r = 0; r < size(); ++r) {
+    if (global_rank_of(r) == envelope.source) {
+      group_source = r;
+      break;
+    }
+  }
+  return Message{group_source, envelope.tag, std::move(envelope.payload)};
+}
+
+void Comm::charge_alloc(std::size_t bytes) {
+  state_.current_memory += bytes;
+  state_.peak_memory = std::max(state_.peak_memory, state_.current_memory);
+  if (state_.memory_budget != 0 &&
+      state_.current_memory > state_.memory_budget) {
+    throw OutOfMemoryBudget(
+        "rank " + std::to_string(global_rank_) +
+        " exceeded its memory budget: " + std::to_string(state_.current_memory) +
+        " > " + std::to_string(state_.memory_budget) + " bytes");
+  }
+}
+
+void Comm::release_alloc(std::size_t bytes) {
+  MSP_CHECK_MSG(bytes <= state_.current_memory,
+                "release_alloc: releasing more than allocated");
+  state_.current_memory -= bytes;
+}
+
+void Comm::set_memory_budget(std::size_t bytes) {
+  state_.memory_budget = bytes;
+}
+
+std::size_t Comm::current_memory() const { return state_.current_memory; }
+
+std::size_t Comm::peak_memory() const { return state_.peak_memory; }
+
+void Comm::bump(const std::string& name, std::uint64_t delta) {
+  state_.counters[name] += delta;
+}
+
+RankStats Comm::stats() const {
+  RankStats stats;
+  stats.rank = global_rank_;
+  stats.total_time = state_.clock.now();
+  stats.compute_seconds = state_.clock.compute_seconds();
+  stats.io_seconds = state_.clock.io_seconds();
+  stats.comm_issued_seconds = state_.clock.comm_issued_seconds();
+  stats.residual_comm_seconds = state_.clock.residual_comm_seconds();
+  stats.sync_wait_seconds = state_.clock.sync_wait_seconds();
+  stats.bytes_sent = state_.bytes_sent;
+  stats.bytes_received = state_.bytes_received;
+  stats.peak_memory_bytes = state_.peak_memory;
+  stats.counters = state_.counters;
+  return stats;
+}
+
+// ---- Window ----
+
+Window::Window(Comm& comm, std::span<const char> local_shard) : comm_(comm) {
+  struct View {
+    const char* data;
+    std::size_t size;
+  };
+  const View mine{local_shard.data(), local_shard.size()};
+  const void* const* slots = comm_.post_and_collect(&mine);
+  shards_.resize(static_cast<std::size_t>(comm_.size()));
+  for (int r = 0; r < comm_.size(); ++r) {
+    const View* view = static_cast<const View*>(slots[r]);
+    shards_[static_cast<std::size_t>(r)] = {view->data, view->size};
+  }
+  comm_.finish_collective(comm_.network().barrier_cost(comm_.size()));
+}
+
+std::size_t Window::shard_size(int target) const {
+  MSP_CHECK(target >= 0 && target < comm_.size());
+  return shards_[static_cast<std::size_t>(target)].size();
+}
+
+RmaRequest Window::rget(int target, std::vector<char>& dest,
+                        int concurrent_pulls) {
+  MSP_CHECK_MSG(target >= 0 && target < comm_.size(),
+                "rget: bad target rank " << target);
+  return rget_range(target, 0,
+                    shards_[static_cast<std::size_t>(target)].size(), dest,
+                    concurrent_pulls);
+}
+
+RmaRequest Window::rget_range(int target, std::size_t offset,
+                              std::size_t length, std::vector<char>& dest,
+                              int concurrent_pulls) {
+  MSP_CHECK_MSG(target >= 0 && target < comm_.size(),
+                "rget_range: bad target rank " << target);
+  const std::span<const char> full = shards_[static_cast<std::size_t>(target)];
+  MSP_CHECK_MSG(offset <= full.size() && length <= full.size() - offset,
+                "rget_range: [" << offset << ", " << offset + length
+                                << ") exceeds shard size " << full.size());
+  const std::span<const char> shard = full.subspan(offset, length);
+  dest.assign(shard.begin(), shard.end());
+  comm_.state_.bytes_received += shard.size();
+  const double cost = comm_.network().transfer_cost(
+      shard.size(), comm_.global_rank_of(target), comm_.global_rank(),
+      concurrent_pulls);
+  comm_.clock().note_comm_issued(cost);
+  RmaRequest request;
+  request.arrival_time = comm_.clock().now() + cost;
+  request.active = true;
+  return request;
+}
+
+void Window::wait(RmaRequest& request) {
+  MSP_CHECK_MSG(request.active, "wait on an inactive RMA request");
+  comm_.clock().wait_until(request.arrival_time);
+  request.active = false;
+}
+
+void Window::fence() { comm_.barrier(); }
+
+}  // namespace msp::sim

@@ -1,0 +1,63 @@
+#include "simmpi/runtime.hpp"
+
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "simmpi/shared.hpp"
+#include "util/error.hpp"
+
+namespace msp::sim {
+
+Runtime::Runtime(int p, NetworkModel network, ComputeModel compute)
+    : p_(p), network_(network), compute_(compute) {
+  MSP_CHECK_MSG(p >= 1, "runtime needs at least one rank");
+  MSP_CHECK_MSG(p <= 4096, "runtime caps at 4096 ranks");
+}
+
+RunReport Runtime::run(const std::function<void(Comm&)>& body) const {
+  detail::Shared shared(p_, network_, compute_);
+
+  std::vector<std::unique_ptr<Comm>> comms;
+  comms.reserve(static_cast<std::size_t>(p_));
+  for (int r = 0; r < p_; ++r)
+    comms.push_back(std::unique_ptr<Comm>(new Comm(shared, shared.world, r)));
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto rank_main = [&](int r) {
+    try {
+      body(*comms[static_cast<std::size_t>(r)]);
+    } catch (const Aborted&) {
+      // Another rank failed first; our own state is moot.
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      shared.abort_all();
+    }
+  };
+
+  if (p_ == 1) {
+    // Single rank: run inline (simpler stacks in debuggers and tests).
+    rank_main(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(p_));
+    for (int r = 0; r < p_; ++r) threads.emplace_back(rank_main, r);
+    for (auto& thread : threads) thread.join();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunReport report;
+  report.p = p_;
+  report.ranks.reserve(static_cast<std::size_t>(p_));
+  for (const auto& comm : comms) report.ranks.push_back(comm->stats());
+  return report;
+}
+
+}  // namespace msp::sim

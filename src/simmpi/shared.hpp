@@ -1,0 +1,100 @@
+// Internal shared state of one simulated run. Not part of the public API.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simmpi/barrier.hpp"
+#include "simmpi/netmodel.hpp"
+#include "simmpi/vclock.hpp"
+
+namespace msp::sim::detail {
+
+struct Envelope {
+  int source = -1;  ///< global rank of the sender
+  int tag = -1;
+  double depart_time = 0.0;
+  std::vector<char> payload;
+};
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Envelope> queue;
+};
+
+/// Rank-local accounting shared by every communicator view of one rank
+/// (the world Comm and any split() sub-communicators).
+struct RankState {
+  VirtualClock clock;
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t current_memory = 0;
+  std::size_t peak_memory = 0;
+  std::size_t memory_budget = 0;
+  std::map<std::string, std::uint64_t> counters;
+};
+
+/// The synchronization arena of one communicator (world or sub-group).
+struct CollectiveGroup {
+  explicit CollectiveGroup(std::vector<int> members_in)
+      : members(std::move(members_in)),
+        barrier(members.size()),
+        slots(members.size(), nullptr),
+        entry_times(members.size(), 0.0) {}
+
+  std::vector<int> members;  ///< group rank -> global rank, ascending
+  AbortableBarrier barrier;
+  std::vector<const void*> slots;
+  std::vector<double> entry_times;
+};
+
+struct Shared {
+  Shared(int p_in, const NetworkModel& network_in, const ComputeModel& compute_in)
+      : p(p_in),
+        network(network_in),
+        compute(compute_in),
+        mailboxes(static_cast<std::size_t>(p_in)),
+        rank_states(static_cast<std::size_t>(p_in)) {
+    std::vector<int> everyone(static_cast<std::size_t>(p_in));
+    for (int r = 0; r < p_in; ++r) everyone[static_cast<std::size_t>(r)] = r;
+    world = std::make_shared<CollectiveGroup>(std::move(everyone));
+    register_group(world);
+  }
+
+  /// Track every live group so a failing rank can release all parked
+  /// barriers, whichever communicator they are waiting in.
+  void register_group(const std::shared_ptr<CollectiveGroup>& group) {
+    std::lock_guard<std::mutex> lock(groups_mutex);
+    groups.push_back(group);
+  }
+
+  void abort_all() {
+    std::lock_guard<std::mutex> lock(groups_mutex);
+    for (auto& weak : groups) {
+      if (auto group = weak.lock()) group->barrier.abort();
+    }
+    for (auto& box : mailboxes) box.cv.notify_all();
+  }
+
+  bool aborted() {
+    return world->barrier.aborted();
+  }
+
+  int p;
+  NetworkModel network;
+  ComputeModel compute;
+  std::shared_ptr<CollectiveGroup> world;
+  std::vector<Mailbox> mailboxes;
+  std::vector<RankState> rank_states;
+  std::mutex groups_mutex;
+  std::vector<std::weak_ptr<CollectiveGroup>> groups;
+};
+
+}  // namespace msp::sim::detail

@@ -1,0 +1,97 @@
+#include "simmpi/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace msp::sim {
+
+double RunReport::total_time() const {
+  double latest = 0.0;
+  for (const RankStats& r : ranks) latest = std::max(latest, r.total_time);
+  return latest;
+}
+
+double RunReport::max_compute() const {
+  double peak = 0.0;
+  for (const RankStats& r : ranks) peak = std::max(peak, r.compute_seconds);
+  return peak;
+}
+
+double RunReport::sum_compute() const {
+  double total = 0.0;
+  for (const RankStats& r : ranks) total += r.compute_seconds;
+  return total;
+}
+
+double RunReport::mean_residual_over_compute() const {
+  if (ranks.empty()) return 0.0;
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (const RankStats& r : ranks) {
+    if (r.compute_seconds <= 0.0) continue;
+    total += (r.residual_comm_seconds + r.sync_wait_seconds) / r.compute_seconds;
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+std::uint64_t RunReport::sum_counter(const std::string& name) const {
+  std::uint64_t total = 0;
+  for (const RankStats& r : ranks) {
+    auto it = r.counters.find(name);
+    if (it != r.counters.end()) total += it->second;
+  }
+  return total;
+}
+
+std::size_t RunReport::max_peak_memory() const {
+  std::size_t peak = 0;
+  for (const RankStats& r : ranks) peak = std::max(peak, r.peak_memory_bytes);
+  return peak;
+}
+
+std::string RunReport::to_csv() const {
+  // Collect the union of counter names so every row has the same columns.
+  std::vector<std::string> names;
+  for (const RankStats& r : ranks)
+    for (const auto& [name, value] : r.counters)
+      if (std::find(names.begin(), names.end(), name) == names.end())
+        names.push_back(name);
+  std::sort(names.begin(), names.end());
+
+  std::ostringstream os;
+  os << "rank,total_s,compute_s,io_s,comm_issued_s,residual_s,sync_s,"
+        "bytes_sent,bytes_received,peak_memory";
+  for (const auto& name : names) os << ',' << name;
+  os << '\n';
+  os << std::fixed << std::setprecision(6);
+  for (const RankStats& r : ranks) {
+    os << r.rank << ',' << r.total_time << ',' << r.compute_seconds << ','
+       << r.io_seconds << ',' << r.comm_issued_seconds << ','
+       << r.residual_comm_seconds << ',' << r.sync_wait_seconds << ','
+       << r.bytes_sent << ',' << r.bytes_received << ',' << r.peak_memory_bytes;
+    for (const auto& name : names) {
+      const auto it = r.counters.find(name);
+      os << ',' << (it == r.counters.end() ? 0 : it->second);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string RunReport::to_string() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "p=" << p << " total=" << total_time() << "s\n";
+  for (const RankStats& r : ranks) {
+    os << "  rank " << r.rank << ": t=" << r.total_time
+       << " compute=" << r.compute_seconds << " io=" << r.io_seconds
+       << " residual=" << r.residual_comm_seconds
+       << " sync=" << r.sync_wait_seconds << " peak_mem=" << r.peak_memory_bytes
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace msp::sim

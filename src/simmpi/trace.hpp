@@ -1,0 +1,48 @@
+// Run reports: what a simulated parallel execution measured.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msp::sim {
+
+struct RankStats {
+  int rank = 0;
+  double total_time = 0.0;          ///< final virtual time of the rank
+  double compute_seconds = 0.0;
+  double io_seconds = 0.0;
+  double comm_issued_seconds = 0.0; ///< modeled duration of all transfers
+  double residual_comm_seconds = 0.0;  ///< transfer wait not masked by compute
+  double sync_wait_seconds = 0.0;      ///< barrier/fence (imbalance) waits
+  std::size_t bytes_sent = 0;
+  std::size_t bytes_received = 0;
+  std::size_t peak_memory_bytes = 0;
+  std::map<std::string, std::uint64_t> counters;  ///< user counters
+};
+
+struct RunReport {
+  int p = 0;
+  std::vector<RankStats> ranks;
+
+  /// Parallel run-time: the last rank to finish defines it.
+  double total_time() const;
+  double max_compute() const;
+  double sum_compute() const;
+  /// Residual communication (paper's definition: waiting for data) summed
+  /// with sync waits, per the slowest decomposition view.
+  double mean_residual_over_compute() const;
+  std::uint64_t sum_counter(const std::string& name) const;
+  std::size_t max_peak_memory() const;
+
+  std::string to_string() const;
+
+  /// Machine-readable per-rank dump (one row per rank) for external
+  /// plotting: rank, total, compute, io, comm_issued, residual, sync,
+  /// bytes_sent, bytes_received, peak_memory, then user counters as extra
+  /// name=value columns.
+  std::string to_csv() const;
+};
+
+}  // namespace msp::sim

@@ -1,0 +1,65 @@
+// Per-rank virtual clock.
+//
+// Every rank owns one clock; algorithm code charges modeled costs to it
+// (compute, I/O) and the communication layer advances it for transfers and
+// synchronization. The clock also keeps per-bucket totals so the trace can
+// decompose a run the way Section III of the paper does: computation vs.
+// "residual communication" (time spent waiting for data or for other ranks,
+// i.e. total communication minus the part masked by computation).
+#pragma once
+
+namespace msp::sim {
+
+class VirtualClock {
+ public:
+  double now() const { return now_; }
+
+  void charge_compute(double seconds) {
+    now_ += seconds;
+    compute_ += seconds;
+  }
+
+  void charge_io(double seconds) {
+    now_ += seconds;
+    io_ += seconds;
+  }
+
+  /// Record that a communication of modeled duration `seconds` was issued
+  /// (for the total-communication bookkeeping; does not advance the clock —
+  /// non-blocking issue).
+  void note_comm_issued(double seconds) { comm_issued_ += seconds; }
+
+  /// Block until virtual time `ready`: the residual (unmasked) part of a
+  /// wait. No-op if `ready` has already passed — fully masked.
+  void wait_until(double ready) {
+    if (ready > now_) {
+      residual_ += ready - now_;
+      now_ = ready;
+    }
+  }
+
+  /// Synchronization wait (barrier/fence): like wait_until but accounted in
+  /// its own bucket so imbalance is distinguishable from transfer delay.
+  void sync_until(double ready) {
+    if (ready > now_) {
+      sync_wait_ += ready - now_;
+      now_ = ready;
+    }
+  }
+
+  double compute_seconds() const { return compute_; }
+  double io_seconds() const { return io_; }
+  double comm_issued_seconds() const { return comm_issued_; }
+  double residual_comm_seconds() const { return residual_; }
+  double sync_wait_seconds() const { return sync_wait_; }
+
+ private:
+  double now_ = 0.0;
+  double compute_ = 0.0;
+  double io_ = 0.0;
+  double comm_issued_ = 0.0;
+  double residual_ = 0.0;
+  double sync_wait_ = 0.0;
+};
+
+}  // namespace msp::sim

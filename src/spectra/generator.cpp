@@ -1,0 +1,78 @@
+#include "spectra/generator.hpp"
+
+#include <cmath>
+#include <cstdint>
+
+#include "mass/amino_acid.hpp"
+#include "mass/isotope.hpp"
+#include "spectra/theoretical.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+Spectrum simulate_spectrum(std::string_view peptide,
+                           const SpectrumNoiseModel& model, Xoshiro256& rng,
+                           std::string title) {
+  MSP_CHECK_MSG(peptide.size() >= 2, "peptide too short to fragment");
+  MSP_CHECK_MSG(model.peak_dropout >= 0.0 && model.peak_dropout < 1.0,
+                "dropout must be in [0,1)");
+  MSP_CHECK_MSG(model.charge >= 1, "charge must be >= 1");
+
+  const auto ions = fragment_ions(peptide);
+  std::vector<Peak> peaks;
+  peaks.reserve(ions.size() + 16);
+
+  // Stable per-(peptide, ion) fragmentation propensity: seeded from the
+  // peptide content and the ion identity only, so every replicate of the
+  // same peptide shares the same true intensity pattern.
+  std::uint64_t peptide_key = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (char c : peptide) peptide_key = (peptide_key ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+
+  double max_mz = 0.0;
+  for (const FragmentIon& ion : ions) {
+    max_mz = std::max(max_mz, ion.mz);
+    if (rng.uniform() < model.peak_dropout) continue;  // fragment not observed
+    const double mz = ion.mz + model.mz_sigma_da * rng.normal();
+    // Base intensity mirrors model_spectrum's b/y weighting; lognormal
+    // variation models shot-to-shot abundance differences.
+    const double base = ion.type == FragmentIon::Type::kY ? 1.0 : 0.6;
+    double propensity = 1.0;
+    if (model.fragmentation_sigma > 0.0) {
+      Xoshiro256 ion_rng(peptide_key ^
+                         (static_cast<std::uint64_t>(ion.index) << 8) ^
+                         static_cast<std::uint64_t>(ion.type));
+      propensity = std::exp(model.fragmentation_sigma * ion_rng.normal());
+    }
+    const double intensity =
+        base * propensity * std::exp(model.intensity_sigma * rng.normal());
+    if (mz <= 0.0) continue;
+    peaks.push_back(Peak{mz, intensity});
+    if (model.isotope_envelopes) {
+      // Satellites at +1.00336/z Da steps (13C spacing), averagine heights.
+      const double fragment_mass = ion.mz - kProtonMass;  // z=1 fragments
+      const auto envelope = isotope_envelope(std::max(100.0, fragment_mass));
+      for (std::size_t k = 1; k < envelope.size(); ++k)
+        peaks.push_back(
+            Peak{mz + 1.0033548 * static_cast<double>(k),
+                 intensity * envelope[k] / envelope[0]});
+    }
+  }
+
+  // Chemical noise: uniform peaks over [50, max fragment m/z + 50].
+  const double span = std::max(100.0, max_mz + 50.0 - 50.0);
+  const auto noise_count = rng.poisson(model.noise_peaks_per_100da * span / 100.0);
+  for (std::uint64_t i = 0; i < noise_count; ++i) {
+    const double mz = rng.uniform(50.0, 50.0 + span);
+    const double intensity = 0.2 * std::exp(model.intensity_sigma * rng.normal());
+    peaks.push_back(Peak{mz, intensity});
+  }
+
+  const double true_mass = peptide_mass(peptide);
+  const double observed_mass =
+      true_mass + model.precursor_sigma_da * rng.normal();
+  if (title.empty()) title = std::string(peptide);
+  return Spectrum(std::move(peaks), mz_from_mass(observed_mass, model.charge),
+                  model.charge, std::move(title));
+}
+
+}  // namespace msp

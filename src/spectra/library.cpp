@@ -1,0 +1,128 @@
+#include "spectra/library.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+Spectrum build_consensus(std::string_view peptide,
+                         const std::vector<Spectrum>& replicates,
+                         const ConsensusOptions& options) {
+  MSP_CHECK_MSG(!replicates.empty(), "consensus needs at least one replicate");
+  MSP_CHECK_MSG(options.bin_width > 0.0, "bin width must be positive");
+  MSP_CHECK_MSG(options.min_replicate_fraction > 0.0 &&
+                    options.min_replicate_fraction <= 1.0,
+                "replicate fraction must be in (0,1]");
+
+  // Per-bin presence counts and intensity sums across replicates.
+  // Measurement jitter can land the same fragment on either side of a bin
+  // boundary in different replicates, so presence is counted over a
+  // ±1-bin neighborhood and one consensus peak is kept per local maximum.
+  std::map<std::size_t, std::pair<std::size_t, double>> bins;
+  for (const Spectrum& replicate : replicates) {
+    std::map<std::size_t, double> replicate_bins;  // max intensity per bin
+    for (const Peak& peak : replicate.peaks()) {
+      const auto bin = static_cast<std::size_t>(peak.mz / options.bin_width);
+      auto [it, inserted] = replicate_bins.try_emplace(bin, peak.intensity);
+      if (!inserted) it->second = std::max(it->second, peak.intensity);
+    }
+    for (const auto& [bin, intensity] : replicate_bins) {
+      auto& [count, total] = bins[bin];
+      ++count;
+      total += intensity;
+    }
+  }
+
+  auto stats_at = [&](std::size_t bin) -> std::pair<std::size_t, double> {
+    const auto it = bins.find(bin);
+    return it == bins.end() ? std::pair<std::size_t, double>{0, 0.0}
+                            : it->second;
+  };
+  auto neighborhood = [&](std::size_t bin) {
+    auto [count, total] = stats_at(bin);
+    if (bin > 0) {
+      const auto [c, t] = stats_at(bin - 1);
+      count += c;
+      total += t;
+    }
+    const auto [c, t] = stats_at(bin + 1);
+    count += c;
+    total += t;
+    return std::pair<std::size_t, double>{count, total};
+  };
+
+  const auto required = static_cast<std::size_t>(
+      options.min_replicate_fraction * static_cast<double>(replicates.size()) +
+      0.999);  // ceil
+  std::vector<Peak> peaks;
+  for (const auto& [bin, stats] : bins) {
+    const auto [count, total] = neighborhood(bin);
+    if (count < required) continue;
+    // Local maximum by neighborhood intensity; ties resolve to the lower
+    // bin so one fragment yields exactly one consensus peak.
+    const double here = stats.second;
+    const double left = stats_at(bin - 1).second;
+    const double right = stats_at(bin + 1).second;
+    if (here < left || (bin > 0 && here == left)) continue;
+    if (here < right) continue;
+    const double center = (static_cast<double>(bin) + 0.5) * options.bin_width;
+    peaks.push_back(Peak{center, total / static_cast<double>(count)});
+  }
+
+  // Parent mass from the peptide itself — library entries are identified.
+  const double parent = peptide_mass(peptide);
+  return Spectrum(std::move(peaks), mz_from_mass(parent, 1), 1,
+                  std::string(peptide));
+}
+
+void SpectralLibrary::add(std::string peptide, Spectrum consensus) {
+  entries_.insert_or_assign(std::move(peptide), std::move(consensus));
+}
+
+void SpectralLibrary::add_replicates(std::string peptide,
+                                     const std::vector<Spectrum>& replicates,
+                                     const ConsensusOptions& options) {
+  Spectrum consensus = build_consensus(peptide, replicates, options);
+  entries_.insert_or_assign(std::move(peptide), std::move(consensus));
+}
+
+const Spectrum* SpectralLibrary::find(std::string_view peptide) const {
+  const auto it = entries_.find(peptide);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void SpectralLibrary::save(std::ostream& out) const {
+  out << std::fixed;
+  for (const auto& [peptide, spectrum] : entries_) {
+    out << peptide << ' ' << spectrum.size() << '\n';
+    for (const Peak& peak : spectrum.peaks())
+      out << std::setprecision(4) << peak.mz << ' ' << std::setprecision(6)
+          << peak.intensity << '\n';
+  }
+}
+
+SpectralLibrary SpectralLibrary::load(std::istream& in) {
+  SpectralLibrary library;
+  std::string peptide;
+  std::size_t count = 0;
+  while (in >> peptide >> count) {
+    std::vector<Peak> peaks;
+    peaks.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      Peak peak;
+      if (!(in >> peak.mz >> peak.intensity))
+        throw IoError("spectral library: truncated entry for " + peptide);
+      peaks.push_back(peak);
+    }
+    const double parent = peptide_mass(peptide);
+    library.add(peptide, Spectrum(std::move(peaks), mz_from_mass(parent, 1), 1,
+                                  peptide));
+  }
+  return library;
+}
+
+}  // namespace msp

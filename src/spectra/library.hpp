@@ -1,0 +1,63 @@
+// Spectral libraries.
+//
+// Section I-A: "MSPolygraph is unique in its flexibility to handle model
+// spectra in that it combines the use of highly accurate spectral
+// libraries, when available, with the use of on-the-fly generation of
+// sequence averaged model spectra when spectral libraries are not
+// available." A library entry is a consensus spectrum built from replicate
+// measurements of a known peptide; scoring against it uses the *observed*
+// fragment pattern (intensities included) instead of the idealized b/y
+// model, which is why library matches are more accurate.
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+struct ConsensusOptions {
+  double bin_width = kDefaultBinWidth;
+  /// A peak survives into the consensus iff present in at least this
+  /// fraction of replicates (noise appears in few replicates, true
+  /// fragments in most).
+  double min_replicate_fraction = 0.5;
+};
+
+/// Build one consensus spectrum from replicate measurements of `peptide`.
+/// Peak m/z are bin centers; intensities are means over the replicates
+/// containing the peak. Throws InvalidArgument on an empty replicate set.
+Spectrum build_consensus(std::string_view peptide,
+                         const std::vector<Spectrum>& replicates,
+                         const ConsensusOptions& options = {});
+
+/// An in-memory peptide → consensus-spectrum map with text serialization.
+class SpectralLibrary {
+ public:
+  /// Insert (or replace) the entry for `peptide`.
+  void add(std::string peptide, Spectrum consensus);
+  /// Convenience: build the consensus here and insert it.
+  void add_replicates(std::string peptide,
+                      const std::vector<Spectrum>& replicates,
+                      const ConsensusOptions& options = {});
+
+  /// nullptr when the peptide has no library entry (callers then fall back
+  /// to the on-the-fly model — MSPolygraph's hybrid behaviour).
+  const Spectrum* find(std::string_view peptide) const;
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Text format: one "PEPTIDE n" header plus n "mz intensity" lines each.
+  void save(std::ostream& out) const;
+  static SpectralLibrary load(std::istream& in);
+
+ private:
+  std::map<std::string, Spectrum, std::less<>> entries_;
+};
+
+}  // namespace msp

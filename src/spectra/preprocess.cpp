@@ -1,0 +1,62 @@
+#include "spectra/preprocess.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+Spectrum preprocess(const Spectrum& spectrum, const PreprocessOptions& options) {
+  MSP_CHECK_MSG(options.window_da > 0.0, "window must be positive");
+  MSP_CHECK_MSG(options.peaks_per_window >= 1, "need at least 1 peak per window");
+
+  std::vector<Peak> peaks = spectrum.peaks();
+
+  if (options.precursor_exclusion_da > 0.0) {
+    const double lo = spectrum.precursor_mz() - options.precursor_exclusion_da;
+    const double hi = spectrum.precursor_mz() + options.precursor_exclusion_da;
+    std::erase_if(peaks, [&](const Peak& p) { return p.mz >= lo && p.mz <= hi; });
+  }
+
+  if (options.sqrt_transform)
+    for (Peak& peak : peaks) peak.intensity = std::sqrt(peak.intensity);
+
+  // Window filter: peaks are already sorted by m/z (Spectrum invariant);
+  // select top-k by intensity within each fixed window.
+  std::vector<Peak> kept;
+  kept.reserve(peaks.size());
+  std::size_t begin = 0;
+  while (begin < peaks.size()) {
+    const double window_end =
+        (std::floor(peaks[begin].mz / options.window_da) + 1.0) *
+        options.window_da;
+    std::size_t end = begin;
+    while (end < peaks.size() && peaks[end].mz < window_end) ++end;
+    std::vector<Peak> window(peaks.begin() + static_cast<long>(begin),
+                             peaks.begin() + static_cast<long>(end));
+    if (window.size() > options.peaks_per_window) {
+      std::nth_element(window.begin(),
+                       window.begin() + static_cast<long>(options.peaks_per_window),
+                       window.end(), [](const Peak& a, const Peak& b) {
+                         return a.intensity > b.intensity;
+                       });
+      window.resize(options.peaks_per_window);
+    }
+    kept.insert(kept.end(), window.begin(), window.end());
+    begin = end;
+  }
+
+  if (options.normalize_max && !kept.empty()) {
+    double peak_max = 0.0;
+    for (const Peak& p : kept) peak_max = std::max(peak_max, p.intensity);
+    if (peak_max > 0.0)
+      for (Peak& p : kept) p.intensity /= peak_max;
+  }
+
+  return Spectrum(std::move(kept), spectrum.precursor_mz(), spectrum.charge(),
+                  spectrum.title());
+}
+
+}  // namespace msp

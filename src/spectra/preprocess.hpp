@@ -1,0 +1,26 @@
+// Experimental-spectrum preprocessing: the denoising/normalization pass every
+// search engine applies before scoring (X!Tandem, SEQUEST and MSPolygraph all
+// do a variant of this).
+#pragma once
+
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+struct PreprocessOptions {
+  /// Keep at most this many most-intense peaks per `window_da` window.
+  std::size_t peaks_per_window = 6;
+  double window_da = 100.0;
+  /// Apply sqrt to intensities (variance stabilization) before windowing.
+  bool sqrt_transform = true;
+  /// Rescale so the maximum intensity is 1.
+  bool normalize_max = true;
+  /// Remove peaks within this distance of the precursor m/z (unfragmented
+  /// parent contaminates scoring); 0 disables.
+  double precursor_exclusion_da = 2.0;
+};
+
+/// Returns a cleaned copy of `spectrum`. Deterministic, order-independent.
+Spectrum preprocess(const Spectrum& spectrum, const PreprocessOptions& options = {});
+
+}  // namespace msp

@@ -1,0 +1,75 @@
+#include "spectra/spectrum.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+Spectrum::Spectrum(std::vector<Peak> peaks, double precursor_mz, int charge,
+                   std::string title)
+    : precursor_mz_(precursor_mz), charge_(charge), title_(std::move(title)) {
+  MSP_CHECK_MSG(charge >= 1, "spectrum charge must be >= 1");
+  MSP_CHECK_MSG(precursor_mz > 0.0, "precursor m/z must be positive");
+  peaks_.reserve(peaks.size());
+  for (const Peak& peak : peaks)
+    if (peak.mz > 0.0 && peak.intensity > 0.0) peaks_.push_back(peak);
+  std::sort(peaks_.begin(), peaks_.end(),
+            [](const Peak& a, const Peak& b) { return a.mz < b.mz; });
+}
+
+double Spectrum::parent_mass() const {
+  return mass_from_mz(precursor_mz_, charge_);
+}
+
+double Spectrum::min_mz() const { return peaks_.empty() ? 0.0 : peaks_.front().mz; }
+
+double Spectrum::max_mz() const { return peaks_.empty() ? 0.0 : peaks_.back().mz; }
+
+double Spectrum::total_intensity() const {
+  double total = 0.0;
+  for (const Peak& peak : peaks_) total += peak.intensity;
+  return total;
+}
+
+double Spectrum::max_intensity() const {
+  double peak_max = 0.0;
+  for (const Peak& peak : peaks_) peak_max = std::max(peak_max, peak.intensity);
+  return peak_max;
+}
+
+BinnedSpectrum::BinnedSpectrum(const Spectrum& spectrum, double bin_width)
+    : bin_width_(bin_width) {
+  MSP_CHECK_MSG(bin_width > 0.0, "bin width must be positive");
+  if (spectrum.empty()) return;
+  const auto max_bin =
+      static_cast<std::size_t>(spectrum.max_mz() / bin_width_) + 1;
+  intensities_.assign(max_bin + 1, 0.0f);
+  for (const Peak& peak : spectrum.peaks()) {
+    const auto bin = static_cast<std::size_t>(peak.mz / bin_width_);
+    if (intensities_[bin] == 0.0f) ++peak_bins_;
+    intensities_[bin] =
+        std::max(intensities_[bin], static_cast<float>(peak.intensity));
+  }
+}
+
+std::size_t BinnedSpectrum::bin_of(double mz) const {
+  if (mz < 0.0 || bin_width_ <= 0.0) return static_cast<std::size_t>(-1);
+  const auto bin = static_cast<std::size_t>(mz / bin_width_);
+  if (bin >= intensities_.size()) return static_cast<std::size_t>(-1);
+  return bin;
+}
+
+double BinnedSpectrum::intensity_at(double mz) const {
+  const std::size_t bin = bin_of(mz);
+  if (bin == static_cast<std::size_t>(-1)) return 0.0;
+  return intensities_[bin];
+}
+
+bool BinnedSpectrum::has_peak_at(double mz) const {
+  return intensity_at(mz) > 0.0;
+}
+
+}  // namespace msp

@@ -1,0 +1,81 @@
+// Spectrum value types.
+//
+// An experimental spectrum (the paper's "query") is a peak list over m/z with
+// a recorded parent (precursor) m/z and charge. Scoring operates on a binned
+// fixed-width vector form so that peak matching is O(1) per fragment.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+struct Peak {
+  double mz = 0.0;
+  double intensity = 0.0;
+};
+
+/// The standard MS/MS fragment bin width: one average amino-acid mass ladder
+/// step repeats every ~1.0005 Da (the "averagine" spacing used by SEQUEST).
+inline constexpr double kDefaultBinWidth = 1.0005079;
+
+class Spectrum {
+ public:
+  Spectrum() = default;
+  /// Peaks are sorted by m/z on construction; non-positive-intensity and
+  /// non-positive-m/z peaks are dropped.
+  Spectrum(std::vector<Peak> peaks, double precursor_mz, int charge,
+           std::string title = {});
+
+  const std::vector<Peak>& peaks() const { return peaks_; }
+  double precursor_mz() const { return precursor_mz_; }
+  int charge() const { return charge_; }
+  const std::string& title() const { return title_; }
+
+  /// Neutral parent mass implied by precursor m/z and charge — the paper's
+  /// m(q), the key used for candidate windowing and for Algorithm B's sort.
+  double parent_mass() const;
+
+  std::size_t size() const { return peaks_.size(); }
+  bool empty() const { return peaks_.empty(); }
+
+  double min_mz() const;
+  double max_mz() const;
+  double total_intensity() const;
+  double max_intensity() const;
+
+ private:
+  std::vector<Peak> peaks_;
+  double precursor_mz_ = 0.0;
+  int charge_ = 1;
+  std::string title_;
+};
+
+/// Fixed-width binned spectrum for fast scoring. Intensities are per-bin
+/// maxima (peaks falling in one bin do not stack), matching common practice.
+class BinnedSpectrum {
+ public:
+  BinnedSpectrum() = default;
+  BinnedSpectrum(const Spectrum& spectrum, double bin_width = kDefaultBinWidth);
+
+  double bin_width() const { return bin_width_; }
+  std::size_t bins() const { return intensities_.size(); }
+  /// Intensity of the bin containing m/z `mz` (0 beyond the range).
+  double intensity_at(double mz) const;
+  /// Whether any peak fell into the bin containing `mz`.
+  bool has_peak_at(double mz) const;
+  std::size_t peak_bin_count() const { return peak_bins_; }
+
+  const std::vector<float>& intensities() const { return intensities_; }
+
+  /// Index of the bin containing `mz`, or SIZE_MAX if out of range.
+  std::size_t bin_of(double mz) const;
+
+ private:
+  double bin_width_ = kDefaultBinWidth;
+  std::vector<float> intensities_;
+  std::size_t peak_bins_ = 0;
+};
+
+}  // namespace msp

@@ -1,0 +1,69 @@
+#include "spectra/theoretical.hpp"
+
+#include <algorithm>
+
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+std::vector<FragmentIon> fragment_ions(std::string_view peptide,
+                                       const TheoreticalOptions& options) {
+  MSP_CHECK_MSG(peptide.size() >= 2, "cannot fragment a peptide shorter than 2");
+  MSP_CHECK_MSG(options.site_deltas.empty() ||
+                    options.site_deltas.size() == peptide.size(),
+                "site_deltas must be empty or match peptide length");
+  MSP_CHECK_MSG(options.max_fragment_charge >= 1, "fragment charge must be >= 1");
+
+  // Running residue-mass prefix (with per-site deltas applied).
+  std::vector<double> prefix(peptide.size() + 1, 0.0);
+  for (std::size_t i = 0; i < peptide.size(); ++i) {
+    double residue = residue_mass(peptide[i]);
+    if (!options.site_deltas.empty()) residue += options.site_deltas[i];
+    prefix[i + 1] = prefix[i] + residue;
+  }
+  const double total = prefix.back();
+
+  std::vector<FragmentIon> ions;
+  ions.reserve(2 * (peptide.size() - 1) *
+               static_cast<std::size_t>(options.max_fragment_charge));
+  for (unsigned cut = 1; cut < peptide.size(); ++cut) {
+    // b-ion: residues [0, cut); neutral mass = prefix - water is *not*
+    // subtracted — a b-ion is the acylium fragment: sum(residues).
+    const double b_neutral = prefix[cut];
+    // y-ion: residues [cut, n) plus water.
+    const double y_neutral = total - prefix[cut] + kWaterMass;
+    for (int z = 1; z <= options.max_fragment_charge; ++z) {
+      if (options.include_b)
+        ions.push_back(FragmentIon{mz_from_mass(b_neutral, z),
+                                   FragmentIon::Type::kB, cut});
+      if (options.include_y)
+        ions.push_back(FragmentIon{
+            mz_from_mass(y_neutral, z), FragmentIon::Type::kY,
+            static_cast<unsigned>(peptide.size()) - cut});
+    }
+  }
+  std::sort(ions.begin(), ions.end(),
+            [](const FragmentIon& a, const FragmentIon& b) { return a.mz < b.mz; });
+  return ions;
+}
+
+Spectrum model_spectrum(std::string_view peptide,
+                        const TheoreticalOptions& options) {
+  const auto ions = fragment_ions(peptide, options);
+  std::vector<Peak> peaks;
+  peaks.reserve(ions.size());
+  for (const FragmentIon& ion : ions) {
+    // Tryptic CID spectra are y-ion dominated; 1.0 vs 0.6 is the usual
+    // first-order weighting (the likelihood model renormalizes anyway).
+    const double intensity = ion.type == FragmentIon::Type::kY ? 1.0 : 0.6;
+    peaks.push_back(Peak{ion.mz, intensity});
+  }
+  double delta_total = 0.0;
+  for (double d : options.site_deltas) delta_total += d;
+  const double parent = peptide_mass(peptide) + delta_total;
+  return Spectrum(std::move(peaks), mz_from_mass(parent, 1), 1,
+                  std::string(peptide));
+}
+
+}  // namespace msp

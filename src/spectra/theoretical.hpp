@@ -1,0 +1,40 @@
+// Theoretical (model) fragment spectra.
+//
+// MSPolygraph compares the experimental spectrum against an on-the-fly model
+// spectrum of each candidate (Section I-A, "on-the-fly generation of sequence
+// averaged model spectra"). The standard CID fragmentation model: cleaving
+// the peptide bond between residues i and i+1 yields an N-terminal b-ion
+// (first i residues) and a C-terminal y-ion (remaining residues + water).
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+
+namespace msp {
+
+struct FragmentIon {
+  double mz = 0.0;
+  enum class Type : unsigned char { kB, kY } type = Type::kB;
+  unsigned index = 0;  ///< ion ordinal: b_i has index i, y_j has index j
+};
+
+struct TheoreticalOptions {
+  int max_fragment_charge = 1;  ///< also emit 2+ fragment ions when 2
+  bool include_b = true;
+  bool include_y = true;
+  /// Per-site mass deltas (PTMs) indexed by residue position; empty = none.
+  std::vector<double> site_deltas;
+};
+
+/// Enumerate the fragment ions of `peptide`, sorted by m/z.
+std::vector<FragmentIon> fragment_ions(std::string_view peptide,
+                                       const TheoreticalOptions& options = {});
+
+/// Model spectrum: fragment ions with unit intensity, plus the conventional
+/// mild weighting of y-ions (they dominate tryptic CID spectra).
+Spectrum model_spectrum(std::string_view peptide,
+                        const TheoreticalOptions& options = {});
+
+}  // namespace msp

@@ -1,0 +1,77 @@
+#include "util/base64.hpp"
+
+#include <array>
+
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+std::array<std::int8_t, 256> decode_table() {
+  std::array<std::int8_t, 256> table;
+  table.fill(-1);
+  for (int i = 0; i < 64; ++i)
+    table[static_cast<std::size_t>(kAlphabet[i])] = static_cast<std::int8_t>(i);
+  return table;
+}
+
+}  // namespace
+
+std::string base64_encode(const void* data, std::size_t size) {
+  const auto* bytes = static_cast<const std::uint8_t*>(data);
+  std::string out;
+  out.reserve((size + 2) / 3 * 4);
+  for (std::size_t i = 0; i < size; i += 3) {
+    const std::uint32_t b0 = bytes[i];
+    const std::uint32_t b1 = i + 1 < size ? bytes[i + 1] : 0;
+    const std::uint32_t b2 = i + 2 < size ? bytes[i + 2] : 0;
+    const std::uint32_t triple = (b0 << 16) | (b1 << 8) | b2;
+    out.push_back(kAlphabet[(triple >> 18) & 0x3F]);
+    out.push_back(kAlphabet[(triple >> 12) & 0x3F]);
+    out.push_back(i + 1 < size ? kAlphabet[(triple >> 6) & 0x3F] : '=');
+    out.push_back(i + 2 < size ? kAlphabet[triple & 0x3F] : '=');
+  }
+  return out;
+}
+
+std::string base64_encode(const std::vector<std::uint8_t>& bytes) {
+  return base64_encode(bytes.data(), bytes.size());
+}
+
+std::vector<std::uint8_t> base64_decode(std::string_view text) {
+  static const std::array<std::int8_t, 256> kDecode = decode_table();
+  std::vector<std::uint8_t> out;
+  out.reserve(text.size() / 4 * 3);
+
+  std::uint32_t buffer = 0;
+  int bits = 0;
+  std::size_t padding = 0;
+  for (char c : text) {
+    if (c == ' ' || c == '\n' || c == '\r' || c == '\t') continue;
+    if (c == '=') {
+      ++padding;
+      continue;
+    }
+    if (padding > 0)
+      throw InvalidArgument("base64: data after padding");
+    const std::int8_t value = kDecode[static_cast<std::uint8_t>(c)];
+    if (value < 0)
+      throw InvalidArgument(std::string("base64: invalid character '") + c +
+                            "'");
+    buffer = (buffer << 6) | static_cast<std::uint32_t>(value);
+    bits += 6;
+    if (bits >= 8) {
+      bits -= 8;
+      out.push_back(static_cast<std::uint8_t>((buffer >> bits) & 0xFF));
+    }
+  }
+  if (padding > 2) throw InvalidArgument("base64: too much padding");
+  // Leftover bits must be zero filler only (4-char group alignment).
+  if (bits >= 6) throw InvalidArgument("base64: truncated input");
+  return out;
+}
+
+}  // namespace msp

@@ -1,0 +1,20 @@
+// Base64 codec (RFC 4648), needed by the mzXML reader: instrument vendors
+// encode peak arrays as base64 network-order floats inside the XML.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msp {
+
+std::string base64_encode(const void* data, std::size_t size);
+std::string base64_encode(const std::vector<std::uint8_t>& bytes);
+
+/// Strict decode: throws InvalidArgument on characters outside the alphabet
+/// (whitespace is tolerated — XML pretty-printers wrap the payload) or on a
+/// malformed padding tail.
+std::vector<std::uint8_t> base64_decode(std::string_view text);
+
+}  // namespace msp

@@ -1,0 +1,164 @@
+#include "util/cli.hpp"
+
+#include <charconv>
+#include <iostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/str.hpp"
+
+namespace msp {
+
+Cli::Cli(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void Cli::add_flag(const std::string& name, const std::string& help) {
+  MSP_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  options_[name] = Option{Kind::kFlag, help};
+  order_.push_back(name);
+}
+
+void Cli::add_int(const std::string& name, std::int64_t default_value,
+                  const std::string& help) {
+  MSP_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  Option opt{Kind::kInt, help};
+  opt.int_value = default_value;
+  opt.string_value = std::to_string(default_value);
+  options_[name] = opt;
+  order_.push_back(name);
+}
+
+void Cli::add_double(const std::string& name, double default_value,
+                     const std::string& help) {
+  MSP_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  Option opt{Kind::kDouble, help};
+  opt.double_value = default_value;
+  opt.string_value = std::to_string(default_value);
+  options_[name] = opt;
+  order_.push_back(name);
+}
+
+void Cli::add_string(const std::string& name, const std::string& default_value,
+                     const std::string& help) {
+  MSP_CHECK_MSG(!options_.count(name), "duplicate option --" << name);
+  Option opt{Kind::kString, help};
+  opt.string_value = default_value;
+  options_[name] = opt;
+  order_.push_back(name);
+}
+
+bool Cli::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << help();
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0)
+      throw InvalidArgument("unexpected positional argument: " + arg);
+    arg = arg.substr(2);
+
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+
+    auto it = options_.find(name);
+    if (it == options_.end())
+      throw InvalidArgument("unknown option --" + name + "\n" + help());
+    Option& opt = it->second;
+
+    if (opt.kind == Kind::kFlag) {
+      if (has_value)
+        throw InvalidArgument("flag --" + name + " does not take a value");
+      opt.flag_value = true;
+      continue;
+    }
+    if (!has_value) {
+      if (i + 1 >= argc)
+        throw InvalidArgument("option --" + name + " requires a value");
+      value = argv[++i];
+    }
+    opt.string_value = value;
+    if (opt.kind == Kind::kInt) {
+      auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(),
+                                       opt.int_value);
+      if (ec != std::errc{} || ptr != value.data() + value.size())
+        throw InvalidArgument("option --" + name + " expects an integer, got '" +
+                              value + "'");
+    } else if (opt.kind == Kind::kDouble) {
+      try {
+        std::size_t pos = 0;
+        opt.double_value = std::stod(value, &pos);
+        if (pos != value.size()) throw std::invalid_argument(value);
+      } catch (const std::exception&) {
+        throw InvalidArgument("option --" + name + " expects a number, got '" +
+                              value + "'");
+      }
+    }
+  }
+  return true;
+}
+
+const Cli::Option& Cli::require(const std::string& name, Kind kind) const {
+  auto it = options_.find(name);
+  MSP_CHECK_MSG(it != options_.end(), "option --" << name << " not registered");
+  MSP_CHECK_MSG(it->second.kind == kind, "option --" << name << " type mismatch");
+  return it->second;
+}
+
+bool Cli::flag(const std::string& name) const {
+  return require(name, Kind::kFlag).flag_value;
+}
+
+std::int64_t Cli::get_int(const std::string& name) const {
+  return require(name, Kind::kInt).int_value;
+}
+
+double Cli::get_double(const std::string& name) const {
+  return require(name, Kind::kDouble).double_value;
+}
+
+const std::string& Cli::get_string(const std::string& name) const {
+  return require(name, Kind::kString).string_value;
+}
+
+std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
+  const std::string& raw = require(name, Kind::kString).string_value;
+  std::vector<std::int64_t> out;
+  for (const auto& piece : split(raw, ',')) {
+    const std::string token = trim(piece);
+    if (token.empty()) continue;
+    std::int64_t value = 0;
+    auto [ptr, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || ptr != token.data() + token.size())
+      throw InvalidArgument("option --" + name + ": bad integer '" + token + "'");
+    out.push_back(value);
+  }
+  return out;
+}
+
+std::string Cli::help() const {
+  std::ostringstream os;
+  os << program_ << " — " << description_ << "\n\noptions:\n";
+  for (const auto& name : order_) {
+    const Option& opt = options_.at(name);
+    os << "  --" << name;
+    switch (opt.kind) {
+      case Kind::kFlag: break;
+      case Kind::kInt: os << " <int=" << opt.int_value << '>'; break;
+      case Kind::kDouble: os << " <num=" << opt.double_value << '>'; break;
+      case Kind::kString: os << " <str=\"" << opt.string_value << "\">"; break;
+    }
+    os << "\n      " << opt.help << '\n';
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace msp

@@ -1,0 +1,64 @@
+// Tiny declarative command-line parser for bench/example binaries.
+//
+// Supports "--name value", "--name=value" and boolean "--flag". Unknown
+// options raise InvalidArgument so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+class Cli {
+ public:
+  Cli(std::string program, std::string description);
+
+  /// Register options before parse(). The default value doubles as the
+  /// value's type witness for the help text.
+  void add_flag(const std::string& name, const std::string& help);
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+
+  /// Parse argv. Returns false (after printing help) when --help is present.
+  /// Throws InvalidArgument on unknown options or malformed values.
+  bool parse(int argc, const char* const* argv);
+
+  bool flag(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  /// Comma-separated int list helper ("1,2,4,8" → {1,2,4,8}).
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+
+  std::string help() const;
+
+ private:
+  enum class Kind { kFlag, kInt, kDouble, kString };
+  struct Option {
+    Option() = default;
+    Option(Kind kind_in, std::string help_in)
+        : kind(kind_in), help(std::move(help_in)) {}
+    Kind kind = Kind::kFlag;
+    std::string help;
+    bool flag_value = false;
+    std::int64_t int_value = 0;
+    double double_value = 0.0;
+    std::string string_value;
+  };
+
+  const Option& require(const std::string& name, Kind kind) const;
+
+  std::string program_;
+  std::string description_;
+  std::map<std::string, Option> options_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace msp

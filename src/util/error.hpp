@@ -1,0 +1,65 @@
+// Error-handling primitives shared by every mspar module.
+//
+// Philosophy (per C++ Core Guidelines E.2/E.3): use exceptions for errors
+// that the immediate caller cannot handle, and cheap always-on checks for
+// programmer errors at module boundaries.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace msp {
+
+/// Base class for all mspar errors so callers can catch the whole family.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or unreadable input file (FASTA, MGF, config...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+/// A caller violated a documented precondition of a public API.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A simulated rank exceeded its configured memory budget — the analogue of
+/// the 1 GB-per-process OOM the paper's baseline hits at ~1.27M sequences.
+class OutOfMemoryBudget : public Error {
+ public:
+  explicit OutOfMemoryBudget(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MSP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvalidArgument(os.str());
+}
+}  // namespace detail
+
+}  // namespace msp
+
+/// Always-on precondition check; throws msp::InvalidArgument on failure.
+#define MSP_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::msp::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Precondition check with a context message (streamed into the exception).
+#define MSP_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream msp_os_;                                      \
+      msp_os_ << msg;                                                  \
+      ::msp::detail::check_failed(#expr, __FILE__, __LINE__, msp_os_.str()); \
+    }                                                                  \
+  } while (0)

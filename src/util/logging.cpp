@@ -1,0 +1,43 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace msp::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kInfo};
+std::ostream* g_sink = nullptr;  // guarded by g_mutex; nullptr => std::cerr
+std::mutex g_mutex;
+
+const char* name_of(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(std::ostream* sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = sink;
+}
+
+void write(Level level, const std::string& message) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard<std::mutex> lock(g_mutex);
+  std::ostream& out = g_sink ? *g_sink : std::cerr;
+  out << '[' << name_of(level) << "] " << message << '\n';
+}
+
+}  // namespace msp::log

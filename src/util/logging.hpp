@@ -1,0 +1,53 @@
+// Minimal leveled logger. Thread-safe (one mutex around the sink) because
+// simmpi ranks log concurrently; hot paths must not log.
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+namespace msp::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are discarded. Default: kInfo.
+void set_level(Level level);
+Level level();
+
+/// Redirect output (default: std::cerr). Pass nullptr to restore the default.
+/// The caller keeps ownership of the stream and must outlive all logging.
+void set_sink(std::ostream* sink);
+
+/// Emit one formatted line: "[LEVEL] message". Thread-safe.
+void write(Level level, const std::string& message);
+
+namespace detail {
+class LineBuilder {
+ public:
+  explicit LineBuilder(Level level) : level_(level) {}
+  ~LineBuilder() { write(level_, os_.str()); }
+  LineBuilder(const LineBuilder&) = delete;
+  LineBuilder& operator=(const LineBuilder&) = delete;
+
+  template <typename T>
+  LineBuilder& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace msp::log
+
+#define MSP_LOG(level_)                                       \
+  if (::msp::log::level() <= ::msp::log::Level::level_)       \
+  ::msp::log::detail::LineBuilder(::msp::log::Level::level_)
+
+#define MSP_DEBUG MSP_LOG(kDebug)
+#define MSP_INFO MSP_LOG(kInfo)
+#define MSP_WARN MSP_LOG(kWarn)
+#define MSP_ERROR MSP_LOG(kError)

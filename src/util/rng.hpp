@@ -1,0 +1,121 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Every data generator in this repository (synthetic proteins, spectra,
+// noise models) derives all randomness from these engines so that a seed
+// fully determines a benchmark workload — a hard requirement for
+// reproducible tables. We implement splitmix64 (seeding) and xoshiro256**
+// (bulk generation) from the public-domain reference algorithms rather than
+// depending on std::mt19937 whose streams differ subtly across standard
+// library vendors.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace msp {
+
+/// splitmix64: used to expand a single 64-bit seed into engine state.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse generator. Satisfies UniformRandomBitGenerator
+/// so it can drive <random> distributions when convenient.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Xoshiro256(std::uint64_t seed) : s_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : s_) word = sm.next();
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>(operator()() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  constexpr double uniform(double lo, double hi) {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, bound). Uses rejection-free Lemire reduction;
+  /// the bias is < 2^-64 per draw, negligible for workload generation.
+  constexpr std::uint64_t bounded(std::uint64_t bound) {
+    __extension__ using Uint128 = unsigned __int128;
+    return static_cast<std::uint64_t>(
+        (static_cast<Uint128>(operator()()) * bound) >> 64);
+  }
+
+  /// Standard normal via Box–Muller (one value per call; simple over fast).
+  double normal();
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64 — adequate for synthetic peak counts).
+  std::uint64_t poisson(double mean);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+inline double Xoshiro256::normal() {
+  // Box–Muller; discard the second value to keep the generator stateless
+  // beyond its 256-bit core (simplifies reasoning about reproducibility).
+  double u1 = uniform();
+  double u2 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  // sqrt/log/cos are not constexpr-friendly across toolchains; keep runtime.
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) * __builtin_cos(kTwoPi * u2);
+}
+
+inline std::uint64_t Xoshiro256::poisson(double mean) {
+  if (mean <= 0.0) return 0;
+  if (mean > 64.0) {
+    const double draw = mean + __builtin_sqrt(mean) * normal();
+    return draw <= 0.0 ? 0 : static_cast<std::uint64_t>(draw + 0.5);
+  }
+  const double limit = __builtin_exp(-mean);
+  std::uint64_t count = 0;
+  double product = uniform();
+  while (product > limit) {
+    ++count;
+    product *= uniform();
+  }
+  return count;
+}
+
+}  // namespace msp

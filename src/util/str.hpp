@@ -1,0 +1,21 @@
+// Small string helpers shared by the parsers; no locale dependence.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace msp {
+
+std::vector<std::string> split(std::string_view text, char sep);
+std::string trim(std::string_view text);
+std::string to_upper(std::string_view text);
+bool starts_with(std::string_view text, std::string_view prefix);
+
+/// Human-readable byte count ("1.5 MiB"); used in memory reports.
+std::string format_bytes(std::size_t bytes);
+
+/// "12,345,678" — the paper's tables group digits; ours match.
+std::string group_digits(std::uint64_t value);
+
+}  // namespace msp

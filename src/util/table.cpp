@@ -1,0 +1,62 @@
+#include "util/table.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  MSP_CHECK_MSG(!header_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  MSP_CHECK_MSG(row.size() == header_.size(),
+                "row arity " << row.size() << " != header arity "
+                             << header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::cell(double value, int precision) {
+  if (std::isnan(value)) return "-";
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string Table::cell(std::size_t value) { return std::to_string(value); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << ' ' << std::setw(static_cast<int>(widths[c])) << row[c] << " |";
+    os << '\n';
+  };
+  auto emit_rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_rule();
+  emit_row(header_);
+  emit_rule();
+  for (const auto& row : rows_) emit_row(row);
+  emit_rule();
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace msp

@@ -1,0 +1,36 @@
+// ASCII table formatting for benchmark output. Every bench binary prints the
+// same row/column layout as the corresponding paper table so the two can be
+// eyeballed side by side (EXPERIMENTS.md records the pairing).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace msp {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a data row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision, "-" for NaN (the
+  /// paper uses '-' for runs that were not performed).
+  static std::string cell(double value, int precision = 2);
+  static std::string cell(std::size_t value);
+
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace msp

@@ -1,0 +1,26 @@
+// Wall-clock timer for host-side measurements (build/bench bookkeeping).
+// Algorithm timing in the parallel engine uses simmpi's VirtualClock instead,
+// which is deterministic; this timer is only for "how long did the bench
+// binary itself take" style reporting.
+#pragma once
+
+#include <chrono>
+
+namespace msp {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace msp

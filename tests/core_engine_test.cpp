@@ -1,0 +1,797 @@
+// Tests for the serial search kernel: candidate generation correctness
+// (against a brute-force reference), partitioning, packing, and the engine's
+// determinism guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "core/packdb.hpp"
+#include "core/partition.hpp"
+#include "core/protein_inference.hpp"
+#include "core/refinement.hpp"
+#include "core/search_engine.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "io/fasta.hpp"
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+SearchConfig test_config() {
+  SearchConfig config;
+  config.tolerance_da = 3.0;
+  config.tau = 5;
+  config.min_candidate_length = 4;
+  config.max_candidate_length = 50;
+  config.model = ScoreModel::kSharedPeak;  // hand-checkable
+  return config;
+}
+
+ProteinDatabase small_db() {
+  ProteinGenOptions options;
+  options.sequence_count = 40;
+  options.mean_length = 120;
+  options.seed = 31;
+  return generate_proteins(options);
+}
+
+std::vector<Spectrum> small_queries(const ProteinDatabase& db,
+                                    std::size_t count = 12) {
+  QueryGenOptions options;
+  options.query_count = count;
+  options.digest.min_length = 6;
+  options.digest.max_length = 20;
+  return spectra_of(generate_queries(db, options));
+}
+
+// Brute-force candidate enumeration straight from the paper's definition.
+struct BruteCandidate {
+  std::string protein_id;
+  std::uint32_t length;
+  FragmentEnd end;
+};
+
+std::vector<BruteCandidate> brute_candidates(const ProteinDatabase& db,
+                                             double query_mass,
+                                             const SearchConfig& config) {
+  std::vector<BruteCandidate> out;
+  for (const Protein& protein : db.proteins) {
+    const std::size_t len = protein.residues.size();
+    const std::size_t max_k = std::min(len, config.max_candidate_length);
+    for (std::size_t k = config.min_candidate_length; k <= max_k; ++k) {
+      const std::string prefix = protein.residues.substr(0, k);
+      if (std::abs(peptide_mass(prefix) - query_mass) <= config.tolerance_da)
+        out.push_back({protein.id, static_cast<std::uint32_t>(k),
+                       FragmentEnd::kPrefix});
+      if (k < len) {
+        const std::string suffix = protein.residues.substr(len - k);
+        if (std::abs(peptide_mass(suffix) - query_mass) <= config.tolerance_da)
+          out.push_back({protein.id, static_cast<std::uint32_t>(k),
+                         FragmentEnd::kSuffix});
+      }
+    }
+  }
+  return out;
+}
+
+// ---------- candidate generation ----------
+
+TEST(Engine, CandidateCountsMatchBruteForce) {
+  const SearchConfig config = test_config();
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db);
+  const PreparedQueries prepared = engine.prepare(queries);
+
+  std::vector<std::uint64_t> per_query(queries.size(), 0);
+  auto tops = engine.make_tops(queries.size());
+  engine.search_shard(db, prepared, tops, &per_query);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    const auto brute =
+        brute_candidates(db, prepared.masses[q], config);
+    EXPECT_EQ(per_query[q], brute.size()) << "query " << q;
+  }
+}
+
+TEST(Engine, CandidateMassesWithinWindow) {
+  const SearchConfig config = test_config();
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db);
+  const PreparedQueries prepared = engine.prepare(queries);
+  auto tops = engine.make_tops(queries.size());
+  engine.search_shard(db, prepared, tops);
+  const QueryHits hits = engine.finalize(tops);
+  for (std::size_t q = 0; q < hits.size(); ++q)
+    for (const Hit& hit : hits[q]) {
+      EXPECT_LE(std::abs(hit.mass - prepared.masses[q]),
+                config.tolerance_da + 1e-9);
+      EXPECT_GE(hit.length, config.min_candidate_length);
+      EXPECT_LE(hit.length, config.max_candidate_length);
+      EXPECT_NEAR(peptide_mass(hit.peptide), hit.mass, 1e-6);
+    }
+}
+
+TEST(Engine, FullSequenceCountedOnceAsPrefix) {
+  // A database sequence whose full length is in the window must appear as a
+  // prefix candidate only (no duplicate suffix of the same span).
+  SearchConfig config = test_config();
+  config.min_candidate_length = 2;
+  const SearchEngine engine(config);
+  ProteinDatabase db;
+  db.proteins.push_back({"tiny", "GGGG"});  // mass known
+  const double mass = peptide_mass("GGGG");
+  Spectrum query({{100.0, 1.0}}, mz_from_mass(mass, 1), 1, "q");
+  const std::vector<Spectrum> queries{query};
+  const PreparedQueries prepared = engine.prepare(queries);
+  std::vector<std::uint64_t> per_query(1, 0);
+  auto tops = engine.make_tops(1);
+  engine.search_shard(db, prepared, tops, &per_query);
+  const QueryHits hits = engine.finalize(tops);
+  std::size_t full_length_hits = 0;
+  for (const Hit& hit : hits[0])
+    if (hit.length == 4) ++full_length_hits;
+  EXPECT_EQ(full_length_hits, 1u);
+  EXPECT_EQ(hits[0][0].end, FragmentEnd::kPrefix);
+}
+
+TEST(Engine, EmptyInputsAreFine) {
+  const SearchEngine engine(test_config());
+  const ProteinDatabase db = small_db();
+  const std::vector<Spectrum> no_queries;
+  const PreparedQueries prepared = engine.prepare(no_queries);
+  auto tops = engine.make_tops(0);
+  const auto stats = engine.search_shard(db, prepared, tops);
+  EXPECT_EQ(stats.candidates_evaluated, 0u);
+
+  const auto queries = small_queries(db, 3);
+  const PreparedQueries prepared2 = engine.prepare(queries);
+  auto tops2 = engine.make_tops(3);
+  const auto stats2 = engine.search_shard(ProteinDatabase{}, prepared2, tops2);
+  EXPECT_EQ(stats2.candidates_evaluated, 0u);
+}
+
+TEST(Engine, ShardDecompositionEqualsWholeDatabase) {
+  // Property at the heart of Algorithm A: searching shards one at a time
+  // into the same tops produces exactly the whole-database result.
+  const SearchConfig config = test_config();
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db);
+  const PreparedQueries prepared = engine.prepare(queries);
+
+  auto whole_tops = engine.make_tops(queries.size());
+  engine.search_shard(db, prepared, whole_tops);
+  const QueryHits whole = engine.finalize(whole_tops);
+
+  for (int p : {2, 3, 7}) {
+    const auto shards = partition_by_residues(db, p);
+    auto tops = engine.make_tops(queries.size());
+    for (const auto& shard : shards) engine.search_shard(shard, prepared, tops);
+    const QueryHits pieces = engine.finalize(tops);
+    ASSERT_EQ(pieces.size(), whole.size());
+    for (std::size_t q = 0; q < whole.size(); ++q)
+      EXPECT_EQ(pieces[q], whole[q]) << "p=" << p << " query " << q;
+  }
+}
+
+TEST(Engine, ScoreCutoffFiltersReports) {
+  SearchConfig config = test_config();
+  config.score_cutoff = 1e9;  // nothing clears this
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 4);
+  const QueryHits hits = engine.search(db, queries);
+  for (const auto& list : hits) EXPECT_TRUE(list.empty());
+}
+
+TEST(Engine, TauLimitsHitListLength) {
+  for (std::size_t tau : {1u, 3u, 10u}) {
+    SearchConfig config = test_config();
+    config.tau = tau;
+    const SearchEngine engine(config);
+    const ProteinDatabase db = small_db();
+    const auto queries = small_queries(db, 6);
+    const QueryHits hits = engine.search(db, queries);
+    for (const auto& list : hits) {
+      EXPECT_LE(list.size(), tau);
+      EXPECT_TRUE(std::is_sorted(list.begin(), list.end(),
+                                 TopK<Hit>::better));
+    }
+  }
+}
+
+TEST(Engine, AllScoreModelsRankTruePeptideFirst) {
+  // Implanted-peptide sanity for every scoring model: with mild noise the
+  // true peptide should top the list for most queries.
+  const ProteinDatabase db = small_db();
+  QueryGenOptions qopts;
+  qopts.query_count = 15;
+  qopts.noise.peak_dropout = 0.1;
+  qopts.noise.noise_peaks_per_100da = 0.5;
+  const auto generated = generate_queries(db, qopts);
+  const auto queries = spectra_of(generated);
+
+  for (ScoreModel model : {ScoreModel::kLikelihood, ScoreModel::kHyperscore,
+                           ScoreModel::kSharedPeak}) {
+    SearchConfig config = test_config();
+    config.model = model;
+    config.tau = 10;
+    const SearchEngine engine(config);
+    const QueryHits hits = engine.search(db, queries);
+    std::size_t recovered = 0;
+    for (std::size_t q = 0; q < hits.size(); ++q) {
+      for (const Hit& hit : hits[q]) {
+        if (hit.peptide.find(generated[q].true_peptide) != std::string::npos ||
+            generated[q].true_peptide.find(hit.peptide) != std::string::npos) {
+          ++recovered;
+          break;
+        }
+      }
+    }
+    EXPECT_GE(recovered, hits.size() / 2)
+        << "model " << static_cast<int>(model);
+  }
+}
+
+// ---------- tryptic candidate extension ----------
+
+TEST(Engine, TrypticCandidateCountsMatchBruteForce) {
+  SearchConfig config = test_config();
+  config.candidate_mode = CandidateMode::kTryptic;
+  config.candidate_missed_cleavages = 2;
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 8;
+  q_options.anchored_only = false;
+  const auto queries = spectra_of(generate_queries(db, q_options));
+  const PreparedQueries prepared = engine.prepare(queries);
+
+  std::vector<std::uint64_t> per_query(queries.size(), 0);
+  auto tops = engine.make_tops(queries.size());
+  engine.search_shard(db, prepared, tops, &per_query);
+
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    std::uint64_t brute = 0;
+    for (const Protein& protein : db.proteins) {
+      DigestOptions digest;
+      digest.min_length = config.min_candidate_length;
+      digest.max_length =
+          std::min(protein.residues.size(), config.max_candidate_length);
+      if (digest.max_length < digest.min_length) continue;
+      digest.missed_cleavages = config.candidate_missed_cleavages;
+      for (const auto& peptide : digest_tryptic(protein.residues, digest)) {
+        const double mass =
+            peptide_mass(peptide_string(protein.residues, peptide));
+        if (std::abs(mass - prepared.masses[q]) <= config.tolerance_da)
+          ++brute;
+      }
+    }
+    EXPECT_EQ(per_query[q], brute) << "query " << q;
+  }
+}
+
+TEST(Engine, TrypticModeRecoversInternalPeptides) {
+  SearchConfig config = test_config();
+  config.candidate_mode = CandidateMode::kTryptic;
+  config.model = ScoreModel::kLikelihood;
+  config.tau = 5;
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 15;
+  q_options.anchored_only = false;  // internal peptides allowed
+  q_options.noise.peak_dropout = 0.1;
+  const auto generated = generate_queries(db, q_options);
+  const QueryHits hits = engine.search(db, spectra_of(generated));
+  std::size_t recovered = 0;
+  for (std::size_t q = 0; q < hits.size(); ++q) {
+    for (const Hit& hit : hits[q]) {
+      if (hit.peptide.find(generated[q].true_peptide) != std::string::npos ||
+          generated[q].true_peptide.find(hit.peptide) != std::string::npos) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(recovered, hits.size() * 7 / 10);
+}
+
+TEST(Engine, TrypticShardDecompositionEqualsWhole) {
+  SearchConfig config = test_config();
+  config.candidate_mode = CandidateMode::kTryptic;
+  const SearchEngine engine(config);
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 6);
+  const QueryHits whole = engine.search(db, queries);
+  const PreparedQueries prepared = engine.prepare(queries);
+  auto tops = engine.make_tops(queries.size());
+  for (const auto& shard : partition_by_residues(db, 5))
+    engine.search_shard(shard, prepared, tops);
+  const QueryHits pieces = engine.finalize(tops);
+  for (std::size_t q = 0; q < whole.size(); ++q)
+    EXPECT_EQ(pieces[q], whole[q]) << "query " << q;
+}
+
+// ---------- charge-state hypotheses ----------
+
+TEST(Engine, AlternateChargeRecoversMisassignedPrecursor) {
+  // The instrument measured a 2+ precursor but the file claims 1+: the
+  // reported parent mass is ~half the true one, so the plain search
+  // misses. Searching charge hypotheses {1,2,3} recovers it.
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 10;
+  q_options.noise.charge = 2;  // true charge
+  const auto generated = generate_queries(db, q_options);
+
+  std::vector<Spectrum> mislabeled;
+  for (const GeneratedQuery& query : generated) {
+    // Same peaks and precursor m/z, charge field overwritten to 1.
+    mislabeled.emplace_back(query.spectrum.peaks(),
+                            query.spectrum.precursor_mz(), 1,
+                            query.spectrum.title());
+  }
+
+  SearchConfig plain = test_config();
+  plain.model = ScoreModel::kLikelihood;
+  SearchConfig multi = plain;
+  multi.try_alternate_charges = true;
+  multi.charge_hypotheses = {1, 2, 3};
+
+  auto recovered_with = [&](const SearchConfig& config) {
+    const QueryHits hits = SearchEngine(config).search(db, mislabeled);
+    std::size_t recovered = 0;
+    for (std::size_t q = 0; q < hits.size(); ++q)
+      for (const Hit& hit : hits[q])
+        if (hit.peptide.find(generated[q].true_peptide) != std::string::npos ||
+            generated[q].true_peptide.find(hit.peptide) != std::string::npos) {
+          ++recovered;
+          break;
+        }
+    return recovered;
+  };
+  EXPECT_EQ(recovered_with(plain), 0u);          // wrong mass window
+  EXPECT_GE(recovered_with(multi), 8u);          // hypothesis z=2 matches
+}
+
+TEST(Engine, AlternateChargesAreSupersetOfPlainSearch) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 8);
+  SearchConfig plain = test_config();
+  SearchConfig multi = plain;
+  multi.try_alternate_charges = true;
+  multi.charge_hypotheses = {2};  // queries report charge 2 → same window
+
+  const QueryHits a = SearchEngine(plain).search(db, queries);
+  const QueryHits b = SearchEngine(multi).search(db, queries);
+  // Identical hypothesis set → identical hits.
+  for (std::size_t q = 0; q < a.size(); ++q) EXPECT_EQ(a[q], b[q]);
+}
+
+TEST(Engine, RejectsBadChargeHypotheses) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 2);
+  SearchConfig config = test_config();
+  config.try_alternate_charges = true;
+  config.charge_hypotheses = {0};
+  const SearchEngine engine(config);
+  EXPECT_THROW(engine.prepare(queries), InvalidArgument);
+}
+
+// ---------- spectral-library hybrid scoring ----------
+
+TEST(Engine, LibraryNeverHurtsAndCanRescueRecovery) {
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 20;
+  q_options.noise.peak_dropout = 0.5;
+  q_options.noise.noise_peaks_per_100da = 5.0;
+  q_options.noise.fragmentation_sigma = 1.4;  // sequence-specific pattern
+  const auto generated = generate_queries(db, q_options);
+  const auto queries = spectra_of(generated);
+
+  // Library entries for every query's true peptide, from replicates.
+  SpectralLibrary library;
+  SpectrumNoiseModel replicate_noise;
+  replicate_noise.peak_dropout = 0.25;
+  replicate_noise.fragmentation_sigma = 1.4;
+  for (const GeneratedQuery& query : generated) {
+    std::vector<Spectrum> replicates;
+    for (int r = 0; r < 6; ++r) {
+      Xoshiro256 rng(40000 + static_cast<std::uint64_t>(r) * 997 +
+                     std::hash<std::string>{}(query.true_peptide));
+      replicates.push_back(
+          simulate_spectrum(query.true_peptide, replicate_noise, rng));
+    }
+    library.add_replicates(query.true_peptide, replicates);
+  }
+
+  SearchConfig model_only = test_config();
+  model_only.model = ScoreModel::kLikelihood;
+  model_only.tau = 1;
+  SearchConfig hybrid = model_only;
+  hybrid.library = &library;
+
+  auto recovered_with = [&](const SearchConfig& config) {
+    const QueryHits hits = SearchEngine(config).search(db, queries);
+    std::size_t recovered = 0;
+    for (std::size_t q = 0; q < hits.size(); ++q)
+      if (!hits[q].empty() &&
+          (hits[q][0].peptide.find(generated[q].true_peptide) !=
+               std::string::npos ||
+           generated[q].true_peptide.find(hits[q][0].peptide) !=
+               std::string::npos))
+        ++recovered;
+    return recovered;
+  };
+  const std::size_t base = recovered_with(model_only);
+  const std::size_t with_library = recovered_with(hybrid);
+  EXPECT_GE(with_library, base);  // max() hybrid can only help
+}
+
+TEST(Engine, LibraryIgnoredByNonLikelihoodModels) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 4);
+  SpectralLibrary library;  // empty is fine — pointer presence is the test
+  SearchConfig config = test_config();
+  config.model = ScoreModel::kHyperscore;
+  SearchConfig with_library = config;
+  with_library.library = &library;
+  const QueryHits a = SearchEngine(config).search(db, queries);
+  const QueryHits b = SearchEngine(with_library).search(db, queries);
+  for (std::size_t q = 0; q < a.size(); ++q) EXPECT_EQ(a[q], b[q]);
+}
+
+// ---------- prefilter (the X!!Tandem-style aggressive screen) ----------
+
+TEST(Engine, PrefilterReducesFullyScoredCandidates) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db);
+  SearchConfig plain_config = test_config();
+  plain_config.model = ScoreModel::kHyperscore;
+  SearchConfig filtered_config = plain_config;
+  filtered_config.prefilter = true;
+  filtered_config.prefilter_min_shared_peaks = 4;
+
+  const SearchEngine plain(plain_config);
+  const SearchEngine filtered(filtered_config);
+  const PreparedQueries prepared = plain.prepare(queries);
+
+  auto plain_tops = plain.make_tops(queries.size());
+  const ShardSearchStats plain_stats =
+      plain.search_shard(db, prepared, plain_tops);
+  auto filtered_tops = filtered.make_tops(queries.size());
+  const ShardSearchStats filtered_stats =
+      filtered.search_shard(db, prepared, filtered_tops);
+
+  EXPECT_EQ(plain_stats.candidates_prefiltered, 0u);
+  EXPECT_GT(filtered_stats.candidates_prefiltered, 0u);
+  EXPECT_LT(filtered_stats.candidates_evaluated,
+            plain_stats.candidates_evaluated);
+  // Screen + full = the same windowed candidate population.
+  EXPECT_EQ(filtered_stats.candidates_evaluated +
+                filtered_stats.candidates_prefiltered,
+            plain_stats.candidates_evaluated);
+}
+
+TEST(Engine, PrefilterSurvivorsScoreIdentically) {
+  // Any hit reported by the prefiltered engine must also exist, with the
+  // identical score, in the unfiltered engine's output.
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db);
+  SearchConfig config = test_config();
+  config.model = ScoreModel::kLikelihood;
+  config.tau = 20;
+  SearchConfig filtered_config = config;
+  filtered_config.prefilter = true;
+
+  const QueryHits full = SearchEngine(config).search(db, queries);
+  const QueryHits filtered = SearchEngine(filtered_config).search(db, queries);
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    for (const Hit& hit : filtered[q]) {
+      const bool found = std::any_of(
+          full[q].begin(), full[q].end(), [&](const Hit& other) {
+            return other == hit;
+          });
+      EXPECT_TRUE(found) << "query " << q << " peptide " << hit.peptide;
+    }
+    EXPECT_LE(filtered[q].size(), full[q].size());
+  }
+}
+
+TEST(Engine, AggressivePrefilterLosesTrueHits) {
+  // The paper's accusation made concrete: with a harsh screen on noisy
+  // spectra, fewer implanted peptides survive to be scored at all.
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 30;
+  q_options.noise.peak_dropout = 0.45;  // noisy: many true ions missing
+  q_options.noise.noise_peaks_per_100da = 3.0;
+  const auto generated = generate_queries(db, q_options);
+  const auto queries = spectra_of(generated);
+
+  SearchConfig accurate = test_config();
+  accurate.model = ScoreModel::kLikelihood;
+  SearchConfig harsh = accurate;
+  harsh.prefilter = true;
+  harsh.prefilter_min_shared_peaks = 8;  // aggressive
+
+  auto recovered_with = [&](const SearchConfig& config) {
+    const QueryHits hits = SearchEngine(config).search(db, queries);
+    std::size_t recovered = 0;
+    for (std::size_t q = 0; q < hits.size(); ++q)
+      for (const Hit& hit : hits[q])
+        if (hit.peptide.find(generated[q].true_peptide) != std::string::npos ||
+            generated[q].true_peptide.find(hit.peptide) != std::string::npos) {
+          ++recovered;
+          break;
+        }
+    return recovered;
+  };
+  EXPECT_LT(recovered_with(harsh), recovered_with(accurate));
+}
+
+TEST(Engine, RejectsBadConfig) {
+  SearchConfig config = test_config();
+  config.tolerance_da = 0.0;
+  EXPECT_THROW(SearchEngine{config}, InvalidArgument);
+  config = test_config();
+  config.tau = 0;
+  EXPECT_THROW(SearchEngine{config}, InvalidArgument);
+  config = test_config();
+  config.min_candidate_length = 1;
+  EXPECT_THROW(SearchEngine{config}, InvalidArgument);
+}
+
+// ---------- two-pass refinement ----------
+
+TEST(Refinement, ShortlistCoversTrueSourceProteins) {
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 15;
+  q_options.noise.peak_dropout = 0.15;
+  const auto generated = generate_queries(db, q_options);
+  const auto queries = spectra_of(generated);
+
+  RefinementOptions options;
+  options.max_refined_proteins = 15;
+  const RefinementResult result = run_refinement(db, queries, options);
+  EXPECT_LE(result.shortlisted_proteins, 15u);
+  EXPECT_GT(result.shortlisted_proteins, 0u);
+
+  // Most true peptides survive into the refined (pass-2) hits.
+  std::size_t recovered = 0;
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    for (const Hit& hit : result.hits[q])
+      if (hit.peptide.find(generated[q].true_peptide) != std::string::npos ||
+          generated[q].true_peptide.find(hit.peptide) != std::string::npos) {
+        ++recovered;
+        break;
+      }
+  EXPECT_GE(recovered, queries.size() * 7 / 10);
+}
+
+TEST(Refinement, SecondPassCostIsMuchSmaller) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 10);
+  RefinementOptions options;
+  options.max_refined_proteins = 5;
+  const RefinementResult result = run_refinement(db, queries, options);
+  // Pass 2 fully scores far fewer candidates than a whole-database pass:
+  // compare against the unrefined accurate engine.
+  const SearchEngine accurate(options.second_pass);
+  const PreparedQueries prepared = accurate.prepare(queries);
+  auto tops = accurate.make_tops(queries.size());
+  const ShardSearchStats full = accurate.search_shard(db, prepared, tops);
+  EXPECT_LT(result.second_pass_stats.candidates_evaluated,
+            full.candidates_evaluated / 2);
+  // And pass 1 screened aggressively (its whole point).
+  EXPECT_GT(result.first_pass_stats.candidates_prefiltered, 0u);
+}
+
+TEST(Refinement, HitsAgreeWithAccurateEngineOnShortlistedProteins) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 8);
+  RefinementOptions options;
+  const RefinementResult refined = run_refinement(db, queries, options);
+
+  const SearchEngine accurate(options.second_pass);
+  const QueryHits full = accurate.search(db, queries);
+  // Every refined hit must appear with the identical score in the full
+  // accurate search (refinement only restricts the protein set).
+  for (std::size_t q = 0; q < queries.size(); ++q)
+    for (const Hit& hit : refined.hits[q]) {
+      const bool found =
+          std::any_of(full[q].begin(), full[q].end(),
+                      [&](const Hit& other) { return other == hit; });
+      // Absent only if the full list's tau cut it; then the refined hit
+      // scores no better than the full list's worst.
+      if (!found && full[q].size() >= options.second_pass.tau) {
+        EXPECT_LE(hit.score, full[q].back().score + 1e-12);
+      }
+    }
+}
+
+TEST(Refinement, RejectsEmptyShortlistBudget) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 2);
+  RefinementOptions options;
+  options.max_refined_proteins = 0;
+  EXPECT_THROW(run_refinement(db, queries, options), InvalidArgument);
+}
+
+// ---------- protein inference ----------
+
+QueryHits fake_hits() {
+  auto hit = [](double score, const char* protein, const char* peptide) {
+    Hit h;
+    h.score = score;
+    h.protein_id = protein;
+    h.peptide = peptide;
+    return h;
+  };
+  QueryHits hits;
+  hits.push_back({hit(10, "A", "PEPK"), hit(9, "B", "XXXK")});
+  hits.push_back({hit(8, "A", "GGGR"), hit(7, "C", "YYYK")});
+  hits.push_back({hit(6, "A", "PEPK")});  // repeat peptide for A
+  hits.push_back({hit(5, "B", "ZZZK")});
+  hits.push_back({});  // query with no hits
+  return hits;
+}
+
+TEST(ProteinInference, AggregatesBestHitsPerQuery) {
+  const auto proteins = infer_proteins(fake_hits());
+  ASSERT_EQ(proteins.size(), 2u);  // rank-1 hits only: A (3 PSMs), B (1)
+  EXPECT_EQ(proteins[0].protein_id, "A");
+  EXPECT_EQ(proteins[0].psm_count, 3u);
+  EXPECT_EQ(proteins[0].distinct_peptides, 2u);  // PEPK counted once
+  EXPECT_DOUBLE_EQ(proteins[0].best_score, 10.0);
+  EXPECT_DOUBLE_EQ(proteins[0].score_sum, 24.0);
+  EXPECT_EQ(proteins[1].protein_id, "B");
+  EXPECT_EQ(proteins[1].distinct_peptides, 1u);
+}
+
+TEST(ProteinInference, DeeperRanksAndScoreCutoff) {
+  InferenceOptions options;
+  options.max_hit_rank = 2;
+  auto proteins = infer_proteins(fake_hits(), options);
+  ASSERT_EQ(proteins.size(), 3u);  // C appears at rank 2
+  options.min_score = 7.5;
+  proteins = infer_proteins(fake_hits(), options);
+  // Only scores >= 7.5 survive: A(10), B(9), A(8).
+  ASSERT_EQ(proteins.size(), 2u);
+  EXPECT_EQ(proteins[0].protein_id, "A");
+  EXPECT_EQ(proteins[0].psm_count, 2u);
+}
+
+TEST(ProteinInference, ConfidentFilterDropsOneHitWonders) {
+  const auto confident = confident_proteins(fake_hits(), 2);
+  ASSERT_EQ(confident.size(), 1u);
+  EXPECT_EQ(confident[0].protein_id, "A");
+}
+
+TEST(ProteinInference, EndToEndRecoversSourceProteins) {
+  // Queries drawn from a handful of proteins: inference should rank those
+  // source proteins (with >= 2 peptides each) at the top.
+  const ProteinDatabase db = small_db();
+  QueryGenOptions q_options;
+  q_options.query_count = 24;
+  q_options.seed = 99;
+  q_options.noise.peak_dropout = 0.1;
+  const auto generated = generate_queries(db, q_options);
+  SearchConfig config = test_config();
+  config.model = ScoreModel::kLikelihood;
+  config.tau = 1;
+  const QueryHits hits = SearchEngine(config).search(db, spectra_of(generated));
+  const auto proteins = infer_proteins(hits);
+
+  std::set<std::string> true_sources;
+  for (const GeneratedQuery& query : generated)
+    true_sources.insert(db.proteins[query.source_protein].id);
+  std::size_t top_matches = 0;
+  for (std::size_t i = 0; i < proteins.size() && i < true_sources.size(); ++i)
+    if (true_sources.count(proteins[i].protein_id)) ++top_matches;
+  EXPECT_GE(top_matches, true_sources.size() * 6 / 10);
+}
+
+TEST(ProteinInference, RejectsBadOptions) {
+  InferenceOptions options;
+  options.max_hit_rank = 0;
+  EXPECT_THROW(infer_proteins({}, options), InvalidArgument);
+}
+
+// ---------- pack / partition ----------
+
+TEST(PackDb, RoundTrip) {
+  const ProteinDatabase db = small_db();
+  const std::vector<char> bytes = pack_database(db);
+  const ProteinDatabase back = unpack_database(bytes);
+  ASSERT_EQ(back.sequence_count(), db.sequence_count());
+  for (std::size_t i = 0; i < db.sequence_count(); ++i) {
+    EXPECT_EQ(back.proteins[i].id, db.proteins[i].id);
+    EXPECT_EQ(back.proteins[i].residues, db.proteins[i].residues);
+  }
+}
+
+TEST(PackDb, EmptyDatabase) {
+  const std::vector<char> bytes = pack_database(ProteinDatabase{});
+  EXPECT_EQ(unpack_database(bytes).sequence_count(), 0u);
+}
+
+TEST(PackDb, RejectsCorruptBytes) {
+  const ProteinDatabase db = small_db();
+  std::vector<char> bytes = pack_database(db);
+  bytes.resize(bytes.size() / 2);  // truncate mid-record
+  EXPECT_THROW(unpack_database(bytes), IoError);
+}
+
+TEST(PackSpectra, RoundTrip) {
+  const ProteinDatabase db = small_db();
+  const auto queries = small_queries(db, 5);
+  const std::vector<char> bytes = pack_spectra(queries);
+  const auto back = unpack_spectra(bytes);
+  ASSERT_EQ(back.size(), queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_EQ(back[i].title(), queries[i].title());
+    EXPECT_EQ(back[i].charge(), queries[i].charge());
+    EXPECT_DOUBLE_EQ(back[i].precursor_mz(), queries[i].precursor_mz());
+    ASSERT_EQ(back[i].size(), queries[i].size());
+    for (std::size_t k = 0; k < back[i].size(); ++k)
+      EXPECT_DOUBLE_EQ(back[i].peaks()[k].mz, queries[i].peaks()[k].mz);
+  }
+}
+
+TEST(Partition, QueryBlocksCoverExactly) {
+  for (std::size_t m : {0u, 1u, 10u, 97u}) {
+    for (int p : {1, 2, 5, 16}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (int r = 0; r < p; ++r) {
+        const QueryRange range = query_block(m, r, p);
+        EXPECT_EQ(range.begin, expected_begin);
+        covered += range.count();
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(covered, m);
+    }
+  }
+}
+
+TEST(Partition, ResidueBalancedShards) {
+  const ProteinDatabase db = small_db();
+  const std::size_t total = db.total_residues();
+  for (int p : {2, 4, 8}) {
+    const auto shards = partition_by_residues(db, p);
+    ASSERT_EQ(shards.size(), static_cast<std::size_t>(p));
+    std::size_t covered_sequences = 0;
+    for (const auto& shard : shards) {
+      covered_sequences += shard.sequence_count();
+      // No shard grossly over target (2x slack covers granularity).
+      EXPECT_LE(shard.total_residues(),
+                2 * total / static_cast<std::size_t>(p) + 4000);
+    }
+    EXPECT_EQ(covered_sequences, db.sequence_count());
+  }
+}
+
+TEST(Partition, FastaShardLoadingMatchesDirectPartition) {
+  const ProteinDatabase db = small_db();
+  const std::string image = to_fasta_string(db);
+  for (int p : {1, 3, 8}) {
+    std::size_t total_loaded = 0;
+    for (int r = 0; r < p; ++r)
+      total_loaded += load_database_shard(image, r, p).sequence_count();
+    EXPECT_EQ(total_loaded, db.sequence_count()) << "p=" << p;
+  }
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,231 @@
+// Tests for src/dbgen: synthetic database/query generation and the Fig. 1
+// models. These are the stand-ins for the paper's GenBank data, so the key
+// properties are determinism, prefix-nesting, and statistical fidelity to
+// Table I.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dbgen/growth_model.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "mass/amino_acid.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+TEST(ProteinGen, DeterministicAndDistinctBySeed) {
+  ProteinGenOptions options;
+  options.sequence_count = 50;
+  const ProteinDatabase a = generate_proteins(options);
+  const ProteinDatabase b = generate_proteins(options);
+  ASSERT_EQ(a.sequence_count(), b.sequence_count());
+  for (std::size_t i = 0; i < a.sequence_count(); ++i)
+    EXPECT_EQ(a.proteins[i].residues, b.proteins[i].residues);
+
+  options.seed += 1;
+  const ProteinDatabase c = generate_proteins(options);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.sequence_count(); ++i)
+    any_difference |= (a.proteins[i].residues != c.proteins[i].residues);
+  EXPECT_TRUE(any_difference);
+}
+
+// The paper's scaling study uses nested subsets (1K ⊂ 2K ⊂ 4K ...): with
+// per-sequence RNG streams, a smaller database is a strict prefix.
+TEST(ProteinGen, SmallerDatabaseIsPrefixOfLarger) {
+  ProteinGenOptions small, large;
+  small.sequence_count = 20;
+  large.sequence_count = 60;
+  const ProteinDatabase a = generate_proteins(small);
+  const ProteinDatabase b = generate_proteins(large);
+  for (std::size_t i = 0; i < a.sequence_count(); ++i) {
+    EXPECT_EQ(a.proteins[i].id, b.proteins[i].id);
+    EXPECT_EQ(a.proteins[i].residues, b.proteins[i].residues);
+  }
+}
+
+TEST(ProteinGen, MatchesRequestedStatistics) {
+  ProteinGenOptions options;
+  options.sequence_count = 2000;
+  options.mean_length = 314.44;  // Table I microbial average
+  const ProteinDatabase db = generate_proteins(options);
+  EXPECT_EQ(db.sequence_count(), 2000u);
+  EXPECT_NEAR(db.average_length(), 314.44, 25.0);
+  for (const Protein& protein : db.proteins) {
+    EXPECT_GE(protein.length(), options.min_length);
+    EXPECT_LE(protein.length(), options.max_length);
+    for (char c : protein.residues) EXPECT_TRUE(is_residue(c));
+  }
+}
+
+TEST(ProteinGen, UniqueIds) {
+  ProteinGenOptions options;
+  options.sequence_count = 500;
+  const ProteinDatabase db = generate_proteins(options);
+  std::set<std::string> ids;
+  for (const Protein& protein : db.proteins) ids.insert(protein.id);
+  EXPECT_EQ(ids.size(), db.sequence_count());
+}
+
+TEST(ProteinGen, CompositionTracksNaturalFrequencies) {
+  ProteinGenOptions options;
+  options.sequence_count = 300;
+  const ProteinDatabase db = generate_proteins(options);
+  std::array<std::size_t, 20> counts{};
+  std::size_t total = 0;
+  for (const Protein& protein : db.proteins)
+    for (char c : protein.residues) {
+      ++counts[static_cast<std::size_t>(residue_index(c))];
+      ++total;
+    }
+  for (int i = 0; i < 20; ++i) {
+    const char c = residue_from_index(i);
+    const double observed =
+        static_cast<double>(counts[static_cast<std::size_t>(i)]) /
+        static_cast<double>(total);
+    EXPECT_NEAR(observed, residue_frequency(c), 0.01) << c;
+  }
+}
+
+TEST(ProteinGen, PaperPresets) {
+  const ProteinGenOptions human = human_like_options(0.01);
+  EXPECT_EQ(human.sequence_count, 883u);
+  EXPECT_DOUBLE_EQ(human.mean_length, 301.66);
+  const ProteinGenOptions microbial = microbial_like_options(0.001);
+  EXPECT_EQ(microbial.sequence_count, 2655u);
+  EXPECT_DOUBLE_EQ(microbial.mean_length, 314.44);
+  EXPECT_THROW(human_like_options(0.0), InvalidArgument);
+}
+
+// ---------- query generation ----------
+
+TEST(QueryGen, DeterministicAndTitled) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = 100;
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions options;
+  options.query_count = 20;
+  const auto a = generate_queries(db, options);
+  const auto b = generate_queries(db, options);
+  ASSERT_EQ(a.size(), 20u);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].true_peptide, b[i].true_peptide);
+    EXPECT_EQ(a[i].spectrum.size(), b[i].spectrum.size());
+    EXPECT_EQ(a[i].spectrum.title(), "query_" + std::to_string(i));
+  }
+}
+
+TEST(QueryGen, TruePeptideComesFromSourceProtein) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = 50;
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions options;
+  options.query_count = 30;
+  for (const GeneratedQuery& query : generate_queries(db, options)) {
+    ASSERT_LT(query.source_protein, db.sequence_count());
+    const std::string& parent = db.proteins[query.source_protein].residues;
+    EXPECT_NE(parent.find(query.true_peptide), std::string::npos);
+    EXPECT_FALSE(query.foreign);
+  }
+}
+
+TEST(QueryGen, DigestBoundsRespected) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = 50;
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions options;
+  options.query_count = 30;
+  options.digest.min_length = 8;
+  options.digest.max_length = 12;
+  for (const GeneratedQuery& query : generate_queries(db, options)) {
+    EXPECT_GE(query.true_peptide.size(), 8u);
+    EXPECT_LE(query.true_peptide.size(), 12u);
+  }
+}
+
+TEST(QueryGen, MutationChangesPeptideButKeepsLength) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = 50;
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions options;
+  options.query_count = 40;
+  options.mutation_fraction = 1.0;
+  for (const GeneratedQuery& query : generate_queries(db, options)) {
+    const std::string& parent = db.proteins[query.source_protein].residues;
+    // One substitution: the mutated peptide is absent from the parent.
+    EXPECT_EQ(parent.find(query.true_peptide), std::string::npos);
+  }
+}
+
+TEST(QueryGen, ForeignQueriesNeedDecoySource) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = 20;
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions options;
+  options.query_count = 5;
+  options.foreign_fraction = 0.5;
+  EXPECT_THROW(generate_queries(db, options), InvalidArgument);
+
+  ProteinGenOptions decoy_options;
+  decoy_options.sequence_count = 20;
+  decoy_options.seed = 777;
+  decoy_options.id_prefix = "DEC";
+  const ProteinDatabase decoys = generate_proteins(decoy_options);
+  options.foreign_fraction = 1.0;
+  for (const GeneratedQuery& query : generate_queries(db, options, &decoys))
+    EXPECT_TRUE(query.foreign);
+}
+
+TEST(QueryGen, SpectraOfStripsGroundTruth) {
+  ProteinGenOptions db_options;
+  db_options.sequence_count = 20;
+  const ProteinDatabase db = generate_proteins(db_options);
+  QueryGenOptions options;
+  options.query_count = 7;
+  const auto queries = generate_queries(db, options);
+  const auto spectra = spectra_of(queries);
+  ASSERT_EQ(spectra.size(), 7u);
+  for (std::size_t i = 0; i < spectra.size(); ++i)
+    EXPECT_EQ(spectra[i].title(), queries[i].spectrum.title());
+}
+
+// ---------- growth / candidate models (Fig. 1) ----------
+
+TEST(GrowthModel, ExponentialGenBankCurve) {
+  const auto points = genbank_growth(1988, 2008);
+  ASSERT_EQ(points.size(), 21u);
+  EXPECT_EQ(points.front().year, 1988);
+  EXPECT_NEAR(points.front().base_pairs, 2.3e7, 1e6);
+  // Strictly increasing, ~1e10-1e11 by 2008 (published GenBank ballpark).
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GT(points[i].base_pairs, points[i - 1].base_pairs);
+  EXPECT_GT(points.back().base_pairs, 1e10);
+  EXPECT_LT(points.back().base_pairs, 1e12);
+}
+
+TEST(CandidateModel, ScalesLinearlyWithDatabase) {
+  const double small = expected_candidates(1'000'000, 314.44, 3.0);
+  const double large = expected_candidates(10'000'000, 314.44, 3.0);
+  EXPECT_NEAR(large / small, 10.0, 1e-9);
+  const double tight = expected_candidates(1'000'000, 314.44, 1.0);
+  EXPECT_LT(tight, small);
+}
+
+TEST(CandidateModel, Fig1bOrdering) {
+  const auto rows = candidate_magnitudes();
+  ASSERT_EQ(rows.size(), 4u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GT(rows[i].candidates_no_ptm, rows[i - 1].candidates_no_ptm)
+        << rows[i].scope;
+  }
+  for (const auto& row : rows)
+    EXPECT_GT(row.candidates_with_ptm, row.candidates_no_ptm);
+  // The paper's microbial scope: ~10^4-10^5 candidates per spectrum.
+  EXPECT_GT(rows[2].candidates_no_ptm, 10'000u);
+  EXPECT_LT(rows[2].candidates_no_ptm, 1'000'000u);
+}
+
+}  // namespace
+}  // namespace msp

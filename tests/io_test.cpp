@@ -1,0 +1,376 @@
+// Tests for src/io: FASTA (incl. the paper's chunked parallel loading with
+// boundary repair), MGF, and hit reports.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dbgen/protein_gen.hpp"
+#include "io/fasta.hpp"
+#include "io/mgf.hpp"
+#include "io/mzxml.hpp"
+#include "io/pkl.hpp"
+#include "io/results_io.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+// ---------- FASTA ----------
+
+TEST(Fasta, ParsesBasicRecords) {
+  std::istringstream in(">p1 human protein\nACDE\nFGH\n>p2\nIKLMN\n");
+  const ProteinDatabase db = read_fasta(in);
+  ASSERT_EQ(db.sequence_count(), 2u);
+  EXPECT_EQ(db.proteins[0].id, "p1");
+  EXPECT_EQ(db.proteins[0].residues, "ACDEFGH");
+  EXPECT_EQ(db.proteins[1].id, "p2");
+  EXPECT_EQ(db.proteins[1].residues, "IKLMN");
+}
+
+TEST(Fasta, ToleratesBlankLinesLowercaseAndStops) {
+  std::istringstream in(">p1\n\nac de\nFG*\n");
+  const ProteinDatabase db = read_fasta(in);
+  ASSERT_EQ(db.sequence_count(), 1u);
+  EXPECT_EQ(db.proteins[0].residues, "ACDEFG");
+}
+
+TEST(Fasta, RejectsMalformedInput) {
+  std::istringstream no_header("ACDE\n");
+  EXPECT_THROW(read_fasta(no_header), IoError);
+  std::istringstream bad_char(">p\nAC!E\n");
+  EXPECT_THROW(read_fasta(bad_char), IoError);
+}
+
+TEST(Fasta, RoundTrip) {
+  ProteinGenOptions options;
+  options.sequence_count = 25;
+  const ProteinDatabase db = generate_proteins(options);
+  const std::string text = to_fasta_string(db, 60);
+  const ProteinDatabase back = read_fasta_string(text);
+  ASSERT_EQ(back.sequence_count(), db.sequence_count());
+  for (std::size_t i = 0; i < db.sequence_count(); ++i) {
+    EXPECT_EQ(back.proteins[i].id, db.proteins[i].id);
+    EXPECT_EQ(back.proteins[i].residues, db.proteins[i].residues);
+  }
+}
+
+// ---------- chunk_range ----------
+
+TEST(ChunkRange, PartitionsExactly) {
+  for (std::size_t total : {0u, 1u, 7u, 100u, 1001u}) {
+    for (std::size_t p : {1u, 2u, 3u, 8u, 16u}) {
+      std::size_t covered = 0;
+      std::size_t expected_begin = 0;
+      for (std::size_t r = 0; r < p; ++r) {
+        const ByteRange range = chunk_range(total, r, p);
+        EXPECT_EQ(range.begin, expected_begin);
+        EXPECT_LE(range.begin, range.end);
+        covered += range.end - range.begin;
+        expected_begin = range.end;
+      }
+      EXPECT_EQ(covered, total);
+    }
+  }
+}
+
+TEST(ChunkRange, SizesDifferByAtMostOne) {
+  for (std::size_t p : {2u, 3u, 7u}) {
+    std::size_t smallest = SIZE_MAX, largest = 0;
+    for (std::size_t r = 0; r < p; ++r) {
+      const ByteRange range = chunk_range(1000, r, p);
+      smallest = std::min(smallest, range.end - range.begin);
+      largest = std::max(largest, range.end - range.begin);
+    }
+    EXPECT_LE(largest - smallest, 1u);
+  }
+}
+
+// ---------- read_fasta_chunk: the paper's step A1 ----------
+
+// Property: the p chunks partition the records — every sequence appears in
+// exactly one chunk, regardless of where byte boundaries fall.
+TEST(FastaChunk, ChunksPartitionRecords) {
+  ProteinGenOptions options;
+  options.sequence_count = 60;
+  options.mean_length = 80;
+  const ProteinDatabase db = generate_proteins(options);
+  const std::string image = to_fasta_string(db, 50);
+
+  for (std::size_t p : {1u, 2u, 3u, 5u, 8u, 13u}) {
+    std::vector<std::string> seen;
+    for (std::size_t r = 0; r < p; ++r) {
+      const ByteRange range = chunk_range(image.size(), r, p);
+      const ProteinDatabase shard =
+          read_fasta_chunk(image, range.begin, range.end);
+      for (const Protein& protein : shard.proteins) {
+        seen.push_back(protein.id);
+        // Boundary repair: the record must be complete, not truncated.
+        bool found = false;
+        for (const Protein& original : db.proteins) {
+          if (original.id == protein.id) {
+            EXPECT_EQ(original.residues, protein.residues);
+            found = true;
+          }
+        }
+        EXPECT_TRUE(found) << protein.id;
+      }
+    }
+    std::sort(seen.begin(), seen.end());
+    EXPECT_EQ(seen.size(), db.sequence_count()) << "p=" << p;
+    EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end())
+        << "duplicate record at p=" << p;
+  }
+}
+
+TEST(FastaChunk, HeaderExactlyAtBoundaryBelongsToRightChunk) {
+  const std::string image = ">a\nGG\n>b\nCC\n";
+  const std::size_t b_header = image.find(">b");
+  // Chunk [0, b_header) gets only 'a'; [b_header, end) gets only 'b'.
+  const ProteinDatabase left = read_fasta_chunk(image, 0, b_header);
+  const ProteinDatabase right = read_fasta_chunk(image, b_header, image.size());
+  ASSERT_EQ(left.sequence_count(), 1u);
+  ASSERT_EQ(right.sequence_count(), 1u);
+  EXPECT_EQ(left.proteins[0].id, "a");
+  EXPECT_EQ(right.proteins[0].id, "b");
+}
+
+TEST(FastaChunk, MidRecordChunkReadsNothing) {
+  const std::string image = ">a\nGGGGGGGGGG\nGGGG\n";
+  // A chunk entirely inside a's sequence data owns no header → empty.
+  const ProteinDatabase shard = read_fasta_chunk(image, 5, 10);
+  EXPECT_EQ(shard.sequence_count(), 0u);
+}
+
+TEST(FastaChunk, RecordStraddlingEndIsRepaired) {
+  const std::string image = ">a\nGGGG\n>b\nCCCCCCCCCC\nCCCC\n";
+  const std::size_t cut = image.find("CCCC");  // inside b's data
+  const ProteinDatabase shard = read_fasta_chunk(image, 0, cut);
+  ASSERT_EQ(shard.sequence_count(), 2u);
+  EXPECT_EQ(shard.proteins[1].residues, "CCCCCCCCCCCCCC");  // fully read
+}
+
+// ---------- MGF ----------
+
+TEST(Mgf, RoundTrip) {
+  std::vector<Spectrum> spectra;
+  spectra.emplace_back(std::vector<Peak>{{100.25, 5.5}, {200.5, 1.0}}, 450.75,
+                       2, "spec one");
+  spectra.emplace_back(std::vector<Peak>{{300.0, 2.0}}, 900.0, 1, "two");
+  std::ostringstream out;
+  write_mgf(out, spectra);
+  std::istringstream in(out.str());
+  const auto back = read_mgf(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].title(), "spec one");
+  EXPECT_EQ(back[0].charge(), 2);
+  EXPECT_NEAR(back[0].precursor_mz(), 450.75, 1e-4);
+  ASSERT_EQ(back[0].size(), 2u);
+  EXPECT_NEAR(back[0].peaks()[0].mz, 100.25, 1e-3);
+  EXPECT_NEAR(back[0].peaks()[0].intensity, 5.5, 1e-2);
+}
+
+TEST(Mgf, ParsesChargeVariants) {
+  for (const char* charge : {"2+", "2", "+2"}) {
+    std::istringstream in(std::string("BEGIN IONS\nPEPMASS=500\nCHARGE=") +
+                          charge + "\n100 1\nEND IONS\n");
+    const auto spectra = read_mgf(in);
+    ASSERT_EQ(spectra.size(), 1u);
+    EXPECT_EQ(spectra[0].charge(), 2) << charge;
+  }
+}
+
+TEST(Mgf, IntensityDefaultsToOne) {
+  std::istringstream in("BEGIN IONS\nPEPMASS=500\n123.4\nEND IONS\n");
+  const auto spectra = read_mgf(in);
+  ASSERT_EQ(spectra[0].size(), 1u);
+  EXPECT_DOUBLE_EQ(spectra[0].peaks()[0].intensity, 1.0);
+}
+
+TEST(Mgf, IgnoresUnknownHeadersAndComments) {
+  std::istringstream in(
+      "# comment\nBEGIN IONS\nTITLE=t\nPEPMASS=500\nRTINSECONDS=12.5\n"
+      "SCANS=4\n100 1\nEND IONS\n");
+  EXPECT_EQ(read_mgf(in).size(), 1u);
+}
+
+TEST(Mgf, RejectsStructuralErrors) {
+  std::istringstream unterminated("BEGIN IONS\nPEPMASS=500\n100 1\n");
+  EXPECT_THROW(read_mgf(unterminated), IoError);
+  std::istringstream no_pepmass("BEGIN IONS\n100 1\nEND IONS\n");
+  EXPECT_THROW(read_mgf(no_pepmass), IoError);
+  std::istringstream nested("BEGIN IONS\nBEGIN IONS\nEND IONS\n");
+  EXPECT_THROW(read_mgf(nested), IoError);
+  std::istringstream stray_end("END IONS\n");
+  EXPECT_THROW(read_mgf(stray_end), IoError);
+  std::istringstream bad_peak("BEGIN IONS\nPEPMASS=500\nxyz abc\nEND IONS\n");
+  EXPECT_THROW(read_mgf(bad_peak), IoError);
+}
+
+// ---------- PKL ----------
+
+TEST(Pkl, RoundTrip) {
+  std::vector<Spectrum> spectra;
+  spectra.emplace_back(std::vector<Peak>{{100.25, 5.5}, {200.5, 1.0}}, 450.75,
+                       2, "ignored");
+  spectra.emplace_back(std::vector<Peak>{{300.0, 2.0}}, 900.0, 1, "ignored2");
+  std::ostringstream out;
+  write_pkl(out, spectra);
+  std::istringstream in(out.str());
+  const auto back = read_pkl(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].title(), "pkl_0");  // PKL carries no titles
+  EXPECT_EQ(back[0].charge(), 2);
+  EXPECT_NEAR(back[0].precursor_mz(), 450.75, 1e-4);
+  ASSERT_EQ(back[0].size(), 2u);
+  EXPECT_NEAR(back[0].peaks()[1].mz, 200.5, 1e-3);
+  EXPECT_EQ(back[1].charge(), 1);
+}
+
+TEST(Pkl, ToleratesExtraBlankLinesAndNoTrailingBlank) {
+  std::istringstream in("\n\n500.5 100 2\n100 1\n\n\n600.5 50 1\n200 2");
+  const auto spectra = read_pkl(in);
+  ASSERT_EQ(spectra.size(), 2u);
+  EXPECT_EQ(spectra[1].size(), 1u);
+}
+
+TEST(Pkl, RejectsMalformedInput) {
+  std::istringstream bad_header("abc def ghi\n");
+  EXPECT_THROW(read_pkl(bad_header), IoError);
+  std::istringstream bad_charge("500 100 0\n");
+  EXPECT_THROW(read_pkl(bad_charge), IoError);
+  std::istringstream bad_peak("500 100 2\nxyz 1\n");
+  EXPECT_THROW(read_pkl(bad_peak), IoError);
+}
+
+TEST(Pkl, CrossFormatAgreementWithMgf) {
+  // The same spectra serialized as MGF and PKL parse to the same peaks.
+  std::vector<Spectrum> spectra;
+  spectra.emplace_back(std::vector<Peak>{{111.1, 3.0}, {222.2, 4.0}}, 333.3, 2,
+                       "x");
+  std::ostringstream mgf_out, pkl_out;
+  write_mgf(mgf_out, spectra);
+  write_pkl(pkl_out, spectra);
+  std::istringstream mgf_in(mgf_out.str()), pkl_in(pkl_out.str());
+  const auto from_mgf = read_mgf(mgf_in);
+  const auto from_pkl = read_pkl(pkl_in);
+  ASSERT_EQ(from_mgf.size(), from_pkl.size());
+  ASSERT_EQ(from_mgf[0].size(), from_pkl[0].size());
+  for (std::size_t i = 0; i < from_mgf[0].size(); ++i)
+    EXPECT_NEAR(from_mgf[0].peaks()[i].mz, from_pkl[0].peaks()[i].mz, 1e-3);
+}
+
+// ---------- mzXML ----------
+
+TEST(MzXml, RoundTrip) {
+  std::vector<Spectrum> spectra;
+  spectra.emplace_back(std::vector<Peak>{{100.25, 5.5}, {200.5, 1.0}}, 450.75,
+                       2, "x");
+  spectra.emplace_back(std::vector<Peak>{{300.0, 2.0}}, 900.0, 3, "y");
+  std::ostringstream out;
+  write_mzxml(out, spectra);
+  std::istringstream in(out.str());
+  const auto back = read_mzxml(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].title(), "scan_1");
+  EXPECT_EQ(back[0].charge(), 2);
+  EXPECT_NEAR(back[0].precursor_mz(), 450.75, 1e-4);
+  ASSERT_EQ(back[0].size(), 2u);
+  // 32-bit float payload: ~7 significant digits survive.
+  EXPECT_NEAR(back[0].peaks()[0].mz, 100.25, 1e-3);
+  EXPECT_NEAR(back[0].peaks()[0].intensity, 5.5, 1e-3);
+  EXPECT_EQ(back[1].charge(), 3);
+}
+
+TEST(MzXml, SkipsMs1ScansAndNestedStructure) {
+  // A realistic layout: an MS1 survey scan wrapping an MS2 child.
+  const std::string xml =
+      "<mzXML><msRun>"
+      "<scan num=\"1\" msLevel=\"1\" peaksCount=\"0\">"
+      "<peaks precision=\"32\"></peaks>"
+      "<scan num=\"2\" msLevel=\"2\">"
+      "<precursorMz precursorCharge=\"2\">500.25</precursorMz>"
+      "<peaks precision=\"32\" byteOrder=\"network\">" +
+      [] {
+        std::vector<Spectrum> one;
+        one.emplace_back(std::vector<Peak>{{123.5, 7.0}}, 500.25, 2);
+        std::ostringstream os;
+        write_mzxml(os, one);
+        const std::string text = os.str();
+        const auto open = text.find("contentType=\"m/z-int\">") +
+                          std::string("contentType=\"m/z-int\">").size();
+        const auto close = text.find("</peaks>");
+        return text.substr(open, close - open);
+      }() +
+      "</peaks></scan></scan></msRun></mzXML>";
+  std::istringstream in(xml);
+  const auto spectra = read_mzxml(in);
+  ASSERT_EQ(spectra.size(), 1u);
+  EXPECT_EQ(spectra[0].title(), "scan_2");
+  EXPECT_NEAR(spectra[0].peaks()[0].mz, 123.5, 1e-3);
+}
+
+TEST(MzXml, RejectsStructuralProblems) {
+  std::istringstream no_precursor(
+      "<scan msLevel=\"2\"><peaks precision=\"32\"></peaks></scan>");
+  EXPECT_THROW(read_mzxml(no_precursor), IoError);
+  std::istringstream bad_payload(
+      "<scan msLevel=\"2\"><precursorMz>500</precursorMz>"
+      "<peaks precision=\"32\">!!notbase64!!</peaks></scan>");
+  EXPECT_THROW(read_mzxml(bad_payload), IoError);
+  std::istringstream bad_precision(
+      "<scan msLevel=\"2\"><precursorMz>500</precursorMz>"
+      "<peaks precision=\"64\">AAAA</peaks></scan>");
+  EXPECT_THROW(read_mzxml(bad_precision), IoError);
+  std::istringstream odd_payload(
+      "<scan msLevel=\"2\"><precursorMz>500</precursorMz>"
+      "<peaks precision=\"32\">AAAA</peaks></scan>");  // 3 bytes, not 8k
+  EXPECT_THROW(read_mzxml(odd_payload), IoError);
+}
+
+TEST(MzXml, CrossFormatAgreementWithMgf) {
+  std::vector<Spectrum> spectra;
+  spectra.emplace_back(std::vector<Peak>{{111.125, 3.0}, {222.25, 4.0}},
+                       333.375, 2, "z");
+  std::ostringstream mzxml_out, mgf_out;
+  write_mzxml(mzxml_out, spectra);
+  write_mgf(mgf_out, spectra);
+  std::istringstream mzxml_in(mzxml_out.str()), mgf_in(mgf_out.str());
+  const auto a = read_mzxml(mzxml_in);
+  const auto b = read_mgf(mgf_in);
+  ASSERT_EQ(a.size(), b.size());
+  ASSERT_EQ(a[0].size(), b[0].size());
+  for (std::size_t i = 0; i < a[0].size(); ++i)
+    EXPECT_NEAR(a[0].peaks()[i].mz, b[0].peaks()[i].mz, 1e-3);
+}
+
+// ---------- hit reports ----------
+
+TEST(Results, RoundTrip) {
+  std::vector<HitRecord> hits;
+  hits.push_back({"q0", 1, "prot7", "PEPTIDEK", 'P', 904.4680, 12.345678});
+  hits.push_back({"q0", 2, "prot9", "GGGGGGK", 'S', 560.2767, -3.5});
+  std::ostringstream out;
+  write_hits(out, hits);
+  std::istringstream in(out.str());
+  const auto back = read_hits(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].query_title, "q0");
+  EXPECT_EQ(back[0].rank, 1u);
+  EXPECT_EQ(back[0].protein_id, "prot7");
+  EXPECT_EQ(back[0].peptide, "PEPTIDEK");
+  EXPECT_EQ(back[0].fragment_end, 'P');
+  EXPECT_NEAR(back[0].candidate_mass, 904.4680, 1e-3);
+  EXPECT_NEAR(back[0].score, 12.345678, 1e-5);
+  EXPECT_EQ(back[1].fragment_end, 'S');
+}
+
+TEST(Results, RejectsCorruptFiles) {
+  std::istringstream bad_header("not a header\n");
+  EXPECT_THROW(read_hits(bad_header), IoError);
+  std::istringstream bad_fields(
+      "query\trank\tprotein\tpeptide\tend\tmass\tscore\nonly\tthree\tfields\n");
+  EXPECT_THROW(read_hits(bad_fields), IoError);
+}
+
+}  // namespace
+}  // namespace msp

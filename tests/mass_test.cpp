@@ -1,0 +1,308 @@
+// Unit and property tests for src/mass: residue chemistry, peptide masses,
+// tryptic digestion, PTM enumeration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "mass/amino_acid.hpp"
+#include "mass/digest.hpp"
+#include "mass/isotope.hpp"
+#include "mass/peptide.hpp"
+#include "mass/ptm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+TEST(AminoAcid, AlphabetRoundTrip) {
+  for (int i = 0; i < 20; ++i) {
+    const char c = residue_from_index(i);
+    EXPECT_TRUE(is_residue(c));
+    EXPECT_EQ(residue_index(c), i);
+  }
+  for (char c : {'B', 'J', 'O', 'U', 'X', 'Z', 'a', '1', '*'})
+    EXPECT_FALSE(is_residue(c)) << c;
+}
+
+TEST(AminoAcid, KnownMonoisotopicMasses) {
+  EXPECT_NEAR(residue_mass('G'), 57.02146, 1e-4);
+  EXPECT_NEAR(residue_mass('W'), 186.07931, 1e-4);
+  EXPECT_NEAR(residue_mass('A'), 71.03711, 1e-4);
+  // Leucine and isoleucine are isobaric.
+  EXPECT_DOUBLE_EQ(residue_mass('L'), residue_mass('I'));
+}
+
+TEST(AminoAcid, PeptideMassKnownValues) {
+  // Angiotensin II (DRVYIHPF): monoisotopic [M] = 1045.5345 Da.
+  EXPECT_NEAR(peptide_mass("DRVYIHPF"), 1045.5345, 1e-3);
+  // Glycine dipeptide: 2*57.02146 + water.
+  EXPECT_NEAR(peptide_mass("GG"), 2 * 57.02146374 + kWaterMass, 1e-6);
+}
+
+TEST(AminoAcid, MassAdditivity) {
+  // mass(AB) = mass(A) + mass(B) - water (peptide-bond condensation).
+  const double ab = peptide_mass("ACDEFG");
+  const double a = peptide_mass("ACD");
+  const double b = peptide_mass("EFG");
+  EXPECT_NEAR(ab, a + b - kWaterMass, 1e-9);
+}
+
+TEST(AminoAcid, MzRoundTrip) {
+  const double mass = 1234.567;
+  for (int z = 1; z <= 4; ++z)
+    EXPECT_NEAR(mass_from_mz(mz_from_mass(mass, z), z), mass, 1e-9);
+}
+
+TEST(AminoAcid, AverageMassExceedsMonoisotopic) {
+  for (int i = 0; i < 20; ++i) {
+    const char c = residue_from_index(i);
+    // Heavier isotopes only add mass; average >= monoisotopic (tiny slack
+    // for glycine where they are closest).
+    EXPECT_GT(residue_mass_average(c) + 1e-6, residue_mass(c)) << c;
+  }
+}
+
+TEST(AminoAcid, FrequenciesFormDistribution) {
+  double total = 0.0;
+  for (int i = 0; i < 20; ++i) total += residue_frequency(residue_from_index(i));
+  EXPECT_NEAR(total, 1.0, 0.01);  // published table rounds to ~0.999
+  EXPECT_GT(residue_frequency('L'), residue_frequency('W'));  // Leu common, Trp rare
+}
+
+TEST(AminoAcid, RejectsInvalidInput) {
+  EXPECT_THROW(residue_mass('X'), InvalidArgument);
+  EXPECT_THROW(peptide_mass("PEPTIDEX"), InvalidArgument);
+  EXPECT_THROW(mz_from_mass(100.0, 0), InvalidArgument);
+}
+
+// ---------- FragmentMassIndex ----------
+
+TEST(FragmentMassIndex, MatchesDirectComputation) {
+  const std::string seq = "ACDEFGHIKLMNPQRSTVWY";
+  const FragmentMassIndex index(seq);
+  ASSERT_EQ(index.length(), seq.size());
+  for (std::size_t k = 0; k <= seq.size(); ++k) {
+    EXPECT_NEAR(index.prefix_mass(k), peptide_mass(seq.substr(0, k)), 1e-9)
+        << "prefix k=" << k;
+    EXPECT_NEAR(index.suffix_mass(k), peptide_mass(seq.substr(seq.size() - k)),
+                1e-9)
+        << "suffix k=" << k;
+  }
+}
+
+TEST(FragmentMassIndex, ZeroLengthIsWater) {
+  const FragmentMassIndex index("GG");
+  EXPECT_NEAR(index.prefix_mass(0), kWaterMass, 1e-12);
+  EXPECT_NEAR(index.suffix_mass(0), kWaterMass, 1e-12);
+}
+
+// ---------- Peptide / ProteinDatabase ----------
+
+TEST(ProteinDatabase, Totals) {
+  ProteinDatabase db;
+  db.proteins.push_back({"p1", "ACDE"});
+  db.proteins.push_back({"p2", "FGHIKL"});
+  EXPECT_EQ(db.sequence_count(), 2u);
+  EXPECT_EQ(db.total_residues(), 10u);
+  EXPECT_DOUBLE_EQ(db.average_length(), 5.0);
+}
+
+TEST(Peptide, ViewSelectsCorrectEnd) {
+  ProteinDatabase db;
+  db.proteins.push_back({"p", "ABCDEFG"});  // note: B not a residue, view only
+  Peptide prefix{0, 3, FragmentEnd::kPrefix, 0.0};
+  Peptide suffix{0, 3, FragmentEnd::kSuffix, 0.0};
+  EXPECT_EQ(prefix.view(db), "ABC");
+  EXPECT_EQ(suffix.view(db), "EFG");
+}
+
+// ---------- digestion ----------
+
+TEST(Digest, CleavesAfterKAndRNotBeforeP) {
+  //            0123456789
+  const std::string seq = "AAKBBRPCCKDD";
+  EXPECT_TRUE(is_tryptic_site(seq, 2));    // K|B
+  EXPECT_FALSE(is_tryptic_site(seq, 5));   // R before P — no cleavage
+  EXPECT_TRUE(is_tryptic_site(seq, 9));    // K|D
+  EXPECT_FALSE(is_tryptic_site(seq, 11));  // last residue
+}
+
+TEST(Digest, FullyCleavedPeptides) {
+  DigestOptions options;
+  options.min_length = 1;
+  options.max_length = 100;
+  const auto peptides = digest_tryptic("AAKCCCRDDDD", options);
+  // Segments: AAK | CCCR | DDDD.
+  ASSERT_EQ(peptides.size(), 3u);
+  EXPECT_EQ(peptide_string("AAKCCCRDDDD", peptides[0]), "AAK");
+  EXPECT_EQ(peptide_string("AAKCCCRDDDD", peptides[1]), "CCCR");
+  EXPECT_EQ(peptide_string("AAKCCCRDDDD", peptides[2]), "DDDD");
+  for (const auto& peptide : peptides) EXPECT_EQ(peptide.missed, 0u);
+}
+
+TEST(Digest, MissedCleavagesSpanSegments) {
+  DigestOptions options;
+  options.min_length = 1;
+  options.max_length = 100;
+  options.missed_cleavages = 1;
+  const auto peptides = digest_tryptic("AAKCCCRDDDD", options);
+  // Fully cleaved (3) plus AAKCCCR and CCCRDDDD.
+  ASSERT_EQ(peptides.size(), 5u);
+  std::multiset<std::string> produced;
+  for (const auto& peptide : peptides)
+    produced.insert(peptide_string("AAKCCCRDDDD", peptide));
+  EXPECT_TRUE(produced.count("AAKCCCR"));
+  EXPECT_TRUE(produced.count("CCCRDDDD"));
+}
+
+TEST(Digest, LengthWindowFilters) {
+  DigestOptions options;
+  options.min_length = 4;
+  options.max_length = 4;
+  const auto peptides = digest_tryptic("AAKCCCRDDDD", options);
+  ASSERT_EQ(peptides.size(), 2u);  // CCCR and DDDD only
+  for (const auto& peptide : peptides) EXPECT_EQ(peptide.length, 4u);
+}
+
+TEST(Digest, NoSitesYieldsWholeSequence) {
+  DigestOptions options;
+  options.min_length = 1;
+  const auto peptides = digest_tryptic("AAAAAA", options);
+  ASSERT_EQ(peptides.size(), 1u);
+  EXPECT_EQ(peptides[0].length, 6u);
+}
+
+TEST(Digest, ProlineSuppression) {
+  DigestOptions options;
+  options.min_length = 1;
+  // KP: no cleavage at all → single peptide.
+  EXPECT_EQ(digest_tryptic("AAKPBB", options).size(), 1u);
+}
+
+TEST(Digest, RejectsBadOptions) {
+  DigestOptions options;
+  options.min_length = 0;
+  EXPECT_THROW(digest_tryptic("AAA", options), InvalidArgument);
+  options.min_length = 10;
+  options.max_length = 5;
+  EXPECT_THROW(digest_tryptic("AAA", options), InvalidArgument);
+}
+
+// Property: digested peptides tile the sequence (offsets valid, no overlap
+// among missed==0 peptides, and they reconstruct the parent).
+TEST(Digest, FullyCleavedPeptidesTileParent) {
+  DigestOptions options;
+  options.min_length = 1;
+  options.max_length = 1000;
+  const std::string seq = "MKTAYIAKQRQISFVKSHFSRQLEERLGLIEVQAPILSRVGDGTQDNLSGAEK";
+  const auto peptides = digest_tryptic(seq, options);
+  std::string rebuilt;
+  for (const auto& peptide : peptides) {
+    if (peptide.missed != 0) continue;
+    EXPECT_EQ(peptide.offset, rebuilt.size());
+    rebuilt += peptide_string(seq, peptide);
+  }
+  EXPECT_EQ(rebuilt, seq);
+}
+
+// ---------- isotope envelopes ----------
+
+TEST(Isotope, SmallPeptideIsMonoisotopicDominated) {
+  // A ~1 kDa peptide: M is the tallest line, M+1 roughly half.
+  const auto envelope = isotope_envelope(1000.0);
+  ASSERT_GE(envelope.size(), 2u);
+  EXPECT_DOUBLE_EQ(envelope[0], 1.0);
+  EXPECT_GT(envelope[1], 0.3);
+  EXPECT_LT(envelope[1], 0.8);
+}
+
+TEST(Isotope, LargePeptideShiftsTheEnvelope) {
+  // Past ~1.8 kDa the expected heavy count crosses 1 and M+1 overtakes M.
+  EXPECT_LT(expected_heavy_isotopes(1000.0), 1.0);
+  EXPECT_GT(expected_heavy_isotopes(2500.0), 1.0);
+  const auto envelope = isotope_envelope(3000.0);
+  ASSERT_GE(envelope.size(), 2u);
+  EXPECT_GT(envelope[1], envelope[0] * 0.99);  // M+1 at least rivals M
+}
+
+TEST(Isotope, HeavyRateScalesLinearlyWithMass) {
+  const double rate1 = expected_heavy_isotopes(800.0);
+  const double rate2 = expected_heavy_isotopes(1600.0);
+  EXPECT_NEAR(rate2 / rate1, 2.0, 1e-9);
+}
+
+TEST(Isotope, EnvelopeValuesAreNormalizedAndTrimmed) {
+  const auto envelope = isotope_envelope(500.0, 8);
+  EXPECT_DOUBLE_EQ(*std::max_element(envelope.begin(), envelope.end()), 1.0);
+  EXPECT_GE(envelope.back(), 1e-3);  // tail trimmed
+  for (double value : envelope) {
+    EXPECT_GE(value, 0.0);
+    EXPECT_LE(value, 1.0);
+  }
+}
+
+TEST(Isotope, RejectsBadInput) {
+  EXPECT_THROW(isotope_envelope(-5.0), InvalidArgument);
+  EXPECT_THROW(isotope_envelope(100.0, 0), InvalidArgument);
+  EXPECT_THROW(expected_heavy_isotopes(0.0), InvalidArgument);
+}
+
+// ---------- PTMs ----------
+
+TEST(Ptm, UnmodifiedVariantAlwaysFirst) {
+  const std::vector<Ptm> rules{ptm_phospho_s()};
+  const auto variants = enumerate_variants("PEPSIDE", rules, 2);
+  ASSERT_FALSE(variants.empty());
+  EXPECT_TRUE(variants[0].sites.empty());
+  EXPECT_DOUBLE_EQ(variants[0].mass_delta, 0.0);
+}
+
+TEST(Ptm, CountsMatchCombinatorics) {
+  const std::vector<Ptm> rules{ptm_phospho_s()};
+  // "SSS": subsets of 3 sites with <=2 mods: 1 + 3 + 3 = 7.
+  EXPECT_EQ(enumerate_variants("SSS", rules, 2).size(), 7u);
+  EXPECT_EQ(count_variants("SSS", rules, 2), 7u);
+  // max_mods = 3 → all 8 subsets.
+  EXPECT_EQ(count_variants("SSS", rules, 3), 8u);
+}
+
+TEST(Ptm, EnumerationAgreesWithCount) {
+  const std::vector<Ptm> rules{ptm_phospho_s(), ptm_phospho_t(),
+                               ptm_oxidation_m()};
+  for (const char* peptide : {"STM", "PEPTIDEMST", "AAAA", "MMSSTT"}) {
+    for (std::size_t max_mods : {0u, 1u, 2u, 3u}) {
+      EXPECT_EQ(enumerate_variants(peptide, rules, max_mods).size(),
+                count_variants(peptide, rules, max_mods))
+          << peptide << " max_mods=" << max_mods;
+    }
+  }
+}
+
+TEST(Ptm, MassDeltaSumsPerSite) {
+  const std::vector<Ptm> rules{ptm_phospho_s()};
+  const auto variants = enumerate_variants("SAS", rules, 2);
+  double max_delta = 0.0;
+  for (const auto& variant : variants)
+    max_delta = std::max(max_delta, variant.mass_delta);
+  EXPECT_NEAR(max_delta, 2 * 79.96633, 1e-6);
+}
+
+TEST(Ptm, SitesAreDistinctPositions) {
+  const std::vector<Ptm> rules{ptm_phospho_s(), ptm_phospho_t()};
+  for (const auto& variant : enumerate_variants("SSTT", rules, 3)) {
+    std::set<std::uint32_t> positions;
+    for (const auto& [pos, rule] : variant.sites) positions.insert(pos);
+    EXPECT_EQ(positions.size(), variant.sites.size());
+  }
+}
+
+TEST(Ptm, AnnotateShowsDeltas) {
+  const std::vector<Ptm> rules{ptm_phospho_s()};
+  const auto variants = enumerate_variants("ASA", rules, 1);
+  ASSERT_EQ(variants.size(), 2u);
+  EXPECT_EQ(annotate("ASA", variants[1], rules), "AS[+79.97]A");
+}
+
+}  // namespace
+}  // namespace msp

@@ -1,0 +1,343 @@
+// Tests for src/scoring: peak matching, hyperscore, likelihood-ratio model,
+// and the top-τ list (including its order-independence property, which the
+// cross-algorithm validation relies on).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "mass/amino_acid.hpp"
+#include "scoring/fdr.hpp"
+#include "scoring/hyperscore.hpp"
+#include "scoring/likelihood.hpp"
+#include "scoring/shared_peak.hpp"
+#include "scoring/top_hits.hpp"
+#include "spectra/generator.hpp"
+#include "spectra/library.hpp"
+#include "spectra/theoretical.hpp"
+#include "util/rng.hpp"
+
+namespace msp {
+namespace {
+
+Spectrum perfect_spectrum(std::string_view peptide) {
+  return model_spectrum(peptide);
+}
+
+// ---------- shared peaks ----------
+
+TEST(SharedPeak, PerfectSpectrumMatchesAllIons) {
+  const Spectrum spectrum = perfect_spectrum("PEPTIDEK");
+  const BinnedSpectrum binned(spectrum);
+  const PeakMatchStats stats = match_peptide(binned, "PEPTIDEK");
+  EXPECT_EQ(stats.total_ions, 14u);
+  EXPECT_EQ(stats.matched_b + stats.matched_y, 14u);
+  EXPECT_EQ(shared_peak_count(binned, "PEPTIDEK"), 14u);
+}
+
+TEST(SharedPeak, UnrelatedPeptideMatchesFew) {
+  const Spectrum spectrum = perfect_spectrum("PEPTIDEK");
+  const BinnedSpectrum binned(spectrum);
+  // A very different composition should share few fragment bins.
+  EXPECT_LT(shared_peak_count(binned, "WWWWWWWW"), 3u);
+}
+
+TEST(SharedPeak, EmptySpectrumMatchesNothing) {
+  const BinnedSpectrum binned(Spectrum({}, 500.0, 1));
+  EXPECT_EQ(shared_peak_count(binned, "PEPTIDEK"), 0u);
+}
+
+// ---------- hyperscore ----------
+
+TEST(Hyperscore, TruePeptideBeatsDecoys) {
+  const Spectrum spectrum = perfect_spectrum("ACDEFGHIK");
+  const BinnedSpectrum binned(spectrum);
+  const double true_score = hyperscore(binned, "ACDEFGHIK");
+  for (const char* decoy : {"KIHGFEDCA", "LLLLLLLLL", "ACDEFGHIR"})
+    EXPECT_GT(true_score, hyperscore(binned, decoy)) << decoy;
+}
+
+TEST(Hyperscore, NoMatchIsFloor) {
+  const BinnedSpectrum binned(Spectrum({}, 500.0, 1));
+  EXPECT_DOUBLE_EQ(hyperscore(binned, "PEPTIDEK"), kHyperscoreFloor);
+}
+
+TEST(Hyperscore, MoreMatchesScoreHigher) {
+  // Against the full model spectrum, a longer shared subsequence wins.
+  const Spectrum spectrum = perfect_spectrum("AAAACDEFGHIK");
+  const BinnedSpectrum binned(spectrum);
+  EXPECT_GT(hyperscore(binned, "AAAACDEFGHIK"), hyperscore(binned, "ACDEFGHIK"));
+}
+
+// ---------- likelihood ratio ----------
+
+TEST(Likelihood, QueryContextEstimatesBackground) {
+  const Spectrum sparse({{100, 1.0}, {900, 1.0}}, 1000.0, 1);
+  const Spectrum dense = perfect_spectrum("ACDEFGHIKLMNPQRSTVWY");
+  const QueryContext sparse_ctx(sparse);
+  const QueryContext dense_ctx(dense);
+  EXPECT_LT(sparse_ctx.background_rate(), dense_ctx.background_rate());
+  EXPECT_GT(sparse_ctx.background_rate(), 0.0);
+  EXPECT_LE(dense_ctx.background_rate(), 0.5);
+}
+
+TEST(Likelihood, TruePeptideScoresAboveDecoys) {
+  SpectrumNoiseModel noise;  // realistic: dropout + jitter + noise
+  Xoshiro256 rng(2024);
+  const Spectrum spectrum = simulate_spectrum("ACDEFGHIKLMNK", noise, rng);
+  const QueryContext context(spectrum);
+  const double true_score = likelihood_ratio(context, "ACDEFGHIKLMNK");
+  for (const char* decoy :
+       {"KNMLKIHGFEDCA", "AAAAAAAAAAAAA", "WYWYWYWYWYWYW"})
+    EXPECT_GT(true_score, likelihood_ratio(context, decoy)) << decoy;
+}
+
+TEST(Likelihood, MatchedIonsIncreaseScore) {
+  const Spectrum spectrum = perfect_spectrum("ACDEFGHIK");
+  const QueryContext context(spectrum);
+  // Score strictly increases with each matched ion added (same miss count),
+  // exercised indirectly: the true peptide beats its own reversal.
+  EXPECT_GT(likelihood_ratio(context, "ACDEFGHIK"),
+            likelihood_ratio(context, "KIHGFEDCA"));
+}
+
+TEST(Likelihood, DeterministicAcrossCalls) {
+  const Spectrum spectrum = perfect_spectrum("PEPTIDEK");
+  const QueryContext context(spectrum);
+  const double a = likelihood_ratio(context, "PEPTIDEK");
+  const double b = likelihood_ratio(context, "PEPTIDEK");
+  EXPECT_EQ(a, b);  // bitwise: validation demands reproducible doubles
+}
+
+TEST(Likelihood, RejectsDegenerateModel) {
+  LikelihoodModel model;
+  model.detection_rate = 1.0;
+  EXPECT_THROW(QueryContext(perfect_spectrum("PEPTIDEK"), kDefaultBinWidth,
+                            model),
+               InvalidArgument);
+}
+
+// ---------- library scoring ----------
+
+TEST(LibraryScore, ReplicateQueryPrefersLibraryEntry) {
+  // Build a consensus library entry from replicates, then score a fresh
+  // replicate: the library path should beat the idealized model (it knows
+  // the peptide's real intensity pattern) and beat decoy peptides.
+  const std::string peptide = "ACDEFGHIKLMNK";
+  SpectrumNoiseModel noise;
+  noise.peak_dropout = 0.25;
+  std::vector<Spectrum> replicates;
+  for (int i = 0; i < 8; ++i) {
+    Xoshiro256 rng(900 + static_cast<std::uint64_t>(i));
+    replicates.push_back(simulate_spectrum(peptide, noise, rng));
+  }
+  SpectralLibrary library;
+  library.add_replicates(peptide, replicates);
+
+  Xoshiro256 fresh_rng(999);
+  const Spectrum fresh = simulate_spectrum(peptide, noise, fresh_rng);
+  const QueryContext context(fresh);
+
+  const Spectrum* entry = library.find(peptide);
+  ASSERT_NE(entry, nullptr);
+  const double library_score = likelihood_ratio_library(context, *entry);
+  const double model_score = likelihood_ratio(context, peptide);
+  const double decoy_score = likelihood_ratio(context, "KNMLKIHGFEDCA");
+  EXPECT_GT(library_score, decoy_score);
+  EXPECT_GT(model_score, decoy_score);
+}
+
+TEST(LibraryScore, EmptyLibrarySpectrumIsNeutral) {
+  const Spectrum query = model_spectrum("PEPTIDEK");
+  const QueryContext context(query);
+  const Spectrum empty({}, 500.0, 1);
+  EXPECT_DOUBLE_EQ(likelihood_ratio_library(context, empty), 0.0);
+}
+
+TEST(LibraryScore, DeterministicAcrossCalls) {
+  const Spectrum query = model_spectrum("PEPTIDEK");
+  const QueryContext context(query);
+  const Spectrum entry = model_spectrum("PEPTIDEK");
+  EXPECT_EQ(likelihood_ratio_library(context, entry),
+            likelihood_ratio_library(context, entry));
+}
+
+// ---------- target–decoy FDR ----------
+
+TEST(Fdr, DecoyDatabasePreservesStatistics) {
+  ProteinDatabase db;
+  db.proteins.push_back({"p1", "ACDEFGHIK"});
+  db.proteins.push_back({"p2", "LMNPQR"});
+  const ProteinDatabase decoys = make_decoy_database(db);
+  ASSERT_EQ(decoys.sequence_count(), 2u);
+  EXPECT_EQ(decoys.proteins[0].id, "DECOY_p1");
+  EXPECT_EQ(decoys.proteins[0].residues, "KIHGFEDCA");
+  EXPECT_NEAR(peptide_mass(decoys.proteins[0].residues),
+              peptide_mass(db.proteins[0].residues), 1e-9);
+  EXPECT_TRUE(is_decoy_id("DECOY_p1"));
+  EXPECT_FALSE(is_decoy_id("p1"));
+}
+
+TEST(Fdr, ConcatenateKeepsOrder) {
+  ProteinDatabase a, b;
+  a.proteins.push_back({"t", "GGG"});
+  b.proteins.push_back({"DECOY_t", "GGG"});
+  const ProteinDatabase combined = concatenate(a, b);
+  ASSERT_EQ(combined.sequence_count(), 2u);
+  EXPECT_EQ(combined.proteins[0].id, "t");
+  EXPECT_EQ(combined.proteins[1].id, "DECOY_t");
+}
+
+TEST(Fdr, PerfectSeparationGivesLowQ) {
+  std::vector<Psm> psms;
+  for (int i = 0; i < 50; ++i) psms.push_back({100.0 + i, false});  // targets
+  for (int i = 0; i < 50; ++i) psms.push_back({-100.0 - i, true});  // decoys
+  const auto q = estimate_q_values(psms);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_LE(q[static_cast<std::size_t>(i)], 0.05) << i;
+    EXPECT_DOUBLE_EQ(q[static_cast<std::size_t>(50 + i)], 1.0);  // decoys
+  }
+  EXPECT_EQ(accepted_at(psms, 0.05), 50u);
+}
+
+TEST(Fdr, InterleavedScoresRaiseQ) {
+  // Alternating target/decoy scores → FDR ≈ 1 throughout.
+  std::vector<Psm> psms;
+  for (int i = 0; i < 40; ++i)
+    psms.push_back({static_cast<double>(100 - i), i % 2 == 1});
+  EXPECT_EQ(accepted_at(psms, 0.05), 0u);
+  const auto q = estimate_q_values(psms);
+  for (std::size_t i = 10; i < psms.size(); ++i) {
+    if (!psms[i].decoy) {
+      EXPECT_GT(q[i], 0.5) << i;
+    }
+  }
+}
+
+TEST(Fdr, QValuesAreMonotoneInScore) {
+  Xoshiro256 rng(31);
+  std::vector<Psm> psms;
+  for (int i = 0; i < 200; ++i)
+    psms.push_back({rng.normal() + (i % 3 == 0 ? 1.5 : 0.0), i % 4 == 0});
+  const auto q = estimate_q_values(psms);
+  // Sort targets by score; q must be non-increasing as score grows.
+  std::vector<std::pair<double, double>> target_q;
+  for (std::size_t i = 0; i < psms.size(); ++i)
+    if (!psms[i].decoy) target_q.emplace_back(psms[i].score, q[i]);
+  std::sort(target_q.begin(), target_q.end());
+  for (std::size_t i = 1; i < target_q.size(); ++i)
+    EXPECT_GE(target_q[i - 1].second + 1e-12, target_q[i].second);
+}
+
+TEST(Fdr, AcceptedCountMonotoneInThreshold) {
+  Xoshiro256 rng(32);
+  std::vector<Psm> psms;
+  for (int i = 0; i < 100; ++i)
+    psms.push_back({rng.normal() + (i % 2 ? 0.0 : 2.0), i % 2 == 1});
+  std::size_t previous = 0;
+  for (double threshold : {0.0, 0.01, 0.05, 0.2, 1.0}) {
+    const std::size_t accepted = accepted_at(psms, threshold);
+    EXPECT_GE(accepted, previous);
+    previous = accepted;
+  }
+}
+
+TEST(Fdr, RejectsBadThreshold) {
+  EXPECT_THROW(accepted_at({}, -0.1), InvalidArgument);
+  EXPECT_THROW(accepted_at({}, 1.5), InvalidArgument);
+}
+
+// ---------- TopK ----------
+
+struct FakeHit {
+  double score = 0.0;
+  int id = 0;
+  int tie_key() const { return id; }
+  bool operator==(const FakeHit&) const = default;
+};
+
+TEST(TopK, KeepsBestK) {
+  TopK<FakeHit> top(3);
+  for (int i = 0; i < 10; ++i) top.offer({static_cast<double>(i), i});
+  const auto sorted = top.sorted();
+  ASSERT_EQ(sorted.size(), 3u);
+  EXPECT_EQ(sorted[0].id, 9);
+  EXPECT_EQ(sorted[1].id, 8);
+  EXPECT_EQ(sorted[2].id, 7);
+}
+
+TEST(TopK, TieBreakIsDeterministic) {
+  TopK<FakeHit> top(2);
+  top.offer({5.0, 30});
+  top.offer({5.0, 10});
+  top.offer({5.0, 20});
+  const auto sorted = top.sorted();
+  ASSERT_EQ(sorted.size(), 2u);
+  EXPECT_EQ(sorted[0].id, 10);  // smaller tie key wins
+  EXPECT_EQ(sorted[1].id, 20);
+}
+
+// Property: final content independent of offer order (the paper's ring
+// iterations present candidates in p different orders).
+TEST(TopK, OrderIndependent) {
+  std::vector<FakeHit> hits;
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 200; ++i)
+    hits.push_back({rng.uniform(0, 10), i});  // unique ids
+  TopK<FakeHit> forward(17), backward(17), shuffled(17);
+  for (const auto& hit : hits) forward.offer(hit);
+  for (auto it = hits.rbegin(); it != hits.rend(); ++it) backward.offer(*it);
+  std::vector<FakeHit> mixed = hits;
+  for (std::size_t i = mixed.size(); i > 1; --i)
+    std::swap(mixed[i - 1], mixed[rng.bounded(i)]);
+  for (const auto& hit : mixed) shuffled.offer(hit);
+  EXPECT_EQ(forward.sorted(), backward.sorted());
+  EXPECT_EQ(forward.sorted(), shuffled.sorted());
+}
+
+TEST(TopK, MergeEqualsUnion) {
+  Xoshiro256 rng(9);
+  TopK<FakeHit> left(11), right(11), whole(11);
+  for (int i = 0; i < 150; ++i) {
+    const FakeHit hit{rng.uniform(0, 1), i};
+    (i % 2 ? left : right).offer(hit);
+    whole.offer(hit);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.sorted(), whole.sorted());
+}
+
+TEST(TopK, CapacityAndCutoff) {
+  TopK<FakeHit> top(2);
+  EXPECT_FALSE(top.full());
+  top.offer({1.0, 1});
+  top.offer({2.0, 2});
+  EXPECT_TRUE(top.full());
+  EXPECT_DOUBLE_EQ(top.cutoff(), 1.0);
+  top.offer({3.0, 3});
+  EXPECT_DOUBLE_EQ(top.cutoff(), 2.0);
+  EXPECT_THROW(TopK<FakeHit>(0), InvalidArgument);
+}
+
+// Parameterized sweep: TopK(k) over n offers always returns the true best k.
+class TopKSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TopKSweep, MatchesSortReference) {
+  const auto [k, n] = GetParam();
+  Xoshiro256 rng(static_cast<std::uint64_t>(k * 1000 + n));
+  std::vector<FakeHit> hits;
+  for (int i = 0; i < n; ++i) hits.push_back({rng.uniform(0, 5), i});
+  TopK<FakeHit> top(static_cast<std::size_t>(k));
+  for (const auto& hit : hits) top.offer(hit);
+  std::sort(hits.begin(), hits.end(), TopK<FakeHit>::better);
+  hits.resize(std::min<std::size_t>(hits.size(), static_cast<std::size_t>(k)));
+  EXPECT_EQ(top.sorted(), hits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TopKSweep,
+    ::testing::Values(std::pair{1, 10}, std::pair{5, 5}, std::pair{5, 100},
+                      std::pair{10, 9}, std::pair{100, 1000},
+                      std::pair{1000, 50}));
+
+}  // namespace
+}  // namespace msp

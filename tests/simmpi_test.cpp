@@ -1,0 +1,606 @@
+// Tests for the simulated distributed-memory runtime: collectives, RMA,
+// p2p, virtual-time semantics (masking!), memory accounting, and failure
+// propagation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+#include <sstream>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/runtime.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace msp::sim {
+namespace {
+
+NetworkModel test_network() {
+  NetworkModel network;
+  network.latency_s = 1e-4;
+  network.seconds_per_byte = 1e-8;
+  network.shm_latency_s = 1e-6;
+  network.shm_seconds_per_byte = 1e-9;
+  network.ranks_per_node = 4;
+  return network;
+}
+
+TEST(Runtime, RunsEveryRankOnce) {
+  Runtime runtime(8, test_network());
+  std::atomic<int> visits{0};
+  std::atomic<int> rank_mask{0};
+  runtime.run([&](Comm& comm) {
+    visits.fetch_add(1);
+    rank_mask.fetch_or(1 << comm.rank());
+    EXPECT_EQ(comm.size(), 8);
+  });
+  EXPECT_EQ(visits.load(), 8);
+  EXPECT_EQ(rank_mask.load(), 0xFF);
+}
+
+TEST(Runtime, SingleRankRunsInline) {
+  Runtime runtime(1);
+  int rank_seen = -1;
+  runtime.run([&](Comm& comm) { rank_seen = comm.rank(); });
+  EXPECT_EQ(rank_seen, 0);
+}
+
+TEST(Runtime, RejectsBadRankCounts) {
+  EXPECT_THROW(Runtime(0), InvalidArgument);
+  EXPECT_THROW(Runtime(5000), InvalidArgument);
+}
+
+TEST(Runtime, ExceptionInOneRankPropagates) {
+  Runtime runtime(4, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    comm.barrier();
+    if (comm.rank() == 2) throw InvalidArgument("rank 2 exploded");
+    comm.barrier();  // others park here; abort must release them
+    comm.barrier();
+  }),
+               InvalidArgument);
+}
+
+TEST(Runtime, ReportCollectsPerRankStats) {
+  Runtime runtime(3, test_network());
+  const RunReport report = runtime.run([&](Comm& comm) {
+    comm.clock().charge_compute(0.5 * (comm.rank() + 1));
+    comm.bump("work", static_cast<std::uint64_t>(comm.rank()));
+  });
+  ASSERT_EQ(report.ranks.size(), 3u);
+  EXPECT_DOUBLE_EQ(report.ranks[1].compute_seconds, 1.0);
+  EXPECT_EQ(report.sum_counter("work"), 3u);
+  EXPECT_DOUBLE_EQ(report.max_compute(), 1.5);
+  EXPECT_DOUBLE_EQ(report.total_time(), 1.5);
+}
+
+// ---------- collectives ----------
+
+TEST(Collectives, AllreduceValues) {
+  Runtime runtime(6, test_network());
+  runtime.run([&](Comm& comm) {
+    const double rank = static_cast<double>(comm.rank());
+    EXPECT_DOUBLE_EQ(comm.allreduce_max(rank), 5.0);
+    EXPECT_DOUBLE_EQ(comm.allreduce_min(rank), 0.0);
+    EXPECT_EQ(comm.allreduce_sum(static_cast<std::uint64_t>(comm.rank() + 1)),
+              21u);
+  });
+}
+
+TEST(Collectives, AllreduceVectorSums) {
+  Runtime runtime(4, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<std::uint64_t> counts(5, 0);
+    counts[static_cast<std::size_t>(comm.rank())] = 10;
+    counts[4] = 1;
+    comm.allreduce_sum(counts);
+    EXPECT_EQ(counts, (std::vector<std::uint64_t>{10, 10, 10, 10, 4}));
+  });
+}
+
+TEST(Collectives, AllgatherRankOrder) {
+  Runtime runtime(5, test_network());
+  runtime.run([&](Comm& comm) {
+    const auto values = comm.allgather(comm.rank() * 7);
+    ASSERT_EQ(values.size(), 5u);
+    for (int r = 0; r < 5; ++r) EXPECT_EQ(values[static_cast<std::size_t>(r)], r * 7);
+  });
+}
+
+TEST(Collectives, BarrierSynchronizesClocks) {
+  Runtime runtime(4, test_network());
+  const RunReport report = runtime.run([&](Comm& comm) {
+    comm.clock().charge_compute(comm.rank() == 3 ? 2.0 : 0.1);
+    comm.barrier();
+    // All clocks advanced to at least the slowest rank's entry time.
+    EXPECT_GE(comm.clock().now(), 2.0);
+  });
+  // Fast ranks waited; the wait is visible as sync time, not compute.
+  EXPECT_GT(report.ranks[0].sync_wait_seconds, 1.8);
+  EXPECT_LT(report.ranks[3].sync_wait_seconds, 1e-6);
+}
+
+TEST(Collectives, AlltoallvDeliversPersonalizedPayloads) {
+  Runtime runtime(4, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<std::vector<char>> send(4);
+    for (int destination = 0; destination < 4; ++destination) {
+      // payload = [source, destination] so both sides can be checked.
+      send[static_cast<std::size_t>(destination)] = {
+          static_cast<char>(comm.rank()), static_cast<char>(destination)};
+    }
+    const auto received = comm.alltoallv(send);
+    ASSERT_EQ(received.size(), 4u);
+    for (int source = 0; source < 4; ++source) {
+      ASSERT_EQ(received[static_cast<std::size_t>(source)].size(), 2u);
+      EXPECT_EQ(received[static_cast<std::size_t>(source)][0],
+                static_cast<char>(source));
+      EXPECT_EQ(received[static_cast<std::size_t>(source)][1],
+                static_cast<char>(comm.rank()));
+    }
+  });
+}
+
+TEST(Collectives, AlltoallvHandlesEmptyPayloads) {
+  Runtime runtime(3, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<std::vector<char>> send(3);
+    if (comm.rank() == 0) send[1] = {'x'};
+    const auto received = comm.alltoallv(send);
+    if (comm.rank() == 1)
+      EXPECT_EQ(received[0], (std::vector<char>{'x'}));
+    else
+      EXPECT_TRUE(received[0].empty());
+  });
+}
+
+// ---------- RMA windows ----------
+
+TEST(Rma, GetCopiesRemoteShard) {
+  Runtime runtime(4, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<char> local(16, static_cast<char>('A' + comm.rank()));
+    Window window(comm, local);
+    const int target = (comm.rank() + 1) % 4;
+    std::vector<char> fetched;
+    RmaRequest request = window.rget(target, fetched, 1);
+    window.wait(request);
+    ASSERT_EQ(fetched.size(), 16u);
+    for (char c : fetched) EXPECT_EQ(c, static_cast<char>('A' + target));
+    EXPECT_EQ(window.shard_size(target), 16u);
+    window.fence();
+  });
+}
+
+TEST(Rma, ShardSizesMayDiffer) {
+  Runtime runtime(3, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<char> local(static_cast<std::size_t>(comm.rank() + 1) * 8, 'z');
+    Window window(comm, local);
+    for (int r = 0; r < 3; ++r)
+      EXPECT_EQ(window.shard_size(r), static_cast<std::size_t>(r + 1) * 8);
+    window.fence();
+  });
+}
+
+// The masking semantics the paper depends on: a transfer overlapped with
+// enough computation costs (almost) nothing; without computation the full
+// transfer time is residual.
+TEST(Rma, MaskingHidesTransferBehindCompute) {
+  NetworkModel network = test_network();
+  network.ranks_per_node = 1;  // force cross-node costs
+  Runtime runtime(2, network);
+  const std::size_t bytes = 10'000'000;  // 0.1 s at 1e-8 s/B
+  const RunReport report = runtime.run([&](Comm& comm) {
+    std::vector<char> local(bytes, 'd');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest request = window.rget(1 - comm.rank(), fetched, 1);
+    if (comm.rank() == 0) comm.clock().charge_compute(1.0);  // rank 0 masks
+    window.wait(request);
+    window.fence();  // window close is collective (MPI_Win_free semantics)
+  });
+  // Rank 0: compute (1 s) exceeded the 0.1 s transfer → only the collective
+  // window bookkeeping (µs-scale latency) remains unmasked.
+  EXPECT_LT(report.ranks[0].residual_comm_seconds, 1e-3);
+  // Rank 1: no compute → the whole transfer is residual.
+  EXPECT_NEAR(report.ranks[1].residual_comm_seconds, 0.1, 0.01);
+  // Both issued the same modeled communication volume.
+  EXPECT_NEAR(report.ranks[0].comm_issued_seconds,
+              report.ranks[1].comm_issued_seconds, 1e-9);
+}
+
+TEST(Rma, SameNodeTransfersAreCheaper) {
+  NetworkModel network = test_network();
+  network.node_count = 4;  // cyclic placement: ranks 0 and 4 share node 0
+  Runtime runtime(8, network);
+  ASSERT_TRUE(network.same_node(0, 4));
+  ASSERT_FALSE(network.same_node(1, 2));
+  const RunReport report = runtime.run([&](Comm& comm) {
+    std::vector<char> local(1'000'000, 'b');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    // Rank 0 fetches from rank 4 (same node); rank 1 fetches from rank 2
+    // (cross node). Everyone else just participates in the window.
+    if (comm.rank() == 0) {
+      RmaRequest request = window.rget(4, fetched, 1);
+      window.wait(request);
+    } else if (comm.rank() == 1) {
+      RmaRequest request = window.rget(2, fetched, 1);
+      window.wait(request);
+    }
+    window.fence();
+  });
+  EXPECT_LT(report.ranks[0].residual_comm_seconds,
+            report.ranks[1].residual_comm_seconds);
+}
+
+TEST(Rma, PartialGetFetchesExactRange) {
+  Runtime runtime(2, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<char> local(26);
+    for (int i = 0; i < 26; ++i)
+      local[static_cast<std::size_t>(i)] = static_cast<char>('a' + i);
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest request =
+        window.rget_range(1 - comm.rank(), 3, 5, fetched, 1);
+    window.wait(request);
+    EXPECT_EQ(std::string(fetched.begin(), fetched.end()), "defgh");
+    // Zero-length and full-range edges.
+    RmaRequest empty = window.rget_range(1 - comm.rank(), 26, 0, fetched, 1);
+    window.wait(empty);
+    EXPECT_TRUE(fetched.empty());
+    window.fence();
+  });
+}
+
+TEST(Rma, PartialGetOutOfBoundsThrows) {
+  Runtime runtime(2, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    std::vector<char> local(8, 'x');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    window.rget_range(comm.rank(), 4, 5, fetched, 1);  // 4+5 > 8
+  }),
+               InvalidArgument);
+}
+
+TEST(Rma, WaitTwiceIsAnError) {
+  Runtime runtime(2, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    std::vector<char> local(4, 'a');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    // Self-get so the error path cannot race another rank's teardown.
+    RmaRequest request = window.rget(comm.rank(), fetched, 1);
+    window.wait(request);
+    window.wait(request);
+  }),
+               InvalidArgument);
+}
+
+// ---------- communicator splitting ----------
+
+TEST(Split, RanksAndSizesPerColor) {
+  Runtime runtime(6, test_network());
+  runtime.run([&](Comm& world) {
+    // Colors: {0,1,2} even/odd split.
+    const int color = world.rank() % 2;
+    const auto sub = world.split(color);
+    EXPECT_EQ(sub->size(), 3);
+    EXPECT_EQ(sub->rank(), world.rank() / 2);
+    EXPECT_EQ(sub->global_rank(), world.rank());
+    // Member mapping: sub rank r -> global rank 2r + color.
+    for (int r = 0; r < 3; ++r)
+      EXPECT_EQ(sub->global_rank_of(r), 2 * r + color);
+  });
+}
+
+TEST(Split, CollectivesAreGroupLocal) {
+  Runtime runtime(8, test_network());
+  runtime.run([&](Comm& world) {
+    const int color = world.rank() < 5 ? 0 : 1;  // uneven groups: 5 + 3
+    const auto sub = world.split(color);
+    EXPECT_EQ(sub->size(), color == 0 ? 5 : 3);
+    const double group_max =
+        sub->allreduce_max(static_cast<double>(world.rank()));
+    EXPECT_DOUBLE_EQ(group_max, color == 0 ? 4.0 : 7.0);
+    const auto gathered = sub->allgather(world.rank());
+    ASSERT_EQ(gathered.size(), static_cast<std::size_t>(sub->size()));
+    EXPECT_EQ(gathered[0], color == 0 ? 0 : 5);
+  });
+}
+
+TEST(Split, WindowsScopeToSubgroup) {
+  Runtime runtime(4, test_network());
+  runtime.run([&](Comm& world) {
+    const int color = world.rank() / 2;  // {0,1} and {2,3}
+    const auto sub = world.split(color);
+    std::vector<char> shard{static_cast<char>(world.rank())};
+    Window window(*sub, shard);
+    std::vector<char> fetched;
+    RmaRequest request = window.rget(1 - sub->rank(), fetched, 1);
+    window.wait(request);
+    ASSERT_EQ(fetched.size(), 1u);
+    // The partner within the sub-group, never a rank of the other group.
+    EXPECT_EQ(fetched[0], static_cast<char>(world.rank() ^ 1));
+    window.fence();
+  });
+}
+
+TEST(Split, SharesClockAndCounters) {
+  Runtime runtime(2, test_network());
+  const RunReport report = runtime.run([&](Comm& world) {
+    const auto sub = world.split(0);  // everyone same color
+    sub->clock().charge_compute(0.25);
+    sub->bump("shared_counter");
+    world.bump("shared_counter");
+  });
+  EXPECT_EQ(report.sum_counter("shared_counter"), 4u);
+  EXPECT_DOUBLE_EQ(report.ranks[0].compute_seconds, 0.25);
+}
+
+TEST(Split, NestedSplit) {
+  Runtime runtime(8, test_network());
+  runtime.run([&](Comm& world) {
+    const auto half = world.split(world.rank() / 4);    // two groups of 4
+    const auto quarter = half->split(half->rank() / 2); // four groups of 2
+    EXPECT_EQ(quarter->size(), 2);
+    const std::uint64_t pair_sum =
+        quarter->allreduce_sum(static_cast<std::uint64_t>(world.rank()));
+    // Pairs are {0,1},{2,3},{4,5},{6,7} → sums 1, 5, 9, 13.
+    EXPECT_EQ(pair_sum, static_cast<std::uint64_t>(
+                            (world.rank() / 2) * 4 + 1));
+  });
+}
+
+TEST(Split, SingletonGroups) {
+  Runtime runtime(3, test_network());
+  runtime.run([&](Comm& world) {
+    const auto alone = world.split(world.rank());  // p singleton groups
+    EXPECT_EQ(alone->size(), 1);
+    EXPECT_EQ(alone->rank(), 0);
+    EXPECT_DOUBLE_EQ(alone->allreduce_max(3.5), 3.5);
+  });
+}
+
+TEST(Split, AbortInsideSubgroupReleasesEveryone) {
+  // A rank failing while others are parked in a *sub*-communicator barrier
+  // must still release them (the abort fans out to every live group).
+  Runtime runtime(6, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& world) {
+    const auto sub = world.split(world.rank() % 2);
+    if (world.rank() == 3) throw InvalidArgument("boom in a subgroup");
+    sub->barrier();  // the other ranks park here
+    sub->barrier();
+  }),
+               InvalidArgument);
+}
+
+TEST(Stress, RandomCollectiveSequencesStayConsistent) {
+  // Property: any same-on-all-ranks sequence of collectives completes, all
+  // clocks agree afterwards, and reductions return the analytic values.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    Runtime runtime(5, test_network());
+    const RunReport report = runtime.run([&](Comm& comm) {
+      msp::Xoshiro256 rng(seed);  // same stream on every rank
+      for (int op = 0; op < 30; ++op) {
+        comm.clock().charge_compute(1e-4 * (comm.rank() + 1));
+        switch (rng.bounded(4)) {
+          case 0:
+            comm.barrier();
+            break;
+          case 1:
+            EXPECT_DOUBLE_EQ(
+                comm.allreduce_max(static_cast<double>(comm.rank())), 4.0);
+            break;
+          case 2:
+            EXPECT_EQ(comm.allreduce_sum(std::uint64_t{1}), 5u);
+            break;
+          case 3: {
+            const auto all = comm.allgather(comm.rank());
+            EXPECT_EQ(all.size(), 5u);
+            break;
+          }
+        }
+      }
+      comm.barrier();
+    });
+    // Clocks converge at the final barrier.
+    for (const auto& rank : report.ranks)
+      EXPECT_NEAR(rank.total_time, report.total_time(), 1e-12);
+  }
+}
+
+TEST(Stress, ClockIsMonotoneThroughMixedOperations) {
+  Runtime runtime(4, test_network());
+  runtime.run([&](Comm& comm) {
+    double last = comm.clock().now();
+    auto check = [&] {
+      EXPECT_GE(comm.clock().now() + 1e-15, last);
+      last = comm.clock().now();
+    };
+    std::vector<char> shard(1024, 'q');
+    Window window(comm, shard);
+    check();
+    std::vector<char> buffer;
+    for (int i = 0; i < 10; ++i) {
+      RmaRequest request =
+          window.rget((comm.rank() + 1) % 4, buffer, 1);
+      check();
+      comm.clock().charge_compute(1e-5);
+      check();
+      window.wait(request);
+      check();
+      window.fence();
+      check();
+    }
+  });
+}
+
+TEST(Bcast, RootPayloadReachesEveryone) {
+  Runtime runtime(5, test_network());
+  runtime.run([&](Comm& world) {
+    const std::vector<char> payload =
+        world.rank() == 2 ? std::vector<char>{'a', 'b', 'c'}
+                          : std::vector<char>{};
+    const std::vector<char> received = world.bcast(2, payload);
+    EXPECT_EQ(received, (std::vector<char>{'a', 'b', 'c'}));
+  });
+}
+
+// ---------- point-to-point ----------
+
+TEST(P2p, SendRecvRoundTrip) {
+  Runtime runtime(2, test_network());
+  runtime.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 42, {'h', 'i'});
+      const Comm::Message reply = comm.recv(1, 43);
+      EXPECT_EQ(reply.payload, (std::vector<char>{'o', 'k'}));
+    } else {
+      const Comm::Message message = comm.recv(Comm::kAnySource, 42);
+      EXPECT_EQ(message.source, 0);
+      EXPECT_EQ(message.payload, (std::vector<char>{'h', 'i'}));
+      comm.send(0, 43, {'o', 'k'});
+    }
+  });
+}
+
+TEST(P2p, TagAndSourceFiltering) {
+  Runtime runtime(3, test_network());
+  runtime.run([&](Comm& comm) {
+    if (comm.rank() == 1) comm.send(0, 7, {'a'});
+    if (comm.rank() == 2) comm.send(0, 9, {'b'});
+    if (comm.rank() == 0) {
+      // Receive tag 9 first even if tag 7 arrived earlier.
+      const Comm::Message nine = comm.recv(Comm::kAnySource, 9);
+      EXPECT_EQ(nine.source, 2);
+      const Comm::Message seven = comm.recv(1, 7);
+      EXPECT_EQ(seven.payload, (std::vector<char>{'a'}));
+    }
+  });
+}
+
+TEST(P2p, RecvAdvancesClockByTransferCost) {
+  NetworkModel network = test_network();
+  network.ranks_per_node = 1;
+  Runtime runtime(2, network);
+  const RunReport report = runtime.run([&](Comm& comm) {
+    if (comm.rank() == 0) {
+      comm.send(1, 1, std::vector<char>(1'000'000, 'x'));  // 0.01 s wire
+    } else {
+      comm.recv(0, 1);
+      EXPECT_GT(comm.clock().now(), 0.009);
+    }
+  });
+  EXPECT_GT(report.ranks[1].residual_comm_seconds, 0.009);
+}
+
+// ---------- memory accounting ----------
+
+TEST(Memory, TracksCurrentAndPeak) {
+  Runtime runtime(1);
+  const RunReport report = runtime.run([&](Comm& comm) {
+    comm.charge_alloc(100);
+    comm.charge_alloc(50);
+    comm.release_alloc(120);
+    comm.charge_alloc(10);
+    EXPECT_EQ(comm.current_memory(), 40u);
+    EXPECT_EQ(comm.peak_memory(), 150u);
+  });
+  EXPECT_EQ(report.ranks[0].peak_memory_bytes, 150u);
+}
+
+TEST(Memory, BudgetEnforced) {
+  Runtime runtime(2, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    comm.set_memory_budget(100);
+    comm.charge_alloc(60);
+    comm.barrier();
+    if (comm.rank() == 1) comm.charge_alloc(60);  // 120 > 100
+    comm.barrier();
+  }),
+               OutOfMemoryBudget);
+}
+
+TEST(Memory, OverReleaseIsAnError) {
+  Runtime runtime(1);
+  EXPECT_THROW(runtime.run([&](Comm& comm) { comm.release_alloc(1); }),
+               InvalidArgument);
+}
+
+// ---------- run report ----------
+
+TEST(RunReport, CsvHasOneRowPerRankAndUnionOfCounters) {
+  Runtime runtime(3, test_network());
+  const RunReport report = runtime.run([&](Comm& comm) {
+    comm.clock().charge_compute(0.1 * (comm.rank() + 1));
+    if (comm.rank() == 0) comm.bump("alpha", 5);
+    if (comm.rank() == 2) comm.bump("beta", 7);
+  });
+  const std::string csv = report.to_csv();
+  // Header + 3 rows.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 4);
+  EXPECT_NE(csv.find("alpha"), std::string::npos);
+  EXPECT_NE(csv.find("beta"), std::string::npos);
+  // Rank 1 has neither counter → zeros, but the columns exist.
+  std::istringstream lines(csv);
+  std::string header, row0, row1;
+  std::getline(lines, header);
+  std::getline(lines, row0);
+  std::getline(lines, row1);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row1.begin(), row1.end(), ','));
+}
+
+// ---------- virtual clock ----------
+
+TEST(VClock, BucketsAccumulateIndependently) {
+  VirtualClock clock;
+  clock.charge_compute(1.0);
+  clock.charge_io(0.5);
+  clock.note_comm_issued(0.3);
+  clock.wait_until(2.0);   // 0.5 residual
+  clock.sync_until(2.25);  // 0.25 sync
+  EXPECT_DOUBLE_EQ(clock.now(), 2.25);
+  EXPECT_DOUBLE_EQ(clock.compute_seconds(), 1.0);
+  EXPECT_DOUBLE_EQ(clock.io_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(clock.comm_issued_seconds(), 0.3);
+  EXPECT_DOUBLE_EQ(clock.residual_comm_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(clock.sync_wait_seconds(), 0.25);
+  clock.wait_until(1.0);  // the past: no-op
+  EXPECT_DOUBLE_EQ(clock.now(), 2.25);
+}
+
+// Parameterized: the runtime behaves identically for many rank counts.
+class RuntimeScale : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuntimeScale, RingRotationVisitsEveryShardOnce) {
+  const int p = GetParam();
+  Runtime runtime(p, test_network());
+  runtime.run([&](Comm& comm) {
+    std::vector<char> local{static_cast<char>(comm.rank())};
+    Window window(comm, local);
+    std::vector<bool> visited(static_cast<std::size_t>(p), false);
+    std::vector<char> fetched;
+    for (int s = 0; s < p; ++s) {
+      const int j = (comm.rank() + s) % p;
+      RmaRequest request = window.rget(j, fetched, 1);
+      window.wait(request);
+      ASSERT_EQ(fetched.size(), 1u);
+      EXPECT_EQ(fetched[0], static_cast<char>(j));
+      visited[static_cast<std::size_t>(j)] = true;
+      window.fence();
+    }
+    for (bool v : visited) EXPECT_TRUE(v);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, RuntimeScale,
+                         ::testing::Values(1, 2, 3, 4, 7, 8, 16, 32));
+
+}  // namespace
+}  // namespace msp::sim

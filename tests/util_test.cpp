@@ -1,0 +1,288 @@
+// Unit tests for src/util: stats, RNG, CLI, table, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/base64.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/str.hpp"
+#include "util/table.hpp"
+
+namespace msp {
+namespace {
+
+// ---------- Accumulator ----------
+
+TEST(Accumulator, EmptyIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.stddev(), 0.0);
+}
+
+TEST(Accumulator, KnownMoments) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  // Sample stddev of this classic dataset: sqrt(32/7).
+  EXPECT_NEAR(acc.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesSequential) {
+  Accumulator left, right, all;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i < 37 ? left : right).add(x);
+    all.add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.stddev(), all.stddev(), 1e-12);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmpty) {
+  Accumulator a, empty;
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+// ---------- Histogram ----------
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram hist(0.0, 10.0, 10);
+  hist.add(0.5);    // bin 0
+  hist.add(9.99);   // bin 9
+  hist.add(-5.0);   // clamps to bin 0
+  hist.add(50.0);   // clamps to bin 9
+  EXPECT_EQ(hist.bin_count(0), 2u);
+  EXPECT_EQ(hist.bin_count(9), 2u);
+  EXPECT_EQ(hist.total(), 4u);
+}
+
+TEST(Histogram, QuantileMonotone) {
+  Histogram hist(0.0, 100.0, 100);
+  for (int i = 0; i < 1000; ++i) hist.add(static_cast<double>(i % 100));
+  EXPECT_LE(hist.quantile(0.1), hist.quantile(0.5));
+  EXPECT_LE(hist.quantile(0.5), hist.quantile(0.9));
+  EXPECT_NEAR(hist.quantile(0.5), 50.0, 2.0);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+// ---------- LinearFit ----------
+
+TEST(LinearFit, ExactLine) {
+  std::vector<double> x{1, 2, 3, 4, 5};
+  std::vector<double> y{3, 5, 7, 9, 11};  // y = 1 + 2x
+  const LinearFit fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(LinearFit, RejectsMismatchedInput) {
+  EXPECT_THROW(fit_linear({1.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(fit_linear({1.0}, {1.0}), InvalidArgument);
+}
+
+// ---------- RNG ----------
+
+TEST(Rng, DeterministicStreams) {
+  Xoshiro256 a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+  bool any_different = false;
+  Xoshiro256 a2(42);
+  for (int i = 0; i < 100; ++i) any_different |= (a2() != c());
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Rng, UniformInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedInRange) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+}
+
+TEST(Rng, NormalMomentsApproximately) {
+  Xoshiro256 rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanApproximately) {
+  Xoshiro256 rng(13);
+  Accumulator small, large;
+  for (int i = 0; i < 20000; ++i) small.add(static_cast<double>(rng.poisson(3.0)));
+  for (int i = 0; i < 20000; ++i) large.add(static_cast<double>(rng.poisson(100.0)));
+  EXPECT_NEAR(small.mean(), 3.0, 0.1);
+  EXPECT_NEAR(large.mean(), 100.0, 1.0);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+// ---------- Cli ----------
+
+TEST(Cli, ParsesAllKinds) {
+  Cli cli("prog", "test");
+  cli.add_flag("verbose", "flag");
+  cli.add_int("count", 5, "int");
+  cli.add_double("ratio", 0.5, "double");
+  cli.add_string("name", "x", "string");
+  const char* argv[] = {"prog", "--verbose", "--count", "12",
+                        "--ratio=2.25", "--name", "abc"};
+  ASSERT_TRUE(cli.parse(7, argv));
+  EXPECT_TRUE(cli.flag("verbose"));
+  EXPECT_EQ(cli.get_int("count"), 12);
+  EXPECT_DOUBLE_EQ(cli.get_double("ratio"), 2.25);
+  EXPECT_EQ(cli.get_string("name"), "abc");
+}
+
+TEST(Cli, DefaultsSurviveWhenUnset) {
+  Cli cli("prog", "test");
+  cli.add_int("count", 5, "int");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int("count"), 5);
+}
+
+TEST(Cli, RejectsUnknownAndMalformed) {
+  Cli cli("prog", "test");
+  cli.add_int("count", 5, "int");
+  const char* unknown[] = {"prog", "--nope", "3"};
+  EXPECT_THROW(cli.parse(3, unknown), InvalidArgument);
+  const char* bad_int[] = {"prog", "--count", "abc"};
+  EXPECT_THROW(cli.parse(3, bad_int), InvalidArgument);
+  const char* missing[] = {"prog", "--count"};
+  EXPECT_THROW(cli.parse(2, missing), InvalidArgument);
+}
+
+TEST(Cli, IntListParsing) {
+  Cli cli("prog", "test");
+  cli.add_string("procs", "1,2,4,8", "list");
+  const char* argv[] = {"prog"};
+  ASSERT_TRUE(cli.parse(1, argv));
+  EXPECT_EQ(cli.get_int_list("procs"),
+            (std::vector<std::int64_t>{1, 2, 4, 8}));
+}
+
+// ---------- Table ----------
+
+TEST(Table, FormatsAlignedGrid) {
+  Table table({"a", "bb"});
+  table.add_row({"1", "2"});
+  table.add_row({"333", "4"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("| 333 |"), std::string::npos);
+  EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"1"}), InvalidArgument);
+}
+
+TEST(Table, CellFormatsNanAsDash) {
+  EXPECT_EQ(Table::cell(std::nan("")), "-");
+  EXPECT_EQ(Table::cell(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::cell(std::size_t{42}), "42");
+}
+
+// ---------- strings ----------
+
+TEST(Str, SplitAndTrim) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(trim("  hi \t\n"), "hi");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(Str, Formatters) {
+  EXPECT_EQ(group_digits(0), "0");
+  EXPECT_EQ(group_digits(999), "999");
+  EXPECT_EQ(group_digits(2655064), "2,655,064");
+  EXPECT_EQ(format_bytes(512), "512.0 B");
+  EXPECT_NE(format_bytes(1 << 20).find("MiB"), std::string::npos);
+}
+
+TEST(Str, Predicates) {
+  EXPECT_TRUE(starts_with("foobar", "foo"));
+  EXPECT_FALSE(starts_with("fo", "foo"));
+  EXPECT_EQ(to_upper("aBc"), "ABC");
+}
+
+// ---------- base64 ----------
+
+TEST(Base64, Rfc4648TestVectors) {
+  auto encode_text = [](std::string_view text) {
+    return base64_encode(text.data(), text.size());
+  };
+  EXPECT_EQ(encode_text(""), "");
+  EXPECT_EQ(encode_text("f"), "Zg==");
+  EXPECT_EQ(encode_text("fo"), "Zm8=");
+  EXPECT_EQ(encode_text("foo"), "Zm9v");
+  EXPECT_EQ(encode_text("foob"), "Zm9vYg==");
+  EXPECT_EQ(encode_text("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(encode_text("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64, RoundTripBinary) {
+  Xoshiro256 rng(55);
+  for (std::size_t length : {0u, 1u, 2u, 3u, 100u, 257u}) {
+    std::vector<std::uint8_t> bytes(length);
+    for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.bounded(256));
+    const std::string encoded = base64_encode(bytes);
+    EXPECT_EQ(base64_decode(encoded), bytes) << length;
+  }
+}
+
+TEST(Base64, DecodeToleratesWhitespace) {
+  EXPECT_EQ(base64_decode("Zm9v\n  YmFy\t"),
+            (std::vector<std::uint8_t>{'f', 'o', 'o', 'b', 'a', 'r'}));
+}
+
+TEST(Base64, DecodeRejectsGarbage) {
+  EXPECT_THROW(base64_decode("Zm9v!"), InvalidArgument);
+  EXPECT_THROW(base64_decode("Zg==Zg"), InvalidArgument);  // data after pad
+  EXPECT_THROW(base64_decode("Z"), InvalidArgument);       // truncated
+  EXPECT_THROW(base64_decode("Zg==="), InvalidArgument);   // excess pad
+}
+
+// ---------- error macros ----------
+
+TEST(Error, CheckThrowsWithContext) {
+  try {
+    MSP_CHECK_MSG(false, "value was " << 42);
+    FAIL() << "expected throw";
+  } catch (const InvalidArgument& error) {
+    EXPECT_NE(std::string(error.what()).find("value was 42"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace msp
