@@ -1,13 +1,52 @@
 // Using the simmpi substrate directly: a miniature "hello, distributed
 // memory" showing the primitives the search algorithms are built from —
 // collectives, one-sided windows with masked prefetch, and the virtual-time
-// performance report. Useful as a template for building other simulated
-// parallel algorithms on this runtime.
+// performance report — then the same job re-run on a degraded cluster via
+// the fault-injection layer (simmpi/faults.hpp). Useful as a template for
+// building other simulated parallel algorithms on this runtime.
 #include <iostream>
 #include <numeric>
 
 #include "simmpi/runtime.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+// The ring-rotation job, factored out so the healthy and the degraded
+// cluster run the byte-identical program.
+void ring_job(msp::sim::Comm& comm, const msp::sim::NetworkModel& network) {
+  using namespace msp;
+  const int p = comm.size();
+  const int rank = comm.rank();
+
+  std::vector<char> shard(64 * 1024, static_cast<char>(rank));
+  sim::Window window(comm, shard);
+
+  std::uint64_t checksum = 0;
+  std::vector<char> incoming;
+  std::vector<char> current = shard;
+  for (int s = 0; s < p; ++s) {
+    sim::RmaRequest prefetch;
+    if (s + 1 < p)
+      prefetch = window.rget((rank + s + 1) % p, incoming,
+                             network.concurrent_pulls(p));
+    checksum += static_cast<std::uint64_t>(
+        std::accumulate(current.begin(), current.end(), 0L));
+    comm.clock().charge_compute(2e-3);
+    if (s + 1 < p) {
+      window.wait(prefetch);
+      std::swap(current, incoming);
+    }
+    window.fence();
+  }
+
+  const double global = comm.allreduce_max(static_cast<double>(checksum));
+  if (global != static_cast<double>(checksum))
+    throw Error("checksum mismatch — ring rotation lost a shard");
+  comm.bump("shards_seen", static_cast<std::uint64_t>(p));
+}
+
+}  // namespace
 
 int main() {
   using namespace msp;
@@ -20,41 +59,8 @@ int main() {
 
   // Each rank owns a data shard; the job is a ring reduction where every
   // rank must see every shard (the skeleton of the paper's Algorithm A).
-  const sim::RunReport report = runtime.run([&](sim::Comm& comm) {
-    const int p = comm.size();
-    const int rank = comm.rank();
-
-    // Local shard: 64 KiB of rank-stamped bytes.
-    std::vector<char> shard(64 * 1024, static_cast<char>(rank));
-    sim::Window window(comm, shard);
-
-    // Ring rotation with masked prefetch: request the next shard, do this
-    // iteration's "compute", then complete the request.
-    std::uint64_t checksum = 0;
-    std::vector<char> incoming;
-    std::vector<char> current = shard;
-    for (int s = 0; s < p; ++s) {
-      sim::RmaRequest prefetch;
-      if (s + 1 < p)
-        prefetch = window.rget((rank + s + 1) % p, incoming,
-                               network.concurrent_pulls(p));
-      // "Compute": checksum the current shard; charge modeled time.
-      checksum += static_cast<std::uint64_t>(
-          std::accumulate(current.begin(), current.end(), 0L));
-      comm.clock().charge_compute(2e-3);
-      if (s + 1 < p) {
-        window.wait(prefetch);
-        std::swap(current, incoming);
-      }
-      window.fence();
-    }
-
-    // Everyone must agree on the global checksum.
-    const double global = comm.allreduce_max(static_cast<double>(checksum));
-    if (global != static_cast<double>(checksum))
-      throw Error("checksum mismatch — ring rotation lost a shard");
-    comm.bump("shards_seen", static_cast<std::uint64_t>(p));
-  });
+  const sim::RunReport report =
+      runtime.run([&](sim::Comm& comm) { ring_job(comm, network); });
 
   std::cout << "every rank saw " << report.sum_counter("shards_seen") / 16
             << " shards; run report:\n\n";
@@ -73,5 +79,28 @@ int main() {
             << " s (virtual)\n";
   std::cout << "mean residual/compute: " << report.mean_residual_over_compute()
             << '\n';
+
+  // ---- the same job on a degraded cluster ----
+  // A deterministic fault schedule: rank 5 runs 4x slower (and its link at
+  // half speed), and rank 9's first two transfers time out and are retried
+  // with exponential backoff. Same schedule → same virtual times, every run.
+  sim::FaultModel faults;
+  faults.straggle(5, 4.0, 2.0).fail_transfers(9, {0, 1});
+  sim::Runtime degraded(16, network, {}, faults);
+  const sim::RunReport faulty =
+      degraded.run([&](sim::Comm& comm) { ring_job(comm, network); });
+
+  std::cout << "\n== same ring on a degraded cluster (straggler + transient "
+               "failures) ==\n";
+  std::cout << "parallel run-time: " << faulty.total_time()
+            << " s (virtual), was " << report.total_time() << " s\n";
+  std::cout << "transfer retries: " << faulty.total_transfer_retries()
+            << ", time lost to retries: " << faulty.total_recovery_seconds()
+            << " s\n";
+  for (const auto& rank : faulty.ranks)
+    for (const auto& event : rank.fault_events)
+      std::cout << "  rank " << rank.rank << " @" << event.time << "s: "
+                << sim::fault_kind_name(event.kind) << " — " << event.detail
+                << '\n';
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "core/algorithm_a.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "core/packdb.hpp"
 #include "core/partition.hpp"
@@ -22,17 +23,39 @@ std::size_t query_bytes(const Spectrum& spectrum) {
 }  // namespace
 
 void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
-                      std::span<const Spectrum> local_queries,
-                      std::size_t output_offset, const SearchEngine& engine,
+                      const RingQuerySet& query_set, const SearchEngine& engine,
                       const AlgorithmAOptions& options, QueryHits& all_hits) {
   const int p = comm.size();
   const int rank = comm.rank();
   const auto& cost = comm.compute_model();
+  const sim::FaultModel& faults = comm.faults();
+
+  // Crash schedule in group-rank space. A scheduled step outside [0, p)
+  // never fires on this communicator (it names a step of a larger ring).
+  auto crash_step_of = [&](int r) {
+    const int step = faults.crash_step(comm.global_rank_of(r));
+    return step >= 0 && step < p ? step : -1;
+  };
+  const int my_crash_step = crash_step_of(rank);
+  const bool fault_tolerant = faults.has_crashes();
+  if (fault_tolerant) {
+    int survivors = 0;
+    for (int r = 0; r < p; ++r)
+      if (crash_step_of(r) < 0) ++survivors;
+    if (survivors == 0)
+      throw FaultUnrecoverable(
+          "fault schedule kills every rank of the ring — nobody left to "
+          "recover the query blocks");
+  }
 
   // ---- A1: load the rank's database chunk and prepare its query block ----
   ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
   comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
                          cost.seconds_per_residue_load);
+
+  const QueryRange block = query_block(query_set.queries.size(), rank, p);
+  const std::span<const Spectrum> local_queries(
+      query_set.queries.data() + block.begin, block.count());
 
   std::size_t local_query_bytes = 0;
   for (const Spectrum& q : local_queries) local_query_bytes += query_bytes(q);
@@ -57,20 +80,70 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   std::vector<char> recv_buffer;               // D_recv
   const int pulls = comm.network().concurrent_pulls(p);
 
+  // Shard replication for crash recovery: every rank pulls its ring
+  // predecessor's shard before the rotation starts (so the copy exists
+  // before any crash can fire) and exposes it through a second window.
+  // A dead rank's shard then stays reachable at its successor.
+  std::vector<char> replica;
+  std::optional<sim::Window> replica_window;
+  if (fault_tolerant) {
+    const int predecessor = (rank + p - 1) % p;
+    sim::RmaRequest pull = window.rget(predecessor, replica, pulls);
+    window.wait(pull);
+    comm.charge_alloc(replica.size());
+    replica_window.emplace(comm,
+                           std::span<const char>(replica.data(), replica.size()));
+  }
+
+  // One-sided fetch of shard `owner` issued at ring step `at_step`,
+  // rerouted to the replica when the owner is already dead at issue time
+  // (crashes are step-boundary events: a transfer issued before the
+  // owner's crash step completes normally).
+  struct ShardFetch {
+    sim::RmaRequest request;
+    sim::Window* window = nullptr;
+  };
+  auto owner_dead_at = [&](int owner, int at_step) {
+    const int step = crash_step_of(owner);
+    return step >= 0 && step <= at_step;
+  };
+  auto fetch_shard = [&](int owner, int at_step,
+                         std::vector<char>& dest) -> ShardFetch {
+    if (!owner_dead_at(owner, at_step))
+      return ShardFetch{window.rget(owner, dest, pulls), &window};
+    const int holder = (owner + 1) % p;
+    if (owner_dead_at(holder, at_step))
+      throw FaultUnrecoverable("shard " + std::to_string(owner) +
+                               ": owner and replica holder " +
+                               std::to_string(holder) + " both crashed");
+    return ShardFetch{replica_window->rget(holder, dest, pulls),
+                      &*replica_window};
+  };
+
   for (int s = 0; s < p; ++s) {
+    if (my_crash_step >= 0 && s >= my_crash_step) {
+      if (s == my_crash_step)
+        comm.mark_crashed("ring step " + std::to_string(s));
+      // Fail-stop zombie: the simulated host is gone, but the thread keeps
+      // matching the survivors' collectives so fence epochs and window
+      // lifetimes stay aligned while they recover.
+      if (options.fence_per_iteration) window.fence();
+      continue;
+    }
+
     const int next = (rank + s + 1) % p;
 
-    sim::RmaRequest prefetch;
+    ShardFetch prefetch;
     if (options.mask) {
       // Non-blocking request for the *next* iteration's shard (A2's
       // masking): issued before this iteration's computation.
-      if (s + 1 < p) prefetch = window.rget(next, recv_buffer, pulls);
+      if (s + 1 < p) prefetch = fetch_shard(next, s, recv_buffer);
     } else if (s > 0) {
       // Unmasked variant: this iteration's shard is fetched blocking,
       // fully exposing the transfer (s = 0 processes the local shard).
       const int current = (rank + s) % p;
-      sim::RmaRequest fetch = window.rget(current, comp_buffer, pulls);
-      window.wait(fetch);
+      ShardFetch fetch = fetch_shard(current, s, comp_buffer);
+      fetch.window->wait(fetch.request);
     }
 
     const ProteinDatabase shard_db =
@@ -81,8 +154,8 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
     comm.bump("prefiltered", stats.candidates_prefiltered);
     comm.bump("offers", stats.hits_offered);
 
-    if (options.mask && s + 1 < p) {
-      window.wait(prefetch);
+    if (options.mask && prefetch.request.active) {
+      prefetch.window->wait(prefetch.request);
       std::swap(comp_buffer, recv_buffer);
     }
     if (options.fence_per_iteration) window.fence();
@@ -91,16 +164,97 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   // exposed shard while another can still read it.
   window.fence();
 
-  // ---- A3: report the top-τ lists for the local queries ----
-  QueryHits local_hits = engine.finalize(tops);
-  std::size_t reported = 0;
-  for (std::size_t q = 0; q < local_hits.size(); ++q) {
-    reported += local_hits[q].size();
-    all_hits[output_offset + q] = std::move(local_hits[q]);
+  // ---- A2': survivors adopt the dead ranks' query blocks ----
+  if (fault_tolerant) {
+    std::vector<int> alive;
+    std::vector<int> dead;
+    for (int r = 0; r < p; ++r)
+      (crash_step_of(r) < 0 ? alive : dead).push_back(r);
+
+    if (!dead.empty() && my_crash_step < 0) {
+      // Omniscient deterministic failure detection: the schedule is known
+      // to every rank, so survivors charge the detection timeout once
+      // instead of simulating a heartbeat protocol.
+      comm.charge_recovery(faults.crash_detection_timeout_s,
+                           "declared " + std::to_string(dead.size()) +
+                               " rank(s) dead");
+      const double research_start = comm.clock().now();
+      const int my_index = static_cast<int>(
+          std::find(alive.begin(), alive.end(), rank) - alive.begin());
+      std::uint64_t adopted_total = 0;
+
+      for (const int d : dead) {
+        const QueryRange dead_block =
+            query_block(query_set.queries.size(), d, p);
+        // Re-partition the orphaned block among the survivors; each
+        // survivor re-searches its slice against all p shards.
+        const QueryRange adopted = query_block(
+            dead_block.count(), my_index, static_cast<int>(alive.size()));
+        if (adopted.count() == 0) continue;
+        const std::span<const Spectrum> orphans(
+            query_set.queries.data() + dead_block.begin + adopted.begin,
+            adopted.count());
+
+        std::size_t orphan_bytes = 0;
+        for (const Spectrum& q : orphans) orphan_bytes += query_bytes(q);
+        comm.charge_alloc(orphan_bytes);
+        const PreparedQueries orphan_prepared = engine.prepare(orphans);
+        comm.clock().charge_compute(static_cast<double>(orphans.size()) *
+                                    cost.seconds_per_query_prep);
+        std::vector<TopK<Hit>> orphan_tops = engine.make_tops(orphans.size());
+
+        for (int shard = 0; shard < p; ++shard) {
+          ProteinDatabase shard_db;
+          if (shard == rank) {
+            shard_db = unpack_database(local_pack);
+          } else {
+            ShardFetch fetch = fetch_shard(shard, p, recv_buffer);
+            fetch.window->wait(fetch.request);
+            shard_db = unpack_database(recv_buffer);
+          }
+          const ShardSearchStats stats =
+              engine.search_shard(shard_db, orphan_prepared, orphan_tops);
+          comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
+          comm.bump("candidates", stats.candidates_evaluated);
+          comm.bump("prefiltered", stats.candidates_prefiltered);
+        }
+
+        QueryHits orphan_hits = engine.finalize(orphan_tops);
+        std::size_t reported = 0;
+        for (std::size_t q = 0; q < orphan_hits.size(); ++q) {
+          reported += orphan_hits[q].size();
+          all_hits[query_set.output_offset + dead_block.begin + adopted.begin +
+                   q] = std::move(orphan_hits[q]);
+        }
+        comm.clock().charge_io(static_cast<double>(reported) *
+                               cost.seconds_per_hit_output);
+        comm.release_alloc(orphan_bytes);
+        adopted_total += adopted.count();
+      }
+      comm.bump("recovered_queries", adopted_total);
+      comm.note_recovery_span(
+          comm.clock().now() - research_start,
+          "re-searched " + std::to_string(adopted_total) +
+              " orphaned query(ies) against all shards");
+    }
+    // Replica windows close collectively once every survivor is done
+    // re-pulling; zombies attend so their exposed buffers stay alive.
+    replica_window->fence();
   }
-  comm.clock().charge_io(static_cast<double>(reported) *
-                         cost.seconds_per_hit_output);
-  comm.bump("hits_reported", reported);
+
+  // ---- A3: report the top-τ lists for the local queries ----
+  if (my_crash_step < 0) {
+    QueryHits local_hits = engine.finalize(tops);
+    std::size_t reported = 0;
+    for (std::size_t q = 0; q < local_hits.size(); ++q) {
+      reported += local_hits[q].size();
+      all_hits[query_set.output_offset + block.begin + q] =
+          std::move(local_hits[q]);
+    }
+    comm.clock().charge_io(static_cast<double>(reported) *
+                           cost.seconds_per_hit_output);
+    comm.bump("hits_reported", reported);
+  }
 }
 
 }  // namespace detail
@@ -110,21 +264,21 @@ ParallelRunResult run_algorithm_a(const sim::Runtime& runtime,
                                   const std::vector<Spectrum>& queries,
                                   const SearchConfig& config,
                                   const AlgorithmAOptions& options) {
-  const int p = runtime.size();
   const SearchEngine engine(config);
 
-  // Per-query output slots; each query is owned by exactly one rank, so the
-  // ranks write disjoint elements (no synchronization needed beyond join).
+  // Per-query output slots; each query is owned by exactly one rank (its
+  // block owner, or on a crash the surviving adopter), so the ranks write
+  // disjoint elements (no synchronization needed beyond join).
   QueryHits all_hits(queries.size());
 
   sim::RunReport report = runtime.run([&](sim::Comm& comm) {
     if (options.memory_budget_bytes != 0)
       comm.set_memory_budget(options.memory_budget_bytes);
-    const QueryRange block = query_block(queries.size(), comm.rank(), p);
     detail::ring_search_body(
         comm, fasta_image,
-        std::span<const Spectrum>(queries.data() + block.begin, block.count()),
-        block.begin, engine, options, all_hits);
+        detail::RingQuerySet{
+            std::span<const Spectrum>(queries.data(), queries.size()), 0},
+        engine, options, all_hits);
   });
 
   ParallelRunResult result;

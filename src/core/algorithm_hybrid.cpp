@@ -42,17 +42,19 @@ HybridResult run_algorithm_hybrid(const sim::Runtime& runtime,
     const int color = world.rank() / group_size;
     const std::unique_ptr<sim::Comm> sub = world.split(color);
 
-    // Queries partition across groups, then across the group's members;
-    // the database partitions within each group (every group holds all of
-    // it — per-rank memory O(N·g/p)).
+    // Queries partition across groups, then across the group's members
+    // (the ring body derives each member's block — and, under crash
+    // recovery, each survivor's share of a dead member's block — from the
+    // group's slice); the database partitions within each group (every
+    // group holds all of it — per-rank memory O(N·g/p)).
     const QueryRange group_block = query_block(queries.size(), color, groups);
-    const QueryRange mine =
-        query_block(group_block.count(), sub->rank(), sub->size());
     detail::ring_search_body(
         *sub, fasta_image,
-        std::span<const Spectrum>(queries.data() + group_block.begin + mine.begin,
-                                  mine.count()),
-        group_block.begin + mine.begin, engine, ring_options, all_hits);
+        detail::RingQuerySet{
+            std::span<const Spectrum>(queries.data() + group_block.begin,
+                                      group_block.count()),
+            group_block.begin},
+        engine, ring_options, all_hits);
 
     // Groups finish at different times; the job ends when all do.
     world.barrier();

@@ -44,7 +44,8 @@ PipelineResult run_pipeline(const std::string& fasta_image,
     return result;
   }
 
-  const sim::Runtime runtime(options.p, options.network, options.compute);
+  const sim::Runtime runtime(options.p, options.network, options.compute,
+                             options.faults);
   switch (options.algorithm) {
     case Algorithm::kAlgorithmA: {
       ParallelRunResult run = run_algorithm_a(runtime, fasta_image, queries,

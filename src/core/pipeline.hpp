@@ -13,6 +13,7 @@
 #include "core/master_worker.hpp"
 #include "core/query_transport.hpp"
 #include "io/results_io.hpp"
+#include "simmpi/faults.hpp"
 #include "simmpi/netmodel.hpp"
 
 namespace msp {
@@ -41,6 +42,9 @@ struct PipelineOptions {
   QueryTransportOptions query_transport;
   sim::NetworkModel network;
   sim::ComputeModel compute;
+  /// Deterministic fault schedule for the simulated run (default: none).
+  /// Ignored by the serial reference path.
+  sim::FaultModel faults;
 };
 
 struct PipelineResult {

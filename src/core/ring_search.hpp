@@ -13,13 +13,31 @@
 
 namespace msp::detail {
 
+/// The communicator's whole query set plus where its hits land in the
+/// global output array (the hybrid passes its group's slice). Every rank
+/// sees the full set so that, when a rank crashes mid-ring, the survivors
+/// can re-partition the dead rank's query block among themselves.
+struct RingQuerySet {
+  std::span<const Spectrum> queries;  ///< all queries owned by this comm
+  std::size_t output_offset = 0;      ///< all_hits index of queries[0]
+};
+
 /// Execute steps A1–A3 on `comm`: load the (comm.rank(), comm.size())
-/// database chunk of `fasta_image`, search `local_queries` against the
-/// rotating shards, and write each query q's hits to
-/// all_hits[output_offset + q]. Collective over `comm`.
+/// database chunk of `fasta_image`, search this rank's block of
+/// `query_set.queries` against the rotating shards, and write each query
+/// q's hits to all_hits[query_set.output_offset + q]. Collective over
+/// `comm`.
+///
+/// Fault tolerance (active when comm.faults() schedules crashes): each
+/// shard is replicated on its ring successor before the rotation starts; a
+/// rank whose scheduled crash step fires stops contributing work but keeps
+/// matching collectives (fail-stop "zombie"); after the rotation, the
+/// survivors re-partition each dead rank's query block and re-search it
+/// against all shards, pulling a dead rank's shard from its replica.
+/// Throws FaultUnrecoverable when a shard's owner and replica holder both
+/// died, or when the schedule kills every rank of the communicator.
 void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
-                      std::span<const Spectrum> local_queries,
-                      std::size_t output_offset, const SearchEngine& engine,
+                      const RingQuerySet& query_set, const SearchEngine& engine,
                       const AlgorithmAOptions& options, QueryHits& all_hits);
 
 }  // namespace msp::detail

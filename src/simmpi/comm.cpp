@@ -33,6 +33,50 @@ const NetworkModel& Comm::network() const { return shared_.network; }
 
 const ComputeModel& Comm::compute_model() const { return shared_.compute; }
 
+const FaultModel& Comm::faults() const { return shared_.faults; }
+
+void Comm::pay_transfer_faults(const char* what) {
+  const FaultModel& faults = shared_.faults;
+  if (!faults.has_transfer_failures(global_rank_)) return;
+  int retry = 0;
+  while (faults.transfer_fails(global_rank_, state_.transfer_attempts)) {
+    const std::uint64_t attempt = state_.transfer_attempts++;
+    ++state_.transfer_retries;
+    const double delay = faults.retry_delay(retry++);
+    state_.clock.charge_recovery(delay);
+    state_.fault_events.push_back(
+        FaultEvent{FaultKind::kRetry, state_.clock.now(), delay,
+                   std::string(what) + " attempt " + std::to_string(attempt) +
+                       " failed, retrying"});
+  }
+  ++state_.transfer_attempts;  // the attempt that goes through
+}
+
+double Comm::fault_network_scale(int global_src, int global_dst) const {
+  const FaultModel& faults = shared_.faults;
+  if (faults.stragglers.empty()) return 1.0;
+  return std::max(faults.network_multiplier(global_src),
+                  faults.network_multiplier(global_dst));
+}
+
+void Comm::mark_crashed(const std::string& detail) {
+  state_.crashed = true;
+  state_.fault_events.push_back(
+      FaultEvent{FaultKind::kCrash, state_.clock.now(), 0.0, detail});
+}
+
+void Comm::charge_recovery(double seconds, const std::string& detail) {
+  state_.clock.charge_recovery(seconds);
+  state_.fault_events.push_back(
+      FaultEvent{FaultKind::kRecovery, state_.clock.now(), seconds, detail});
+}
+
+void Comm::note_recovery_span(double seconds, const std::string& detail) {
+  state_.recovery_span += seconds;
+  state_.fault_events.push_back(
+      FaultEvent{FaultKind::kRecovery, state_.clock.now(), seconds, detail});
+}
+
 const void* const* Comm::post_and_collect(const void* mine) {
   group_->slots[static_cast<std::size_t>(group_rank_)] = mine;
   group_->entry_times[static_cast<std::size_t>(group_rank_)] =
@@ -202,6 +246,9 @@ void Comm::send(int destination, int tag, std::vector<char> payload) {
   MSP_CHECK_MSG(destination >= 0 && destination < size(),
                 "send: bad destination rank " << destination);
   const int global_destination = global_rank_of(destination);
+  // Scheduled transient failures delay the injection (and the departure
+  // time the receiver sees) by the retry cost.
+  pay_transfer_faults("send");
   const double depart = state_.clock.now();
   // Eager protocol: sender pays only the injection latency.
   const bool local = shared_.network.same_node(global_rank_, global_destination);
@@ -241,8 +288,10 @@ Comm::Message Comm::recv(int source, int tag) {
   box.queue.erase(it);
   lock.unlock();
 
-  const double cost = shared_.network.transfer_cost(
-      envelope.payload.size(), envelope.source, global_rank_, /*concurrent=*/1);
+  const double cost =
+      shared_.network.transfer_cost(envelope.payload.size(), envelope.source,
+                                    global_rank_, /*concurrent=*/1) *
+      fault_network_scale(envelope.source, global_rank_);
   state_.clock.note_comm_issued(cost);
   state_.clock.wait_until(envelope.depart_time + cost);
   state_.bytes_received += envelope.payload.size();
@@ -301,6 +350,11 @@ RankStats Comm::stats() const {
   stats.bytes_received = state_.bytes_received;
   stats.peak_memory_bytes = state_.peak_memory;
   stats.counters = state_.counters;
+  stats.recovery_seconds =
+      state_.clock.recovery_seconds() + state_.recovery_span;
+  stats.transfer_retries = state_.transfer_retries;
+  stats.crashed = state_.crashed;
+  stats.fault_events = state_.fault_events;
   return stats;
 }
 
@@ -344,25 +398,57 @@ RmaRequest Window::rget_range(int target, std::size_t offset,
   MSP_CHECK_MSG(offset <= full.size() && length <= full.size() - offset,
                 "rget_range: [" << offset << ", " << offset + length
                                 << ") exceeds shard size " << full.size());
+  for (const std::vector<char>* busy : pending_)
+    MSP_CHECK_MSG(busy != &dest,
+                  "rget into a destination buffer that still has a pending "
+                  "request on it — wait() first (see the destination-buffer "
+                  "lifetime rule in comm.hpp)");
+  // Scheduled transient failures delay the issue; the modeled transfer
+  // starts only after the retries succeed.
+  comm_.pay_transfer_faults("rget");
   const std::span<const char> shard = full.subspan(offset, length);
   dest.assign(shard.begin(), shard.end());
   comm_.state_.bytes_received += shard.size();
-  const double cost = comm_.network().transfer_cost(
-      shard.size(), comm_.global_rank_of(target), comm_.global_rank(),
-      concurrent_pulls);
+  const double cost =
+      comm_.network().transfer_cost(shard.size(),
+                                    comm_.global_rank_of(target),
+                                    comm_.global_rank(), concurrent_pulls) *
+      comm_.fault_network_scale(comm_.global_rank_of(target),
+                                comm_.global_rank());
   comm_.clock().note_comm_issued(cost);
   RmaRequest request;
   request.arrival_time = comm_.clock().now() + cost;
   request.active = true;
+  request.dest = &dest;
+  request.dest_data = dest.data();
+  request.dest_size = dest.size();
+  pending_.push_back(&dest);
   return request;
 }
 
 void Window::wait(RmaRequest& request) {
   MSP_CHECK_MSG(request.active, "wait on an inactive RMA request");
+  MSP_CHECK_MSG(request.dest == nullptr ||
+                    (request.dest->data() == request.dest_data &&
+                     request.dest->size() == request.dest_size),
+                "RMA destination buffer was resized, reassigned or swapped "
+                "while its request was pending (see the destination-buffer "
+                "lifetime rule in comm.hpp)");
   comm_.clock().wait_until(request.arrival_time);
   request.active = false;
+  if (request.dest != nullptr) {
+    const auto it = std::find(pending_.begin(), pending_.end(), request.dest);
+    if (it != pending_.end()) pending_.erase(it);
+    request.dest = nullptr;
+  }
 }
 
-void Window::fence() { comm_.barrier(); }
+void Window::fence() {
+  MSP_CHECK_MSG(pending_.empty(),
+                "fence with " << pending_.size()
+                              << " pending rget request(s): wait() on every "
+                                 "request before synchronizing");
+  comm_.barrier();
+}
 
 }  // namespace msp::sim

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "simmpi/faults.hpp"
 #include "simmpi/netmodel.hpp"
 #include "simmpi/trace.hpp"
 #include "simmpi/vclock.hpp"
@@ -54,6 +55,10 @@ class Comm {
   const VirtualClock& clock() const;
   const NetworkModel& network() const;
   const ComputeModel& compute_model() const;
+  /// The run's fault schedule (empty by default); see faults.hpp. The
+  /// schedule is known to every rank, which is what makes failure
+  /// detection deterministic (no heartbeat protocol to model).
+  const FaultModel& faults() const;
 
   /// MPI_Comm_split: collective over THIS communicator. Ranks passing equal
   /// `color` form a sub-communicator, ordered by their rank here. The
@@ -127,6 +132,18 @@ class Comm {
   // ---- user counters (candidates evaluated, hits kept, ...) ----
   void bump(const std::string& name, std::uint64_t delta = 1);
 
+  // ---- fault bookkeeping (called by the algorithms' recovery paths) ----
+
+  /// Record that this rank fail-stopped (its scheduled crash fired). The
+  /// rank's thread keeps running as a "zombie" to match collectives.
+  void mark_crashed(const std::string& detail);
+  /// Charge `seconds` of recovery overhead (e.g. crash-detection timeout)
+  /// to the virtual clock and record a recovery event.
+  void charge_recovery(double seconds, const std::string& detail);
+  /// Attribute `seconds` of already-charged work (re-search compute/IO) to
+  /// recovery, without advancing the clock again.
+  void note_recovery_span(double seconds, const std::string& detail);
+
   RankStats stats() const;
 
  private:
@@ -145,6 +162,15 @@ class Comm {
   double max_posted_entry() const;
   double collective_cost(std::size_t bytes) const;
 
+  /// Consume this rank's scheduled transient transfer failures: for every
+  /// failing attempt ordinal, pay retry_delay on the clock and record a
+  /// retry event; then consume the ordinal of the succeeding attempt.
+  /// No-op (and no ordinal is consumed) for ranks with no failure set.
+  void pay_transfer_faults(const char* what);
+  /// Straggler network slowdown of a (src, dst) transfer: max over the two
+  /// endpoints' multipliers; exactly 1.0 when no straggler is scheduled.
+  double fault_network_scale(int global_src, int global_dst) const;
+
   detail::Shared& shared_;
   std::shared_ptr<detail::CollectiveGroup> group_;
   int group_rank_;
@@ -158,6 +184,12 @@ class Comm {
 struct RmaRequest {
   double arrival_time = 0.0;  ///< virtual time the data is fully local
   bool active = false;
+
+  // Destination-buffer snapshot for the lifetime check (Window-internal;
+  // see the "Destination-buffer lifetime rule" below).
+  const std::vector<char>* dest = nullptr;
+  const char* dest_data = nullptr;
+  std::size_t dest_size = 0;
 };
 
 /// An RMA window over each rank's local shard (constant bytes, e.g. the
@@ -166,6 +198,16 @@ struct RmaRequest {
 /// bytes must stay alive and unmodified while any rank can still read
 /// them: callers must synchronize (fence() or Comm::barrier()) before
 /// letting the storage die — mirroring MPI_Win_free's collective semantics.
+///
+/// Destination-buffer lifetime rule: between rget()/rget_range() and the
+/// matching wait(), the destination vector is owned by the transfer — do
+/// not resize, reassign, std::swap or destroy it, and do not issue a second
+/// rget into it. Every request must be wait()ed before the next fence().
+/// These rules are enforced: rget into a pending buffer, wait() on a
+/// request whose buffer changed identity, and fence() with pending
+/// requests all fail an MSP_CHECK. (The classic footgun was issuing a
+/// prefetch into D_recv and swapping D_recv/D_comp before the wait —
+/// silently scoring a half-defined shard.)
 class Window {
  public:
   Window(Comm& comm, std::span<const char> local_shard);
@@ -191,15 +233,19 @@ class Window {
                         std::vector<char>& dest, int concurrent_pulls);
 
   /// Complete a pending get: any transfer time not already covered by
-  /// computation shows up as residual communication.
+  /// computation shows up as residual communication. Checks that the
+  /// destination buffer is still the one the request was issued into.
   void wait(RmaRequest& request);
 
   /// Collective fence (MPI_Win_fence): synchronizes the communicator.
+  /// Requires every request issued on this window to have been wait()ed.
   void fence();
 
  private:
   Comm& comm_;
   std::vector<std::span<const char>> shards_;  ///< group-rank order
+  /// Rank-local: destination buffers with a pending request on them.
+  std::vector<const std::vector<char>*> pending_;
 };
 
 }  // namespace msp::sim

@@ -1,0 +1,121 @@
+// Deterministic fault injection for the simulated cluster.
+//
+// A FaultModel is a *schedule*, fixed before the run starts: which ranks run
+// slow (stragglers), which of a rank's transfer attempts fail (transient
+// network faults, retried with timeout + exponential backoff), and which
+// ranks crash at which algorithm step. The schedule is plain data — no
+// randomness, no wall-clock timing — so every failure scenario is a
+// reproducible test case: the same (workload, model, p, schedule) tuple
+// always yields the same virtual times, traces, and counters (see
+// netmodel.hpp for the base determinism contract this extends).
+//
+// Event semantics:
+//
+//  * Stragglers — compute_multiplier scales every compute charge on the
+//    rank's virtual clock; network_multiplier scales the cost of every
+//    transfer the rank is an endpoint of (the effective multiplier of a
+//    transfer is the max over its two endpoints, like a degraded NIC).
+//
+//  * Transient transfer failures — each rank numbers its own transfer
+//    attempts (rget / rget_range / send issues) from 0. When the current
+//    ordinal is in the rank's failure set, the attempt fails: the rank pays
+//    retry_timeout_s plus a deterministic exponential backoff on its clock
+//    (accounted as recovery time) and retries, consuming the next ordinal —
+//    so consecutive ordinals model repeated failures of one logical
+//    transfer. Note that attempt ordinals follow a rank's program order;
+//    they are reproducible wherever the communication pattern is (all of
+//    Algorithm A/B; master-worker workers — but not the master, whose send
+//    order follows physical arrival order of worker requests).
+//
+//  * Crashes — crash(rank, step) fail-stops the rank at algorithm step
+//    `step` (ring iteration for Algorithm A, received-batch ordinal for
+//    master-worker; the algorithms define the interpretation). Crashes are
+//    step-boundary events: a transfer issued before the owner's crash step
+//    still completes. A dead rank becomes a "zombie": it stops contributing
+//    work but keeps matching the survivors' collective calls so barrier
+//    epochs and window lifetimes stay aligned — modeling an MPI
+//    fault-tolerance layer that keeps the communicator usable during
+//    recovery. Failure detection is omniscient and deterministic: instead
+//    of heartbeats, survivors charge crash_detection_timeout_s once.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <set>
+
+#include "util/backoff.hpp"
+
+namespace msp::sim {
+
+struct StragglerSpec {
+  double compute_multiplier = 1.0;
+  double network_multiplier = 1.0;
+};
+
+struct FaultModel {
+  // ---- the schedule (keys are GLOBAL ranks) ----
+  std::map<int, StragglerSpec> stragglers;
+  std::map<int, std::set<std::uint64_t>> transfer_failures;
+  std::map<int, int> crashes;  ///< rank -> algorithm step it dies at
+
+  // ---- tunables ----
+  double retry_timeout_s = 5e-3;          ///< time to notice a failed transfer
+  double backoff_base_s = 1e-3;           ///< first retry delay
+  double backoff_cap_s = 16e-3;           ///< backoff ceiling
+  double crash_detection_timeout_s = 20e-3;  ///< time to declare a rank dead
+
+  // ---- fluent builders ----
+  FaultModel& straggle(int rank, double compute_multiplier,
+                       double network_multiplier = 1.0) {
+    stragglers[rank] = StragglerSpec{compute_multiplier, network_multiplier};
+    return *this;
+  }
+  FaultModel& fail_transfers(int rank,
+                             std::initializer_list<std::uint64_t> attempts) {
+    transfer_failures[rank].insert(attempts.begin(), attempts.end());
+    return *this;
+  }
+  FaultModel& crash(int rank, int step) {
+    crashes[rank] = step;
+    return *this;
+  }
+
+  // ---- queries ----
+  bool empty() const {
+    return stragglers.empty() && transfer_failures.empty() && crashes.empty();
+  }
+  bool has_crashes() const { return !crashes.empty(); }
+
+  double compute_multiplier(int rank) const {
+    const auto it = stragglers.find(rank);
+    return it == stragglers.end() ? 1.0 : it->second.compute_multiplier;
+  }
+  double network_multiplier(int rank) const {
+    const auto it = stragglers.find(rank);
+    return it == stragglers.end() ? 1.0 : it->second.network_multiplier;
+  }
+
+  bool has_transfer_failures(int rank) const {
+    return transfer_failures.find(rank) != transfer_failures.end();
+  }
+  bool transfer_fails(int rank, std::uint64_t attempt) const {
+    const auto it = transfer_failures.find(rank);
+    return it != transfer_failures.end() && it->second.count(attempt) != 0;
+  }
+
+  /// Step at which `rank` crashes, or -1 if it never does.
+  int crash_step(int rank) const {
+    const auto it = crashes.find(rank);
+    return it == crashes.end() ? -1 : it->second;
+  }
+
+  /// Virtual-clock cost of retry number `retry` (0-based) of a failed
+  /// transfer: the detection timeout plus deterministic backoff.
+  double retry_delay(int retry) const {
+    return retry_timeout_s +
+           exponential_backoff(retry, backoff_base_s, backoff_cap_s);
+  }
+};
+
+}  // namespace msp::sim

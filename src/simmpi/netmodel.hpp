@@ -7,7 +7,9 @@
 // fetching remote shards simultaneously — exactly what Algorithm A's ring
 // step does — each see 1/8 of the wire). All costs are deterministic
 // functions, so a (workload, model, p) triple fully determines every
-// virtual-time result.
+// virtual-time result. Fault injection (stragglers, transient transfer
+// failures, crashes) layers on top without breaking that contract: the
+// schedule is part of the model — see faults.hpp.
 #pragma once
 
 #include <algorithm>

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "simmpi/comm.hpp"
+#include "simmpi/faults.hpp"
 #include "simmpi/netmodel.hpp"
 #include "simmpi/trace.hpp"
 
@@ -16,11 +17,15 @@ namespace msp::sim {
 
 class Runtime {
  public:
-  explicit Runtime(int p, NetworkModel network = {}, ComputeModel compute = {});
+  /// `faults` is the run's deterministic fault schedule (see faults.hpp);
+  /// the default empty schedule is bit-exactly zero-cost.
+  explicit Runtime(int p, NetworkModel network = {}, ComputeModel compute = {},
+                   FaultModel faults = {});
 
   int size() const { return p_; }
   const NetworkModel& network() const { return network_; }
   const ComputeModel& compute_model() const { return compute_; }
+  const FaultModel& faults() const { return faults_; }
 
   /// Run one simulated program. May be called repeatedly; every call is an
   /// independent "job" with fresh clocks and mailboxes.
@@ -30,6 +35,7 @@ class Runtime {
   int p_;
   NetworkModel network_;
   ComputeModel compute_;
+  FaultModel faults_;
 };
 
 }  // namespace msp::sim

@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "simmpi/barrier.hpp"
+#include "simmpi/faults.hpp"
 #include "simmpi/netmodel.hpp"
+#include "simmpi/trace.hpp"
 #include "simmpi/vclock.hpp"
 
 namespace msp::sim::detail {
@@ -39,6 +41,13 @@ struct RankState {
   std::size_t peak_memory = 0;
   std::size_t memory_budget = 0;
   std::map<std::string, std::uint64_t> counters;
+
+  // ---- fault injection (see faults.hpp) ----
+  std::uint64_t transfer_attempts = 0;  ///< ordinal counter for failure sets
+  std::uint64_t transfer_retries = 0;
+  bool crashed = false;
+  double recovery_span = 0.0;  ///< recovery work charged to other buckets
+  std::vector<FaultEvent> fault_events;
 };
 
 /// The synchronization arena of one communicator (world or sub-group).
@@ -56,10 +65,12 @@ struct CollectiveGroup {
 };
 
 struct Shared {
-  Shared(int p_in, const NetworkModel& network_in, const ComputeModel& compute_in)
+  Shared(int p_in, const NetworkModel& network_in,
+         const ComputeModel& compute_in, const FaultModel& faults_in)
       : p(p_in),
         network(network_in),
         compute(compute_in),
+        faults(faults_in),
         mailboxes(static_cast<std::size_t>(p_in)),
         rank_states(static_cast<std::size_t>(p_in)) {
     std::vector<int> everyone(static_cast<std::size_t>(p_in));
@@ -90,6 +101,7 @@ struct Shared {
   int p;
   NetworkModel network;
   ComputeModel compute;
+  FaultModel faults;
   std::shared_ptr<CollectiveGroup> world;
   std::vector<Mailbox> mailboxes;
   std::vector<RankState> rank_states;

@@ -51,6 +51,43 @@ std::size_t RunReport::max_peak_memory() const {
   return peak;
 }
 
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kRetry: return "retry";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kRecovery: return "recovery";
+  }
+  return "?";
+}
+
+std::uint64_t RunReport::total_transfer_retries() const {
+  std::uint64_t total = 0;
+  for (const RankStats& r : ranks) total += r.transfer_retries;
+  return total;
+}
+
+double RunReport::total_recovery_seconds() const {
+  double total = 0.0;
+  for (const RankStats& r : ranks) total += r.recovery_seconds;
+  return total;
+}
+
+std::vector<int> RunReport::crashed_ranks() const {
+  std::vector<int> dead;
+  for (const RankStats& r : ranks)
+    if (r.crashed) dead.push_back(r.rank);
+  return dead;
+}
+
+bool RunReport::has_fault_activity() const {
+  for (const RankStats& r : ranks) {
+    if (r.crashed || r.transfer_retries != 0 || r.recovery_seconds != 0.0 ||
+        !r.fault_events.empty())
+      return true;
+  }
+  return false;
+}
+
 std::string RunReport::to_csv() const {
   // Collect the union of counter names so every row has the same columns.
   std::vector<std::string> names;
@@ -60,9 +97,15 @@ std::string RunReport::to_csv() const {
         names.push_back(name);
   std::sort(names.begin(), names.end());
 
+  // Fault columns appear only when something actually happened: a
+  // failure-free run renders byte-identically to a run of the pre-fault
+  // layer (the zero-cost-when-disabled contract).
+  const bool faults = has_fault_activity();
+
   std::ostringstream os;
   os << "rank,total_s,compute_s,io_s,comm_issued_s,residual_s,sync_s,"
         "bytes_sent,bytes_received,peak_memory";
+  if (faults) os << ",retries,recovery_s,crashed";
   for (const auto& name : names) os << ',' << name;
   os << '\n';
   os << std::fixed << std::setprecision(6);
@@ -71,6 +114,9 @@ std::string RunReport::to_csv() const {
        << r.io_seconds << ',' << r.comm_issued_seconds << ','
        << r.residual_comm_seconds << ',' << r.sync_wait_seconds << ','
        << r.bytes_sent << ',' << r.bytes_received << ',' << r.peak_memory_bytes;
+    if (faults)
+      os << ',' << r.transfer_retries << ',' << r.recovery_seconds << ','
+         << (r.crashed ? 1 : 0);
     for (const auto& name : names) {
       const auto it = r.counters.find(name);
       os << ',' << (it == r.counters.end() ? 0 : it->second);
@@ -81,6 +127,7 @@ std::string RunReport::to_csv() const {
 }
 
 std::string RunReport::to_string() const {
+  const bool faults = has_fault_activity();
   std::ostringstream os;
   os << std::fixed << std::setprecision(3);
   os << "p=" << p << " total=" << total_time() << "s\n";
@@ -88,8 +135,19 @@ std::string RunReport::to_string() const {
     os << "  rank " << r.rank << ": t=" << r.total_time
        << " compute=" << r.compute_seconds << " io=" << r.io_seconds
        << " residual=" << r.residual_comm_seconds
-       << " sync=" << r.sync_wait_seconds << " peak_mem=" << r.peak_memory_bytes
-       << '\n';
+       << " sync=" << r.sync_wait_seconds << " peak_mem=" << r.peak_memory_bytes;
+    if (faults) {
+      os << " retries=" << r.transfer_retries
+         << " recovery=" << r.recovery_seconds;
+      if (r.crashed) os << " CRASHED";
+    }
+    os << '\n';
+    for (const FaultEvent& event : r.fault_events) {
+      os << std::setprecision(6) << "    fault[" << fault_kind_name(event.kind)
+         << "] t=" << event.time << " +" << event.seconds << "s "
+         << event.detail << '\n'
+         << std::setprecision(3);
+    }
   }
   return os.str();
 }

@@ -8,6 +8,18 @@
 
 namespace msp::sim {
 
+/// One injected-fault occurrence on a rank's timeline (see faults.hpp).
+enum class FaultKind { kRetry, kCrash, kRecovery };
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kRetry;
+  double time = 0.0;     ///< virtual time the event was recorded
+  double seconds = 0.0;  ///< delay or recovery span attributed to it
+  std::string detail;
+};
+
+const char* fault_kind_name(FaultKind kind);
+
 struct RankStats {
   int rank = 0;
   double total_time = 0.0;          ///< final virtual time of the rank
@@ -20,6 +32,12 @@ struct RankStats {
   std::size_t bytes_received = 0;
   std::size_t peak_memory_bytes = 0;
   std::map<std::string, std::uint64_t> counters;  ///< user counters
+
+  // ---- fault accounting (all zero/empty on a failure-free run) ----
+  double recovery_seconds = 0.0;  ///< retry + detection + re-search time
+  std::uint64_t transfer_retries = 0;
+  bool crashed = false;
+  std::vector<FaultEvent> fault_events;  ///< timeline, in virtual-time order
 };
 
 struct RunReport {
@@ -36,12 +54,22 @@ struct RunReport {
   std::uint64_t sum_counter(const std::string& name) const;
   std::size_t max_peak_memory() const;
 
+  // ---- fault-injection summaries (see faults.hpp) ----
+  std::uint64_t total_transfer_retries() const;
+  double total_recovery_seconds() const;
+  std::vector<int> crashed_ranks() const;
+  /// True when any rank retried, recovered, or crashed. When false, the
+  /// string/CSV renderings are byte-identical to a build without the fault
+  /// layer — the zero-cost-when-disabled contract.
+  bool has_fault_activity() const;
+
   std::string to_string() const;
 
   /// Machine-readable per-rank dump (one row per rank) for external
   /// plotting: rank, total, compute, io, comm_issued, residual, sync,
   /// bytes_sent, bytes_received, peak_memory, then user counters as extra
-  /// name=value columns.
+  /// name=value columns. Runs with fault activity add retries, recovery_s
+  /// and crashed columns after peak_memory.
   std::string to_csv() const;
 };
 

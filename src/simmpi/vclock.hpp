@@ -15,6 +15,7 @@ class VirtualClock {
   double now() const { return now_; }
 
   void charge_compute(double seconds) {
+    if (compute_scale_ != 1.0) seconds *= compute_scale_;
     now_ += seconds;
     compute_ += seconds;
   }
@@ -23,6 +24,18 @@ class VirtualClock {
     now_ += seconds;
     io_ += seconds;
   }
+
+  /// Fault-recovery cost (retry backoff, crash-detection timeout): advances
+  /// the clock and is accounted in its own bucket so RankStats can report
+  /// recovery time separately from useful work.
+  void charge_recovery(double seconds) {
+    now_ += seconds;
+    recovery_ += seconds;
+  }
+
+  /// Straggler injection: every subsequent charge_compute is multiplied by
+  /// `scale` (1.0 = nominal speed; the default is bit-exact zero-cost).
+  void set_compute_scale(double scale) { compute_scale_ = scale; }
 
   /// Record that a communication of modeled duration `seconds` was issued
   /// (for the total-communication bookkeeping; does not advance the clock —
@@ -52,6 +65,7 @@ class VirtualClock {
   double comm_issued_seconds() const { return comm_issued_; }
   double residual_comm_seconds() const { return residual_; }
   double sync_wait_seconds() const { return sync_wait_; }
+  double recovery_seconds() const { return recovery_; }
 
  private:
   double now_ = 0.0;
@@ -60,6 +74,8 @@ class VirtualClock {
   double comm_issued_ = 0.0;
   double residual_ = 0.0;
   double sync_wait_ = 0.0;
+  double recovery_ = 0.0;
+  double compute_scale_ = 1.0;
 };
 
 }  // namespace msp::sim

@@ -1,0 +1,26 @@
+// Deterministic retry backoff.
+//
+// The simulated cluster promises that a (workload, model, p, fault schedule)
+// tuple fully determines every virtual-time result, so the backoff schedule
+// is deliberately jitter-free: retry k always waits base * 2^k, capped.
+// Randomized jitter — the right choice on a real network to avoid retry
+// storms — would break trace reproducibility here.
+#pragma once
+
+#include <algorithm>
+
+namespace msp {
+
+/// Delay before retry number `retry` (0-based): base_s * 2^retry, capped at
+/// cap_s. A non-positive cap disables the cap.
+inline double exponential_backoff(int retry, double base_s, double cap_s) {
+  double delay = base_s;
+  for (int i = 0; i < retry; ++i) {
+    delay *= 2.0;
+    if (cap_s > 0.0 && delay >= cap_s) return cap_s;
+  }
+  if (cap_s > 0.0) delay = std::min(delay, cap_s);
+  return delay;
+}
+
+}  // namespace msp

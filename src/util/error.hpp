@@ -36,6 +36,14 @@ class OutOfMemoryBudget : public Error {
   explicit OutOfMemoryBudget(const std::string& what) : Error(what) {}
 };
 
+/// An injected fault schedule exceeded what the recovery protocols can
+/// absorb (e.g. a shard's owner and its replica holder both crashed, or a
+/// schedule kills every worker). See simmpi/faults.hpp.
+class FaultUnrecoverable : public Error {
+ public:
+  explicit FaultUnrecoverable(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 [[noreturn]] inline void check_failed(const char* expr, const char* file,
                                       int line, const std::string& msg) {

@@ -281,6 +281,52 @@ TEST(Rma, WaitTwiceIsAnError) {
                InvalidArgument);
 }
 
+// The destination-buffer lifetime rule (see the Window doc block): between
+// rget and wait the destination vector must stay untouched, and every
+// request must be waited before fence. Each violation is detected eagerly.
+
+TEST(Rma, RgetIntoPendingBufferIsAnError) {
+  Runtime runtime(2, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    std::vector<char> local(8, 'a');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    // Self-get so the error path cannot race another rank's teardown.
+    RmaRequest first = window.rget(comm.rank(), fetched, 1);
+    RmaRequest second = window.rget(comm.rank(), fetched, 1);
+    window.wait(first);
+    window.wait(second);
+  }),
+               InvalidArgument);
+}
+
+TEST(Rma, SwappedDestinationDetectedAtWait) {
+  Runtime runtime(2, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    std::vector<char> local(8, 'b');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    std::vector<char> other(3, 'z');
+    RmaRequest request = window.rget(comm.rank(), fetched, 1);
+    std::swap(fetched, other);  // the classic D_recv/D_comp footgun
+    window.wait(request);
+  }),
+               InvalidArgument);
+}
+
+TEST(Rma, FenceWithPendingRequestIsAnError) {
+  Runtime runtime(2, test_network());
+  EXPECT_THROW(runtime.run([&](Comm& comm) {
+    std::vector<char> local(8, 'c');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest request = window.rget(comm.rank(), fetched, 1);
+    window.fence();  // request never waited: detected before the barrier
+    window.wait(request);
+  }),
+               InvalidArgument);
+}
+
 // ---------- communicator splitting ----------
 
 TEST(Split, RanksAndSizesPerColor) {
