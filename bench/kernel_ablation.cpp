@@ -1,0 +1,176 @@
+// Kernel ablation: the database-walking reference kernel vs. the
+// candidate-centric indexed kernel on identical shards, measured in real
+// (host) wall-clock time — unlike the table benches this is about the
+// implementation, not the simulated cluster. Reports ions built per
+// candidate evaluated (the amortization the shared fragment-ion workspace
+// buys) and the wall-clock speedup, sweeping kernel_threads on top. Results
+// land in a JSON file (BENCH_kernel.json) for CI trend tracking.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "core/candidate_index.hpp"
+#include "core/search_engine.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct TimedRun {
+  double seconds = 0.0;
+  msp::ShardSearchStats stats;
+  msp::QueryHits hits;
+};
+
+template <typename Search>
+TimedRun best_of(int repeats, const msp::SearchEngine& engine,
+                 std::size_t query_count, Search&& search) {
+  TimedRun best;
+  best.seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<msp::TopK<msp::Hit>> tops = engine.make_tops(query_count);
+    const Clock::time_point start = Clock::now();
+    const msp::ShardSearchStats stats = search(tops);
+    const double elapsed = seconds_since(start);
+    if (elapsed < best.seconds) {
+      best.seconds = elapsed;
+      best.stats = stats;
+      best.hits = engine.finalize(tops);
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  msp::Cli cli("bench_kernel_ablation",
+               "reference vs candidate-centric scoring kernel (host time)");
+  cli.add_int("sequences", 2500, "database size");
+  cli.add_int("queries", 150, "query spectra (searched with 3 charge "
+                              "hypotheses each — the multi-hypothesis regime)");
+  cli.add_int("repeats", 5, "timing repeats (best-of)");
+  cli.add_int("seed", 2009, "workload seed");
+  cli.add_string("threads", "1,2,4,8", "kernel_threads sweep");
+  cli.add_string("out", "BENCH_kernel.json", "JSON output path");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const auto sequences = static_cast<std::size_t>(cli.get_int("sequences"));
+  const auto query_count = static_cast<std::size_t>(cli.get_int("queries"));
+  const int repeats = static_cast<int>(cli.get_int("repeats"));
+
+  const msp::bench::Workload workload = msp::bench::make_workload(
+      sequences, query_count, static_cast<std::uint64_t>(cli.get_int("seed")));
+  msp::SearchConfig config = msp::bench::bench_config();
+  // Charge-hypothesis ambiguity makes candidates match several query
+  // entries — the regime where building each candidate's ions once pays.
+  config.try_alternate_charges = true;
+
+  const msp::SearchEngine engine(config);
+  const msp::PreparedQueries prepared = engine.prepare(workload.queries);
+
+  const Clock::time_point index_start = Clock::now();
+  const msp::CandidateIndex index =
+      msp::CandidateIndex::build(workload.db, config);
+  const double index_seconds = seconds_since(index_start);
+
+  const TimedRun reference =
+      best_of(repeats, engine, workload.queries.size(), [&](auto& tops) {
+        return engine.search_shard_reference(workload.db, prepared, tops);
+      });
+  const TimedRun indexed =
+      best_of(repeats, engine, workload.queries.size(), [&](auto& tops) {
+        return engine.search_shard(workload.db, prepared, tops, nullptr,
+                                   &index);
+      });
+
+  // The ablation is only meaningful if the two kernels agree hit-for-hit.
+  if (indexed.hits != reference.hits ||
+      indexed.stats.candidates_evaluated !=
+          reference.stats.candidates_evaluated) {
+    std::cerr << "FATAL: kernels disagree — ablation invalid\n";
+    return 1;
+  }
+
+  const auto per_candidate = [](const msp::ShardSearchStats& stats) {
+    const double scored = static_cast<double>(stats.candidates_evaluated +
+                                              stats.candidates_prefiltered);
+    return scored == 0.0 ? 0.0
+                         : static_cast<double>(stats.ions_built) / scored;
+  };
+  const double speedup = reference.seconds / indexed.seconds;
+
+  msp::Table table({"kernel", "threads", "wall (ms)", "speedup",
+                    "ions built", "ions/candidate"});
+  table.add_row({"reference", "1", msp::Table::cell(reference.seconds * 1e3),
+                 "1.00", std::to_string(reference.stats.ions_built),
+                 msp::Table::cell(per_candidate(reference.stats))});
+  table.add_row({"indexed", "1", msp::Table::cell(indexed.seconds * 1e3),
+                 msp::Table::cell(speedup),
+                 std::to_string(indexed.stats.ions_built),
+                 msp::Table::cell(per_candidate(indexed.stats))});
+
+  std::vector<std::pair<std::int64_t, double>> threaded;
+  for (const std::int64_t threads : cli.get_int_list("threads")) {
+    if (threads <= 1) continue;
+    msp::SearchConfig threaded_config = config;
+    threaded_config.kernel_threads = static_cast<std::size_t>(threads);
+    const msp::SearchEngine threaded_engine(threaded_config);
+    const TimedRun run = best_of(
+        repeats, threaded_engine, workload.queries.size(), [&](auto& tops) {
+          return threaded_engine.search_shard(workload.db, prepared, tops,
+                                              nullptr, &index);
+        });
+    if (run.hits != reference.hits) {
+      std::cerr << "FATAL: threaded kernel disagrees at T=" << threads << "\n";
+      return 1;
+    }
+    threaded.emplace_back(threads, run.seconds);
+    table.add_row({"indexed", std::to_string(threads),
+                   msp::Table::cell(run.seconds * 1e3),
+                   msp::Table::cell(reference.seconds / run.seconds),
+                   std::to_string(run.stats.ions_built),
+                   msp::Table::cell(per_candidate(run.stats))});
+  }
+
+  std::cout << "== Kernel ablation (" << sequences << " sequences, "
+            << query_count << " queries x " << config.charge_hypotheses.size()
+            << " charge hypotheses) ==\n";
+  table.print(std::cout);
+  std::cout << "index build: " << index_seconds * 1e3
+            << " ms (paid once per shard at pack time)\n";
+
+  std::ofstream json(cli.get_string("out"));
+  json << "{\n"
+       << "  \"sequences\": " << sequences << ",\n"
+       << "  \"queries\": " << query_count << ",\n"
+       << "  \"candidates_evaluated\": " << indexed.stats.candidates_evaluated
+       << ",\n"
+       << "  \"candidates_prefiltered\": "
+       << indexed.stats.candidates_prefiltered << ",\n"
+       << "  \"ions_built_reference\": " << reference.stats.ions_built << ",\n"
+       << "  \"ions_built_indexed\": " << indexed.stats.ions_built << ",\n"
+       << "  \"ions_per_candidate_reference\": "
+       << per_candidate(reference.stats) << ",\n"
+       << "  \"ions_per_candidate_indexed\": " << per_candidate(indexed.stats)
+       << ",\n"
+       << "  \"index_build_seconds\": " << index_seconds << ",\n"
+       << "  \"reference_seconds\": " << reference.seconds << ",\n"
+       << "  \"indexed_seconds\": " << indexed.seconds << ",\n"
+       << "  \"speedup\": " << speedup;
+  for (const auto& [threads, seconds] : threaded)
+    json << ",\n  \"indexed_seconds_t" << threads << "\": " << seconds
+         << ",\n  \"speedup_t" << threads
+         << "\": " << reference.seconds / seconds;
+  json << "\n}\n";
+  std::cout << "wrote " << cli.get_string("out") << "\n";
+  return 0;
+}

@@ -67,7 +67,15 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   std::vector<TopK<Hit>> tops = engine.make_tops(local_queries.size());
 
   // ---- A2: ring rotation with masked one-sided transport ----
-  std::vector<char> local_pack = pack_database(local_db);
+  // The shard's candidate index is built once here and ships with the shard
+  // bytes, so all p ranks the rotation delivers it to merge-join one
+  // enumeration instead of re-walking the proteins. Each entry costs one
+  // fragment-mass computation, the same unit as Algorithm B's m/z sort.
+  const CandidateIndex local_index =
+      CandidateIndex::build(local_db, engine.config());
+  comm.clock().charge_compute(static_cast<double>(local_index.size()) *
+                              cost.seconds_per_mz);
+  std::vector<char> local_pack = pack_database(local_db, local_index);
   comm.charge_alloc(local_pack.size());  // D_local (window)
   sim::Window window(comm, local_pack);
 
@@ -146,13 +154,18 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
       fetch.window->wait(fetch.request);
     }
 
-    const ProteinDatabase shard_db =
-        s == 0 ? std::move(local_db) : unpack_database(comp_buffer);
-    const ShardSearchStats stats = engine.search_shard(shard_db, prepared, tops);
+    PackedShard fetched;
+    if (s > 0) fetched = unpack_shard(comp_buffer);
+    const ProteinDatabase& shard_db = s == 0 ? local_db : fetched.db;
+    const CandidateIndex* shard_index =
+        s == 0 ? &local_index : (fetched.has_index ? &fetched.index : nullptr);
+    const ShardSearchStats stats =
+        engine.search_shard(shard_db, prepared, tops, nullptr, shard_index);
     comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
     comm.bump("candidates", stats.candidates_evaluated);
     comm.bump("prefiltered", stats.candidates_prefiltered);
     comm.bump("offers", stats.hits_offered);
+    comm.bump("ions", stats.ions_built);
 
     if (options.mask && prefetch.request.active) {
       prefetch.window->wait(prefetch.request);
@@ -204,19 +217,23 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
         std::vector<TopK<Hit>> orphan_tops = engine.make_tops(orphans.size());
 
         for (int shard = 0; shard < p; ++shard) {
-          ProteinDatabase shard_db;
-          if (shard == rank) {
-            shard_db = unpack_database(local_pack);
-          } else {
+          PackedShard fetched;
+          if (shard != rank) {
             ShardFetch fetch = fetch_shard(shard, p, recv_buffer);
             fetch.window->wait(fetch.request);
-            shard_db = unpack_database(recv_buffer);
+            fetched = unpack_shard(recv_buffer);
           }
-          const ShardSearchStats stats =
-              engine.search_shard(shard_db, orphan_prepared, orphan_tops);
+          const ProteinDatabase& shard_db =
+              shard == rank ? local_db : fetched.db;
+          const CandidateIndex* shard_index =
+              shard == rank ? &local_index
+                            : (fetched.has_index ? &fetched.index : nullptr);
+          const ShardSearchStats stats = engine.search_shard(
+              shard_db, orphan_prepared, orphan_tops, nullptr, shard_index);
           comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
           comm.bump("candidates", stats.candidates_evaluated);
           comm.bump("prefiltered", stats.candidates_prefiltered);
+          comm.bump("ions", stats.ions_built);
         }
 
         QueryHits orphan_hits = engine.finalize(orphan_tops);

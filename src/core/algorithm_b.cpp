@@ -73,7 +73,13 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
     const int group = p - low_rank;
     comm.bump("shards_visited", static_cast<std::uint64_t>(group));
 
-    std::vector<char> local_pack = pack_database(sorted.shard);
+    // Index the sorted shard once; the restricted ring ships it with the
+    // shard bytes (same candidate-centric transport as Algorithm A).
+    const CandidateIndex local_index =
+        CandidateIndex::build(sorted.shard, engine.config());
+    comm.clock().charge_compute(static_cast<double>(local_index.size()) *
+                                cost.seconds_per_mz);
+    std::vector<char> local_pack = pack_database(sorted.shard, local_index);
     comm.charge_alloc(local_pack.size());
     sim::Window window(comm, local_pack);
     std::size_t max_shard = 0;
@@ -110,23 +116,29 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
       }
 
       if (current >= 0) {
-        ProteinDatabase shard_db;
+        PackedShard fetched;
         if (current == rank) {
-          shard_db = unpack_database(local_pack);
+          // Own shard: search the sorted copy and its index in place.
         } else if (options.mask && t > 0 && !comp_buffer.empty()) {
-          shard_db = unpack_database(comp_buffer);
+          fetched = unpack_shard(comp_buffer);
         } else {
           // First remote shard (or unmasked mode): blocking fetch.
           sim::RmaRequest fetch = window.rget(current, comp_buffer, pulls);
           window.wait(fetch);
-          shard_db = unpack_database(comp_buffer);
+          fetched = unpack_shard(comp_buffer);
         }
+        const ProteinDatabase& shard_db =
+            current == rank ? sorted.shard : fetched.db;
+        const CandidateIndex* shard_index =
+            current == rank ? &local_index
+                            : (fetched.has_index ? &fetched.index : nullptr);
         const ShardSearchStats stats =
-            engine.search_shard(shard_db, prepared, tops);
+            engine.search_shard(shard_db, prepared, tops, nullptr, shard_index);
         comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
         comm.bump("candidates", stats.candidates_evaluated);
         comm.bump("prefiltered", stats.candidates_prefiltered);
         comm.bump("offers", stats.hits_offered);
+        comm.bump("ions", stats.ions_built);
       }
 
       if (options.mask && prefetch.active) {

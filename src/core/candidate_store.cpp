@@ -259,6 +259,8 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
     std::uint64_t evaluated = 0;
     std::uint64_t offered = 0;
     std::uint64_t fetches = 0;
+    FragmentIonWorkspace workspace;
+    const TheoreticalOptions ion_options;
 
     for (std::size_t qi = 0; qi < block.count(); ++qi) {
       const double mass = prepared.masses[qi];
@@ -281,8 +283,13 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
           if (record.mass < lo) continue;
           if (record.mass > hi) break;  // records sorted by mass
           const std::string_view peptide(record.peptide, record.length);
+          // Allocation-free scoring: the record's ions land in one reused
+          // workspace (the store already paid generation at build time, so
+          // only the comparison remainder is charged below).
+          const std::vector<FragmentIon>& ions =
+              fragment_ions_into(peptide, ion_options, workspace);
           const double score =
-              engine.score_candidate(prepared.contexts[qi], peptide);
+              engine.score_candidate(prepared.contexts[qi], peptide, ions);
           ++evaluated;
           comm.clock().charge_compute(eval_cost);
           if (score < config.score_cutoff) continue;

@@ -9,6 +9,13 @@
 #include "spectra/preprocess.hpp"
 #include "spectra/spectrum.hpp"
 
+/// Default for SearchConfig::kernel_threads; override at configure time with
+/// -DMSPAR_KERNEL_THREADS_DEFAULT=<n> to exercise the threaded kernel
+/// everywhere (CI runs the full test suite this way once).
+#ifndef MSPAR_DEFAULT_KERNEL_THREADS
+#define MSPAR_DEFAULT_KERNEL_THREADS 1
+#endif
+
 namespace msp {
 
 enum class ScoreModel : std::uint8_t {
@@ -69,6 +76,13 @@ struct SearchConfig {
   /// consulted under ScoreModel::kLikelihood.
   const SpectralLibrary* library = nullptr;
   PreprocessOptions preprocess;
+  /// Intra-rank threading of the scoring kernel: one simulated rank fans its
+  /// shard search over this many OS threads (index blocks, per-thread top-τ
+  /// lists merged under the total hit order). Purely an implementation-level
+  /// speedup — hits and virtual-clock counters are identical for every
+  /// setting. The default is compile-time configurable so CI can run the
+  /// whole suite threaded (-DMSPAR_KERNEL_THREADS_DEFAULT=4).
+  std::size_t kernel_threads = MSPAR_DEFAULT_KERNEL_THREADS;
 };
 
 }  // namespace msp

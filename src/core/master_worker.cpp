@@ -69,18 +69,23 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
     if (options.memory_budget_bytes != 0)
       comm.set_memory_budget(options.memory_budget_bytes);
 
-    // Worker-side search of one query batch against the full database.
-    auto process_batch = [&](const ProteinDatabase& db, std::size_t begin,
+    // Worker-side search of one query batch against the full database. The
+    // worker's candidate index is built once at load time and reused by
+    // every batch it is dealt.
+    auto process_batch = [&](const ProteinDatabase& db,
+                             const CandidateIndex& index, std::size_t begin,
                              std::size_t count) {
       const std::span<const Spectrum> batch(queries.data() + begin, count);
       const PreparedQueries prepared = engine.prepare(batch);
       comm.clock().charge_compute(static_cast<double>(count) *
                                   cost.seconds_per_query_prep);
       std::vector<TopK<Hit>> tops = engine.make_tops(count);
-      const ShardSearchStats stats = engine.search_shard(db, prepared, tops);
+      const ShardSearchStats stats =
+          engine.search_shard(db, prepared, tops, nullptr, &index);
       comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
       comm.bump("candidates", stats.candidates_evaluated);
       comm.bump("prefiltered", stats.candidates_prefiltered);
+      comm.bump("ions", stats.ions_built);
       QueryHits hits = engine.finalize(tops);
       std::size_t reported = 0;
       for (std::size_t q = 0; q < hits.size(); ++q) {
@@ -103,14 +108,22 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
       return db;
     };
 
+    auto build_index = [&](const ProteinDatabase& db) {
+      CandidateIndex index = CandidateIndex::build(db, engine.config());
+      comm.clock().charge_compute(static_cast<double>(index.size()) *
+                                  cost.seconds_per_mz);
+      return index;
+    };
+
     if (p == 1) {
       // Uni-worker degenerate case: serial MSPolygraph.
       const ProteinDatabase db = load_full_database();
+      const CandidateIndex index = build_index(db);
       for (std::size_t begin = 0; begin < queries.size();
            begin += options.batch_size) {
         const std::size_t count =
             std::min(options.batch_size, queries.size() - begin);
-        process_batch(db, begin, count);
+        process_batch(db, index, begin, count);
       }
       return;
     }
@@ -192,6 +205,7 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
       // processing and notifies the master.
       const int my_crash_batch = faults.crash_step(comm.global_rank());
       const ProteinDatabase db = load_full_database();
+      const CandidateIndex index = build_index(db);
       int batches_received = 0;
       while (true) {
         comm.send(0, kTagReady, {});
@@ -212,7 +226,7 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
         }
         ++batches_received;
         const auto [begin, count] = decode_batch(reply.payload);
-        process_batch(db, begin, count);
+        process_batch(db, index, begin, count);
       }
     }
   });

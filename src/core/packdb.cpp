@@ -4,18 +4,22 @@
 
 namespace msp {
 
-std::vector<char> pack_database(const ProteinDatabase& db) {
-  wire::Writer writer;
+namespace {
+
+// Leads an indexed-shard image. A legacy image starts with the protein
+// count; a count this large would need ~5 exabytes of ids alone, so the two
+// formats cannot collide in practice.
+constexpr std::uint64_t kIndexedShardMagic = 0x4D53504152494458ull;  // "MSPARIDX"
+
+void put_proteins(wire::Writer& writer, const ProteinDatabase& db) {
   writer.put_u64(db.proteins.size());
   for (const Protein& protein : db.proteins) {
     writer.put_string(protein.id);
     writer.put_string(protein.residues);
   }
-  return writer.take();
 }
 
-ProteinDatabase unpack_database(std::span<const char> bytes) {
-  wire::Reader reader(bytes.data(), bytes.size());
+ProteinDatabase get_proteins(wire::Reader& reader) {
   ProteinDatabase db;
   const std::uint64_t count = reader.get_u64();
   db.proteins.reserve(count);
@@ -25,9 +29,89 @@ ProteinDatabase unpack_database(std::span<const char> bytes) {
     protein.residues = reader.get_string();
     db.proteins.push_back(std::move(protein));
   }
+  return db;
+}
+
+// Index entries go onto the wire field-by-field (never as raw structs:
+// padding bytes would make byte-identical traces depend on stack garbage).
+void put_index(wire::Writer& writer, const CandidateIndex& index) {
+  const CandidateIndexParams& params = index.params();
+  writer.put_u8(static_cast<std::uint8_t>(params.mode));
+  writer.put_u32(params.min_length);
+  writer.put_u32(params.max_length);
+  writer.put_u32(params.missed_cleavages);
+  writer.put_u64(index.size());
+  writer.reserve(index.size() * (sizeof(double) + 3 * sizeof(std::uint32_t) + 1));
+  for (const IndexedCandidate& entry : index.entries()) {
+    writer.put_double(entry.mass);
+    writer.put_u32(entry.protein);
+    writer.put_u32(entry.offset);
+    writer.put_u32(entry.length);
+    writer.put_u8(static_cast<std::uint8_t>(entry.end));
+  }
+}
+
+CandidateIndex get_index(wire::Reader& reader) {
+  CandidateIndexParams params;
+  params.mode = static_cast<CandidateMode>(reader.get_u8());
+  params.min_length = reader.get_u32();
+  params.max_length = reader.get_u32();
+  params.missed_cleavages = reader.get_u32();
+  const std::uint64_t count = reader.get_u64();
+  std::vector<IndexedCandidate> entries;
+  entries.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    IndexedCandidate entry;
+    entry.mass = reader.get_double();
+    entry.protein = reader.get_u32();
+    entry.offset = reader.get_u32();
+    entry.length = reader.get_u32();
+    entry.end = static_cast<FragmentEnd>(reader.get_u8());
+    entries.push_back(entry);
+  }
+  return CandidateIndex(params, std::move(entries));
+}
+
+}  // namespace
+
+std::vector<char> pack_database(const ProteinDatabase& db) {
+  wire::Writer writer;
+  put_proteins(writer, db);
+  return writer.take();
+}
+
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index) {
+  wire::Writer writer;
+  writer.put_u64(kIndexedShardMagic);
+  put_proteins(writer, db);
+  put_index(writer, index);
+  return writer.take();
+}
+
+PackedShard unpack_shard(std::span<const char> bytes) {
+  wire::Reader reader(bytes.data(), bytes.size());
+  PackedShard shard;
+  if (reader.remaining() >= sizeof(std::uint64_t) &&
+      reader.peek_u64() == kIndexedShardMagic) {
+    reader.get_u64();  // consume the magic
+    shard.db = get_proteins(reader);
+    shard.index = get_index(reader);
+    shard.has_index = true;
+  } else {
+    shard.db = get_proteins(reader);
+  }
   if (!reader.exhausted())
     throw IoError("packed database has trailing bytes");
-  return db;
+  return shard;
+}
+
+PackedShard unpack_shard(const std::vector<char>& bytes) {
+  return unpack_shard(std::span<const char>(bytes.data(), bytes.size()));
+}
+
+ProteinDatabase unpack_database(std::span<const char> bytes) {
+  return unpack_shard(bytes).db;
 }
 
 ProteinDatabase unpack_database(const std::vector<char>& bytes) {

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "core/candidate_index.hpp"
 #include "mass/peptide.hpp"
 #include "spectra/spectrum.hpp"
 
@@ -16,9 +17,30 @@ namespace msp {
 /// Serialize a database (shard) into one contiguous byte buffer.
 std::vector<char> pack_database(const ProteinDatabase& db);
 
-/// Inverse of pack_database. Throws IoError on malformed bytes.
+/// Serialize a shard together with its CandidateIndex (the candidate-centric
+/// transport: the index is built once at pack time and rides with the shard
+/// bytes, so every rank a rotation delivers the shard to reuses one
+/// enumeration instead of re-walking the proteins). The image is
+/// self-describing — unpack_shard accepts both this and the plain format.
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index);
+
+/// Inverse of pack_database. Throws IoError on malformed bytes. Accepts
+/// indexed images too (the index is parsed and dropped).
 ProteinDatabase unpack_database(std::span<const char> bytes);
 ProteinDatabase unpack_database(const std::vector<char>& bytes);
+
+/// A shard as it comes off the wire: proteins plus (when the packer shipped
+/// one) the shard's candidate index.
+struct PackedShard {
+  ProteinDatabase db;
+  CandidateIndex index;    ///< empty when the image carried none
+  bool has_index = false;
+};
+
+/// Inverse of either pack_database form. Throws IoError on malformed bytes.
+PackedShard unpack_shard(std::span<const char> bytes);
+PackedShard unpack_shard(const std::vector<char>& bytes);
 
 /// Serialize one spectrum (for p2p query batches in the baseline and the
 /// query-transport ablation).

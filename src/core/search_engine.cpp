@@ -1,7 +1,9 @@
 #include "core/search_engine.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <numeric>
+#include <thread>
 
 #include "mass/digest.hpp"
 #include "scoring/hyperscore.hpp"
@@ -85,7 +87,211 @@ double SearchEngine::score_candidate(const QueryContext& context,
   throw InvalidArgument("unknown score model");
 }
 
+double SearchEngine::score_candidate(const QueryContext& context,
+                                     std::string_view peptide,
+                                     const std::vector<FragmentIon>& ions) const {
+  switch (config_.model) {
+    case ScoreModel::kLikelihood: {
+      const double model_score = likelihood_ratio(context, ions);
+      if (config_.library != nullptr) {
+        if (const Spectrum* entry = config_.library->find(peptide)) {
+          return std::max(model_score,
+                          likelihood_ratio_library(context, *entry));
+        }
+      }
+      return model_score;
+    }
+    case ScoreModel::kHyperscore:
+      return hyperscore(context.binned(), ions);
+    case ScoreModel::kSharedPeak:
+      return static_cast<double>(shared_peak_count(context.binned(), ions));
+  }
+  throw InvalidArgument("unknown score model");
+}
+
+namespace {
+
+/// Score index entries [first, last) against all matching queries — the
+/// candidate-centric inner loop one thread runs. State it writes (tops,
+/// stats, per_query_candidates) is exclusively its own; everything else is
+/// read-only, which is what makes the fan-out race-free.
+void search_index_block(const SearchEngine& engine, const ProteinDatabase& shard,
+                        const CandidateIndex& index,
+                        const PreparedQueries& queries, std::size_t first,
+                        std::size_t last, std::span<TopK<Hit>> tops,
+                        ShardSearchStats& stats,
+                        std::vector<std::uint64_t>* per_query_candidates) {
+  const SearchConfig& config = engine.config();
+  const double delta = config.tolerance_da;
+  const std::vector<IndexedCandidate>& entries = index.entries();
+  const std::vector<double>& sorted = queries.sorted_masses;
+
+  // Merge-join: entries and query hypotheses are both mass-ascending, so the
+  // window [lo, hi) only ever slides forward. Bounds use the same predicates
+  // as the reference kernel's binary searches (>= mass-δ, <= mass+δ).
+  std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(sorted.begin(), sorted.end(),
+                       entries[first].mass - delta) -
+      sorted.begin());
+  std::size_t hi = lo;
+
+  FragmentIonWorkspace workspace;
+  const TheoreticalOptions ion_options;  // same defaults as the string path
+
+  for (std::size_t e = first; e < last; ++e) {
+    const IndexedCandidate& entry = entries[e];
+    const double mass = entry.mass;
+    while (lo < sorted.size() && sorted[lo] < mass - delta) ++lo;
+    if (hi < lo) hi = lo;
+    while (hi < sorted.size() && sorted[hi] <= mass + delta) ++hi;
+    if (lo == hi) continue;
+
+    const Protein& protein = shard.proteins[entry.protein];
+    const std::string_view peptide =
+        std::string_view(protein.residues).substr(entry.offset, entry.length);
+
+    // Built lazily on the first matching query, then shared by every query
+    // (and prefilter screen) this candidate reaches — the whole point.
+    const std::vector<FragmentIon>* ions = nullptr;
+
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+      const std::uint32_t q = queries.order[pos];
+      if (per_query_candidates) ++(*per_query_candidates)[q];
+      if (ions == nullptr) {
+        ions = &fragment_ions_into(peptide, ion_options, workspace);
+        ++stats.ions_built;
+      }
+      double score;
+      if (config.prefilter) {
+        const std::size_t shared =
+            shared_peak_count(queries.contexts[q].binned(), *ions);
+        if (shared < config.prefilter_min_shared_peaks) {
+          ++stats.candidates_prefiltered;
+          continue;  // the aggressive screen: never fully scored
+        }
+        // Under the shared-peak model the screen already IS the score —
+        // reuse it instead of scoring the candidate a second time.
+        score = config.model == ScoreModel::kSharedPeak
+                    ? static_cast<double>(shared)
+                    : engine.score_candidate(queries.contexts[q], peptide,
+                                             *ions);
+      } else {
+        score = engine.score_candidate(queries.contexts[q], peptide, *ions);
+      }
+      ++stats.candidates_evaluated;
+      if (score < config.score_cutoff) continue;
+      // Counted before the top-τ admission test so the counter (and the
+      // virtual clock built on it) is independent of visit order.
+      ++stats.hits_offered;
+      TopK<Hit>& top = tops[q];
+      // A full list never admits a strictly worse score: skip before paying
+      // for the Hit's string materialization.
+      if (top.full() && score < top.cutoff()) continue;
+      Hit hit;
+      hit.score = score;
+      hit.protein_id = protein.id;
+      hit.offset = entry.offset;
+      hit.length = entry.length;
+      hit.end = entry.end;
+      hit.mass = mass;
+      hit.peptide = std::string(peptide);
+      top.offer(hit);
+    }
+  }
+}
+
+}  // namespace
+
 ShardSearchStats SearchEngine::search_shard(
+    const ProteinDatabase& shard, const PreparedQueries& queries,
+    std::span<TopK<Hit>> tops, std::vector<std::uint64_t>* per_query_candidates,
+    const CandidateIndex* index) const {
+  MSP_CHECK_MSG(tops.size() == queries.size(),
+                "tops arity must match query arity");
+  ShardSearchStats stats;
+  if (queries.size() == 0 || shard.proteins.empty()) return stats;
+
+  CandidateIndex local;
+  if (index == nullptr) {
+    local = CandidateIndex::build(shard, config_);
+    index = &local;
+  } else {
+    MSP_CHECK_MSG(index->params() == CandidateIndexParams::from(config_),
+                  "candidate index was built under different enumeration "
+                  "parameters than this engine's config");
+  }
+
+  const std::vector<IndexedCandidate>& entries = index->entries();
+  const double delta = config_.tolerance_da;
+  const double query_mass_floor = queries.min_mass() - delta;
+  const double query_mass_ceil = queries.max_mass() + delta;
+  const auto by_mass = [](const IndexedCandidate& entry, double mass) {
+    return entry.mass < mass;
+  };
+  const std::size_t first = static_cast<std::size_t>(
+      std::lower_bound(entries.begin(), entries.end(), query_mass_floor,
+                       by_mass) -
+      entries.begin());
+  std::size_t last = first;
+  while (last < entries.size() && entries[last].mass <= query_mass_ceil) ++last;
+  if (first >= last) return stats;
+
+  const std::size_t threads =
+      std::clamp<std::size_t>(config_.kernel_threads, 1, last - first);
+  if (threads <= 1) {
+    search_index_block(*this, shard, *index, queries, first, last, tops, stats,
+                       per_query_candidates);
+    return stats;
+  }
+
+  // Fan the entry range over contiguous blocks, one thread each, with fully
+  // private outputs; merge in fixed thread order. The final lists depend
+  // only on the multiset of offers (TopK's total order), and every counter
+  // is a sum over (candidate, query) pairs resp. matched candidates — both
+  // partition-invariant — so any thread count produces identical results.
+  struct ThreadState {
+    std::vector<TopK<Hit>> tops;
+    ShardSearchStats stats;
+    std::vector<std::uint64_t> per_query;
+    std::exception_ptr error;
+  };
+  std::vector<ThreadState> states(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  const std::size_t span = last - first;
+  for (std::size_t t = 0; t < threads; ++t) {
+    ThreadState& state = states[t];
+    state.tops = make_tops(queries.size());
+    if (per_query_candidates) state.per_query.assign(queries.size(), 0);
+    const std::size_t block_first = first + span * t / threads;
+    const std::size_t block_last = first + span * (t + 1) / threads;
+    pool.emplace_back([&, block_first, block_last, t] {
+      ThreadState& mine = states[t];
+      try {
+        search_index_block(*this, shard, *index, queries, block_first,
+                           block_last, mine.tops, mine.stats,
+                           per_query_candidates ? &mine.per_query : nullptr);
+      } catch (...) {
+        mine.error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  for (ThreadState& state : states)
+    if (state.error) std::rethrow_exception(state.error);
+
+  for (std::size_t t = 0; t < threads; ++t) {
+    const ThreadState& state = states[t];
+    for (std::size_t q = 0; q < tops.size(); ++q) tops[q].merge(state.tops[q]);
+    stats += state.stats;
+    if (per_query_candidates)
+      for (std::size_t q = 0; q < state.per_query.size(); ++q)
+        (*per_query_candidates)[q] += state.per_query[q];
+  }
+  return stats;
+}
+
+ShardSearchStats SearchEngine::search_shard_reference(
     const ProteinDatabase& shard, const PreparedQueries& queries,
     std::span<TopK<Hit>> tops,
     std::vector<std::uint64_t>* per_query_candidates) const {
@@ -117,12 +323,18 @@ ShardSearchStats SearchEngine::search_shard(
           static_cast<std::size_t>(it - queries.sorted_masses.begin());
       const std::uint32_t q = queries.order[sorted_pos];
       if (per_query_candidates) ++(*per_query_candidates)[q];
-      if (config_.prefilter &&
-          shared_peak_count(queries.contexts[q].binned(), peptide) <
-              config_.prefilter_min_shared_peaks) {
-        ++stats.candidates_prefiltered;
-        continue;  // the aggressive screen: never fully scored
+      // Each string-overload scoring call regenerates the candidate's ions
+      // from scratch — count those rebuilds so benches can show what the
+      // candidate-centric kernel saves.
+      if (config_.prefilter) {
+        ++stats.ions_built;
+        if (shared_peak_count(queries.contexts[q].binned(), peptide) <
+            config_.prefilter_min_shared_peaks) {
+          ++stats.candidates_prefiltered;
+          continue;  // the aggressive screen: never fully scored
+        }
       }
+      ++stats.ions_built;
       const double score = score_candidate(queries.contexts[q], peptide);
       ++stats.candidates_evaluated;
       if (score < config_.score_cutoff) continue;

@@ -2,11 +2,17 @@
 //
 // Candidate rule (Section II-A): a prefix or suffix of a database sequence
 // is a candidate for query q iff its neutral mass lies within m(q) ± δ.
-// The kernel iterates database-side: for each sequence it walks the running
-// prefix/suffix masses (O(1) each via FragmentMassIndex) and binary-searches
-// the mass-sorted query set for matching windows — the same search the paper
-// describes for Algorithm B ("maintain the local query set Qi also sorted by
-// their m/z values and then use binary search"), applied uniformly.
+//
+// The kernel is *candidate-centric*: each shard carries a CandidateIndex —
+// its candidates already enumerated and mass-sorted — and search_shard()
+// merge-joins that array against the mass-sorted query hypotheses. Each
+// candidate's theoretical fragment ions are then built exactly once (into a
+// reusable workspace) and scored against every query whose window contains
+// it, instead of being regenerated per (candidate, query) pair. The paper's
+// Discussion identifies on-the-fly candidate generation as the dominant
+// query-processing cost; this is the HiCOPS-style fix. The original
+// database-walking kernel is retained as search_shard_reference() so tests
+// can prove the two are hit-for-hit and counter-for-counter identical.
 //
 // Every algorithm (serial, A, B, master–worker, query transport) funnels
 // through search_shard(), which is what makes the cross-algorithm
@@ -17,6 +23,7 @@
 #include <span>
 #include <vector>
 
+#include "core/candidate_index.hpp"
 #include "core/config.hpp"
 #include "core/hit.hpp"
 #include "mass/peptide.hpp"
@@ -24,6 +31,7 @@
 #include "scoring/top_hits.hpp"
 #include "simmpi/netmodel.hpp"
 #include "spectra/spectrum.hpp"
+#include "spectra/theoretical.hpp"
 
 namespace msp {
 
@@ -48,21 +56,37 @@ struct ShardSearchStats {
   std::uint64_t candidates_evaluated = 0;  ///< fully scored (the paper's r)
   std::uint64_t candidates_prefiltered = 0;  ///< screened out cheaply
   std::uint64_t hits_offered = 0;          ///< top-τ updates attempted
+  /// Theoretical fragment-ion generations. The candidate-centric kernel
+  /// builds each matched candidate's ions once and reuses them across every
+  /// matching query/prefilter, so ions_built ≤ evaluated + prefiltered (with
+  /// strict inequality whenever candidates match several hypotheses); the
+  /// reference kernel regenerates per scoring call.
+  std::uint64_t ions_built = 0;
 
   ShardSearchStats& operator+=(const ShardSearchStats& other) {
     candidates_evaluated += other.candidates_evaluated;
     candidates_prefiltered += other.candidates_prefiltered;
     hits_offered += other.hits_offered;
+    ions_built += other.ions_built;
     return *this;
   }
 };
 
 /// Virtual compute seconds one kernel invocation costs under `model` —
 /// the single place where candidate work maps onto the simulated clock.
+/// ρ splits into a generation part (charged per ion build, which the
+/// candidate-centric kernel amortizes across queries) and a comparison part
+/// (charged per full evaluation) — the same split candidate_store uses, so
+/// "store pays generation once" and "the kernel reuses ions" land on one
+/// consistent clock.
 inline double kernel_cost_seconds(const ShardSearchStats& stats,
                                   const sim::ComputeModel& model) {
-  return static_cast<double>(stats.candidates_evaluated) *
-             model.seconds_per_candidate +
+  const double generation =
+      model.seconds_per_candidate * model.candidate_generation_fraction;
+  const double evaluation =
+      model.seconds_per_candidate * (1.0 - model.candidate_generation_fraction);
+  return static_cast<double>(stats.ions_built) * generation +
+         static_cast<double>(stats.candidates_evaluated) * evaluation +
          static_cast<double>(stats.candidates_prefiltered) *
              model.seconds_per_prefilter +
          static_cast<double>(stats.hits_offered) * model.seconds_per_hit_update;
@@ -81,7 +105,25 @@ class SearchEngine {
   /// `queries`, updating tops[q]. tops.size() must equal queries.size().
   /// If `per_query_candidates` is non-null it accumulates, per query, the
   /// number of candidates evaluated (Fig. 1b measurements).
+  ///
+  /// The candidate-centric kernel: merge-joins `index` (the shard's
+  /// mass-sorted CandidateIndex, normally shipped with the shard bytes)
+  /// against the sorted query hypotheses, building each matched candidate's
+  /// fragment ions once. When `index` is null a temporary one is built
+  /// in-place, so every caller gets the same path. When
+  /// config().kernel_threads > 1 the index range fans out over that many
+  /// threads with per-thread top-τ lists merged under the total hit order —
+  /// hits and counters are identical for every thread count.
   ShardSearchStats search_shard(
+      const ProteinDatabase& shard, const PreparedQueries& queries,
+      std::span<TopK<Hit>> tops,
+      std::vector<std::uint64_t>* per_query_candidates = nullptr,
+      const CandidateIndex* index = nullptr) const;
+
+  /// The original database-walking kernel (re-enumerates candidates and
+  /// regenerates ions per scoring call). Kept as the ground truth the
+  /// kernel-equivalence tests compare search_shard() against.
+  ShardSearchStats search_shard_reference(
       const ProteinDatabase& shard, const PreparedQueries& queries,
       std::span<TopK<Hit>> tops,
       std::vector<std::uint64_t>* per_query_candidates = nullptr) const;
@@ -89,6 +131,13 @@ class SearchEngine {
   /// Score one candidate peptide against one query (model dispatch).
   double score_candidate(const QueryContext& context,
                          std::string_view peptide) const;
+
+  /// Same, over the candidate's precomputed fragment ions — the form the
+  /// kernel calls so ions are built once per candidate. `peptide` is still
+  /// needed for the spectral-library lookup in hybrid mode. Scores are
+  /// bit-identical to the string overload.
+  double score_candidate(const QueryContext& context, std::string_view peptide,
+                         const std::vector<FragmentIon>& ions) const;
 
   /// Serial end-to-end search — the p=1 reference every parallel variant is
   /// validated against.

@@ -16,10 +16,15 @@ namespace msp::wire {
 
 class Writer {
  public:
+  void put_u8(std::uint8_t value) { put_raw(&value, sizeof(value)); }
   void put_u32(std::uint32_t value) { put_raw(&value, sizeof(value)); }
   void put_u64(std::uint64_t value) { put_raw(&value, sizeof(value)); }
   void put_i32(std::int32_t value) { put_raw(&value, sizeof(value)); }
   void put_double(double value) { put_raw(&value, sizeof(value)); }
+
+  /// Reserve `size` bytes up front (e.g. before streaming a candidate
+  /// index whose wire size is known exactly).
+  void reserve(std::size_t size) { bytes_.reserve(bytes_.size() + size); }
 
   void put_string(std::string_view text) {
     MSP_CHECK_MSG(text.size() <= UINT32_MAX, "string too long for wire");
@@ -44,10 +49,19 @@ class Reader {
       : data_(bytes.data()), size_(bytes.size()) {}
   Reader(const char* data, std::size_t size) : data_(data), size_(size) {}
 
+  std::uint8_t get_u8() { return get_pod<std::uint8_t>(); }
   std::uint32_t get_u32() { return get_pod<std::uint32_t>(); }
   std::uint64_t get_u64() { return get_pod<std::uint64_t>(); }
   std::int32_t get_i32() { return get_pod<std::int32_t>(); }
   double get_double() { return get_pod<double>(); }
+
+  /// Peek the next u64 without consuming it (format discrimination).
+  std::uint64_t peek_u64() {
+    require(sizeof(std::uint64_t));
+    std::uint64_t value;
+    std::memcpy(&value, data_ + offset_, sizeof(value));
+    return value;
+  }
 
   std::string get_string() {
     const std::uint32_t length = get_u32();

@@ -14,13 +14,15 @@
 
 namespace msp {
 
-/// log10 hyperscore of `peptide` against the binned query. Returns a large
-/// negative value (kHyperscoreFloor) when nothing matches.
-double hyperscore(const BinnedSpectrum& query, std::string_view peptide);
-
-/// Variant that reuses precomputed ions (hot path in the engine).
+/// log10 hyperscore over precomputed ions — the primary form the engine's
+/// candidate-centric kernel calls (ions built once per candidate, reused
+/// across every matching query). Returns kHyperscoreFloor when nothing
+/// matches.
 double hyperscore(const BinnedSpectrum& query,
                   const std::vector<FragmentIon>& ions);
+
+/// Convenience: score `peptide` directly (builds its ions afresh).
+double hyperscore(const BinnedSpectrum& query, std::string_view peptide);
 
 inline constexpr double kHyperscoreFloor = -1e9;
 

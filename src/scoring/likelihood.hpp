@@ -58,7 +58,10 @@ class QueryContext {
   double parent_mass_ = 0.0;
 };
 
-/// Log-likelihood ratio of the candidate vs. the random-peptide null.
+/// Log-likelihood ratio of the candidate vs. the random-peptide null, over
+/// precomputed ions — the primary form (the engine builds each candidate's
+/// ions once and reuses them across every matching query). The string
+/// convenience overload builds the ions afresh.
 double likelihood_ratio(const QueryContext& query,
                         const std::vector<FragmentIon>& ions);
 double likelihood_ratio(const QueryContext& query, std::string_view peptide);

@@ -24,9 +24,14 @@ PeakMatchStats match_peptide(const BinnedSpectrum& query,
 }
 
 std::size_t shared_peak_count(const BinnedSpectrum& query,
-                              std::string_view peptide) {
-  const PeakMatchStats stats = match_peptide(query, peptide);
+                              const std::vector<FragmentIon>& ions) {
+  const PeakMatchStats stats = match_peaks(query, ions);
   return stats.matched_b + stats.matched_y;
+}
+
+std::size_t shared_peak_count(const BinnedSpectrum& query,
+                              std::string_view peptide) {
+  return shared_peak_count(query, fragment_ions(peptide));
 }
 
 }  // namespace msp

@@ -28,7 +28,13 @@ PeakMatchStats match_peaks(const BinnedSpectrum& query,
 PeakMatchStats match_peptide(const BinnedSpectrum& query,
                              std::string_view peptide);
 
-/// Plain shared-peak count.
+/// Plain shared-peak count over precomputed ions — the primary form: the
+/// engine builds each candidate's ions once (fragment_ions_into) and reuses
+/// them across every matching query and across prefilter + final score.
+std::size_t shared_peak_count(const BinnedSpectrum& query,
+                              const std::vector<FragmentIon>& ions);
+
+/// Convenience: count `peptide`'s ions directly (builds them afresh).
 std::size_t shared_peak_count(const BinnedSpectrum& query,
                               std::string_view peptide);
 

@@ -7,8 +7,9 @@
 
 namespace msp {
 
-std::vector<FragmentIon> fragment_ions(std::string_view peptide,
-                                       const TheoreticalOptions& options) {
+const std::vector<FragmentIon>& fragment_ions_into(
+    std::string_view peptide, const TheoreticalOptions& options,
+    FragmentIonWorkspace& workspace) {
   MSP_CHECK_MSG(peptide.size() >= 2, "cannot fragment a peptide shorter than 2");
   MSP_CHECK_MSG(options.site_deltas.empty() ||
                     options.site_deltas.size() == peptide.size(),
@@ -16,7 +17,8 @@ std::vector<FragmentIon> fragment_ions(std::string_view peptide,
   MSP_CHECK_MSG(options.max_fragment_charge >= 1, "fragment charge must be >= 1");
 
   // Running residue-mass prefix (with per-site deltas applied).
-  std::vector<double> prefix(peptide.size() + 1, 0.0);
+  std::vector<double>& prefix = workspace.prefix;
+  prefix.assign(peptide.size() + 1, 0.0);
   for (std::size_t i = 0; i < peptide.size(); ++i) {
     double residue = residue_mass(peptide[i]);
     if (!options.site_deltas.empty()) residue += options.site_deltas[i];
@@ -24,7 +26,8 @@ std::vector<FragmentIon> fragment_ions(std::string_view peptide,
   }
   const double total = prefix.back();
 
-  std::vector<FragmentIon> ions;
+  std::vector<FragmentIon>& ions = workspace.ions;
+  ions.clear();
   ions.reserve(2 * (peptide.size() - 1) *
                static_cast<std::size_t>(options.max_fragment_charge));
   for (unsigned cut = 1; cut < peptide.size(); ++cut) {
@@ -46,6 +49,13 @@ std::vector<FragmentIon> fragment_ions(std::string_view peptide,
   std::sort(ions.begin(), ions.end(),
             [](const FragmentIon& a, const FragmentIon& b) { return a.mz < b.mz; });
   return ions;
+}
+
+std::vector<FragmentIon> fragment_ions(std::string_view peptide,
+                                       const TheoreticalOptions& options) {
+  FragmentIonWorkspace workspace;
+  fragment_ions_into(peptide, options, workspace);
+  return std::move(workspace.ions);
 }
 
 Spectrum model_spectrum(std::string_view peptide,

@@ -28,6 +28,22 @@ struct TheoreticalOptions {
   std::vector<double> site_deltas;
 };
 
+/// Reusable buffers for fragment-ion generation. The search kernel scores
+/// millions of candidates; building each candidate's ions into a workspace
+/// instead of a fresh vector removes two heap allocations per candidate and
+/// lets one ion vector be shared across every query the candidate matches.
+struct FragmentIonWorkspace {
+  std::vector<double> prefix;    ///< running residue-mass prefix (scratch)
+  std::vector<FragmentIon> ions; ///< output of the last fragment_ions_into
+};
+
+/// Enumerate the fragment ions of `peptide` into `workspace.ions` (sorted by
+/// m/z, identical content and order to fragment_ions — scores computed from
+/// either are bit-identical). Returns the filled ion vector.
+const std::vector<FragmentIon>& fragment_ions_into(
+    std::string_view peptide, const TheoreticalOptions& options,
+    FragmentIonWorkspace& workspace);
+
 /// Enumerate the fragment ions of `peptide`, sorted by m/z.
 std::vector<FragmentIon> fragment_ions(std::string_view peptide,
                                        const TheoreticalOptions& options = {});
