@@ -9,6 +9,7 @@
 // over, not the absolute values.
 #pragma once
 
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -17,7 +18,10 @@
 #include "dbgen/query_gen.hpp"
 #include "io/fasta.hpp"
 #include "simmpi/netmodel.hpp"
+#include "simmpi/trace.hpp"
+#include "simmpi/trace_validate.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 
 namespace msp::bench {
 
@@ -89,6 +93,43 @@ inline void add_common_options(Cli& cli) {
   cli.add_string("procs", "1,2,4,8,16,32,64,128",
                  "comma-separated processor counts");
   cli.add_int("seed", 2009, "workload seed");
+  cli.add_string("trace-out", "",
+                 "write a Chrome trace-event JSON (+ .iterations.csv) of one "
+                 "representative traced run to this path");
+}
+
+/// `base` with `.tag` inserted before the extension (or appended):
+/// trace_path("t.json", "p8") == "t.p8.json". Lets a sweep bench emit one
+/// trace file per configuration from a single --trace-out base path.
+inline std::string trace_path_with_tag(const std::string& base,
+                                       const std::string& tag) {
+  const std::size_t dot = base.rfind('.');
+  const std::size_t slash = base.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash))
+    return base + "." + tag;
+  return base.substr(0, dot) + "." + tag + base.substr(dot);
+}
+
+/// Write `report`'s span trace as Chrome trace-event JSON at `path` plus the
+/// per-iteration CSV at `path + ".iterations.csv"`. The JSON is validated
+/// before it is written — an export bug fails the bench, not the reader.
+inline void write_trace_files(const sim::RunReport& report,
+                              const std::string& path) {
+  const std::string json = report.to_chrome_trace();
+  const std::string problem = sim::validate_chrome_trace(json);
+  MSP_CHECK_MSG(problem.empty(), "trace validation failed: " << problem);
+  {
+    std::ofstream out(path, std::ios::binary);
+    MSP_CHECK_MSG(out.good(), "cannot open trace output " << path);
+    out << json;
+  }
+  {
+    std::ofstream out(path + ".iterations.csv", std::ios::binary);
+    MSP_CHECK_MSG(out.good(),
+                  "cannot open trace output " << path << ".iterations.csv");
+    out << report.to_iteration_csv();
+  }
 }
 
 }  // namespace msp::bench

@@ -97,13 +97,22 @@ int main(int argc, char** argv) {
       if (scenario.master_worker && p < 3 &&
           std::string(scenario.name) == "MW crash")
         continue;  // killing the only worker is (correctly) unrecoverable
-      const msp::sim::Runtime runtime(
+      msp::sim::Runtime runtime(
           static_cast<int>(p), msp::bench::bench_network(),
           msp::bench::bench_compute(), scenario.schedule(static_cast<int>(p)));
+      // Trace the crash-recovery timeline at the largest p (one file per
+      // faulty scenario; the fault lane shows retries/crash/re-search).
+      const bool trace_this =
+          !cli.get_string("trace-out").empty() && p == procs.back() &&
+          std::string(scenario.name) == "A crash";
+      if (trace_this) runtime.enable_tracing();
       const msp::ParallelRunResult result =
           scenario.master_worker
               ? msp::run_master_worker(runtime, image, workload.queries, config)
               : msp::run_algorithm_a(runtime, image, workload.queries, config);
+      if (trace_this)
+        msp::bench::write_trace_files(result.report,
+                                      cli.get_string("trace-out"));
       const double time = result.report.total_time();
       double& baseline = scenario.master_worker ? mw_baseline : a_baseline;
       if (baseline == 0.0) baseline = time;

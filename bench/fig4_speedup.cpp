@@ -41,12 +41,18 @@ int main(int argc, char** argv) {
         workload.image_of_first(static_cast<std::size_t>(size));
     for (auto p : procs) {
       if (size >= chain_from && p == 1) continue;  // the paper's '-' cells
-      const msp::sim::Runtime runtime(static_cast<int>(p),
-                                      msp::bench::bench_network(),
-                                      msp::bench::bench_compute());
-      seconds[size][p] =
+      msp::sim::Runtime runtime(static_cast<int>(p),
+                                msp::bench::bench_network(),
+                                msp::bench::bench_compute());
+      const bool trace_this = !cli.get_string("trace-out").empty() &&
+                              size == sizes.back() && p == procs.back();
+      if (trace_this) runtime.enable_tracing();
+      const msp::sim::RunReport report =
           msp::run_algorithm_a(runtime, image, workload.queries, config)
-              .report.total_time();
+              .report;
+      if (trace_this)
+        msp::bench::write_trace_files(report, cli.get_string("trace-out"));
+      seconds[size][p] = report.total_time();
     }
   }
 

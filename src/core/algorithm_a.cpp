@@ -49,6 +49,7 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   }
 
   // ---- A1: load the rank's database chunk and prepare its query block ----
+  comm.trace_mark("A1 load+prepare");
   ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
   comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
                          cost.seconds_per_residue_load);
@@ -129,6 +130,7 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   };
 
   for (int s = 0; s < p; ++s) {
+    comm.trace_mark("A2 ring step " + std::to_string(s));
     if (my_crash_step >= 0 && s >= my_crash_step) {
       if (s == my_crash_step)
         comm.mark_crashed("ring step " + std::to_string(s));
@@ -185,6 +187,7 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
       (crash_step_of(r) < 0 ? alive : dead).push_back(r);
 
     if (!dead.empty() && my_crash_step < 0) {
+      comm.trace_mark("A2' recovery re-search");
       // Omniscient deterministic failure detection: the schedule is known
       // to every rank, so survivors charge the detection timeout once
       // instead of simulating a heartbeat protocol.
@@ -260,6 +263,7 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   }
 
   // ---- A3: report the top-τ lists for the local queries ----
+  comm.trace_mark("A3 finalize");
   if (my_crash_step < 0) {
     QueryHits local_hits = engine.finalize(tops);
     std::size_t reported = 0;

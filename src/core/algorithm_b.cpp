@@ -45,6 +45,7 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
       comm.set_memory_budget(options.memory_budget_bytes);
 
     // ---- B1: load (identical to A1) ----
+    comm.trace_mark("B1 load+prepare");
     ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
     comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
                            cost.seconds_per_residue_load);
@@ -57,6 +58,7 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
     std::vector<TopK<Hit>> tops = engine.make_tops(block.count());
 
     // ---- B2: parallel counting sort by parent m/z ----
+    comm.trace_mark("B2 mz sort");
     SortedShard sorted = parallel_sort_by_mz(comm, local_db);
     local_db = ProteinDatabase{};  // sorted copy replaces the unsorted shard
     comm.bump("sort_us",
@@ -106,6 +108,7 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
     const int pulls = comm.network().concurrent_pulls(p);
 
     for (int t = 0; t < max_group; ++t) {
+      comm.trace_mark("B3 ring step " + std::to_string(t));
       const int current = shard_at(t);
       const int next = shard_at(t + 1);
 
@@ -151,6 +154,7 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
     window.fence();
 
     // ---- report ----
+    comm.trace_mark("B4 finalize");
     QueryHits local_hits = engine.finalize(tops);
     std::size_t reported = 0;
     for (std::size_t q = 0; q < local_hits.size(); ++q) {

@@ -40,6 +40,7 @@ HybridResult run_algorithm_hybrid(const sim::Runtime& runtime,
 
     // Sub-groups are contiguous rank blocks: group = rank / group_size.
     const int color = world.rank() / group_size;
+    world.trace_mark("hybrid split g=" + std::to_string(color));
     const std::unique_ptr<sim::Comm> sub = world.split(color);
 
     // Queries partition across groups, then across the group's members

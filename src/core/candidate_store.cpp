@@ -201,6 +201,7 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
       comm.set_memory_budget(options.memory_budget_bytes);
 
     // ---- build: load, window, enumerate, sort ----
+    comm.trace_mark("store build");
     const double build_start = comm.clock().now();
     ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
     comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
@@ -252,6 +253,7 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
     sim::Window window(comm, store_bytes);
 
     // ---- query phase: on-demand partial gets of matching ranges ----
+    comm.trace_mark("store query");
     std::vector<TopK<Hit>> tops = engine.make_tops(block.count());
     const double eval_cost = cost.seconds_per_candidate *
                              (1.0 - cost.candidate_generation_fraction);

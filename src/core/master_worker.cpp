@@ -75,6 +75,8 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
     auto process_batch = [&](const ProteinDatabase& db,
                              const CandidateIndex& index, std::size_t begin,
                              std::size_t count) {
+      comm.trace_mark("batch [" + std::to_string(begin) + ", " +
+                      std::to_string(begin + count) + ")");
       const std::span<const Spectrum> batch(queries.data() + begin, count);
       const PreparedQueries prepared = engine.prepare(batch);
       comm.clock().charge_compute(static_cast<double>(count) *
@@ -134,6 +136,7 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
       // the worker's in-flight batch for a survivor. While any batch is in
       // flight, idle workers are parked instead of stopped — their stop
       // might otherwise race with a crashed batch bouncing back.
+      comm.trace_mark("master deal loop");
       comm.charge_alloc(queries.size() * 64);  // query metadata only
       std::size_t next = 0;
       int active_workers = p - 1;

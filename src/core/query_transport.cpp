@@ -71,6 +71,7 @@ ParallelRunResult run_query_transport(const sim::Runtime& runtime,
       comm.set_memory_budget(options.memory_budget_bytes);
 
     // Static local database shard (never moves — that is the point).
+    comm.trace_mark("QT load+index");
     const ProteinDatabase local_db = load_database_shard(fasta_image, rank, p);
     comm.clock().charge_io(static_cast<double>(local_db.total_residues()) *
                            cost.seconds_per_residue_load);
@@ -101,6 +102,7 @@ ParallelRunResult run_query_transport(const sim::Runtime& runtime,
 
     std::vector<char> incoming;
     for (int s = 0; s < p; ++s) {
+      comm.trace_mark("QT ring step " + std::to_string(s));
       const int j = (rank + s) % p;
       std::vector<Spectrum> batch;
       if (j == rank) {
@@ -128,6 +130,7 @@ ParallelRunResult run_query_transport(const sim::Runtime& runtime,
 
     // Merge phase: ship partial lists to each block's owner (the
     // serialization step the paper's database transport avoids).
+    comm.trace_mark("QT merge");
     std::vector<std::vector<char>> send(static_cast<std::size_t>(p));
     for (int r = 0; r < p; ++r)
       send[static_cast<std::size_t>(r)] =

@@ -6,9 +6,12 @@
 namespace msp {
 namespace {
 
-/// log10(n!) via lgamma — exact enough for scores, no overflow.
+/// log10(n!) via lgamma — exact enough for scores, no overflow. Uses the
+/// re-entrant lgamma_r: std::lgamma writes the global signgam on POSIX,
+/// which is a data race when the kernel fans out over threads.
 double log10_factorial(std::size_t n) {
-  return std::lgamma(static_cast<double>(n) + 1.0) / std::numbers::ln10;
+  int sign = 0;
+  return ::lgamma_r(static_cast<double>(n) + 1.0, &sign) / std::numbers::ln10;
 }
 
 }  // namespace

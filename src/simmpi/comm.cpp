@@ -44,10 +44,15 @@ void Comm::pay_transfer_faults(const char* what) {
     ++state_.transfer_retries;
     const double delay = faults.retry_delay(retry++);
     state_.clock.charge_recovery(delay);
+    const std::string detail = std::string(what) + " attempt " +
+                               std::to_string(attempt) +
+                               " failed, retrying";
     state_.fault_events.push_back(
-        FaultEvent{FaultKind::kRetry, state_.clock.now(), delay,
-                   std::string(what) + " attempt " + std::to_string(attempt) +
-                       " failed, retrying"});
+        FaultEvent{FaultKind::kRetry, state_.clock.now(), delay, detail});
+    if (state_.clock.tracing())
+      state_.spans.push_back({SpanKind::kFaultRetry,
+                              state_.clock.now() - delay, state_.clock.now(),
+                              detail});
   }
   ++state_.transfer_attempts;  // the attempt that goes through
 }
@@ -63,18 +68,30 @@ void Comm::mark_crashed(const std::string& detail) {
   state_.crashed = true;
   state_.fault_events.push_back(
       FaultEvent{FaultKind::kCrash, state_.clock.now(), 0.0, detail});
+  if (state_.clock.tracing())
+    state_.spans.push_back({SpanKind::kFaultCrash, state_.clock.now(),
+                            state_.clock.now(), detail});
 }
 
 void Comm::charge_recovery(double seconds, const std::string& detail) {
   state_.clock.charge_recovery(seconds);
   state_.fault_events.push_back(
       FaultEvent{FaultKind::kRecovery, state_.clock.now(), seconds, detail});
+  if (state_.clock.tracing())
+    state_.spans.push_back({SpanKind::kFaultRecovery,
+                            state_.clock.now() - seconds, state_.clock.now(),
+                            detail});
 }
 
 void Comm::note_recovery_span(double seconds, const std::string& detail) {
   state_.recovery_span += seconds;
   state_.fault_events.push_back(
       FaultEvent{FaultKind::kRecovery, state_.clock.now(), seconds, detail});
+  if (state_.clock.tracing())
+    state_.spans.push_back(
+        {SpanKind::kFaultRecovery,
+         std::max(0.0, state_.clock.now() - seconds), state_.clock.now(),
+         detail});
 }
 
 const void* const* Comm::post_and_collect(const void* mine) {
@@ -337,6 +354,14 @@ void Comm::bump(const std::string& name, std::uint64_t delta) {
   state_.counters[name] += delta;
 }
 
+bool Comm::tracing() const { return state_.clock.tracing(); }
+
+void Comm::trace_mark(const std::string& label) {
+  if (!state_.clock.tracing()) return;
+  state_.spans.push_back(
+      {SpanKind::kMarker, state_.clock.now(), state_.clock.now(), label});
+}
+
 RankStats Comm::stats() const {
   RankStats stats;
   stats.rank = global_rank_;
@@ -346,10 +371,13 @@ RankStats Comm::stats() const {
   stats.comm_issued_seconds = state_.clock.comm_issued_seconds();
   stats.residual_comm_seconds = state_.clock.residual_comm_seconds();
   stats.sync_wait_seconds = state_.clock.sync_wait_seconds();
+  stats.rget_issued_seconds = state_.clock.rget_issued_seconds();
+  stats.rget_overlapped_seconds = state_.clock.rget_overlapped_seconds();
   stats.bytes_sent = state_.bytes_sent;
   stats.bytes_received = state_.bytes_received;
   stats.peak_memory_bytes = state_.peak_memory;
   stats.counters = state_.counters;
+  stats.spans = state_.spans;
   stats.recovery_seconds =
       state_.clock.recovery_seconds() + state_.recovery_span;
   stats.transfer_retries = state_.transfer_retries;
@@ -364,15 +392,29 @@ Window::Window(Comm& comm, std::span<const char> local_shard) : comm_(comm) {
   struct View {
     const char* data;
     std::size_t size;
+    const std::shared_ptr<Exposure>* exposure;
   };
-  const View mine{local_shard.data(), local_shard.size()};
+  const auto my_exposure = std::make_shared<Exposure>();
+  const View mine{local_shard.data(), local_shard.size(), &my_exposure};
   const void* const* slots = comm_.post_and_collect(&mine);
   shards_.resize(static_cast<std::size_t>(comm_.size()));
+  exposures_.resize(static_cast<std::size_t>(comm_.size()));
   for (int r = 0; r < comm_.size(); ++r) {
     const View* view = static_cast<const View*>(slots[r]);
     shards_[static_cast<std::size_t>(r)] = {view->data, view->size};
+    exposures_[static_cast<std::size_t>(r)] = *view->exposure;
   }
   comm_.finish_collective(comm_.network().barrier_cost(comm_.size()));
+}
+
+Window::~Window() {
+  // Revoke our exposure before our storage can unwind: the exclusive lock
+  // drains any reader still copying out of our bytes; once `revoked` is
+  // set, late readers throw Aborted instead of reading freed memory. The
+  // shared_ptr keeps the guard itself alive for those late readers.
+  Exposure& mine = *exposures_[static_cast<std::size_t>(comm_.rank())];
+  const std::lock_guard<std::shared_mutex> lock(mine.mutex);
+  mine.revoked = true;
 }
 
 std::size_t Window::shard_size(int target) const {
@@ -407,7 +449,15 @@ RmaRequest Window::rget_range(int target, std::size_t offset,
   // starts only after the retries succeed.
   comm_.pay_transfer_faults("rget");
   const std::span<const char> shard = full.subspan(offset, length);
-  dest.assign(shard.begin(), shard.end());
+  {
+    // Copy under the owner's exposure guard: if the owner's stack is
+    // unwinding (its ~Window revokes before the storage dies), we either
+    // finish the copy first or observe the revocation and abort.
+    Exposure& exposure = *exposures_[static_cast<std::size_t>(target)];
+    const std::shared_lock<std::shared_mutex> guard(exposure.mutex);
+    if (exposure.revoked) throw Aborted();
+    dest.assign(shard.begin(), shard.end());
+  }
   comm_.state_.bytes_received += shard.size();
   const double cost =
       comm_.network().transfer_cost(shard.size(),
@@ -416,8 +466,15 @@ RmaRequest Window::rget_range(int target, std::size_t offset,
       comm_.fault_network_scale(comm_.global_rank_of(target),
                                 comm_.global_rank());
   comm_.clock().note_comm_issued(cost);
+  comm_.clock().note_rget_issued(cost);
+  if (comm_.tracing())
+    comm_.state_.spans.push_back(
+        {SpanKind::kRgetIssue, comm_.clock().now(), comm_.clock().now() + cost,
+         "rget " + std::to_string(length) + "B from rank " +
+             std::to_string(comm_.global_rank_of(target))});
   RmaRequest request;
   request.arrival_time = comm_.clock().now() + cost;
+  request.issue_cost = cost;
   request.active = true;
   request.dest = &dest;
   request.dest_data = dest.data();
@@ -434,6 +491,13 @@ void Window::wait(RmaRequest& request) {
                 "RMA destination buffer was resized, reassigned or swapped "
                 "while its request was pending (see the destination-buffer "
                 "lifetime rule in comm.hpp)");
+  // Masking measurement: whatever part of the modeled transfer the clock
+  // already lived through (computing, mostly) was hidden; only the rest is
+  // exposed as residual wait.
+  const double residual =
+      std::max(0.0, request.arrival_time - comm_.clock().now());
+  comm_.clock().note_rget_overlapped(
+      std::max(0.0, request.issue_cost - residual));
   comm_.clock().wait_until(request.arrival_time);
   request.active = false;
   if (request.dest != nullptr) {

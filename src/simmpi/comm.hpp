@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -132,6 +133,15 @@ class Comm {
   // ---- user counters (candidates evaluated, hits kept, ...) ----
   void bump(const std::string& name, std::uint64_t delta = 1);
 
+  // ---- span tracing (Runtime::enable_tracing; see span.hpp) ----
+
+  /// True when this run records span timelines.
+  bool tracing() const;
+  /// Drop an instant marker on this rank's clock lane at the current
+  /// virtual time (ring iteration, batch, phase boundary). No-op when
+  /// tracing is disabled; never advances the clock.
+  void trace_mark(const std::string& label);
+
   // ---- fault bookkeeping (called by the algorithms' recovery paths) ----
 
   /// Record that this rank fail-stopped (its scheduled crash fired). The
@@ -183,6 +193,7 @@ class Comm {
 /// Handle for a pending non-blocking get.
 struct RmaRequest {
   double arrival_time = 0.0;  ///< virtual time the data is fully local
+  double issue_cost = 0.0;    ///< modeled transfer duration (arrival − issue)
   bool active = false;
 
   // Destination-buffer snapshot for the lifetime check (Window-internal;
@@ -213,7 +224,12 @@ class Window {
   Window(Comm& comm, std::span<const char> local_shard);
   Window(const Window&) = delete;
   Window& operator=(const Window&) = delete;
-  ~Window() = default;  // non-collective; shards are plain views
+  /// Non-collective, but revokes this rank's exposure: drains any reader
+  /// copy still in flight out of our bytes, so that when an error unwinds
+  /// a rank's stack its exposed storage cannot be freed under a concurrent
+  /// rget. Healthy drivers fence before letting a window die, so only
+  /// aborting runs ever contend here.
+  ~Window();
 
   std::size_t shard_size(int target) const;
 
@@ -242,8 +258,19 @@ class Window {
   void fence();
 
  private:
+  /// One per exposing rank, shared by every rank's Window of the same
+  /// collective construction. Readers hold `mutex` shared while copying
+  /// out of the owner's bytes; the owner's destructor takes it exclusive
+  /// and sets `revoked`, after which readers throw Aborted instead of
+  /// touching freed storage.
+  struct Exposure {
+    std::shared_mutex mutex;
+    bool revoked = false;
+  };
+
   Comm& comm_;
   std::vector<std::span<const char>> shards_;  ///< group-rank order
+  std::vector<std::shared_ptr<Exposure>> exposures_;  ///< group-rank order
   /// Rank-local: destination buffers with a pending request on them.
   std::vector<const std::vector<char>*> pending_;
 };

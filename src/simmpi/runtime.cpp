@@ -43,7 +43,7 @@ Runtime::Runtime(int p, NetworkModel network, ComputeModel compute,
 }
 
 RunReport Runtime::run(const std::function<void(Comm&)>& body) const {
-  detail::Shared shared(p_, network_, compute_, faults_);
+  detail::Shared shared(p_, network_, compute_, faults_, tracing_);
 
   // Straggler compute slowdowns apply to the whole rank lifetime.
   if (!faults_.stragglers.empty()) {

@@ -27,6 +27,15 @@ class Runtime {
   const ComputeModel& compute_model() const { return compute_; }
   const FaultModel& faults() const { return faults_; }
 
+  /// Enable span tracing for subsequent run() calls: every clock charge,
+  /// wait, transfer, fault event, and driver marker is recorded on the
+  /// per-rank timelines (RankStats::spans; export with
+  /// RunReport::to_chrome_trace / to_iteration_csv). Off by default — the
+  /// disabled path costs one null-pointer check per clock charge and
+  /// changes no virtual time (DESIGN.md §5e).
+  void enable_tracing(bool on = true) { tracing_ = on; }
+  bool tracing_enabled() const { return tracing_; }
+
   /// Run one simulated program. May be called repeatedly; every call is an
   /// independent "job" with fresh clocks and mailboxes.
   RunReport run(const std::function<void(Comm&)>& body) const;
@@ -36,6 +45,7 @@ class Runtime {
   NetworkModel network_;
   ComputeModel compute_;
   FaultModel faults_;
+  bool tracing_ = false;
 };
 
 }  // namespace msp::sim

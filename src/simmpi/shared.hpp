@@ -48,6 +48,7 @@ struct RankState {
   bool crashed = false;
   double recovery_span = 0.0;  ///< recovery work charged to other buckets
   std::vector<FaultEvent> fault_events;
+  SpanLog spans;  ///< event timeline; populated only when tracing is on
 };
 
 /// The synchronization arena of one communicator (world or sub-group).
@@ -66,17 +67,21 @@ struct CollectiveGroup {
 
 struct Shared {
   Shared(int p_in, const NetworkModel& network_in,
-         const ComputeModel& compute_in, const FaultModel& faults_in)
+         const ComputeModel& compute_in, const FaultModel& faults_in,
+         bool tracing_in = false)
       : p(p_in),
         network(network_in),
         compute(compute_in),
         faults(faults_in),
+        tracing(tracing_in),
         mailboxes(static_cast<std::size_t>(p_in)),
         rank_states(static_cast<std::size_t>(p_in)) {
     std::vector<int> everyone(static_cast<std::size_t>(p_in));
     for (int r = 0; r < p_in; ++r) everyone[static_cast<std::size_t>(r)] = r;
     world = std::make_shared<CollectiveGroup>(std::move(everyone));
     register_group(world);
+    if (tracing)
+      for (auto& state : rank_states) state.clock.attach_span_log(&state.spans);
   }
 
   /// Track every live group so a failing rank can release all parked
@@ -102,6 +107,7 @@ struct Shared {
   NetworkModel network;
   ComputeModel compute;
   FaultModel faults;
+  bool tracing;
   std::shared_ptr<CollectiveGroup> world;
   std::vector<Mailbox> mailboxes;
   std::vector<RankState> rank_states;

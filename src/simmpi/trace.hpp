@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "simmpi/span.hpp"
+
 namespace msp::sim {
 
 /// One injected-fault occurrence on a rank's timeline (see faults.hpp).
@@ -28,6 +30,8 @@ struct RankStats {
   double comm_issued_seconds = 0.0; ///< modeled duration of all transfers
   double residual_comm_seconds = 0.0;  ///< transfer wait not masked by compute
   double sync_wait_seconds = 0.0;      ///< barrier/fence (imbalance) waits
+  double rget_issued_seconds = 0.0;    ///< modeled one-sided transfer time issued
+  double rget_overlapped_seconds = 0.0;  ///< part of it hidden under local work
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
   std::size_t peak_memory_bytes = 0;
@@ -38,7 +42,23 @@ struct RankStats {
   std::uint64_t transfer_retries = 0;
   bool crashed = false;
   std::vector<FaultEvent> fault_events;  ///< timeline, in virtual-time order
+
+  /// Event-level timeline (empty unless the Runtime's tracing was enabled;
+  /// see span.hpp for the lane model).
+  SpanLog spans;
+
+  /// Fraction of this rank's issued one-sided transfer time that was
+  /// overlapped by local work between issue and wait — the paper's masking,
+  /// measured rather than inferred. 0 when the rank issued no transfers.
+  double masking_efficiency() const;
 };
+
+/// Column policy for RunReport::to_csv. Downstream parsers comparing a
+/// faulty run against a clean one need both files to carry the same
+/// columns: pass kInclude for every file of such a comparison. kAuto keeps
+/// the zero-cost-when-disabled contract (a failure-free run renders without
+/// the fault columns, byte-identical to a build without the fault layer).
+enum class CsvFaultColumns { kAuto, kInclude, kOmit };
 
 struct RunReport {
   int p = 0;
@@ -48,11 +68,29 @@ struct RunReport {
   double total_time() const;
   double max_compute() const;
   double sum_compute() const;
-  /// Residual communication (paper's definition: waiting for data) summed
-  /// with sync waits, per the slowest decomposition view.
+  /// Aggregate (residual communication + sync wait) over compute, computed
+  /// as sum-over-ranks / sum-over-ranks. Semantics: every rank counts —
+  /// a rank with zero compute (e.g. one that crashed before its first
+  /// charge) contributes its waits to the numerator and nothing to the
+  /// denominator, instead of being silently dropped and re-weighting the
+  /// others (the old per-rank mean skipped such ranks, biasing skewed
+  /// decompositions). Returns 0 when no rank computed at all.
   double mean_residual_over_compute() const;
   std::uint64_t sum_counter(const std::string& name) const;
   std::size_t max_peak_memory() const;
+
+  // ---- masking metric (see DESIGN.md §5e for the overlap algebra) ----
+
+  /// Aggregate masking efficiency: sum of overlapped one-sided transfer
+  /// seconds over sum issued, across all ranks. 1.0 = every issued byte was
+  /// hidden under computation; 0 when nothing was issued.
+  double masking_efficiency() const;
+  /// Overlap-derived estimate of the paper's masking saving: what fraction
+  /// of an *unmasked* re-run's run-time the measured overlap bought. The
+  /// unmasked run-time is estimated per rank as (elapsed + overlapped) —
+  /// un-hiding every masked second re-exposes it on that rank's critical
+  /// path — and the estimate is (T_est − T) / T_est on the slowest rank.
+  double masking_saving_estimate() const;
 
   // ---- fault-injection summaries (see faults.hpp) ----
   std::uint64_t total_transfer_retries() const;
@@ -67,10 +105,30 @@ struct RunReport {
 
   /// Machine-readable per-rank dump (one row per rank) for external
   /// plotting: rank, total, compute, io, comm_issued, residual, sync,
-  /// bytes_sent, bytes_received, peak_memory, then user counters as extra
-  /// name=value columns. Runs with fault activity add retries, recovery_s
-  /// and crashed columns after peak_memory.
-  std::string to_csv() const;
+  /// rget_issued, rget_overlap, bytes_sent, bytes_received, peak_memory,
+  /// then user counters as extra columns (names CSV-escaped; a comma or
+  /// quote in a counter name cannot corrupt the row). Fault columns
+  /// (retries, recovery_s, crashed) appear after peak_memory per
+  /// `fault_columns` (kAuto: only when this run has fault activity).
+  std::string to_csv(CsvFaultColumns fault_columns = CsvFaultColumns::kAuto) const;
+
+  // ---- span-trace exports (rows only when tracing was enabled) ----
+
+  /// Chrome trace-event JSON (the `chrome://tracing` / Perfetto "JSON
+  /// Object Format"): one pid per rank, lanes per span.hpp. Deterministic:
+  /// byte-identical for a fixed (workload, model, p, fault schedule,
+  /// kernel_threads) tuple.
+  std::string to_chrome_trace() const;
+
+  /// Per-iteration CSV: rank timelines segmented at kMarker spans (drivers
+  /// mark each ring step / batch / phase start). Columns: rank, segment
+  /// ordinal, marker label, segment begin/end, then per-bucket seconds
+  /// spent inside the segment and the modeled transfer time issued from it.
+  std::string to_iteration_csv() const;
 };
+
+/// RFC-4180 CSV field escaping: quoted iff the value contains a comma,
+/// quote, or newline (quotes doubled). Exposed for the bench/report tools.
+std::string csv_escape(const std::string& field);
 
 }  // namespace msp::sim

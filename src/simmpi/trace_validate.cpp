@@ -1,0 +1,285 @@
+#include "simmpi/trace_validate.hpp"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace msp::sim {
+namespace {
+
+// ---- minimal JSON parser (enough for trace-event files) --------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string text;
+  std::vector<JsonValue> items;
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [name, value] : members)
+      if (name == key) return &value;
+    return nullptr;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    if (!value(out, error)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = at("trailing characters after JSON value");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string at(const std::string& what) const {
+    std::ostringstream os;
+    os << what << " (offset " << pos_ << ")";
+    return os.str();
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool value(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      error = at("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    if (c == '{') return object(out, error);
+    if (c == '[') return array(out, error);
+    if (c == '"') return string_value(out, error);
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+      return number(out, error);
+    if (literal("true")) { out.type = JsonValue::Type::kBool; out.boolean = true; return true; }
+    if (literal("false")) { out.type = JsonValue::Type::kBool; out.boolean = false; return true; }
+    if (literal("null")) { out.type = JsonValue::Type::kNull; return true; }
+    error = at("unexpected character");
+    return false;
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool object(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      JsonValue key;
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        error = at("expected object key");
+        return false;
+      }
+      if (!string_value(key, error)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        error = at("expected ':' after object key");
+        return false;
+      }
+      ++pos_;
+      JsonValue member;
+      if (!value(member, error)) return false;
+      out.members.emplace_back(key.text, std::move(member));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
+      if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+      error = at("expected ',' or '}' in object");
+      return false;
+    }
+  }
+
+  bool array(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+    while (true) {
+      JsonValue item;
+      if (!value(item, error)) return false;
+      out.items.push_back(std::move(item));
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
+      if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+      error = at("expected ',' or ']' in array");
+      return false;
+    }
+  }
+
+  bool string_value(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kString;
+    ++pos_;  // '"'
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out.text += '"'; break;
+          case '\\': out.text += '\\'; break;
+          case '/': out.text += '/'; break;
+          case 'b': out.text += '\b'; break;
+          case 'f': out.text += '\f'; break;
+          case 'n': out.text += '\n'; break;
+          case 'r': out.text += '\r'; break;
+          case 't': out.text += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              error = at("truncated \\u escape");
+              return false;
+            }
+            for (int k = 0; k < 4; ++k) {
+              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + 1 + k]))) {
+                error = at("bad \\u escape");
+                return false;
+              }
+            }
+            // Validation only needs well-formedness, not the code point.
+            out.text += '?';
+            pos_ += 4;
+            break;
+          }
+          default:
+            error = at("unknown escape character");
+            return false;
+        }
+        ++pos_;
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        error = at("raw control character in string");
+        return false;
+      }
+      out.text += c;
+      ++pos_;
+    }
+    error = at("unterminated string");
+    return false;
+  }
+
+  bool number(JsonValue& out, std::string& error) {
+    out.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string token = text_.substr(start, pos_ - start);
+    try {
+      std::size_t used = 0;
+      out.number = std::stod(token, &used);
+      if (used != token.size()) throw std::invalid_argument(token);
+    } catch (const std::exception&) {
+      error = at("malformed number");
+      return false;
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+bool get_int(const JsonValue& object, const std::string& key, long long& out) {
+  const JsonValue* v = object.find(key);
+  if (!v || v->type != JsonValue::Type::kNumber) return false;
+  out = static_cast<long long>(v->number);
+  return static_cast<double>(out) == v->number;
+}
+
+}  // namespace
+
+std::string validate_chrome_trace(const std::string& json) {
+  JsonValue root;
+  std::string error;
+  if (!JsonParser(json).parse(root, error)) return "not valid JSON: " + error;
+  if (root.type != JsonValue::Type::kObject)
+    return "top level is not a JSON object";
+  const JsonValue* events = root.find("traceEvents");
+  if (!events || events->type != JsonValue::Type::kArray)
+    return "missing \"traceEvents\" array";
+
+  struct LaneState {
+    double last_ts = -1.0;
+    double clock_open_until = 0.0;  // end of the previous clock-lane X span
+  };
+  std::map<std::pair<long long, long long>, LaneState> lanes;
+
+  for (std::size_t i = 0; i < events->items.size(); ++i) {
+    const JsonValue& event = events->items[i];
+    std::ostringstream where;
+    where << "event " << i << ": ";
+    if (event.type != JsonValue::Type::kObject)
+      return where.str() + "not an object";
+    const JsonValue* ph = event.find("ph");
+    if (!ph || ph->type != JsonValue::Type::kString)
+      return where.str() + "missing string \"ph\"";
+    long long pid = 0;
+    if (!get_int(event, "pid", pid))
+      return where.str() + "missing integer \"pid\"";
+    if (ph->text == "M") continue;  // metadata carries no timestamp
+    if (ph->text != "X" && ph->text != "i")
+      return where.str() + "unexpected phase \"" + ph->text + "\"";
+
+    long long tid = 0;
+    if (!get_int(event, "tid", tid))
+      return where.str() + "missing integer \"tid\"";
+    const JsonValue* ts = event.find("ts");
+    if (!ts || ts->type != JsonValue::Type::kNumber)
+      return where.str() + "missing numeric \"ts\"";
+    if (ts->number < 0.0) return where.str() + "negative \"ts\"";
+    const JsonValue* name = event.find("name");
+    if (!name || name->type != JsonValue::Type::kString)
+      return where.str() + "missing string \"name\"";
+
+    LaneState& lane = lanes[{pid, tid}];
+    if (ts->number < lane.last_ts)
+      return where.str() + "timestamps not monotone on rank " +
+             std::to_string(pid) + " lane " + std::to_string(tid);
+    lane.last_ts = ts->number;
+
+    if (ph->text == "X") {
+      const JsonValue* dur = event.find("dur");
+      if (!dur || dur->type != JsonValue::Type::kNumber)
+        return where.str() + "\"X\" event missing numeric \"dur\"";
+      if (dur->number < 0.0) return where.str() + "negative \"dur\"";
+      if (tid == 0) {
+        // Flat clock lane: spans must not overlap. Tolerance covers the
+        // µs-rounding of ts/dur rendering.
+        if (ts->number + 1e-6 < lane.clock_open_until)
+          return where.str() + "clock-lane spans overlap on rank " +
+                 std::to_string(pid);
+        lane.clock_open_until = ts->number + dur->number;
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace msp::sim

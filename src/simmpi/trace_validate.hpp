@@ -1,0 +1,24 @@
+// Schema validator for RunReport::to_chrome_trace() output.
+//
+// Shared by the tests, cluster_sim, and the CI trace smoke step so "the
+// emitted trace is well-formed" means the same thing everywhere. Checks:
+//   - the text is valid JSON (a small self-contained parser; no deps),
+//   - the top level is an object with a "traceEvents" array,
+//   - every event is an object with a string "ph" and integer "pid",
+//   - duration events ("X") carry numeric "ts" and "dur" >= 0,
+//   - per (pid, tid) lane, event "ts" values are monotonically
+//     non-decreasing in record order,
+//   - on the clock lane (tid 0), "X" spans are well-formed as a sequence:
+//     each starts at or after the previous one ended (no overlap — the
+//     clock lane is a flat sequence of charges, so any nesting is a bug).
+#pragma once
+
+#include <string>
+
+namespace msp::sim {
+
+/// Returns an empty string when `json` is a valid trace, else a one-line
+/// description of the first problem found.
+std::string validate_chrome_trace(const std::string& json);
+
+}  // namespace msp::sim

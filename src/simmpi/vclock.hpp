@@ -6,7 +6,13 @@
 // decompose a run the way Section III of the paper does: computation vs.
 // "residual communication" (time spent waiting for data or for other ranks,
 // i.e. total communication minus the part masked by computation).
+//
+// When a span log is attached (Runtime tracing enabled), every charge and
+// wait additionally records a Span on the rank's timeline; detached (the
+// default), each charge pays exactly one null-pointer check.
 #pragma once
+
+#include "simmpi/span.hpp"
 
 namespace msp::sim {
 
@@ -16,21 +22,27 @@ class VirtualClock {
 
   void charge_compute(double seconds) {
     if (compute_scale_ != 1.0) seconds *= compute_scale_;
+    const double begin = now_;
     now_ += seconds;
     compute_ += seconds;
+    if (spans_) spans_->push_back({SpanKind::kCompute, begin, now_, {}});
   }
 
   void charge_io(double seconds) {
+    const double begin = now_;
     now_ += seconds;
     io_ += seconds;
+    if (spans_) spans_->push_back({SpanKind::kIo, begin, now_, {}});
   }
 
   /// Fault-recovery cost (retry backoff, crash-detection timeout): advances
   /// the clock and is accounted in its own bucket so RankStats can report
   /// recovery time separately from useful work.
   void charge_recovery(double seconds) {
+    const double begin = now_;
     now_ += seconds;
     recovery_ += seconds;
+    if (spans_) spans_->push_back({SpanKind::kRecoveryWait, begin, now_, {}});
   }
 
   /// Straggler injection: every subsequent charge_compute is multiplied by
@@ -42,11 +54,18 @@ class VirtualClock {
   /// non-blocking issue).
   void note_comm_issued(double seconds) { comm_issued_ += seconds; }
 
+  /// One-sided transfer accounting for the masking metric: `issued` modeled
+  /// seconds left the NIC, of which `overlapped` were hidden under work the
+  /// rank did between issue and wait (never more than `issued`).
+  void note_rget_issued(double seconds) { rget_issued_ += seconds; }
+  void note_rget_overlapped(double seconds) { rget_overlapped_ += seconds; }
+
   /// Block until virtual time `ready`: the residual (unmasked) part of a
   /// wait. No-op if `ready` has already passed — fully masked.
   void wait_until(double ready) {
     if (ready > now_) {
       residual_ += ready - now_;
+      if (spans_) spans_->push_back({SpanKind::kRgetWait, now_, ready, {}});
       now_ = ready;
     }
   }
@@ -56,6 +75,7 @@ class VirtualClock {
   void sync_until(double ready) {
     if (ready > now_) {
       sync_wait_ += ready - now_;
+      if (spans_) spans_->push_back({SpanKind::kBarrier, now_, ready, {}});
       now_ = ready;
     }
   }
@@ -66,6 +86,14 @@ class VirtualClock {
   double residual_comm_seconds() const { return residual_; }
   double sync_wait_seconds() const { return sync_wait_; }
   double recovery_seconds() const { return recovery_; }
+  double rget_issued_seconds() const { return rget_issued_; }
+  double rget_overlapped_seconds() const { return rget_overlapped_; }
+
+  /// Attach (or detach with nullptr) the rank's span log. Owned by the
+  /// caller; the clock only appends.
+  void attach_span_log(SpanLog* spans) { spans_ = spans; }
+  bool tracing() const { return spans_ != nullptr; }
+  SpanLog* span_log() { return spans_; }
 
  private:
   double now_ = 0.0;
@@ -75,7 +103,10 @@ class VirtualClock {
   double residual_ = 0.0;
   double sync_wait_ = 0.0;
   double recovery_ = 0.0;
+  double rget_issued_ = 0.0;
+  double rget_overlapped_ = 0.0;
   double compute_scale_ = 1.0;
+  SpanLog* spans_ = nullptr;
 };
 
 }  // namespace msp::sim

@@ -8,17 +8,22 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace msp {
 
 /// Delay before retry number `retry` (0-based): base_s * 2^retry, capped at
-/// cap_s. A non-positive cap disables the cap.
+/// cap_s. A non-positive cap disables the cap; with the cap disabled the
+/// result saturates at the largest finite double instead of overflowing to
+/// infinity (an infinite virtual-time charge would poison every downstream
+/// clock total). Closed form, O(1) in `retry`.
 inline double exponential_backoff(int retry, double base_s, double cap_s) {
-  double delay = base_s;
-  for (int i = 0; i < retry; ++i) {
-    delay *= 2.0;
-    if (cap_s > 0.0 && delay >= cap_s) return cap_s;
-  }
+  // ldexp(base, retry) = base * 2^retry exactly (one exponent add, no
+  // accumulation loop); the exponent is clamped so even INT_MAX retries
+  // stay well-defined — 2^1100 overflows any double to +inf anyway.
+  double delay = std::ldexp(base_s, std::clamp(retry, 0, 1100));
+  if (!std::isfinite(delay)) delay = std::numeric_limits<double>::max();
   if (cap_s > 0.0) delay = std::min(delay, cap_s);
   return delay;
 }

@@ -19,6 +19,7 @@
 #include "dbgen/query_gen.hpp"
 #include "io/fasta.hpp"
 #include "simmpi/runtime.hpp"
+#include "simmpi/trace_validate.hpp"
 #include "util/error.hpp"
 
 namespace msp {
@@ -248,6 +249,41 @@ TEST(FaultDeterminism, FaultScheduleRunsAreByteIdentical) {
             second.report.total_recovery_seconds());
   EXPECT_EQ(first.report.total_transfer_retries(),
             second.report.total_transfer_retries());
+}
+
+TEST(FaultDeterminism, TracedFaultRunsAreByteIdentical) {
+  // The span timeline (crash, retries, recovery re-search included) must
+  // render byte-identically run over run, and pass the schema validator.
+  const Fixture& f = fixture();
+  const sim::FaultModel faults = make_schedule(Schedule::kCombined, Algo::kA, 4);
+  sim::Runtime runtime(4, {}, {}, faults);
+  runtime.enable_tracing();
+  const ParallelRunResult first =
+      run_algorithm_a(runtime, f.image, f.queries, f.config);
+  const ParallelRunResult second =
+      run_algorithm_a(runtime, f.image, f.queries, f.config);
+  const std::string trace = first.report.to_chrome_trace();
+  EXPECT_EQ(trace, second.report.to_chrome_trace());
+  EXPECT_EQ(first.report.to_iteration_csv(), second.report.to_iteration_csv());
+  EXPECT_EQ(sim::validate_chrome_trace(trace), "");
+  // Fault activity reached the fault lane.
+  EXPECT_NE(trace.find("fault-crash"), std::string::npos);
+  EXPECT_NE(trace.find("fault-retry"), std::string::npos);
+}
+
+TEST(FaultDeterminism, TracingDoesNotChangeVirtualTimes) {
+  const Fixture& f = fixture();
+  const sim::FaultModel faults = make_schedule(Schedule::kCombined, Algo::kA, 4);
+  sim::Runtime traced(4, {}, {}, faults);
+  traced.enable_tracing();
+  const sim::Runtime plain(4, {}, {}, faults);
+  const ParallelRunResult with_spans =
+      run_algorithm_a(traced, f.image, f.queries, f.config);
+  const ParallelRunResult without =
+      run_algorithm_a(plain, f.image, f.queries, f.config);
+  expect_hits_equal(with_spans.hits, without.hits, "tracing transparency");
+  EXPECT_EQ(with_spans.report.to_csv(), without.report.to_csv());
+  EXPECT_EQ(with_spans.report.to_string(), without.report.to_string());
 }
 
 // ---------- zero cost when disabled ----------

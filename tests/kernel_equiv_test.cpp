@@ -266,7 +266,8 @@ TEST(KernelThreads, AnyThreadCountProducesIdenticalResults) {
 TEST(KernelThreads, ParallelTraceIsThreadCountInvariant) {
   const Workload& w = workload();
   SearchConfig config = base_config();
-  const sim::Runtime runtime(3);
+  sim::Runtime runtime(3);
+  runtime.enable_tracing();
 
   config.kernel_threads = 1;
   const ParallelRunResult serial_kernel =
@@ -279,16 +280,21 @@ TEST(KernelThreads, ParallelTraceIsThreadCountInvariant) {
                         "algorithm A, kernel_threads 4 vs 1");
   EXPECT_EQ(threaded_kernel.candidates, serial_kernel.candidates);
   // Byte-identical virtual trace: every counter and every clock charge must
-  // be independent of intra-rank threading.
+  // be independent of intra-rank threading — including the span timeline.
   EXPECT_EQ(threaded_kernel.report.to_string(),
             serial_kernel.report.to_string());
+  EXPECT_EQ(threaded_kernel.report.to_chrome_trace(),
+            serial_kernel.report.to_chrome_trace());
+  EXPECT_EQ(threaded_kernel.report.to_iteration_csv(),
+            serial_kernel.report.to_iteration_csv());
 }
 
 TEST(KernelThreads, FaultScheduleOutcomeIsThreadCountInvariant) {
   const Workload& w = workload();
   sim::FaultModel faults;
   faults.straggle(1, 3.0).fail_transfers(2, {0}).crash(3, 2);
-  const sim::Runtime runtime(4, {}, {}, faults);
+  sim::Runtime runtime(4, {}, {}, faults);
+  runtime.enable_tracing();
 
   SearchConfig config = base_config();
   config.kernel_threads = 1;
@@ -302,6 +308,8 @@ TEST(KernelThreads, FaultScheduleOutcomeIsThreadCountInvariant) {
                         "algorithm A under faults, kernel_threads 4 vs 1");
   EXPECT_EQ(threaded_kernel.report.to_string(),
             serial_kernel.report.to_string());
+  EXPECT_EQ(threaded_kernel.report.to_chrome_trace(),
+            serial_kernel.report.to_chrome_trace());
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 
 #include "simmpi/comm.hpp"
 #include "simmpi/runtime.hpp"
+#include "simmpi/trace_validate.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -619,6 +620,283 @@ TEST(VClock, BucketsAccumulateIndependently) {
   EXPECT_DOUBLE_EQ(clock.sync_wait_seconds(), 0.25);
   clock.wait_until(1.0);  // the past: no-op
   EXPECT_DOUBLE_EQ(clock.now(), 2.25);
+}
+
+// ---------- report-layer bugfixes ----------
+
+TEST(RunReport, MeanResidualCountsZeroComputeRanks) {
+  RunReport report;
+  report.p = 2;
+  RankStats worker;
+  worker.rank = 0;
+  worker.compute_seconds = 1.0;
+  worker.residual_comm_seconds = 0.5;
+  RankStats idle;  // e.g. crashed before its first charge
+  idle.rank = 1;
+  idle.sync_wait_seconds = 0.5;
+  report.ranks = {worker, idle};
+  // Aggregate ratio: (0.5 + 0.5) / 1.0. The old per-rank mean silently
+  // dropped the zero-compute rank and reported 0.5.
+  EXPECT_DOUBLE_EQ(report.mean_residual_over_compute(), 1.0);
+
+  RankStats nobody_computed;
+  nobody_computed.residual_comm_seconds = 3.0;
+  report.ranks = {nobody_computed};
+  EXPECT_DOUBLE_EQ(report.mean_residual_over_compute(), 0.0);
+}
+
+TEST(RunReport, CsvFaultColumnSchemaIsCallerControlled) {
+  Runtime runtime(2, test_network());
+  const RunReport clean = runtime.run([&](Comm& comm) {
+    comm.clock().charge_compute(0.1);
+  });
+  // kAuto on a clean run: no fault columns (zero-cost contract)...
+  EXPECT_EQ(clean.to_csv().find("retries"), std::string::npos);
+  // ...but a parser comparing against a faulty run can force them in.
+  const std::string forced = clean.to_csv(CsvFaultColumns::kInclude);
+  EXPECT_NE(forced.find(",retries,recovery_s,crashed"), std::string::npos);
+
+  FaultModel faults;
+  faults.fail_transfers(1, {0});
+  Runtime faulty_runtime(2, test_network(), {}, faults);
+  const RunReport faulty = faulty_runtime.run([&](Comm& comm) {
+    std::vector<char> shard(8, 'x');
+    Window window(comm, shard);
+    std::vector<char> dest;
+    RmaRequest req = window.rget((comm.rank() + 1) % 2, dest, 1);
+    window.wait(req);
+    window.fence();
+  });
+  EXPECT_TRUE(faulty.has_fault_activity());
+  EXPECT_NE(faulty.to_csv().find("retries"), std::string::npos);
+  EXPECT_EQ(faulty.to_csv(CsvFaultColumns::kOmit).find("retries"),
+            std::string::npos);
+  // Forced schemas align: same column count on clean and faulty headers.
+  auto header_commas = [](const std::string& csv) {
+    return std::count(csv.begin(), csv.end(), ',') /
+           static_cast<long>(std::count(csv.begin(), csv.end(), '\n'));
+  };
+  const std::string faulty_forced = faulty.to_csv(CsvFaultColumns::kInclude);
+  EXPECT_EQ(forced.substr(0, forced.find('\n')),
+            faulty_forced.substr(0, faulty_forced.find('\n')));
+  (void)header_commas;
+}
+
+TEST(RunReport, CsvEscapesHostileCounterNames) {
+  Runtime runtime(1, test_network());
+  const RunReport report = runtime.run([&](Comm& comm) {
+    comm.bump("evil,name", 3);
+    comm.bump("with\"quote", 4);
+  });
+  const std::string csv = report.to_csv();
+  EXPECT_NE(csv.find("\"evil,name\""), std::string::npos);
+  EXPECT_NE(csv.find("\"with\"\"quote\""), std::string::npos);
+  // Every row still has the same number of columns as the header.
+  std::istringstream lines(csv);
+  std::string header, row;
+  std::getline(lines, header);
+  std::getline(lines, row);
+  // The quoted comma must not add a column: header has exactly one more
+  // comma (inside quotes) than the row's plain integer fields.
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ',') + 1);
+}
+
+TEST(RunReport, CsvEscapeHelper) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+// ---------- span tracing ----------
+
+namespace {
+
+/// The traced workload used by the determinism tests: masked ring rotation
+/// with markers, compute, and a final reduction.
+void traced_ring_job(Comm& comm) {
+  const int p = comm.size();
+  std::vector<char> shard(4096, static_cast<char>(comm.rank()));
+  Window window(comm, shard);
+  std::vector<char> current = shard;
+  std::vector<char> incoming;
+  for (int s = 0; s < p; ++s) {
+    comm.trace_mark("step " + std::to_string(s));
+    RmaRequest prefetch;
+    if (s + 1 < p)
+      prefetch = window.rget((comm.rank() + s + 1) % p, incoming, 1);
+    comm.clock().charge_compute(1e-3);
+    if (s + 1 < p) {
+      window.wait(prefetch);
+      std::swap(current, incoming);
+    }
+    window.fence();
+  }
+  comm.allreduce_max(static_cast<double>(comm.rank()));
+}
+
+}  // namespace
+
+TEST(Trace, DisabledRunRecordsNoSpans) {
+  Runtime runtime(4, test_network());
+  const RunReport report =
+      runtime.run([&](Comm& comm) { traced_ring_job(comm); });
+  for (const RankStats& r : report.ranks) EXPECT_TRUE(r.spans.empty());
+  // The exports stay well-formed (metadata-only trace, header-only CSV).
+  EXPECT_EQ(validate_chrome_trace(report.to_chrome_trace()), "");
+}
+
+TEST(Trace, EnabledRunEmitsValidatedSpans) {
+  Runtime runtime(4, test_network());
+  runtime.enable_tracing();
+  const RunReport report =
+      runtime.run([&](Comm& comm) { traced_ring_job(comm); });
+  bool saw_compute = false, saw_marker = false, saw_issue = false;
+  for (const RankStats& r : report.ranks) {
+    ASSERT_FALSE(r.spans.empty());
+    double clock_cursor = 0.0;
+    for (const Span& span : r.spans) {
+      EXPECT_LE(span.begin, span.end);
+      if (span.kind == SpanKind::kCompute) saw_compute = true;
+      if (span.kind == SpanKind::kMarker) saw_marker = true;
+      if (span.kind == SpanKind::kRgetIssue) saw_issue = true;
+      if (span_lane(span.kind) == 0) {
+        // Clock lane: flat, non-overlapping, monotone.
+        EXPECT_GE(span.begin, clock_cursor);
+        clock_cursor = span.end;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_compute);
+  EXPECT_TRUE(saw_marker);
+  EXPECT_TRUE(saw_issue);
+  EXPECT_EQ(validate_chrome_trace(report.to_chrome_trace()), "");
+}
+
+TEST(Trace, ByteIdenticalAcrossRepeatedRuns) {
+  auto run_once = [&]() {
+    Runtime runtime(6, test_network());
+    runtime.enable_tracing();
+    return runtime.run([&](Comm& comm) { traced_ring_job(comm); });
+  };
+  const RunReport first = run_once();
+  const RunReport second = run_once();
+  EXPECT_EQ(first.to_chrome_trace(), second.to_chrome_trace());
+  EXPECT_EQ(first.to_iteration_csv(), second.to_iteration_csv());
+}
+
+TEST(Trace, MarkersSegmentTheIterationCsv) {
+  Runtime runtime(2, test_network());
+  runtime.enable_tracing();
+  const RunReport report =
+      runtime.run([&](Comm& comm) { traced_ring_job(comm); });
+  const std::string csv = report.to_iteration_csv();
+  EXPECT_NE(csv.find("step 0"), std::string::npos);
+  EXPECT_NE(csv.find("step 1"), std::string::npos);
+  // Header + (p ring steps + possibly an (init) segment) per rank.
+  EXPECT_GE(std::count(csv.begin(), csv.end(), '\n'), 1 + 2 * 2);
+}
+
+TEST(Trace, ValidatorRejectsMalformedInput) {
+  EXPECT_NE(validate_chrome_trace("not json at all"), "");
+  EXPECT_NE(validate_chrome_trace("[1,2,3]"), "");
+  EXPECT_NE(validate_chrome_trace("{\"noTraceEvents\":[]}"), "");
+  // Missing pid.
+  EXPECT_NE(validate_chrome_trace(
+                R"({"traceEvents":[{"ph":"X","tid":0,"ts":0,"dur":1,"name":"x"}]})"),
+            "");
+  // Non-monotone timestamps on one lane.
+  EXPECT_NE(validate_chrome_trace(
+                R"({"traceEvents":[)"
+                R"({"ph":"X","pid":0,"tid":0,"ts":10,"dur":1,"name":"a"},)"
+                R"({"ph":"X","pid":0,"tid":0,"ts":5,"dur":1,"name":"b"}]})"),
+            "");
+  // Overlapping clock-lane spans.
+  EXPECT_NE(validate_chrome_trace(
+                R"({"traceEvents":[)"
+                R"({"ph":"X","pid":0,"tid":0,"ts":0,"dur":10,"name":"a"},)"
+                R"({"ph":"X","pid":0,"tid":0,"ts":5,"dur":10,"name":"b"}]})"),
+            "");
+  // The same overlap on the transfers lane is legal (that IS masking).
+  EXPECT_EQ(validate_chrome_trace(
+                R"({"traceEvents":[)"
+                R"({"ph":"X","pid":0,"tid":1,"ts":0,"dur":10,"name":"a"},)"
+                R"({"ph":"X","pid":0,"tid":1,"ts":5,"dur":10,"name":"b"}]})"),
+            "");
+}
+
+// ---------- masking metric ----------
+
+TEST(Masking, FullyOverlappedTransferScoresEfficiencyOne) {
+  Runtime runtime(2, test_network());
+  const RunReport report = runtime.run([&](Comm& comm) {
+    std::vector<char> shard(64 * 1024, static_cast<char>(comm.rank()));
+    Window window(comm, shard);
+    std::vector<char> dest;
+    RmaRequest request = window.rget((comm.rank() + 1) % 2, dest, 1);
+    comm.clock().charge_compute(10.0);  // far longer than the transfer
+    window.wait(request);
+    window.fence();
+  });
+  EXPECT_GT(report.masking_efficiency(), 0.999);
+  for (const RankStats& r : report.ranks) {
+    EXPECT_GT(r.rget_issued_seconds, 0.0);
+    EXPECT_NEAR(r.rget_overlapped_seconds, r.rget_issued_seconds, 1e-12);
+    EXPECT_DOUBLE_EQ(r.masking_efficiency(), 1.0);
+  }
+}
+
+TEST(Masking, ImmediateWaitScoresEfficiencyZero) {
+  Runtime runtime(2, test_network());
+  const RunReport report = runtime.run([&](Comm& comm) {
+    std::vector<char> shard(64 * 1024, static_cast<char>(comm.rank()));
+    Window window(comm, shard);
+    std::vector<char> dest;
+    RmaRequest request = window.rget((comm.rank() + 1) % 2, dest, 1);
+    window.wait(request);  // nothing overlapped
+    window.fence();
+  });
+  EXPECT_DOUBLE_EQ(report.masking_efficiency(), 0.0);
+  EXPECT_DOUBLE_EQ(report.masking_saving_estimate(), 0.0);
+}
+
+TEST(Masking, SavingEstimateMatchesUnmaskedRerun) {
+  // Masked vs unmasked versions of the same ring: the overlap-derived
+  // estimate from the masked run should land within 2 points of the
+  // run-time-derived saving (the bench_masking acceptance bar).
+  auto ring = [](Comm& comm, bool mask) {
+    const int p = comm.size();
+    std::vector<char> shard(256 * 1024, static_cast<char>(comm.rank()));
+    Window window(comm, shard);
+    std::vector<char> current = shard;
+    std::vector<char> incoming;
+    for (int s = 0; s < p; ++s) {
+      RmaRequest prefetch;
+      if (mask && s + 1 < p)
+        prefetch = window.rget((comm.rank() + s + 1) % p, incoming, 1);
+      comm.clock().charge_compute(2e-3);
+      if (mask && s + 1 < p) {
+        window.wait(prefetch);
+        std::swap(current, incoming);
+      } else if (!mask && s + 1 < p) {
+        RmaRequest fetch = window.rget((comm.rank() + s + 1) % p, incoming, 1);
+        window.wait(fetch);
+        std::swap(current, incoming);
+      }
+      window.fence();
+    }
+  };
+  Runtime runtime(8, test_network());
+  const RunReport masked =
+      runtime.run([&](Comm& comm) { ring(comm, true); });
+  const RunReport unmasked =
+      runtime.run([&](Comm& comm) { ring(comm, false); });
+  const double runtime_saving =
+      (unmasked.total_time() - masked.total_time()) / unmasked.total_time();
+  const double overlap_saving = masked.masking_saving_estimate();
+  EXPECT_GT(runtime_saving, 0.0);
+  EXPECT_NEAR(overlap_saving, runtime_saving, 0.02);
 }
 
 // Parameterized: the runtime behaves identically for many rank counts.

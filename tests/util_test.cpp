@@ -2,8 +2,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <sstream>
 
+#include "util/backoff.hpp"
 #include "util/base64.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
@@ -282,6 +284,39 @@ TEST(Error, CheckThrowsWithContext) {
   } catch (const InvalidArgument& error) {
     EXPECT_NE(std::string(error.what()).find("value was 42"), std::string::npos);
   }
+}
+
+// ---------- exponential backoff ----------
+
+TEST(Backoff, ClosedFormMatchesDoubling) {
+  EXPECT_DOUBLE_EQ(exponential_backoff(0, 1e-3, 16e-3), 1e-3);
+  EXPECT_DOUBLE_EQ(exponential_backoff(1, 1e-3, 16e-3), 2e-3);
+  EXPECT_DOUBLE_EQ(exponential_backoff(3, 1e-3, 16e-3), 8e-3);
+  EXPECT_DOUBLE_EQ(exponential_backoff(4, 1e-3, 16e-3), 16e-3);
+  EXPECT_DOUBLE_EQ(exponential_backoff(5, 1e-3, 16e-3), 16e-3);  // capped
+}
+
+TEST(Backoff, LargeRetryWithCapSaturatesAtCap) {
+  EXPECT_DOUBLE_EQ(exponential_backoff(10'000, 1e-3, 16e-3), 16e-3);
+  EXPECT_DOUBLE_EQ(
+      exponential_backoff(std::numeric_limits<int>::max(), 1e-3, 16e-3),
+      16e-3);
+}
+
+TEST(Backoff, DisabledCapNeverOverflowsToInfinity) {
+  // The old doubling loop overflowed to inf for large retry counts with a
+  // non-positive cap; the closed form saturates at the largest finite
+  // double instead.
+  const double huge = exponential_backoff(5'000, 1e-3, 0.0);
+  EXPECT_TRUE(std::isfinite(huge));
+  EXPECT_DOUBLE_EQ(huge, std::numeric_limits<double>::max());
+  // Small retries with the cap disabled stay exact.
+  EXPECT_DOUBLE_EQ(exponential_backoff(10, 1e-3, 0.0), 1e-3 * 1024.0);
+  EXPECT_DOUBLE_EQ(exponential_backoff(10, 1e-3, -1.0), 1e-3 * 1024.0);
+}
+
+TEST(Backoff, NegativeRetryClampsToBase) {
+  EXPECT_DOUBLE_EQ(exponential_backoff(-5, 1e-3, 16e-3), 1e-3);
 }
 
 }  // namespace
