@@ -100,8 +100,8 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
     sim::RmaRequest pull = window.rget(predecessor, replica, pulls);
     window.wait(pull);
     comm.charge_alloc(replica.size());
-    replica_window.emplace(comm,
-                           std::span<const char>(replica.data(), replica.size()));
+    replica_window.emplace(
+        comm, std::span<const char>(replica.data(), replica.size()));
   }
 
   // One-sided fetch of shard `owner` issued at ring step `at_step`,

@@ -22,7 +22,8 @@ HybridResult run_algorithm_hybrid(const sim::Runtime& runtime,
                                   const SearchConfig& config,
                                   const HybridOptions& options) {
   const int p = runtime.size();
-  const int groups = options.groups == 0 ? default_group_count(p) : options.groups;
+  const int groups =
+      options.groups == 0 ? default_group_count(p) : options.groups;
   MSP_CHECK_MSG(groups >= 1 && groups <= p && p % groups == 0,
                 "group count " << groups << " must divide p=" << p);
   const int group_size = p / groups;

@@ -222,7 +222,8 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
     const double sentinel = 1e30;
     const double local_lo =
         prepared.size() == 0 ? sentinel : prepared.min_mass();
-    const double local_hi = prepared.size() == 0 ? -sentinel : prepared.max_mass();
+    const double local_hi =
+        prepared.size() == 0 ? -sentinel : prepared.max_mass();
     const double global_lo = comm.allreduce_min(local_lo) - config.tolerance_da;
     const double global_hi = comm.allreduce_max(local_hi) + config.tolerance_da;
 

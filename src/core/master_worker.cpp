@@ -27,7 +27,8 @@ std::vector<char> encode_batch(std::size_t begin, std::size_t count) {
   return writer.take();
 }
 
-std::pair<std::size_t, std::size_t> decode_batch(const std::vector<char>& bytes) {
+std::pair<std::size_t, std::size_t> decode_batch(
+    const std::vector<char>& bytes) {
   wire::Reader reader(bytes);
   const std::uint64_t begin = reader.get_u64();
   const std::uint64_t count = reader.get_u64();

@@ -9,7 +9,8 @@ namespace {
 // Leads an indexed-shard image. A legacy image starts with the protein
 // count; a count this large would need ~5 exabytes of ids alone, so the two
 // formats cannot collide in practice.
-constexpr std::uint64_t kIndexedShardMagic = 0x4D53504152494458ull;  // "MSPARIDX"
+// "MSPARIDX" in ASCII.
+constexpr std::uint64_t kIndexedShardMagic = 0x4D53504152494458ull;
 
 void put_proteins(wire::Writer& writer, const ProteinDatabase& db) {
   writer.put_u64(db.proteins.size());
@@ -41,7 +42,8 @@ void put_index(wire::Writer& writer, const CandidateIndex& index) {
   writer.put_u32(params.max_length);
   writer.put_u32(params.missed_cleavages);
   writer.put_u64(index.size());
-  writer.reserve(index.size() * (sizeof(double) + 3 * sizeof(std::uint32_t) + 1));
+  writer.reserve(index.size() *
+                 (sizeof(double) + 3 * sizeof(std::uint32_t) + 1));
   for (const IndexedCandidate& entry : index.entries()) {
     writer.put_double(entry.mass);
     writer.put_u32(entry.protein);

@@ -17,7 +17,8 @@
 namespace msp {
 
 /// The shard of `fasta_bytes` owned by `rank` out of `p` (step A1).
-ProteinDatabase load_database_shard(std::string_view fasta_bytes, int rank, int p);
+ProteinDatabase load_database_shard(std::string_view fasta_bytes, int rank,
+                                    int p);
 
 /// Block partition of m queries: rank gets [begin, end).
 struct QueryRange {

@@ -41,8 +41,8 @@ struct InferenceOptions {
 };
 
 /// Aggregate per-query hits into ranked protein evidence (best first).
-std::vector<ProteinEvidence> infer_proteins(const QueryHits& hits,
-                                            const InferenceOptions& options = {});
+std::vector<ProteinEvidence> infer_proteins(
+    const QueryHits& hits, const InferenceOptions& options = {});
 
 /// Proteins with at least `min_distinct_peptides` (drops one-hit wonders).
 std::vector<ProteinEvidence> confident_proteins(

@@ -26,10 +26,9 @@ struct QueryTransportOptions {
   std::size_t memory_budget_bytes = 0;
 };
 
-ParallelRunResult run_query_transport(const sim::Runtime& runtime,
-                                      const std::string& fasta_image,
-                                      const std::vector<Spectrum>& queries,
-                                      const SearchConfig& config,
-                                      const QueryTransportOptions& options = {});
+ParallelRunResult run_query_transport(
+    const sim::Runtime& runtime, const std::string& fasta_image,
+    const std::vector<Spectrum>& queries, const SearchConfig& config,
+    const QueryTransportOptions& options = {});
 
 }  // namespace msp

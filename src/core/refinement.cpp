@@ -26,7 +26,8 @@ RefinementResult run_refinement(const ProteinDatabase& db,
   // Shortlist proteins by aggregated survey evidence.
   InferenceOptions inference;
   inference.max_hit_rank = options.first_pass.tau;
-  std::vector<ProteinEvidence> evidence = infer_proteins(survey_hits, inference);
+  std::vector<ProteinEvidence> evidence =
+      infer_proteins(survey_hits, inference);
   if (evidence.size() > options.max_refined_proteins)
     evidence.resize(options.max_refined_proteins);
   std::set<std::string> shortlist;

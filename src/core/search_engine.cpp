@@ -87,9 +87,9 @@ double SearchEngine::score_candidate(const QueryContext& context,
   throw InvalidArgument("unknown score model");
 }
 
-double SearchEngine::score_candidate(const QueryContext& context,
-                                     std::string_view peptide,
-                                     const std::vector<FragmentIon>& ions) const {
+double SearchEngine::score_candidate(
+    const QueryContext& context, std::string_view peptide,
+    const std::vector<FragmentIon>& ions) const {
   switch (config_.model) {
     case ScoreModel::kLikelihood: {
       const double model_score = likelihood_ratio(context, ions);
@@ -115,7 +115,8 @@ namespace {
 /// candidate-centric inner loop one thread runs. State it writes (tops,
 /// stats, per_query_candidates) is exclusively its own; everything else is
 /// read-only, which is what makes the fan-out race-free.
-void search_index_block(const SearchEngine& engine, const ProteinDatabase& shard,
+void search_index_block(const SearchEngine& engine,
+                        const ProteinDatabase& shard,
                         const CandidateIndex& index,
                         const PreparedQueries& queries, std::size_t first,
                         std::size_t last, std::span<TopK<Hit>> tops,

@@ -45,7 +45,7 @@ struct PreparedQueries {
   std::vector<QueryContext> contexts;  ///< binned + background, per query
   std::vector<double> masses;          ///< reported parent mass, query order
   std::vector<std::uint32_t> order;    ///< entry k → query index
-  std::vector<double> sorted_masses;   ///< entry k → hypothesis mass, ascending
+  std::vector<double> sorted_masses;  ///< entry k → hypothesis mass, rising
 
   std::size_t size() const { return spectra.size(); }
   double min_mass() const;  ///< the paper's m(q)_min (0 when empty)

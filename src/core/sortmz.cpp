@@ -28,11 +28,10 @@ SortedShard parallel_sort_by_mz(sim::Comm& comm, const ProteinDatabase& local) {
     buckets.push_back(mz_bucket(protein));
   comm.clock().charge_compute(static_cast<double>(local.proteins.size()) *
                               cost.seconds_per_mz);
-  const double global_max =
-      comm.allreduce_max(buckets.empty()
-                             ? 0.0
-                             : static_cast<double>(
-                                   *std::max_element(buckets.begin(), buckets.end())));
+  const double global_max = comm.allreduce_max(
+      buckets.empty() ? 0.0
+                      : static_cast<double>(*std::max_element(
+                            buckets.begin(), buckets.end())));
   const auto array_size = static_cast<std::size_t>(global_max) + 1;
 
   // ---- S2: global count array (weighted by residues) and redistribution ----
@@ -55,14 +54,15 @@ SortedShard parallel_sort_by_mz(sim::Comm& comm, const ProteinDatabase& local) {
     for (std::size_t v = 0; v < array_size; ++v) {
       // Close rank r once it holds its cumulative share (r+1)·total/p.
       while (rank + 1 < static_cast<std::uint32_t>(p) && rank_has_values &&
-             running >= (static_cast<std::uint64_t>(rank) + 1) * total_residues /
-                            static_cast<std::uint64_t>(p)) {
+             running >= (static_cast<std::uint64_t>(rank) + 1) *
+                            total_residues / static_cast<std::uint64_t>(p)) {
         ++rank;
         rank_has_values = false;
       }
       owner[v] = rank;
       if (counts[v] > 0) {
-        if (!rank_has_values) boundaries[rank].begin_mz = static_cast<double>(v);
+        if (!rank_has_values)
+          boundaries[rank].begin_mz = static_cast<double>(v);
         boundaries[rank].end_mz = static_cast<double>(v) + 1.0;
         rank_has_values = true;
       }
@@ -108,8 +108,9 @@ SortedShard parallel_sort_by_mz(sim::Comm& comm, const ProteinDatabase& local) {
   for (const auto& [bucket, i] : keyed)
     ordered.proteins.push_back(std::move(result.shard.proteins[i]));
   result.shard = std::move(ordered);
-  comm.clock().charge_compute(static_cast<double>(result.shard.proteins.size()) *
-                              cost.seconds_per_mz * 2.0);
+  comm.clock().charge_compute(
+      static_cast<double>(result.shard.proteins.size()) * cost.seconds_per_mz *
+      2.0);
   result.boundaries = std::move(boundaries);
   result.sort_seconds = comm.clock().now() - sort_start;
   return result;

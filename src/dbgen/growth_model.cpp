@@ -69,8 +69,8 @@ std::vector<CandidateMagnitude> candidate_magnitudes(double tolerance_da) {
     row.scope = scope.name;
     row.database_residues =
         static_cast<std::uint64_t>(scope.sequences * scope.avg_length);
-    const double base =
-        expected_candidates(row.database_residues, scope.avg_length, tolerance_da);
+    const double base = expected_candidates(row.database_residues,
+                                            scope.avg_length, tolerance_da);
     row.candidates_no_ptm = static_cast<std::uint64_t>(base);
     row.candidates_with_ptm = static_cast<std::uint64_t>(base * kPtmMultiplier);
     out.push_back(row);

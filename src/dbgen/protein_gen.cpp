@@ -40,8 +40,8 @@ ProteinDatabase generate_proteins(const ProteinGenOptions& options) {
 
   const auto cdf = cumulative_frequencies();
   // Log-normal parameters from mean m and shape sigma: mu = ln m - sigma^2/2.
-  const double mu =
-      std::log(options.mean_length) - options.length_sigma * options.length_sigma / 2.0;
+  const double mu = std::log(options.mean_length) -
+                    options.length_sigma * options.length_sigma / 2.0;
 
   ProteinDatabase db;
   db.proteins.reserve(options.sequence_count);

@@ -45,13 +45,15 @@ void mutate_one_residue(std::string& peptide, Xoshiro256& rng) {
 
 }  // namespace
 
-std::vector<GeneratedQuery> generate_queries(const ProteinDatabase& source,
-                                             const QueryGenOptions& options,
-                                             const ProteinDatabase* decoy_source) {
-  MSP_CHECK_MSG(options.mutation_fraction >= 0.0 && options.mutation_fraction <= 1.0,
-                "mutation fraction must be in [0,1]");
-  MSP_CHECK_MSG(options.foreign_fraction >= 0.0 && options.foreign_fraction <= 1.0,
-                "foreign fraction must be in [0,1]");
+std::vector<GeneratedQuery> generate_queries(
+    const ProteinDatabase& source, const QueryGenOptions& options,
+    const ProteinDatabase* decoy_source) {
+  MSP_CHECK_MSG(
+      options.mutation_fraction >= 0.0 && options.mutation_fraction <= 1.0,
+      "mutation fraction must be in [0,1]");
+  MSP_CHECK_MSG(
+      options.foreign_fraction >= 0.0 && options.foreign_fraction <= 1.0,
+      "foreign fraction must be in [0,1]");
   MSP_CHECK_MSG(options.foreign_fraction == 0.0 || decoy_source != nullptr,
                 "foreign queries need a decoy source database");
 
@@ -65,7 +67,8 @@ std::vector<GeneratedQuery> generate_queries(const ProteinDatabase& source,
     const ProteinDatabase& pool = query.foreign ? *decoy_source : source;
     auto [peptide, protein_index] =
         sample_peptide(pool, options.digest, options.anchored_only, rng);
-    if (rng.uniform() < options.mutation_fraction) mutate_one_residue(peptide, rng);
+    if (rng.uniform() < options.mutation_fraction)
+      mutate_one_residue(peptide, rng);
     query.true_peptide = peptide;
     query.source_protein = protein_index;
     query.spectrum = simulate_spectrum(peptide, options.noise, rng,

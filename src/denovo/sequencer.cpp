@@ -72,7 +72,8 @@ std::string edge_for_gap(double gap, const SequencerOptions& options) {
 // path endpoints — an O(1) check that makes twin exclusion exact.
 DeNovoResult sequence_peptide(const Spectrum& spectrum,
                               const SequencerOptions& options) {
-  MSP_CHECK_MSG(options.gap_tolerance_da > 0.0, "gap tolerance must be positive");
+  MSP_CHECK_MSG(options.gap_tolerance_da > 0.0,
+                "gap tolerance must be positive");
   const std::vector<Vertex> vertices =
       build_spectrum_graph(spectrum, options.graph);
   const int n = static_cast<int>(vertices.size());
@@ -88,10 +89,11 @@ DeNovoResult sequence_peptide(const Spectrum& spectrum,
   // Twin index per vertex (−1 if its mirror is not in the graph).
   std::vector<int> twin(static_cast<std::size_t>(n), -1);
   for (int v = 0; v < n; ++v) {
-    const double target = symmetry - vertices[static_cast<std::size_t>(v)].prefix_mass;
+    const double target =
+        symmetry - vertices[static_cast<std::size_t>(v)].prefix_mass;
     for (int u = 0; u < n; ++u) {
-      if (std::abs(vertices[static_cast<std::size_t>(u)].prefix_mass - target) <=
-          options.graph.merge_tolerance_da) {
+      if (std::abs(vertices[static_cast<std::size_t>(u)].prefix_mass -
+                   target) <= options.graph.merge_tolerance_da) {
         twin[static_cast<std::size_t>(v)] = u;
         break;
       }
@@ -153,7 +155,8 @@ DeNovoResult sequence_peptide(const Spectrum& spectrum,
           twin[static_cast<std::size_t>(k)] == j)
         continue;
       // Extend the prefix path i → k.
-      if (const std::string edge = edge_for_gap(vk - vi, options); !edge.empty()) {
+      if (const std::string edge = edge_for_gap(vk - vi, options);
+          !edge.empty()) {
         Entry candidate{entry.score + gain, i, j, static_cast<int>(s), edge,
                         true};
         auto [it, inserted] =
@@ -162,7 +165,8 @@ DeNovoResult sequence_peptide(const Spectrum& spectrum,
           it->second = candidate;
       }
       // Extend the suffix path k → j.
-      if (const std::string edge = edge_for_gap(vj - vk, options); !edge.empty()) {
+      if (const std::string edge = edge_for_gap(vj - vk, options);
+          !edge.empty()) {
         Entry candidate{entry.score + gain, i, j, static_cast<int>(s), edge,
                         false};
         auto [it, inserted] =
@@ -246,7 +250,8 @@ double ladder_agreement(const std::string& inferred, const std::string& truth,
       }
     }
   }
-  return static_cast<double>(matched) / static_cast<double>(truth_ladder.size());
+  return static_cast<double>(matched) /
+         static_cast<double>(truth_ladder.size());
 }
 
 }  // namespace msp::denovo

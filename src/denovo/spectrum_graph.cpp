@@ -29,7 +29,8 @@ std::vector<Vertex> build_spectrum_graph(const Spectrum& spectrum,
     // b-ion: mz = prefix + proton.
     const double as_b = peak.mz - kProtonMass;
     // y-ion: mz = (T - prefix) + water + proton.
-    const double as_y = parent_residue_mass - (peak.mz - kProtonMass - kWaterMass);
+    const double as_y =
+        parent_residue_mass - (peak.mz - kProtonMass - kWaterMass);
     for (bool via_y : {false, true}) {
       const double prefix = via_y ? as_y : as_b;
       if (prefix <= options.merge_tolerance_da ||
@@ -47,8 +48,8 @@ std::vector<Vertex> build_spectrum_graph(const Spectrum& spectrum,
   vertices.push_back(Vertex{0.0, 0.0, 0.0, 0});  // N-terminal sentinel
   for (const Candidate& candidate : candidates) {
     Vertex& last = vertices.back();
-    if (last.supports > 0 &&
-        candidate.prefix_mass - last.prefix_mass <= options.merge_tolerance_da) {
+    if (last.supports > 0 && candidate.prefix_mass - last.prefix_mass <=
+                                 options.merge_tolerance_da) {
       // Merge: weighted-mean position, summed evidence.
       const double total = last.evidence + candidate.evidence;
       last.prefix_mass = (last.prefix_mass * last.evidence +

@@ -100,8 +100,8 @@ std::vector<Spectrum> read_mgf(std::istream& in) {
 
     Peak peak;
     if (!parse_peak_line(text, peak))
-      throw IoError("MGF: unparseable peak line " + std::to_string(line_number) +
-                    ": '" + text + "'");
+      throw IoError("MGF: unparseable peak line " +
+                    std::to_string(line_number) + ": '" + text + "'");
     peaks.push_back(peak);
   }
   if (in_block) throw IoError("MGF: unterminated BEGIN IONS block at EOF");
@@ -119,7 +119,8 @@ void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra) {
   for (const Spectrum& spectrum : spectra) {
     out << "BEGIN IONS\n";
     if (!spectrum.title().empty()) out << "TITLE=" << spectrum.title() << '\n';
-    out << "PEPMASS=" << std::setprecision(6) << spectrum.precursor_mz() << '\n';
+    out << "PEPMASS=" << std::setprecision(6) << spectrum.precursor_mz()
+        << '\n';
     out << "CHARGE=" << spectrum.charge() << "+\n";
     for (const Peak& peak : spectrum.peaks())
       out << std::setprecision(4) << peak.mz << ' ' << std::setprecision(2)
@@ -128,7 +129,8 @@ void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra) {
   }
 }
 
-void write_mgf_file(const std::string& path, const std::vector<Spectrum>& spectra) {
+void write_mgf_file(const std::string& path,
+                    const std::vector<Spectrum>& spectra) {
   std::ofstream out(path);
   if (!out) throw IoError("cannot create MGF file: " + path);
   write_mgf(out, spectra);

@@ -19,6 +19,7 @@ std::vector<Spectrum> read_mgf(std::istream& in);
 std::vector<Spectrum> read_mgf_file(const std::string& path);
 
 void write_mgf(std::ostream& out, const std::vector<Spectrum>& spectra);
-void write_mgf_file(const std::string& path, const std::vector<Spectrum>& spectra);
+void write_mgf_file(const std::string& path,
+                    const std::vector<Spectrum>& spectra);
 
 }  // namespace msp

@@ -74,7 +74,8 @@ void write_pkl(std::ostream& out, const std::vector<Spectrum>& spectra) {
   }
 }
 
-void write_pkl_file(const std::string& path, const std::vector<Spectrum>& spectra) {
+void write_pkl_file(const std::string& path,
+                    const std::vector<Spectrum>& spectra) {
   std::ofstream out(path);
   if (!out) throw IoError("cannot create PKL file: " + path);
   write_pkl(out, spectra);

@@ -18,6 +18,7 @@ std::vector<Spectrum> read_pkl(std::istream& in);
 std::vector<Spectrum> read_pkl_file(const std::string& path);
 
 void write_pkl(std::ostream& out, const std::vector<Spectrum>& spectra);
-void write_pkl_file(const std::string& path, const std::vector<Spectrum>& spectra);
+void write_pkl_file(const std::string& path,
+                    const std::vector<Spectrum>& spectra);
 
 }  // namespace msp

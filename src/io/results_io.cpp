@@ -25,7 +25,8 @@ void write_hits(std::ostream& out, const std::vector<HitRecord>& hits) {
   }
 }
 
-void write_hits_file(const std::string& path, const std::vector<HitRecord>& hits) {
+void write_hits_file(const std::string& path,
+                     const std::vector<HitRecord>& hits) {
   std::ofstream out(path);
   if (!out) throw IoError("cannot create hits file: " + path);
   write_hits(out, hits);

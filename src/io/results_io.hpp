@@ -21,7 +21,8 @@ struct HitRecord {
 };
 
 void write_hits(std::ostream& out, const std::vector<HitRecord>& hits);
-void write_hits_file(const std::string& path, const std::vector<HitRecord>& hits);
+void write_hits_file(const std::string& path,
+                     const std::vector<HitRecord>& hits);
 
 /// Round-trip reader (used by tests and by the examples' summaries).
 std::vector<HitRecord> read_hits(std::istream& in);

@@ -77,7 +77,8 @@ int residue_index(char c) {
 }
 
 char residue_from_index(int index) {
-  MSP_CHECK_MSG(index >= 0 && index < 20, "residue index out of range: " << index);
+  MSP_CHECK_MSG(index >= 0 && index < 20,
+                "residue index out of range: " << index);
   return kResidueAlphabet[static_cast<std::size_t>(index)];
 }
 

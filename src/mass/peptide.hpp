@@ -63,7 +63,7 @@ class FragmentMassIndex {
   double suffix_mass(std::size_t k) const;
 
  private:
-  std::vector<double> cumulative_;  ///< cumulative_[k] = sum of first k residues
+  std::vector<double> cumulative_;  ///< [k] = sum of the first k residues
 };
 
 }  // namespace msp

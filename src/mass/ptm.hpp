@@ -23,7 +23,7 @@ struct Ptm {
 };
 
 /// Commonly searched variable modifications, for examples and benchmarks.
-Ptm ptm_phospho_st();      ///< +79.96633 on S/T (we register S and T separately)
+Ptm ptm_phospho_st();      ///< +79.96633 on S/T (S and T registered apart)
 Ptm ptm_phospho_s();
 Ptm ptm_phospho_t();
 Ptm ptm_oxidation_m();     ///< +15.99491 on M

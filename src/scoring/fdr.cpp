@@ -55,8 +55,9 @@ std::vector<double> estimate_q_values(const std::vector<Psm>& psms) {
       ++decoys_seen;
     else
       ++targets_seen;
-    fdr_at[position] = static_cast<double>(decoys_seen + 1) /
-                       static_cast<double>(std::max<std::size_t>(1, targets_seen));
+    fdr_at[position] =
+        static_cast<double>(decoys_seen + 1) /
+        static_cast<double>(std::max<std::size_t>(1, targets_seen));
   }
   // q-value: minimum FDR at or below this rank (monotone from the back).
   double running_min = 1.0;

@@ -35,7 +35,7 @@ class TopK {
   void offer(const Entry& entry) {
     if (heap_.size() < capacity_) {
       heap_.push_back(entry);
-      std::push_heap(heap_.begin(), heap_.end(), better);  // min-heap on "better"
+      std::push_heap(heap_.begin(), heap_.end(), better);  // min-heap
       return;
     }
     // heap_.front() is the *worst* retained entry.

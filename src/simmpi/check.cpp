@@ -1,0 +1,181 @@
+#include "simmpi/check.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "simmpi/comm.hpp"
+#include "simmpi/shared.hpp"
+
+namespace msp::sim::check {
+namespace {
+
+/// Fixed-precision virtual-time rendering keeps violation reports
+/// byte-deterministic (same contract as the trace exporters).
+std::string fixed9(double value) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(9) << value;
+  return os.str();
+}
+
+std::string render_span(const AccessSpan& span) {
+  std::ostringstream os;
+  os << "rank " << span.rank << " @ [" << fixed9(span.begin) << ", "
+     << fixed9(span.end) << "]s";
+  if (span.trace_event >= 0) os << " trace#" << span.trace_event;
+  os << " — " << span.what;
+  return os.str();
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kUnorderedShardRead: return "unordered-shard-read";
+    case ViolationKind::kDestBufferLifetime: return "dest-buffer-lifetime";
+    case ViolationKind::kFenceWithPending: return "fence-with-pending";
+    case ViolationKind::kConcurrentShardWrite: return "concurrent-shard-write";
+  }
+  return "?";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "simcheck[" << violation_kind_name(kind) << "]: " << detail << '\n'
+     << "  first : " << render_span(first) << '\n'
+     << "  second: " << render_span(second);
+  return os.str();
+}
+
+Checker::Checker(int p, std::vector<Violation>* sink)
+    : p_(p),
+      sink_(sink),
+      clocks_(static_cast<std::size_t>(p),
+              VectorClock(static_cast<std::size_t>(p), 0)),
+      posted_(static_cast<std::size_t>(p),
+              VectorClock(static_cast<std::size_t>(p), 0)) {}
+
+bool Checker::covered_by(const VectorClock& a, const VectorClock& b) {
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (a[i] > b[i]) return false;
+  return true;
+}
+
+void Checker::post_clock(int rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  posted_[static_cast<std::size_t>(rank)] =
+      clocks_[static_cast<std::size_t>(rank)];
+}
+
+void Checker::join_group(const std::vector<int>& members, int rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  VectorClock& mine = clocks_[static_cast<std::size_t>(rank)];
+  for (const int member : members) {
+    const VectorClock& theirs = posted_[static_cast<std::size_t>(member)];
+    for (std::size_t i = 0; i < mine.size(); ++i)
+      mine[i] = std::max(mine[i], theirs[i]);
+  }
+  ++mine[static_cast<std::size_t>(rank)];
+}
+
+VectorClock Checker::on_send(int rank) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  VectorClock& mine = clocks_[static_cast<std::size_t>(rank)];
+  ++mine[static_cast<std::size_t>(rank)];
+  return mine;
+}
+
+void Checker::on_recv(int rank, const VectorClock& sender_clock) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  VectorClock& mine = clocks_[static_cast<std::size_t>(rank)];
+  for (std::size_t i = 0; i < mine.size(); ++i)
+    mine[i] = std::max(mine[i], sender_clock[i]);
+  ++mine[static_cast<std::size_t>(rank)];
+}
+
+void Checker::on_expose(std::shared_ptr<const void> key, int owner,
+                        const AccessSpan& expose) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  VectorClock& mine = clocks_[static_cast<std::size_t>(owner)];
+  ++mine[static_cast<std::size_t>(owner)];
+  ShardShadow& shadow = shards_[key.get()];
+  shadow.pin = std::move(key);
+  shadow.owner = owner;
+  shadow.write_clock = mine;
+  shadow.last_write = expose;
+  shadow.last_read.assign(static_cast<std::size_t>(p_), ReadRecord{});
+}
+
+void Checker::on_shard_read(const void* key, int reader,
+                            const AccessSpan& read) {
+  Violation violation;
+  bool flagged = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(key);
+    MSP_CHECK_MSG(it != shards_.end(),
+                  "simcheck: rget on a window the checker never saw exposed");
+    ShardShadow& shadow = it->second;
+    VectorClock& mine = clocks_[static_cast<std::size_t>(reader)];
+    ++mine[static_cast<std::size_t>(reader)];
+    if (!covered_by(shadow.write_clock, mine)) {
+      violation.kind = ViolationKind::kUnorderedShardRead;
+      violation.first = shadow.last_write;
+      violation.second = read;
+      violation.detail =
+          "read of rank " + std::to_string(shadow.owner) +
+          "'s shard epoch is not ordered after the epoch's last write "
+          "(missing fence/barrier between the write and this rget)";
+      flagged = true;
+    }
+    ReadRecord& record =
+        shadow.last_read[static_cast<std::size_t>(reader)];
+    record.valid = true;
+    record.clock = mine;
+    record.span = read;
+  }
+  if (flagged) report(std::move(violation));
+}
+
+void Checker::on_shard_write(const void* key, int owner,
+                             const AccessSpan& write) {
+  std::vector<Violation> flagged;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = shards_.find(key);
+    MSP_CHECK_MSG(it != shards_.end(),
+                  "simcheck: shard write on a window the checker never saw "
+                  "exposed");
+    ShardShadow& shadow = it->second;
+    VectorClock& mine = clocks_[static_cast<std::size_t>(owner)];
+    ++mine[static_cast<std::size_t>(owner)];
+    for (const ReadRecord& record : shadow.last_read) {
+      if (!record.valid || covered_by(record.clock, mine)) continue;
+      Violation violation;
+      violation.kind = ViolationKind::kConcurrentShardWrite;
+      violation.first = record.span;
+      violation.second = write;
+      violation.detail =
+          "local write to rank " + std::to_string(owner) +
+          "'s exposed shard is concurrent with a peer's read of the epoch "
+          "(the epoch was never closed by a fence/barrier after the read)";
+      flagged.push_back(std::move(violation));
+    }
+    for (std::size_t i = 0; i < shadow.write_clock.size(); ++i)
+      shadow.write_clock[i] = std::max(shadow.write_clock[i], mine[i]);
+    shadow.last_write = write;
+  }
+  for (Violation& violation : flagged) report(std::move(violation));
+}
+
+void Checker::report(Violation violation) {
+  if (sink_ != nullptr) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    sink_->push_back(std::move(violation));
+    return;
+  }
+  throw CheckFailed(violation);
+}
+
+}  // namespace msp::sim::check

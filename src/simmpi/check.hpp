@@ -1,0 +1,172 @@
+// simcheck: a vector-clock happens-before checker for the simulated RMA
+// transport.
+//
+// The transport's memory-consistency contract (the Window doc block in
+// comm.hpp) was previously stated as comments and enforced by scattered
+// point asserts. simcheck turns it into a checked model: every rank carries
+// a vector clock advanced by its events and joined at every synchronizing
+// operation (collectives, window creation, fences, message delivery), and
+// every one-sided shard access records an access interval against it. A
+// violation is any access pair the protocol leaves unordered:
+//
+//   (a) unordered-shard-read   — an rget/rget_range of a shard epoch that is
+//       not ordered (happens-before) after the shard's last local write,
+//   (b) dest-buffer-lifetime   — reuse of a destination buffer that still
+//       has a pending request, or a buffer identity change (resize /
+//       reassign / swap) between issue and wait,
+//   (c) fence-with-pending     — fence() while requests on the window are
+//       still un-waited,
+//   (d) concurrent-shard-write — a local write to the exposed shard that is
+//       concurrent with (not ordered after) a peer's recorded read.
+//
+// Every violation reports the two conflicting access spans: rank, virtual
+// time interval, a human-readable description, and — when span tracing is
+// enabled — the trace event id (the span's index on the rank's timeline,
+// rendered as `args.i` by RunReport::to_chrome_trace) so a report links
+// directly into the Chrome trace.
+//
+// Cost model: checking is off by default in Release (`MSPAR_CHECK` CMake
+// option, on by default in Debug). When off, no shadow state is allocated
+// and every hook is a single null-pointer test. When on, hooks serialize on
+// one mutex — acceptable for a correctness mode — but never touch the
+// virtual clocks, counters, or span logs, so a clean run's hits, stats and
+// traces are bit-identical with checking on or off.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace msp::sim {
+
+class Comm;
+class Window;
+
+namespace check {
+
+/// The four violation classes of the transport contract (see file header).
+enum class ViolationKind {
+  kUnorderedShardRead,
+  kDestBufferLifetime,
+  kFenceWithPending,
+  kConcurrentShardWrite,
+};
+
+const char* violation_kind_name(ViolationKind kind);
+
+/// One side of a conflict: an access interval on a rank's timeline.
+struct AccessSpan {
+  int rank = -1;             ///< global rank of the accessing rank
+  double begin = 0.0;        ///< virtual time the access started
+  double end = 0.0;          ///< virtual time it ended (== begin for instants)
+  long long trace_event = -1;  ///< span index on the rank's timeline when
+                               ///< tracing is enabled (`args.i` in the Chrome
+                               ///< trace), -1 otherwise
+  std::string what;          ///< human-readable event description
+};
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kUnorderedShardRead;
+  AccessSpan first;   ///< the established access (write, issue, expose)
+  AccessSpan second;  ///< the conflicting access that closed the pair
+  std::string detail;
+
+  /// Deterministic multi-line rendering (fixed-precision virtual times).
+  std::string to_string() const;
+};
+
+/// Thrown at the point of detection when no violation sink is installed.
+/// Derives from InvalidArgument so callers catching the contract-violation
+/// family of the point asserts keep working unchanged.
+class CheckFailed : public InvalidArgument {
+ public:
+  explicit CheckFailed(const Violation& violation)
+      : InvalidArgument(violation.to_string()) {}
+};
+
+using VectorClock = std::vector<std::uint64_t>;
+
+/// Per-run shadow state. One instance lives in the run's shared state when
+/// checking is enabled (Runtime::enable_checking / MSPAR_CHECK); the
+/// communication layer calls the hooks below. All hooks are thread-safe.
+class Checker {
+ public:
+  /// `sink`: when non-null, violations are appended there and execution
+  /// continues (the rejection-matrix tests use this); when null, the first
+  /// violation throws CheckFailed in the offending rank.
+  Checker(int p, std::vector<Violation>* sink);
+  Checker(const Checker&) = delete;
+  Checker& operator=(const Checker&) = delete;
+
+  // ---- happens-before edges ----
+
+  /// Publish `rank`'s clock for the collective it is entering. Called
+  /// before the collective's first rendezvous.
+  void post_clock(int rank);
+  /// Join every member's posted clock into `rank`'s and advance it: the
+  /// happens-before edge of a completed collective. Called after the first
+  /// rendezvous (all members have posted) and before the second.
+  void join_group(const std::vector<int>& members, int rank);
+  /// Point-to-point edges: on_send snapshots the sender's advanced clock
+  /// (carried by the message), on_recv joins it into the receiver's.
+  VectorClock on_send(int rank);
+  void on_recv(int rank, const VectorClock& sender_clock);
+
+  // ---- shard access intervals ----
+
+  /// Register an exposed shard. `key` identifies the (window, owner) pair —
+  /// the owner's Exposure guard, pinned so the key stays unique for the
+  /// run. The expose event is the epoch's initial "write".
+  void on_expose(std::shared_ptr<const void> key, int owner,
+                 const AccessSpan& expose);
+  /// A one-sided read of the shard registered under `key`. Flags (a) when
+  /// the epoch's last write does not happen-before the read.
+  void on_shard_read(const void* key, int reader, const AccessSpan& read);
+  /// A local write to the shard registered under `key`. Flags (d) for every
+  /// recorded peer read that does not happen-before the write.
+  void on_shard_write(const void* key, int owner, const AccessSpan& write);
+
+  /// Record (sink mode) or throw (default) a violation. Also used directly
+  /// by Window for the rank-local rules (b) and (c).
+  void report(Violation violation);
+
+ private:
+  struct ReadRecord {
+    bool valid = false;
+    VectorClock clock;
+    AccessSpan span;
+  };
+  struct ShardShadow {
+    std::shared_ptr<const void> pin;  ///< keeps the key unique for the run
+    int owner = -1;
+    VectorClock write_clock;          ///< join of expose + all writes
+    AccessSpan last_write;
+    std::vector<ReadRecord> last_read;  ///< latest read per global rank
+  };
+
+  static bool covered_by(const VectorClock& a, const VectorClock& b);
+
+  const int p_;
+  std::vector<Violation>* sink_;
+  std::mutex mutex_;
+  std::vector<VectorClock> clocks_;  ///< per global rank
+  std::vector<VectorClock> posted_;  ///< collective-entry snapshots
+  std::unordered_map<const void*, ShardShadow> shards_;
+};
+
+/// Test-only backdoor for the rejection-matrix tests: a physical rendezvous
+/// that advances the virtual clocks exactly like Comm::barrier() but is
+/// invisible to the checker — it models a driver synchronizing through a
+/// side channel the transport cannot see, which is how each happens-before
+/// violation is provoked deterministically.
+struct TestBackdoor {
+  static void unsynced_barrier(Comm& comm);
+};
+
+}  // namespace check
+}  // namespace msp::sim

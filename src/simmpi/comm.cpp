@@ -4,7 +4,9 @@
 #include <chrono>
 #include <cstring>
 #include <map>
+#include <utility>
 
+#include "simmpi/check.hpp"
 #include "simmpi/shared.hpp"
 
 namespace msp::sim {
@@ -34,6 +36,8 @@ const NetworkModel& Comm::network() const { return shared_.network; }
 const ComputeModel& Comm::compute_model() const { return shared_.compute; }
 
 const FaultModel& Comm::faults() const { return shared_.faults; }
+
+check::Checker* Comm::checker() const { return shared_.checker.get(); }
 
 void Comm::pay_transfer_faults(const char* what) {
   const FaultModel& faults = shared_.faults;
@@ -94,7 +98,8 @@ void Comm::note_recovery_span(double seconds, const std::string& detail) {
          detail});
 }
 
-const void* const* Comm::post_and_collect(const void* mine) {
+const void* const* Comm::post_and_collect(const void* mine, bool checked) {
+  if (checked && shared_.checker) shared_.checker->post_clock(global_rank_);
   group_->slots[static_cast<std::size_t>(group_rank_)] = mine;
   group_->entry_times[static_cast<std::size_t>(group_rank_)] =
       state_.clock.now();
@@ -108,7 +113,12 @@ double Comm::max_posted_entry() const {
   return latest;
 }
 
-void Comm::finish_collective(double cost) {
+void Comm::finish_collective(double cost, bool checked) {
+  // Happens-before edge of the completed collective: every member posted
+  // its clock before the first rendezvous, so the join is stable here (the
+  // closing rendezvous below keeps the snapshots from being repopulated).
+  if (checked && shared_.checker)
+    shared_.checker->join_group(group_->members, global_rank_);
   const double completion = max_posted_entry() + cost;
   state_.clock.sync_until(max_posted_entry());
   state_.clock.note_comm_issued(cost);
@@ -150,13 +160,15 @@ std::unique_ptr<Comm> Comm::split(int color) {
     my_group = std::make_shared<detail::CollectiveGroup>(my_members);
     shared_.register_group(my_group);
   }
-  const void* const* group_slots = post_and_collect(leader ? &my_group : nullptr);
+  const void* const* group_slots =
+      post_and_collect(leader ? &my_group : nullptr);
   if (!leader) {
     // The leader is the first member of our color; locate its slot.
     for (int r = 0; r < size(); ++r) {
       if (global_rank_of(r) == my_members.front()) {
-        my_group = *static_cast<const std::shared_ptr<detail::CollectiveGroup>*>(
-            group_slots[r]);
+        my_group =
+            *static_cast<const std::shared_ptr<detail::CollectiveGroup>*>(
+                group_slots[r]);
         break;
       }
     }
@@ -248,8 +260,8 @@ std::vector<char> Comm::bcast(int root, const std::vector<char>& payload) {
   MSP_CHECK_MSG(root >= 0 && root < size(), "bcast: bad root " << root);
   const void* const* slots =
       post_and_collect(group_rank_ == root ? &payload : nullptr);
-  const auto* source =
-      static_cast<const std::vector<char>*>(slots[static_cast<std::size_t>(root)]);
+  const auto* source = static_cast<const std::vector<char>*>(
+      slots[static_cast<std::size_t>(root)]);
   MSP_CHECK_MSG(source != nullptr, "bcast: root did not post a payload");
   std::vector<char> result = *source;
   if (group_rank_ != root) state_.bytes_received += result.size();
@@ -268,16 +280,21 @@ void Comm::send(int destination, int tag, std::vector<char> payload) {
   pay_transfer_faults("send");
   const double depart = state_.clock.now();
   // Eager protocol: sender pays only the injection latency.
-  const bool local = shared_.network.same_node(global_rank_, global_destination);
+  const bool local =
+      shared_.network.same_node(global_rank_, global_destination);
   state_.clock.note_comm_issued(local ? shared_.network.shm_latency_s
                                       : shared_.network.latency_s);
   state_.bytes_sent += payload.size();
+  detail::Envelope envelope{global_rank_, tag, depart, std::move(payload), {}};
+  // The message carries the sender's vector clock: delivery is the
+  // happens-before edge the checker orders point-to-point programs by.
+  if (shared_.checker)
+    envelope.check_clock = shared_.checker->on_send(global_rank_);
   detail::Mailbox& box =
       shared_.mailboxes[static_cast<std::size_t>(global_destination)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(
-        detail::Envelope{global_rank_, tag, depart, std::move(payload)});
+    box.queue.push_back(std::move(envelope));
   }
   box.cv.notify_all();
 }
@@ -305,6 +322,9 @@ Comm::Message Comm::recv(int source, int tag) {
   box.queue.erase(it);
   lock.unlock();
 
+  if (shared_.checker && !envelope.check_clock.empty())
+    shared_.checker->on_recv(global_rank_, envelope.check_clock);
+
   const double cost =
       shared_.network.transfer_cost(envelope.payload.size(), envelope.source,
                                     global_rank_, /*concurrent=*/1) *
@@ -329,10 +349,10 @@ void Comm::charge_alloc(std::size_t bytes) {
   state_.peak_memory = std::max(state_.peak_memory, state_.current_memory);
   if (state_.memory_budget != 0 &&
       state_.current_memory > state_.memory_budget) {
-    throw OutOfMemoryBudget(
-        "rank " + std::to_string(global_rank_) +
-        " exceeded its memory budget: " + std::to_string(state_.current_memory) +
-        " > " + std::to_string(state_.memory_budget) + " bytes");
+    throw OutOfMemoryBudget("rank " + std::to_string(global_rank_) +
+                            " exceeded its memory budget: " +
+                            std::to_string(state_.current_memory) + " > " +
+                            std::to_string(state_.memory_budget) + " bytes");
   }
 }
 
@@ -395,6 +415,16 @@ Window::Window(Comm& comm, std::span<const char> local_shard) : comm_(comm) {
     const std::shared_ptr<Exposure>* exposure;
   };
   const auto my_exposure = std::make_shared<Exposure>();
+  // Register the exposure epoch BEFORE the collective below: the epoch's
+  // initial write (the expose event) then happens-before every member's
+  // construction return, so first reads are ordered by construction.
+  if (check::Checker* checker = comm_.checker()) {
+    check::AccessSpan expose;
+    expose.rank = comm_.global_rank();
+    expose.begin = expose.end = comm_.clock().now();
+    expose.what = "shard exposed (window creation)";
+    checker->on_expose(my_exposure, comm_.global_rank(), expose);
+  }
   const View mine{local_shard.data(), local_shard.size(), &my_exposure};
   const void* const* slots = comm_.post_and_collect(&mine);
   shards_.resize(static_cast<std::size_t>(comm_.size()));
@@ -419,6 +449,12 @@ Window::~Window() {
 
 std::size_t Window::shard_size(int target) const {
   MSP_CHECK(target >= 0 && target < comm_.size());
+  // Peer-state read under the owner's revocation guard: once the owner's
+  // Window unwound, the cached extent describes freed storage — answer
+  // Aborted (like a late rget) instead of handing out a stale size.
+  Exposure& exposure = *exposures_[static_cast<std::size_t>(target)];
+  const std::shared_lock<std::shared_mutex> guard(exposure.mutex);
+  if (exposure.revoked) throw Aborted();
   return shards_[static_cast<std::size_t>(target)].size();
 }
 
@@ -436,42 +472,64 @@ RmaRequest Window::rget_range(int target, std::size_t offset,
                               int concurrent_pulls) {
   MSP_CHECK_MSG(target >= 0 && target < comm_.size(),
                 "rget_range: bad target rank " << target);
-  const std::span<const char> full = shards_[static_cast<std::size_t>(target)];
-  MSP_CHECK_MSG(offset <= full.size() && length <= full.size() - offset,
-                "rget_range: [" << offset << ", " << offset + length
-                                << ") exceeds shard size " << full.size());
-  for (const std::vector<char>* busy : pending_)
-    MSP_CHECK_MSG(busy != &dest,
+  check::Checker* const checker = comm_.checker();
+  for (const PendingGet& busy : pending_) {
+    if (busy.dest != &dest) continue;
+    if (checker != nullptr) {
+      check::Violation violation;
+      violation.kind = check::ViolationKind::kDestBufferLifetime;
+      violation.first = {comm_.global_rank(), busy.begin, busy.end,
+                         busy.trace_event, busy.what};
+      violation.second = {comm_.global_rank(), comm_.clock().now(),
+                          comm_.clock().now(), -1,
+                          "second rget issued into the same destination "
+                          "buffer"};
+      violation.detail =
+          "rget into a destination buffer that still has a pending request "
+          "on it — wait() first (destination-buffer lifetime rule, comm.hpp)";
+      checker->report(std::move(violation));
+      break;  // sink mode continues; one report per offending issue
+    }
+    MSP_CHECK_MSG(busy.dest != &dest,
                   "rget into a destination buffer that still has a pending "
                   "request on it — wait() first (see the destination-buffer "
                   "lifetime rule in comm.hpp)");
+  }
   // Scheduled transient failures delay the issue; the modeled transfer
   // starts only after the retries succeed.
   comm_.pay_transfer_faults("rget");
-  const std::span<const char> shard = full.subspan(offset, length);
   {
-    // Copy under the owner's exposure guard: if the owner's stack is
-    // unwinding (its ~Window revokes before the storage dies), we either
-    // finish the copy first or observe the revocation and abort.
+    // Bounds-check and copy under the owner's exposure guard: if the
+    // owner's stack is unwinding (its ~Window revokes before the storage
+    // dies), we either finish the copy first or observe the revocation and
+    // abort — and a revoked shard's stale extent is never consulted.
     Exposure& exposure = *exposures_[static_cast<std::size_t>(target)];
     const std::shared_lock<std::shared_mutex> guard(exposure.mutex);
     if (exposure.revoked) throw Aborted();
+    const std::span<const char> full =
+        shards_[static_cast<std::size_t>(target)];
+    MSP_CHECK_MSG(offset <= full.size() && length <= full.size() - offset,
+                  "rget_range: [" << offset << ", " << offset + length
+                                  << ") exceeds shard size " << full.size());
+    const std::span<const char> shard = full.subspan(offset, length);
     dest.assign(shard.begin(), shard.end());
   }
-  comm_.state_.bytes_received += shard.size();
+  comm_.state_.bytes_received += length;
   const double cost =
-      comm_.network().transfer_cost(shard.size(),
-                                    comm_.global_rank_of(target),
+      comm_.network().transfer_cost(length, comm_.global_rank_of(target),
                                     comm_.global_rank(), concurrent_pulls) *
       comm_.fault_network_scale(comm_.global_rank_of(target),
                                 comm_.global_rank());
   comm_.clock().note_comm_issued(cost);
   comm_.clock().note_rget_issued(cost);
-  if (comm_.tracing())
+  long long trace_event = -1;
+  if (comm_.tracing()) {
     comm_.state_.spans.push_back(
         {SpanKind::kRgetIssue, comm_.clock().now(), comm_.clock().now() + cost,
          "rget " + std::to_string(length) + "B from rank " +
              std::to_string(comm_.global_rank_of(target))});
+    trace_event = static_cast<long long>(comm_.state_.spans.size()) - 1;
+  }
   RmaRequest request;
   request.arrival_time = comm_.clock().now() + cost;
   request.issue_cost = cost;
@@ -479,18 +537,64 @@ RmaRequest Window::rget_range(int target, std::size_t offset,
   request.dest = &dest;
   request.dest_data = dest.data();
   request.dest_size = dest.size();
-  pending_.push_back(&dest);
+  PendingGet pending;
+  pending.dest = &dest;
+  pending.begin = comm_.clock().now();
+  pending.end = request.arrival_time;
+  pending.trace_event = trace_event;
+  if (checker != nullptr) {
+    pending.what = "rget " + std::to_string(length) + "B from rank " +
+                   std::to_string(comm_.global_rank_of(target));
+    check::AccessSpan read;
+    read.rank = comm_.global_rank();
+    read.begin = pending.begin;
+    read.end = pending.end;
+    read.trace_event = trace_event;
+    read.what = pending.what;
+    checker->on_shard_read(exposures_[static_cast<std::size_t>(target)].get(),
+                           comm_.global_rank(), read);
+  }
+  pending_.push_back(std::move(pending));
   return request;
 }
 
 void Window::wait(RmaRequest& request) {
   MSP_CHECK_MSG(request.active, "wait on an inactive RMA request");
-  MSP_CHECK_MSG(request.dest == nullptr ||
-                    (request.dest->data() == request.dest_data &&
-                     request.dest->size() == request.dest_size),
-                "RMA destination buffer was resized, reassigned or swapped "
-                "while its request was pending (see the destination-buffer "
-                "lifetime rule in comm.hpp)");
+  const auto it =
+      request.dest == nullptr
+          ? pending_.end()
+          : std::find_if(pending_.begin(), pending_.end(),
+                         [&](const PendingGet& entry) {
+                           return entry.dest == request.dest;
+                         });
+  const bool identity_ok =
+      request.dest == nullptr || (request.dest->data() == request.dest_data &&
+                                  request.dest->size() == request.dest_size);
+  if (!identity_ok) {
+    if (check::Checker* const checker = comm_.checker()) {
+      check::Violation violation;
+      violation.kind = check::ViolationKind::kDestBufferLifetime;
+      if (it != pending_.end())
+        violation.first = {comm_.global_rank(), it->begin, it->end,
+                           it->trace_event, it->what};
+      else
+        violation.first = {comm_.global_rank(), request.arrival_time,
+                           request.arrival_time, -1, "rget issue (untracked)"};
+      violation.second = {comm_.global_rank(), comm_.clock().now(),
+                          comm_.clock().now(), -1,
+                          "wait() observed a different buffer identity"};
+      violation.detail =
+          "RMA destination buffer was resized, reassigned or swapped while "
+          "its request was pending (destination-buffer lifetime rule, "
+          "comm.hpp)";
+      checker->report(std::move(violation));
+    } else {
+      MSP_CHECK_MSG(identity_ok,
+                    "RMA destination buffer was resized, reassigned or "
+                    "swapped while its request was pending (see the "
+                    "destination-buffer lifetime rule in comm.hpp)");
+    }
+  }
   // Masking measurement: whatever part of the modeled transfer the clock
   // already lived through (computing, mostly) was hidden; only the rest is
   // exposed as residual wait.
@@ -501,18 +605,64 @@ void Window::wait(RmaRequest& request) {
   comm_.clock().wait_until(request.arrival_time);
   request.active = false;
   if (request.dest != nullptr) {
-    const auto it = std::find(pending_.begin(), pending_.end(), request.dest);
     if (it != pending_.end()) pending_.erase(it);
     request.dest = nullptr;
   }
 }
 
 void Window::fence() {
-  MSP_CHECK_MSG(pending_.empty(),
-                "fence with " << pending_.size()
-                              << " pending rget request(s): wait() on every "
-                                 "request before synchronizing");
+  if (!pending_.empty()) {
+    if (check::Checker* const checker = comm_.checker()) {
+      const PendingGet& oldest = pending_.front();
+      check::Violation violation;
+      violation.kind = check::ViolationKind::kFenceWithPending;
+      violation.first = {comm_.global_rank(), oldest.begin, oldest.end,
+                         oldest.trace_event, oldest.what};
+      violation.second = {comm_.global_rank(), comm_.clock().now(),
+                          comm_.clock().now(), -1,
+                          "fence() with " + std::to_string(pending_.size()) +
+                              " pending request(s)"};
+      violation.detail =
+          "fence while requests on the window are still un-waited: wait() "
+          "on every request before synchronizing";
+      checker->report(std::move(violation));
+      pending_.clear();  // sink mode continues past the broken epoch close
+    } else {
+      MSP_CHECK_MSG(pending_.empty(),
+                    "fence with "
+                        << pending_.size()
+                        << " pending rget request(s): wait() on every "
+                           "request before synchronizing");
+    }
+  }
   comm_.barrier();
 }
+
+void Window::note_local_write(const std::string& what) {
+  if (check::Checker* const checker = comm_.checker()) {
+    check::AccessSpan write;
+    write.rank = comm_.global_rank();
+    write.begin = write.end = comm_.clock().now();
+    write.what = what;
+    checker->on_shard_write(
+        exposures_[static_cast<std::size_t>(comm_.rank())].get(),
+        comm_.global_rank(), write);
+  }
+}
+
+namespace check {
+
+void TestBackdoor::unsynced_barrier(Comm& comm) {
+  // A physical rendezvous with the same timing as Comm::barrier(), but with
+  // the checker hooks suppressed: ranks really do meet (so the test can
+  // sequence their actions deterministically), yet no happens-before edge
+  // is recorded — modeling a driver that synchronizes through a side
+  // channel the transport cannot see.
+  comm.post_and_collect(nullptr, /*checked=*/false);
+  comm.finish_collective(comm.shared_.network.barrier_cost(comm.size()),
+                         /*checked=*/false);
+}
+
+}  // namespace check
 
 }  // namespace msp::sim

@@ -39,6 +39,11 @@ struct CollectiveGroup;
 struct RankState;
 }  // namespace detail
 
+namespace check {
+class Checker;
+struct TestBackdoor;
+}  // namespace check
+
 class Comm {
  public:
   Comm(const Comm&) = delete;
@@ -159,16 +164,22 @@ class Comm {
  private:
   friend class Runtime;
   friend class Window;
+  friend struct check::TestBackdoor;
 
   Comm(detail::Shared& shared, std::shared_ptr<detail::CollectiveGroup> group,
        int group_rank);
 
+  /// The run's happens-before checker; null unless checking is enabled.
+  check::Checker* checker() const;
+
   /// Two-phase collective slot exchange. Phase 1: every rank posts `mine`
   /// and its entry time, then synchronizes; the returned array of all
   /// posted pointers (group order) is valid until finish_collective().
-  const void* const* post_and_collect(const void* mine);
+  /// `checked = false` (test backdoor only) hides the rendezvous from the
+  /// happens-before checker.
+  const void* const* post_and_collect(const void* mine, bool checked = true);
   /// Phase 2: advance the clock to max(entry)+cost and release the slots.
-  void finish_collective(double cost);
+  void finish_collective(double cost, bool checked = true);
   double max_posted_entry() const;
   double collective_cost(std::size_t bytes) const;
 
@@ -216,9 +227,12 @@ struct RmaRequest {
 /// rget into it. Every request must be wait()ed before the next fence().
 /// These rules are enforced: rget into a pending buffer, wait() on a
 /// request whose buffer changed identity, and fence() with pending
-/// requests all fail an MSP_CHECK. (The classic footgun was issuing a
-/// prefetch into D_recv and swapping D_recv/D_comp before the wait —
-/// silently scoring a half-defined shard.)
+/// requests all fail an MSP_CHECK — or, when the run's happens-before
+/// checker is on (Runtime::enable_checking, MSPAR_CHECK), are reported as
+/// dest-buffer-lifetime / fence-with-pending violations with both
+/// conflicting access spans (see check.hpp). (The classic footgun was
+/// issuing a prefetch into D_recv and swapping D_recv/D_comp before the
+/// wait — silently scoring a half-defined shard.)
 class Window {
  public:
   Window(Comm& comm, std::span<const char> local_shard);
@@ -257,7 +271,16 @@ class Window {
   /// Requires every request issued on this window to have been wait()ed.
   void fence();
 
+  /// Record a mutation of the locally exposed shard bytes with the
+  /// happens-before checker (no-op when checking is off). The transport
+  /// itself never mutates exposed shards; a driver that does must call this
+  /// so the checker can order the write against peer reads — an unordered
+  /// pair is a concurrent-shard-write / unordered-shard-read violation.
+  void note_local_write(const std::string& what);
+
  private:
+  friend struct check::TestBackdoor;
+
   /// One per exposing rank, shared by every rank's Window of the same
   /// collective construction. Readers hold `mutex` shared while copying
   /// out of the owner's bytes; the owner's destructor takes it exclusive
@@ -268,11 +291,22 @@ class Window {
     bool revoked = false;
   };
 
+  /// Rank-local bookkeeping for one in-flight get: the destination buffer
+  /// plus the issue interval and trace event id the checker's violation
+  /// reports point back to.
+  struct PendingGet {
+    const std::vector<char>* dest = nullptr;
+    double begin = 0.0;          ///< virtual issue time
+    double end = 0.0;           ///< modeled arrival time
+    long long trace_event = -1;  ///< kRgetIssue span index (tracing only)
+    std::string what;            ///< issue description (checking only)
+  };
+
   Comm& comm_;
   std::vector<std::span<const char>> shards_;  ///< group-rank order
   std::vector<std::shared_ptr<Exposure>> exposures_;  ///< group-rank order
   /// Rank-local: destination buffers with a pending request on them.
-  std::vector<const std::vector<char>*> pending_;
+  std::vector<PendingGet> pending_;
 };
 
 }  // namespace msp::sim

@@ -48,7 +48,8 @@ struct NetworkModel {
                        int concurrent_on_link) const {
     if (same_node(src, dst))
       return shm_latency_s + static_cast<double>(bytes) * shm_seconds_per_byte;
-    const double share = std::max(1, std::min(concurrent_on_link, ranks_per_node));
+    const double share =
+        std::max(1, std::min(concurrent_on_link, ranks_per_node));
     return latency_s + static_cast<double>(bytes) * seconds_per_byte * share;
   }
 
@@ -71,8 +72,8 @@ struct NetworkModel {
   double alltoallv_cost(std::size_t send_bytes, std::size_t recv_bytes,
                         int p) const {
     if (p <= 1) return 0.0;
-    const double wire =
-        static_cast<double>(std::max(send_bytes, recv_bytes)) * seconds_per_byte;
+    const double wire = static_cast<double>(std::max(send_bytes, recv_bytes)) *
+                        seconds_per_byte;
     const double share = std::min(p, ranks_per_node);
     return latency_s * (p - 1) + wire * share;
   }

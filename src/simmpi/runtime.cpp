@@ -44,6 +44,8 @@ Runtime::Runtime(int p, NetworkModel network, ComputeModel compute,
 
 RunReport Runtime::run(const std::function<void(Comm&)>& body) const {
   detail::Shared shared(p_, network_, compute_, faults_, tracing_);
+  if (checking_)
+    shared.checker = std::make_unique<check::Checker>(p_, check_sink_);
 
   // Straggler compute slowdowns apply to the whole rank lifetime.
   if (!faults_.stragglers.empty()) {

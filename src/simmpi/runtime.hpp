@@ -7,7 +7,9 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
+#include "simmpi/check.hpp"
 #include "simmpi/comm.hpp"
 #include "simmpi/faults.hpp"
 #include "simmpi/netmodel.hpp"
@@ -36,6 +38,25 @@ class Runtime {
   void enable_tracing(bool on = true) { tracing_ = on; }
   bool tracing_enabled() const { return tracing_; }
 
+  /// Enable the happens-before checker (simcheck, see check.hpp) for
+  /// subsequent run() calls. The build default follows the MSPAR_CHECK
+  /// CMake option (ON in Debug unless overridden); this call overrides it
+  /// per runtime. When off, no shadow state is allocated and every hook is
+  /// one null-pointer test. When on, a clean run's hits, stats and traces
+  /// are bit-identical to the unchecked run.
+  void enable_checking(bool on = true) { checking_ = on; }
+  bool checking_enabled() const { return checking_; }
+
+  /// Install a violation sink for subsequent run() calls: violations are
+  /// appended to `sink` and the run continues, instead of the first one
+  /// throwing check::CheckFailed in the offending rank. Pass nullptr to
+  /// restore throw-on-detection. The sink must outlive the run() call;
+  /// installing one implies enable_checking().
+  void set_check_sink(std::vector<check::Violation>* sink) {
+    check_sink_ = sink;
+    if (sink != nullptr) checking_ = true;
+  }
+
   /// Run one simulated program. May be called repeatedly; every call is an
   /// independent "job" with fresh clocks and mailboxes.
   RunReport run(const std::function<void(Comm&)>& body) const;
@@ -46,6 +67,12 @@ class Runtime {
   ComputeModel compute_;
   FaultModel faults_;
   bool tracing_ = false;
+#ifdef MSPAR_CHECK_DEFAULT
+  bool checking_ = true;
+#else
+  bool checking_ = false;
+#endif
+  std::vector<check::Violation>* check_sink_ = nullptr;
 };
 
 }  // namespace msp::sim

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "simmpi/barrier.hpp"
+#include "simmpi/check.hpp"
 #include "simmpi/faults.hpp"
 #include "simmpi/netmodel.hpp"
 #include "simmpi/trace.hpp"
@@ -23,6 +24,9 @@ struct Envelope {
   int tag = -1;
   double depart_time = 0.0;
   std::vector<char> payload;
+  /// Sender's vector clock at send time — the message's happens-before
+  /// edge. Empty (no allocation) unless the run's checker is on.
+  check::VectorClock check_clock;
 };
 
 struct Mailbox {
@@ -108,6 +112,9 @@ struct Shared {
   ComputeModel compute;
   FaultModel faults;
   bool tracing;
+  /// The run's happens-before checker; null (no shadow state, hooks cost
+  /// one pointer test) unless checking is enabled — see check.hpp.
+  std::unique_ptr<check::Checker> checker;
   std::shared_ptr<CollectiveGroup> world;
   std::vector<Mailbox> mailboxes;
   std::vector<RankState> rank_states;

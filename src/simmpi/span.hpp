@@ -29,7 +29,7 @@ enum class SpanKind {
   // ---- clock lane ----
   kCompute,       ///< VirtualClock::charge_compute
   kIo,            ///< VirtualClock::charge_io
-  kRgetWait,      ///< residual (unmasked) wait for data: VirtualClock::wait_until
+  kRgetWait,      ///< residual (unmasked) data wait: VirtualClock::wait_until
   kBarrier,       ///< barrier/fence imbalance wait: VirtualClock::sync_until
   kRecoveryWait,  ///< clock blocked on retry backoff / crash detection
   kMarker,        ///< instant algorithm marker (ring iteration, phase start)

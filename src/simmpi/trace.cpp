@@ -281,22 +281,26 @@ std::string RunReport::to_chrome_trace() const {
       emit(meta.str());
     }
 
-    for (const Span& span : r.spans) {
+    for (std::size_t i = 0; i < r.spans.size(); ++i) {
+      const Span& span = r.spans[i];
       const int lane = span_lane(span.kind);
       const std::string name =
           span.name.empty() ? span_kind_name(span.kind) : span.name;
+      // args.i is the span's index on the rank's timeline — the stable id
+      // that simcheck violation reports cite as `trace#N`, so a report
+      // links directly to the event in the viewer.
       std::ostringstream event;
       if (span.kind == SpanKind::kMarker) {
         event << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << r.rank
               << ",\"tid\":" << lane << ",\"ts\":" << micros(span.begin)
               << ",\"cat\":\"" << span_kind_name(span.kind) << "\",\"name\":\""
-              << json_escape(name) << "\"}";
+              << json_escape(name) << "\",\"args\":{\"i\":" << i << "}}";
       } else {
         event << "{\"ph\":\"X\",\"pid\":" << r.rank << ",\"tid\":" << lane
               << ",\"ts\":" << micros(span.begin) << ",\"dur\":"
               << micros(span.end - span.begin) << ",\"cat\":\""
               << span_kind_name(span.kind) << "\",\"name\":\""
-              << json_escape(name) << "\"}";
+              << json_escape(name) << "\",\"args\":{\"i\":" << i << "}}";
       }
       emit(event.str());
     }
@@ -350,7 +354,7 @@ std::string RunReport::to_iteration_csv() const {
         case SpanKind::kBarrier: segment.buckets[3] += duration; break;
         case SpanKind::kRecoveryWait: segment.buckets[4] += duration; break;
         case SpanKind::kRgetIssue: segment.issued += duration; break;
-        default: break;  // markers delimit; fault-lane spans mirror kRecoveryWait
+        default: break;  // markers delimit; fault spans mirror kRecoveryWait
       }
     }
 
@@ -374,7 +378,8 @@ std::string RunReport::to_string() const {
     os << "  rank " << r.rank << ": t=" << r.total_time
        << " compute=" << r.compute_seconds << " io=" << r.io_seconds
        << " residual=" << r.residual_comm_seconds
-       << " sync=" << r.sync_wait_seconds << " peak_mem=" << r.peak_memory_bytes;
+       << " sync=" << r.sync_wait_seconds
+       << " peak_mem=" << r.peak_memory_bytes;
     if (faults) {
       os << " retries=" << r.transfer_retries
          << " recovery=" << r.recovery_seconds;

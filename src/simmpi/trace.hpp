@@ -30,7 +30,7 @@ struct RankStats {
   double comm_issued_seconds = 0.0; ///< modeled duration of all transfers
   double residual_comm_seconds = 0.0;  ///< transfer wait not masked by compute
   double sync_wait_seconds = 0.0;      ///< barrier/fence (imbalance) waits
-  double rget_issued_seconds = 0.0;    ///< modeled one-sided transfer time issued
+  double rget_issued_seconds = 0.0;  ///< modeled one-sided transfer issued
   double rget_overlapped_seconds = 0.0;  ///< part of it hidden under local work
   std::size_t bytes_sent = 0;
   std::size_t bytes_received = 0;
@@ -110,7 +110,8 @@ struct RunReport {
   /// quote in a counter name cannot corrupt the row). Fault columns
   /// (retries, recovery_s, crashed) appear after peak_memory per
   /// `fault_columns` (kAuto: only when this run has fault activity).
-  std::string to_csv(CsvFaultColumns fault_columns = CsvFaultColumns::kAuto) const;
+  std::string to_csv(
+      CsvFaultColumns fault_columns = CsvFaultColumns::kAuto) const;
 
   // ---- span-trace exports (rows only when tracing was enabled) ----
 

@@ -67,9 +67,20 @@ class JsonParser {
     if (c == '"') return string_value(out, error);
     if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
       return number(out, error);
-    if (literal("true")) { out.type = JsonValue::Type::kBool; out.boolean = true; return true; }
-    if (literal("false")) { out.type = JsonValue::Type::kBool; out.boolean = false; return true; }
-    if (literal("null")) { out.type = JsonValue::Type::kNull; return true; }
+    if (literal("true")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return true;
+    }
+    if (literal("false")) {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return true;
+    }
+    if (literal("null")) {
+      out.type = JsonValue::Type::kNull;
+      return true;
+    }
     error = at("unexpected character");
     return false;
   }
@@ -85,7 +96,10 @@ class JsonParser {
     out.type = JsonValue::Type::kObject;
     ++pos_;  // '{'
     skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
     while (true) {
       skip_ws();
       JsonValue key;
@@ -104,8 +118,14 @@ class JsonParser {
       if (!value(member, error)) return false;
       out.members.emplace_back(key.text, std::move(member));
       skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
-      if (pos_ < text_.size() && text_[pos_] == '}') { ++pos_; return true; }
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
       error = at("expected ',' or '}' in object");
       return false;
     }
@@ -115,14 +135,23 @@ class JsonParser {
     out.type = JsonValue::Type::kArray;
     ++pos_;  // '['
     skip_ws();
-    if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
     while (true) {
       JsonValue item;
       if (!value(item, error)) return false;
       out.items.push_back(std::move(item));
       skip_ws();
-      if (pos_ < text_.size() && text_[pos_] == ',') { ++pos_; continue; }
-      if (pos_ < text_.size() && text_[pos_] == ']') { ++pos_; return true; }
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
       error = at("expected ',' or ']' in array");
       return false;
     }
@@ -133,7 +162,10 @@ class JsonParser {
     ++pos_;  // '"'
     while (pos_ < text_.size()) {
       const char c = text_[pos_];
-      if (c == '"') { ++pos_; return true; }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
       if (c == '\\') {
         ++pos_;
         if (pos_ >= text_.size()) break;
@@ -153,7 +185,9 @@ class JsonParser {
               return false;
             }
             for (int k = 0; k < 4; ++k) {
-              if (!std::isxdigit(static_cast<unsigned char>(text_[pos_ + 1 + k]))) {
+              const unsigned char digit =
+                  static_cast<unsigned char>(text_[pos_ + 1 + k]);
+              if (!std::isxdigit(digit)) {
                 error = at("bad \\u escape");
                 return false;
               }
@@ -257,6 +291,19 @@ std::string validate_chrome_trace(const std::string& json) {
     const JsonValue* name = event.find("name");
     if (!name || name->type != JsonValue::Type::kString)
       return where.str() + "missing string \"name\"";
+
+    // Optional span-index id (`args.i`) — written by to_chrome_trace so
+    // simcheck reports can cite events as trace#N. Optional so hand-written
+    // and older traces still validate, but when present it must be a
+    // non-negative integer.
+    if (const JsonValue* args = event.find("args");
+        args != nullptr && args->type == JsonValue::Type::kObject) {
+      if (args->find("i") != nullptr) {
+        long long index = -1;
+        if (!get_int(*args, "i", index) || index < 0)
+          return where.str() + "\"args.i\" is not a non-negative integer";
+      }
+    }
 
     LaneState& lane = lanes[{pid, tid}];
     if (ts->number < lane.last_ts)

@@ -26,7 +26,9 @@ Spectrum simulate_spectrum(std::string_view peptide,
   // peptide content and the ion identity only, so every replicate of the
   // same peptide shares the same true intensity pattern.
   std::uint64_t peptide_key = 0xcbf29ce484222325ULL;  // FNV-1a
-  for (char c : peptide) peptide_key = (peptide_key ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
+  for (char c : peptide)
+    peptide_key =
+        (peptide_key ^ static_cast<std::uint64_t>(c)) * 0x100000001b3ULL;
 
   double max_mz = 0.0;
   for (const FragmentIon& ion : ions) {
@@ -60,10 +62,12 @@ Spectrum simulate_spectrum(std::string_view peptide,
 
   // Chemical noise: uniform peaks over [50, max fragment m/z + 50].
   const double span = std::max(100.0, max_mz + 50.0 - 50.0);
-  const auto noise_count = rng.poisson(model.noise_peaks_per_100da * span / 100.0);
+  const auto noise_count =
+      rng.poisson(model.noise_peaks_per_100da * span / 100.0);
   for (std::uint64_t i = 0; i < noise_count; ++i) {
     const double mz = rng.uniform(50.0, 50.0 + span);
-    const double intensity = 0.2 * std::exp(model.intensity_sigma * rng.normal());
+    const double intensity =
+        0.2 * std::exp(model.intensity_sigma * rng.normal());
     peaks.push_back(Peak{mz, intensity});
   }
 

@@ -8,16 +8,19 @@
 
 namespace msp {
 
-Spectrum preprocess(const Spectrum& spectrum, const PreprocessOptions& options) {
+Spectrum preprocess(const Spectrum& spectrum,
+                    const PreprocessOptions& options) {
   MSP_CHECK_MSG(options.window_da > 0.0, "window must be positive");
-  MSP_CHECK_MSG(options.peaks_per_window >= 1, "need at least 1 peak per window");
+  MSP_CHECK_MSG(options.peaks_per_window >= 1,
+                "need at least 1 peak per window");
 
   std::vector<Peak> peaks = spectrum.peaks();
 
   if (options.precursor_exclusion_da > 0.0) {
     const double lo = spectrum.precursor_mz() - options.precursor_exclusion_da;
     const double hi = spectrum.precursor_mz() + options.precursor_exclusion_da;
-    std::erase_if(peaks, [&](const Peak& p) { return p.mz >= lo && p.mz <= hi; });
+    std::erase_if(peaks,
+                  [&](const Peak& p) { return p.mz >= lo && p.mz <= hi; });
   }
 
   if (options.sqrt_transform)
@@ -37,11 +40,12 @@ Spectrum preprocess(const Spectrum& spectrum, const PreprocessOptions& options) 
     std::vector<Peak> window(peaks.begin() + static_cast<long>(begin),
                              peaks.begin() + static_cast<long>(end));
     if (window.size() > options.peaks_per_window) {
-      std::nth_element(window.begin(),
-                       window.begin() + static_cast<long>(options.peaks_per_window),
-                       window.end(), [](const Peak& a, const Peak& b) {
-                         return a.intensity > b.intensity;
-                       });
+      std::nth_element(
+          window.begin(),
+          window.begin() + static_cast<long>(options.peaks_per_window),
+          window.end(), [](const Peak& a, const Peak& b) {
+            return a.intensity > b.intensity;
+          });
       window.resize(options.peaks_per_window);
     }
     kept.insert(kept.end(), window.begin(), window.end());

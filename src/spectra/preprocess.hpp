@@ -21,6 +21,7 @@ struct PreprocessOptions {
 };
 
 /// Returns a cleaned copy of `spectrum`. Deterministic, order-independent.
-Spectrum preprocess(const Spectrum& spectrum, const PreprocessOptions& options = {});
+Spectrum preprocess(const Spectrum& spectrum,
+                    const PreprocessOptions& options = {});
 
 }  // namespace msp

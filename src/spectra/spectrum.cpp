@@ -24,9 +24,13 @@ double Spectrum::parent_mass() const {
   return mass_from_mz(precursor_mz_, charge_);
 }
 
-double Spectrum::min_mz() const { return peaks_.empty() ? 0.0 : peaks_.front().mz; }
+double Spectrum::min_mz() const {
+  return peaks_.empty() ? 0.0 : peaks_.front().mz;
+}
 
-double Spectrum::max_mz() const { return peaks_.empty() ? 0.0 : peaks_.back().mz; }
+double Spectrum::max_mz() const {
+  return peaks_.empty() ? 0.0 : peaks_.back().mz;
+}
 
 double Spectrum::total_intensity() const {
   double total = 0.0;

@@ -10,11 +10,13 @@ namespace msp {
 const std::vector<FragmentIon>& fragment_ions_into(
     std::string_view peptide, const TheoreticalOptions& options,
     FragmentIonWorkspace& workspace) {
-  MSP_CHECK_MSG(peptide.size() >= 2, "cannot fragment a peptide shorter than 2");
+  MSP_CHECK_MSG(peptide.size() >= 2,
+                "cannot fragment a peptide shorter than 2");
   MSP_CHECK_MSG(options.site_deltas.empty() ||
                     options.site_deltas.size() == peptide.size(),
                 "site_deltas must be empty or match peptide length");
-  MSP_CHECK_MSG(options.max_fragment_charge >= 1, "fragment charge must be >= 1");
+  MSP_CHECK_MSG(options.max_fragment_charge >= 1,
+                "fragment charge must be >= 1");
 
   // Running residue-mass prefix (with per-site deltas applied).
   std::vector<double>& prefix = workspace.prefix;
@@ -46,8 +48,10 @@ const std::vector<FragmentIon>& fragment_ions_into(
             static_cast<unsigned>(peptide.size()) - cut});
     }
   }
-  std::sort(ions.begin(), ions.end(),
-            [](const FragmentIon& a, const FragmentIon& b) { return a.mz < b.mz; });
+  std::sort(ions.begin(), ions.end(), [](const FragmentIon& a,
+                                         const FragmentIon& b) {
+    return a.mz < b.mz;
+  });
   return ions;
 }
 

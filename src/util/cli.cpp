@@ -85,11 +85,11 @@ bool Cli::parse(int argc, const char* const* argv) {
     }
     opt.string_value = value;
     if (opt.kind == Kind::kInt) {
-      auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(),
-                                       opt.int_value);
+      auto [ptr, ec] = std::from_chars(
+          value.data(), value.data() + value.size(), opt.int_value);
       if (ec != std::errc{} || ptr != value.data() + value.size())
-        throw InvalidArgument("option --" + name + " expects an integer, got '" +
-                              value + "'");
+        throw InvalidArgument("option --" + name +
+                              " expects an integer, got '" + value + "'");
     } else if (opt.kind == Kind::kDouble) {
       try {
         std::size_t pos = 0;
@@ -107,7 +107,8 @@ bool Cli::parse(int argc, const char* const* argv) {
 const Cli::Option& Cli::require(const std::string& name, Kind kind) const {
   auto it = options_.find(name);
   MSP_CHECK_MSG(it != options_.end(), "option --" << name << " not registered");
-  MSP_CHECK_MSG(it->second.kind == kind, "option --" << name << " type mismatch");
+  MSP_CHECK_MSG(it->second.kind == kind,
+                "option --" << name << " type mismatch");
   return it->second;
 }
 
@@ -137,7 +138,8 @@ std::vector<std::int64_t> Cli::get_int_list(const std::string& name) const {
     auto [ptr, ec] =
         std::from_chars(token.data(), token.data() + token.size(), value);
     if (ec != std::errc{} || ptr != token.data() + token.size())
-      throw InvalidArgument("option --" + name + ": bad integer '" + token + "'");
+      throw InvalidArgument("option --" + name + ": bad integer '" + token +
+                            "'");
     out.push_back(value);
   }
   return out;

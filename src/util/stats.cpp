@@ -54,7 +54,8 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 void Histogram::add(double x) {
   const double frac = (x - lo_) / (hi_ - lo_);
   auto bin = static_cast<long long>(frac * static_cast<double>(counts_.size()));
-  bin = std::clamp<long long>(bin, 0, static_cast<long long>(counts_.size()) - 1);
+  bin = std::clamp<long long>(bin, 0,
+                              static_cast<long long>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(bin)];
   ++total_;
 }
@@ -101,7 +102,8 @@ std::string Histogram::to_string(std::size_t max_width) const {
   return os.str();
 }
 
-LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y) {
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y) {
   MSP_CHECK_MSG(x.size() == y.size(), "fit_linear needs paired samples");
   MSP_CHECK_MSG(x.size() >= 2, "fit_linear needs at least 2 points");
   const auto n = static_cast<double>(x.size());

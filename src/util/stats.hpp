@@ -67,6 +67,7 @@ struct LinearFit {
   double r_squared = 0.0;
 };
 
-LinearFit fit_linear(const std::vector<double>& x, const std::vector<double>& y);
+LinearFit fit_linear(const std::vector<double>& x,
+                     const std::vector<double>& y);
 
 }  // namespace msp

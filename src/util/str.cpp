@@ -38,7 +38,8 @@ std::string to_upper(std::string_view text) {
 }
 
 bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
 }
 
 std::string format_bytes(std::size_t bytes) {

@@ -31,7 +31,8 @@ std::string Table::cell(std::size_t value) { return std::to_string(value); }
 
 std::string Table::to_string() const {
   std::vector<std::size_t> widths(header_.size());
-  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
   for (const auto& row : rows_)
     for (std::size_t c = 0; c < row.size(); ++c)
       widths[c] = std::max(widths[c], row[c].size());

@@ -1,0 +1,430 @@
+// simcheck validation: the rejection matrix (one deterministic scenario per
+// violation class of the transport contract, see simmpi/check.hpp), the
+// throw-on-detection mode, the clean pass over every parallel driver and
+// fault schedule, and the zero-behavioral-diff contract (a clean run's hits,
+// stats and traces are byte-identical with checking on or off).
+//
+// The forbidden interleavings are provoked with check::TestBackdoor::
+// unsynced_barrier — a physical rendezvous that sequences the ranks in real
+// time without recording a happens-before edge, modeling a driver that
+// synchronizes through a side channel the transport cannot see.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/algorithm_a.hpp"
+#include "core/algorithm_b.hpp"
+#include "core/algorithm_hybrid.hpp"
+#include "core/candidate_store.hpp"
+#include "core/master_worker.hpp"
+#include "core/query_transport.hpp"
+#include "core/search_engine.hpp"
+#include "dbgen/protein_gen.hpp"
+#include "dbgen/query_gen.hpp"
+#include "io/fasta.hpp"
+#include "simmpi/check.hpp"
+#include "simmpi/runtime.hpp"
+#include "simmpi/span.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+using sim::Comm;
+using sim::RmaRequest;
+using sim::Runtime;
+using sim::Window;
+using sim::check::TestBackdoor;
+using sim::check::Violation;
+using sim::check::ViolationKind;
+
+// ---------- rejection matrix ----------
+
+/// Run `body` on `p` ranks with the checker in sink mode and return every
+/// violation it recorded.
+std::vector<Violation> violations_of(
+    int p, const std::function<void(Comm&)>& body,
+    sim::FaultModel faults = {}, bool tracing = false) {
+  Runtime runtime(p, {}, {}, std::move(faults));
+  runtime.enable_tracing(tracing);
+  std::vector<Violation> sink;
+  runtime.set_check_sink(&sink);
+  runtime.run(body);
+  return sink;
+}
+
+TEST(RejectionMatrix, UnorderedShardRead) {
+  // Rank 0 rewrites its exposed shard; rank 1 reads it with only an
+  // out-of-band rendezvous in between — no fence/barrier orders the write
+  // before the read, so the read is of an unsynchronized epoch.
+  const std::vector<Violation> sink = violations_of(2, [](Comm& comm) {
+    std::vector<char> local(8, static_cast<char>('a' + comm.rank()));
+    Window window(comm, local);
+    if (comm.rank() == 0) window.note_local_write("rewrite shard in place");
+    TestBackdoor::unsynced_barrier(comm);
+    if (comm.rank() == 1) {
+      std::vector<char> fetched;
+      RmaRequest request = window.rget(0, fetched, 1);
+      window.wait(request);
+    }
+    window.fence();
+  });
+  ASSERT_EQ(sink.size(), 1u);
+  const Violation& v = sink.front();
+  EXPECT_EQ(v.kind, ViolationKind::kUnorderedShardRead);
+  EXPECT_EQ(v.first.rank, 0);   // the unsynchronized write
+  EXPECT_EQ(v.second.rank, 1);  // the read that observed it
+  EXPECT_EQ(v.first.what, "rewrite shard in place");
+  EXPECT_NE(v.second.what.find("rget"), std::string::npos);
+  const std::string text = v.to_string();
+  EXPECT_NE(text.find("simcheck[unordered-shard-read]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("not ordered after the epoch's last write"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("first : rank 0"), std::string::npos) << text;
+  EXPECT_NE(text.find("second: rank 1"), std::string::npos) << text;
+}
+
+TEST(RejectionMatrix, ConcurrentShardWrite) {
+  // Rank 1 reads rank 0's shard; rank 0 then rewrites it without any
+  // synchronization closing the epoch after the read.
+  const std::vector<Violation> sink = violations_of(2, [](Comm& comm) {
+    std::vector<char> local(8, static_cast<char>('a' + comm.rank()));
+    Window window(comm, local);
+    if (comm.rank() == 1) {
+      std::vector<char> fetched;
+      RmaRequest request = window.rget(0, fetched, 1);
+      window.wait(request);
+    }
+    TestBackdoor::unsynced_barrier(comm);
+    if (comm.rank() == 0) window.note_local_write("in-place shard update");
+    window.fence();
+  });
+  ASSERT_EQ(sink.size(), 1u);
+  const Violation& v = sink.front();
+  EXPECT_EQ(v.kind, ViolationKind::kConcurrentShardWrite);
+  EXPECT_EQ(v.first.rank, 1);   // the peer's read of the epoch
+  EXPECT_EQ(v.second.rank, 0);  // the concurrent local write
+  EXPECT_EQ(v.second.what, "in-place shard update");
+  const std::string text = v.to_string();
+  EXPECT_NE(text.find("simcheck[concurrent-shard-write]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("concurrent with a peer's read"), std::string::npos)
+      << text;
+}
+
+TEST(RejectionMatrix, DestBufferReuse) {
+  const std::vector<Violation> sink = violations_of(1, [](Comm& comm) {
+    std::vector<char> local(8, 'a');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest first = window.rget(comm.rank(), fetched, 1);
+    RmaRequest second = window.rget(comm.rank(), fetched, 1);
+    window.wait(first);
+    window.wait(second);
+    window.fence();
+  });
+  ASSERT_EQ(sink.size(), 1u);
+  const Violation& v = sink.front();
+  EXPECT_EQ(v.kind, ViolationKind::kDestBufferLifetime);
+  EXPECT_EQ(v.first.rank, 0);
+  EXPECT_EQ(v.second.rank, 0);
+  EXPECT_NE(v.first.what.find("rget"), std::string::npos);
+  const std::string text = v.to_string();
+  EXPECT_NE(text.find("simcheck[dest-buffer-lifetime]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("still has a pending request"), std::string::npos)
+      << text;
+}
+
+TEST(RejectionMatrix, DestBufferSwappedBeforeWait) {
+  const std::vector<Violation> sink = violations_of(1, [](Comm& comm) {
+    std::vector<char> local(8, 'b');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    std::vector<char> other(3, 'z');
+    RmaRequest request = window.rget(comm.rank(), fetched, 1);
+    std::swap(fetched, other);  // the classic D_recv/D_comp footgun
+    window.wait(request);
+    window.fence();
+  });
+  ASSERT_EQ(sink.size(), 1u);
+  const Violation& v = sink.front();
+  EXPECT_EQ(v.kind, ViolationKind::kDestBufferLifetime);
+  const std::string text = v.to_string();
+  EXPECT_NE(text.find("resized, reassigned or swapped"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("different buffer identity"), std::string::npos) << text;
+}
+
+TEST(RejectionMatrix, FenceWithPending) {
+  const std::vector<Violation> sink = violations_of(1, [](Comm& comm) {
+    std::vector<char> local(8, 'c');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest request = window.rget(comm.rank(), fetched, 1);
+    window.fence();  // request never waited
+    window.wait(request);
+  });
+  ASSERT_EQ(sink.size(), 1u);
+  const Violation& v = sink.front();
+  EXPECT_EQ(v.kind, ViolationKind::kFenceWithPending);
+  EXPECT_NE(v.first.what.find("rget"), std::string::npos);
+  EXPECT_NE(v.second.what.find("fence()"), std::string::npos);
+  const std::string text = v.to_string();
+  EXPECT_NE(text.find("simcheck[fence-with-pending]"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("still un-waited"), std::string::npos) << text;
+}
+
+// ---------- span-id linkage into the Chrome trace ----------
+
+TEST(CheckTrace, ViolationCitesTheRgetIssueSpan) {
+  Runtime runtime(1);
+  runtime.enable_tracing(true);
+  std::vector<Violation> sink;
+  runtime.set_check_sink(&sink);
+  const sim::RunReport report = runtime.run([](Comm& comm) {
+    std::vector<char> local(8, 'd');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest request = window.rget(comm.rank(), fetched, 1);
+    window.fence();
+    window.wait(request);
+  });
+  ASSERT_EQ(sink.size(), 1u);
+  const Violation& v = sink.front();
+  // The "first" side is the pending rget issue; with tracing on it carries
+  // the span's index on the rank's timeline.
+  ASSERT_GE(v.first.trace_event, 0);
+  const sim::SpanLog& spans = report.ranks.at(0).spans;
+  ASSERT_LT(static_cast<std::size_t>(v.first.trace_event), spans.size());
+  EXPECT_EQ(spans[static_cast<std::size_t>(v.first.trace_event)].kind,
+            sim::SpanKind::kRgetIssue);
+  // The rendered report cites it as trace#N ...
+  EXPECT_NE(v.to_string().find("trace#" + std::to_string(v.first.trace_event)),
+            std::string::npos);
+  // ... and the Chrome trace labels every event with the same index.
+  EXPECT_NE(report.to_chrome_trace().find(
+                "\"args\":{\"i\":" + std::to_string(v.first.trace_event) + "}"),
+            std::string::npos);
+}
+
+// ---------- throw-on-detection mode ----------
+
+TEST(CheckThrow, FirstViolationThrowsCheckFailed) {
+  Runtime runtime(1);
+  runtime.enable_checking(true);  // no sink installed: detection throws
+  try {
+    runtime.run([](Comm& comm) {
+      std::vector<char> local(4, 'e');
+      Window window(comm, local);
+      std::vector<char> fetched;
+      RmaRequest request = window.rget(comm.rank(), fetched, 1);
+      window.fence();
+      window.wait(request);
+    });
+    FAIL() << "expected check::CheckFailed";
+  } catch (const sim::check::CheckFailed& failure) {
+    EXPECT_NE(std::string(failure.what()).find("simcheck[fence-with-pending]"),
+              std::string::npos)
+        << failure.what();
+  }
+}
+
+TEST(CheckThrow, CheckFailedIsAnInvalidArgument) {
+  // Existing EXPECT_THROW(..., InvalidArgument) call sites keep passing
+  // whether the point assert or the checker reports first.
+  Runtime runtime(1);
+  runtime.enable_checking(true);
+  EXPECT_THROW(runtime.run([](Comm& comm) {
+    std::vector<char> local(4, 'f');
+    Window window(comm, local);
+    std::vector<char> fetched;
+    RmaRequest first = window.rget(comm.rank(), fetched, 1);
+    window.rget(comm.rank(), fetched, 1);
+    window.wait(first);
+  }),
+               InvalidArgument);
+}
+
+// ---------- clean pass: every driver, checker on, zero violations ----------
+
+struct Fixture {
+  ProteinDatabase db;
+  std::string image;
+  std::vector<Spectrum> queries;
+  SearchConfig config;
+  QueryHits serial;
+
+  Fixture() {
+    ProteinGenOptions db_options;
+    db_options.sequence_count = 40;
+    db_options.mean_length = 120;
+    db_options.seed = 404;
+    db = generate_proteins(db_options);
+    image = to_fasta_string(db);
+
+    QueryGenOptions q_options;
+    q_options.query_count = 10;
+    q_options.digest.min_length = 6;
+    q_options.digest.max_length = 25;
+    queries = spectra_of(generate_queries(db, q_options));
+
+    config.tolerance_da = 3.0;
+    config.tau = 7;
+    config.min_candidate_length = 4;
+    config.max_candidate_length = 60;
+    config.model = ScoreModel::kLikelihood;
+
+    const SearchEngine engine(config);
+    serial = engine.search(db, queries);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+void expect_hits_equal(const QueryHits& got, const QueryHits& want,
+                       const std::string& label) {
+  ASSERT_EQ(got.size(), want.size()) << label;
+  for (std::size_t q = 0; q < want.size(); ++q) {
+    ASSERT_EQ(got[q].size(), want[q].size()) << label << " query " << q;
+    for (std::size_t h = 0; h < want[q].size(); ++h) {
+      EXPECT_EQ(got[q][h].protein_id, want[q][h].protein_id)
+          << label << " q" << q << " h" << h;
+      EXPECT_DOUBLE_EQ(got[q][h].score, want[q][h].score)
+          << label << " q" << q << " h" << h;
+    }
+  }
+}
+
+/// A checked Runtime whose sink proves the absence of violations (a throw
+/// would only prove the absence of a *first* one).
+struct CheckedRuntime {
+  Runtime runtime;
+  std::vector<Violation> sink;
+  explicit CheckedRuntime(int p, sim::FaultModel faults = {})
+      : runtime(p, {}, {}, std::move(faults)) {
+    runtime.set_check_sink(&sink);
+  }
+};
+
+TEST(CleanPass, AlgorithmA) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(4);
+  const ParallelRunResult result =
+      run_algorithm_a(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial, "A");
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+TEST(CleanPass, AlgorithmB) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(4);
+  const AlgorithmBResult result =
+      run_algorithm_b(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial, "B");
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+TEST(CleanPass, AlgorithmHybrid) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(4);
+  const HybridResult result =
+      run_algorithm_hybrid(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial, "hybrid");
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+TEST(CleanPass, MasterWorker) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(3);
+  const ParallelRunResult result =
+      run_master_worker(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial, "master-worker");
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+TEST(CleanPass, QueryTransport) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(4);
+  const ParallelRunResult result =
+      run_query_transport(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial, "query-transport");
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+TEST(CleanPass, CandidateStore) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(4);
+  const CandidateStoreResult result =
+      run_candidate_store(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial, "candidate-store");
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+/// Same schedules as tests/fault_test.cpp's matrix: straggler, transient
+/// transfer failures, a mid-ring crash, and all three combined.
+sim::FaultModel fault_schedule(int variant, int p) {
+  sim::FaultModel faults;
+  switch (variant) {
+    case 0: faults.straggle(1, 4.0, 2.0); break;
+    case 1: faults.fail_transfers(1, {0, 1, 2}); break;
+    case 2: faults.crash(1, p / 2); break;
+    default:
+      faults.straggle(0, 2.0, 1.5)
+          .fail_transfers(p - 1, {1, 2})
+          .crash(1, p / 2);
+  }
+  return faults;
+}
+
+class CleanPassFaults : public ::testing::TestWithParam<int> {};
+
+TEST_P(CleanPassFaults, AlgorithmARecoveryIsRaceFree) {
+  const Fixture& f = fixture();
+  CheckedRuntime checked(4, fault_schedule(GetParam(), 4));
+  const ParallelRunResult result =
+      run_algorithm_a(checked.runtime, f.image, f.queries, f.config);
+  expect_hits_equal(result.hits, f.serial,
+                    "faults variant " + std::to_string(GetParam()));
+  EXPECT_TRUE(checked.sink.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Schedules, CleanPassFaults,
+                         ::testing::Values(0, 1, 2, 3));
+
+// ---------- zero behavioral diff: checker on vs off ----------
+
+TEST(CheckDeterminism, HitsStatsAndTracesAreByteIdenticalWithCheckerOn) {
+  const Fixture& f = fixture();
+  const sim::FaultModel faults = fault_schedule(3, 4);
+
+  Runtime plain(4, {}, {}, faults);
+  plain.enable_tracing(true);
+  plain.enable_checking(false);  // explicit: defeat MSPAR_CHECK=ON defaults
+  const ParallelRunResult off =
+      run_algorithm_a(plain, f.image, f.queries, f.config);
+
+  CheckedRuntime checked(4, faults);
+  checked.runtime.enable_tracing(true);
+  const ParallelRunResult on =
+      run_algorithm_a(checked.runtime, f.image, f.queries, f.config);
+
+  EXPECT_TRUE(checked.sink.empty());
+  expect_hits_equal(on.hits, off.hits, "checker on/off");
+  EXPECT_EQ(on.report.to_csv(), off.report.to_csv());
+  EXPECT_EQ(on.report.to_chrome_trace(), off.report.to_chrome_trace());
+  EXPECT_EQ(on.report.to_iteration_csv(), off.report.to_iteration_csv());
+  EXPECT_EQ(on.report.to_string(), off.report.to_string());
+}
+
+}  // namespace
+}  // namespace msp
