@@ -10,7 +10,9 @@
 #pragma once
 
 #include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -18,6 +20,7 @@
 #include "dbgen/query_gen.hpp"
 #include "io/fasta.hpp"
 #include "simmpi/netmodel.hpp"
+#include "simmpi/runtime.hpp"
 #include "simmpi/trace.hpp"
 #include "simmpi/trace_validate.hpp"
 #include "util/cli.hpp"
@@ -112,8 +115,10 @@ inline std::string trace_path_with_tag(const std::string& base,
 }
 
 /// Write `report`'s span trace as Chrome trace-event JSON at `path` plus the
-/// per-iteration CSV at `path + ".iterations.csv"`. The JSON is validated
-/// before it is written — an export bug fails the bench, not the reader.
+/// per-iteration CSV at `path + ".iterations.csv"` and the structured run
+/// report at `path + ".report.json"` (RunReport::to_json — the same schema
+/// for every bench). The trace is validated before it is written — an
+/// export bug fails the bench, not the reader.
 inline void write_trace_files(const sim::RunReport& report,
                               const std::string& path) {
   const std::string json = report.to_chrome_trace();
@@ -130,6 +135,53 @@ inline void write_trace_files(const sim::RunReport& report,
                   "cannot open trace output " << path << ".iterations.csv");
     out << report.to_iteration_csv();
   }
+  {
+    std::ofstream out(path + ".report.json", std::ios::binary);
+    MSP_CHECK_MSG(out.good(),
+                  "cannot open trace output " << path << ".report.json");
+    out << report.to_json();
+  }
+}
+
+/// One-shot trace capture for a sweep bench: arms tracing on `runtime` when
+/// --trace-out was given and `representative` holds (each bench picks one
+/// cell of its sweep, typically the largest), then write() emits the trace
+/// files once and disarms. Replaces the trace_this/enable/disable dance
+/// every sweep bench used to hand-roll.
+class TraceGate {
+ public:
+  TraceGate(sim::Runtime& runtime, std::string path, bool representative)
+      : runtime_(runtime),
+        path_(std::move(path)),
+        armed_(!path_.empty() && representative) {
+    if (armed_) runtime_.enable_tracing();
+  }
+
+  bool armed() const { return armed_; }
+
+  /// Emit the trace files for `report` and disarm (idempotent).
+  void write(const sim::RunReport& report) {
+    if (!armed_) return;
+    write_trace_files(report, path_);
+    runtime_.enable_tracing(false);
+    armed_ = false;
+  }
+
+ private:
+  sim::Runtime& runtime_;
+  std::string path_;
+  bool armed_;
+};
+
+/// Write a bench's JSON summary (skipped when `path` is empty) and echo the
+/// destination, the convention all sweep benches follow.
+inline void write_json_summary(const std::string& path,
+                               const std::string& json) {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::binary);
+  MSP_CHECK_MSG(out.good(), "cannot open JSON output " << path);
+  out << json;
+  std::cout << "wrote " << path << "\n";
 }
 
 }  // namespace msp::bench

@@ -102,17 +102,14 @@ int main(int argc, char** argv) {
           msp::bench::bench_compute(), scenario.schedule(static_cast<int>(p)));
       // Trace the crash-recovery timeline at the largest p (one file per
       // faulty scenario; the fault lane shows retries/crash/re-search).
-      const bool trace_this =
-          !cli.get_string("trace-out").empty() && p == procs.back() &&
-          std::string(scenario.name) == "A crash";
-      if (trace_this) runtime.enable_tracing();
+      msp::bench::TraceGate trace(runtime, cli.get_string("trace-out"),
+                                  p == procs.back() &&
+                                      std::string(scenario.name) == "A crash");
       const msp::ParallelRunResult result =
           scenario.master_worker
               ? msp::run_master_worker(runtime, image, workload.queries, config)
               : msp::run_algorithm_a(runtime, image, workload.queries, config);
-      if (trace_this)
-        msp::bench::write_trace_files(result.report,
-                                      cli.get_string("trace-out"));
+      trace.write(result.report);
       const double time = result.report.total_time();
       double& baseline = scenario.master_worker ? mw_baseline : a_baseline;
       if (baseline == 0.0) baseline = time;

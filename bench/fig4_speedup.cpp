@@ -44,14 +44,12 @@ int main(int argc, char** argv) {
       msp::sim::Runtime runtime(static_cast<int>(p),
                                 msp::bench::bench_network(),
                                 msp::bench::bench_compute());
-      const bool trace_this = !cli.get_string("trace-out").empty() &&
-                              size == sizes.back() && p == procs.back();
-      if (trace_this) runtime.enable_tracing();
+      msp::bench::TraceGate trace(runtime, cli.get_string("trace-out"),
+                                  size == sizes.back() && p == procs.back());
       const msp::sim::RunReport report =
           msp::run_algorithm_a(runtime, image, workload.queries, config)
               .report;
-      if (trace_this)
-        msp::bench::write_trace_files(report, cli.get_string("trace-out"));
+      trace.write(report);
       seconds[size][p] = report.total_time();
     }
   }

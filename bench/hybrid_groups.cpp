@@ -38,14 +38,12 @@ int main(int argc, char** argv) {
     if (p % g != 0) continue;
     msp::sim::Runtime runtime(p, msp::bench::bench_network(),
                               msp::bench::bench_compute());
-    const bool trace_this = !cli.get_string("trace-out").empty() && g == 1;
-    if (trace_this) runtime.enable_tracing();
+    msp::bench::TraceGate trace(runtime, cli.get_string("trace-out"), g == 1);
     msp::HybridOptions options;
     options.groups = g;
     const msp::HybridResult result = msp::run_algorithm_hybrid(
         runtime, image, workload.queries, config, options);
-    if (trace_this)
-      msp::bench::write_trace_files(result.report, cli.get_string("trace-out"));
+    trace.write(result.report);
     table.add_row({std::to_string(g), std::to_string(p / g),
                    msp::Table::cell(result.report.total_time()),
                    msp::format_bytes(result.report.max_peak_memory()),

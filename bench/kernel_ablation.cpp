@@ -14,6 +14,7 @@
 #include "bench/common.hpp"
 #include "core/candidate_index.hpp"
 #include "core/search_engine.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -148,29 +149,26 @@ int main(int argc, char** argv) {
   std::cout << "index build: " << index_seconds * 1e3
             << " ms (paid once per shard at pack time)\n";
 
-  std::ofstream json(cli.get_string("out"));
-  json << "{\n"
-       << "  \"sequences\": " << sequences << ",\n"
-       << "  \"queries\": " << query_count << ",\n"
-       << "  \"candidates_evaluated\": " << indexed.stats.candidates_evaluated
-       << ",\n"
-       << "  \"candidates_prefiltered\": "
-       << indexed.stats.candidates_prefiltered << ",\n"
-       << "  \"ions_built_reference\": " << reference.stats.ions_built << ",\n"
-       << "  \"ions_built_indexed\": " << indexed.stats.ions_built << ",\n"
-       << "  \"ions_per_candidate_reference\": "
-       << per_candidate(reference.stats) << ",\n"
-       << "  \"ions_per_candidate_indexed\": " << per_candidate(indexed.stats)
-       << ",\n"
-       << "  \"index_build_seconds\": " << index_seconds << ",\n"
-       << "  \"reference_seconds\": " << reference.seconds << ",\n"
-       << "  \"indexed_seconds\": " << indexed.seconds << ",\n"
-       << "  \"speedup\": " << speedup;
-  for (const auto& [threads, seconds] : threaded)
-    json << ",\n  \"indexed_seconds_t" << threads << "\": " << seconds
-         << ",\n  \"speedup_t" << threads
-         << "\": " << reference.seconds / seconds;
-  json << "\n}\n";
-  std::cout << "wrote " << cli.get_string("out") << "\n";
+  msp::JsonWriter json;
+  json.begin_object();
+  json.field("sequences", sequences);
+  json.field("queries", query_count);
+  json.field("candidates_evaluated", indexed.stats.candidates_evaluated);
+  json.field("candidates_prefiltered", indexed.stats.candidates_prefiltered);
+  json.field("ions_built_reference", reference.stats.ions_built);
+  json.field("ions_built_indexed", indexed.stats.ions_built);
+  json.field("ions_per_candidate_reference", per_candidate(reference.stats));
+  json.field("ions_per_candidate_indexed", per_candidate(indexed.stats));
+  json.field("index_build_seconds", index_seconds);
+  json.field("reference_seconds", reference.seconds);
+  json.field("indexed_seconds", indexed.seconds);
+  json.field("speedup", speedup);
+  for (const auto& [threads, seconds] : threaded) {
+    json.field("indexed_seconds_t" + std::to_string(threads), seconds);
+    json.field("speedup_t" + std::to_string(threads),
+               reference.seconds / seconds);
+  }
+  json.end_object();
+  msp::bench::write_json_summary(cli.get_string("out"), json.str());
   return 0;
 }

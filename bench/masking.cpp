@@ -19,6 +19,7 @@
 
 #include "bench/common.hpp"
 #include "core/algorithm_a.hpp"
+#include "util/json.hpp"
 #include "util/stats.hpp"
 #include "util/str.hpp"
 #include "util/table.hpp"
@@ -57,19 +58,15 @@ int main(int argc, char** argv) {
                                 msp::bench::bench_compute());
       // Trace the largest configuration of the sweep (one file, not one
       // per cell); the masked run is the interesting timeline.
-      const bool trace_this = !trace_out.empty() && size == sizes.back() &&
-                              p == procs.back();
-      if (trace_this) runtime.enable_tracing();
+      msp::bench::TraceGate trace(runtime, trace_out,
+                                  size == sizes.back() && p == procs.back());
       msp::AlgorithmAOptions masked;
       msp::AlgorithmAOptions unmasked;
       unmasked.mask = false;
       const msp::sim::RunReport masked_report =
           msp::run_algorithm_a(runtime, image, workload.queries, config, masked)
               .report;
-      if (trace_this) {
-        msp::bench::write_trace_files(masked_report, trace_out);
-        runtime.enable_tracing(false);
-      }
+      trace.write(masked_report);
       const double with_mask = masked_report.total_time();
       const double without_mask =
           msp::run_algorithm_a(runtime, image, workload.queries, config,
@@ -103,18 +100,14 @@ int main(int argc, char** argv) {
             << "%  (max |run-time vs overlap| disagreement: "
             << msp::Table::cell(max_disagreement, 2) << " points)\n";
 
-  if (const std::string out = cli.get_string("out"); !out.empty()) {
-    std::ofstream json(out);
-    json << "{\n"
-         << "  \"mean_saving_percent\": " << savings.mean() << ",\n"
-         << "  \"stddev_saving_percent\": " << savings.stddev() << ",\n"
-         << "  \"mean_overlap_saving_percent\": " << overlap_savings.mean()
-         << ",\n"
-         << "  \"stddev_overlap_saving_percent\": " << overlap_savings.stddev()
-         << ",\n"
-         << "  \"max_disagreement_points\": " << max_disagreement << "\n"
-         << "}\n";
-    std::cout << "wrote " << out << "\n";
-  }
+  msp::JsonWriter json;
+  json.begin_object();
+  json.field("mean_saving_percent", savings.mean());
+  json.field("stddev_saving_percent", savings.stddev());
+  json.field("mean_overlap_saving_percent", overlap_savings.mean());
+  json.field("stddev_overlap_saving_percent", overlap_savings.stddev());
+  json.field("max_disagreement_points", max_disagreement);
+  json.end_object();
+  msp::bench::write_json_summary(cli.get_string("out"), json.str());
   return 0;
 }

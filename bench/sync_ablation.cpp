@@ -36,19 +36,14 @@ int main(int argc, char** argv) {
     msp::sim::Runtime runtime(static_cast<int>(p),
                               msp::bench::bench_network(),
                               msp::bench::bench_compute());
-    const bool trace_this =
-        !cli.get_string("trace-out").empty() && p == procs.back();
-    if (trace_this) runtime.enable_tracing();
+    msp::bench::TraceGate trace(runtime, cli.get_string("trace-out"),
+                                p == procs.back());
     msp::AlgorithmAOptions fenced;
     msp::AlgorithmAOptions free_running;
     free_running.fence_per_iteration = false;
     const auto fenced_run =
         msp::run_algorithm_a(runtime, image, workload.queries, config, fenced);
-    if (trace_this) {
-      msp::bench::write_trace_files(fenced_run.report,
-                                    cli.get_string("trace-out"));
-      runtime.enable_tracing(false);
-    }
+    trace.write(fenced_run.report);
     const auto free_run = msp::run_algorithm_a(runtime, image, workload.queries,
                                                config, free_running);
     double fenced_sync = 0.0, free_sync = 0.0;

@@ -1,10 +1,19 @@
 // mspar_cli: the end-user command-line tool.
 //
-//   mspar_cli --db proteins.fasta --queries spectra.mgf --out hits.tsv
-//             --algorithm a --p 16 --tau 10 --tolerance 3.0
+//   mspar_cli [search] --db proteins.fasta --queries spectra.mgf
+//             --out hits.tsv --algorithm a --p 16 --tau 10 --tolerance 3.0
+//   mspar_cli serve --synth-db 4000 --synth-queries 120 --rate 200
+//             --mode multi --out hits.tsv
 //
-// With --synth-db N and/or --synth-queries M it generates synthetic inputs
-// instead of reading files (and writes them next to --out for inspection).
+// `search` (the default subcommand) answers the whole query set at once
+// through one of the batch drivers; `serve` plays the queries as an online
+// arrival stream through the continuous-ring service and reports virtual
+// completion-latency percentiles. With --synth-db N and/or --synth-queries M
+// either subcommand generates synthetic inputs instead of reading files.
+//
+// Exit codes: 0 on success (including --help), 2 for unknown subcommands,
+// unknown flags, or malformed values (usage goes to stderr), 1 for runtime
+// failures (unreadable inputs, unrecoverable fault schedules, ...).
 #include <fstream>
 #include <iostream>
 
@@ -14,97 +23,210 @@
 #include "io/fasta.hpp"
 #include "io/mgf.hpp"
 #include "io/results_io.hpp"
+#include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/str.hpp"
+#include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  msp::Cli cli("mspar_cli", "parallel peptide identification (ICPP'09 repro)");
+namespace {
+
+constexpr int kUsageError = 2;
+
+void add_input_options(msp::Cli& cli) {
   cli.add_string("db", "", "input FASTA database (omit with --synth-db)");
-  cli.add_string("queries", "", "input MGF spectra (omit with --synth-queries)");
+  cli.add_string("queries", "",
+                 "input MGF spectra (omit with --synth-queries)");
   cli.add_string("out", "hits.tsv", "output TSV hit report");
-  cli.add_string("algorithm", "a", "serial|a|b|master-worker|query");
-  cli.add_int("p", 8, "simulated processor count");
   cli.add_int("tau", 10, "hits reported per query");
   cli.add_double("tolerance", 3.0, "parent mass tolerance (Da)");
   cli.add_string("model", "likelihood", "likelihood|hyperscore|shared-peak");
-  cli.add_string("candidates", "prefix-suffix", "prefix-suffix|tryptic");
   cli.add_int("synth-db", 0, "generate this many synthetic proteins");
   cli.add_int("synth-queries", 0, "generate this many synthetic spectra");
   cli.add_int("seed", 1, "seed for synthetic inputs");
+}
+
+struct Inputs {
+  std::string fasta_image;
+  msp::ProteinDatabase db;
+  std::vector<msp::Spectrum> queries;
+};
+
+Inputs load_inputs(const msp::Cli& cli) {
+  Inputs inputs;
+  if (cli.get_int("synth-db") > 0) {
+    msp::ProteinGenOptions options = msp::microbial_like_options(1.0);
+    options.sequence_count = static_cast<std::size_t>(cli.get_int("synth-db"));
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+    inputs.db = msp::generate_proteins(options);
+    inputs.fasta_image = msp::to_fasta_string(inputs.db);
+  } else {
+    if (cli.get_string("db").empty())
+      throw msp::InvalidArgument("need --db FILE or --synth-db N");
+    std::ifstream in(cli.get_string("db"));
+    if (!in) throw msp::IoError("cannot open " + cli.get_string("db"));
+    inputs.fasta_image.assign((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+    inputs.db = msp::read_fasta_string(inputs.fasta_image);
+  }
+
+  if (cli.get_int("synth-queries") > 0) {
+    msp::QueryGenOptions options;
+    options.query_count =
+        static_cast<std::size_t>(cli.get_int("synth-queries"));
+    options.seed = static_cast<std::uint64_t>(cli.get_int("seed")) + 1;
+    inputs.queries = msp::spectra_of(msp::generate_queries(inputs.db, options));
+  } else {
+    if (cli.get_string("queries").empty())
+      throw msp::InvalidArgument("need --queries FILE or --synth-queries M");
+    inputs.queries = msp::read_mgf_file(cli.get_string("queries"));
+  }
+  return inputs;
+}
+
+msp::ScoreModel score_model_from_cli(const msp::Cli& cli) {
+  const std::string model = cli.get_string("model");
+  if (model == "likelihood") return msp::ScoreModel::kLikelihood;
+  if (model == "hyperscore") return msp::ScoreModel::kHyperscore;
+  if (model == "shared-peak") return msp::ScoreModel::kSharedPeak;
+  throw msp::InvalidArgument("unknown --model " + model);
+}
+
+int run_search(int argc, const char* const* argv) {
+  msp::Cli cli("mspar_cli search",
+               "parallel peptide identification (ICPP'09 repro)");
+  add_input_options(cli);
+  cli.add_string("algorithm", "a", "serial|a|b|master-worker|query");
+  cli.add_int("p", 8, "simulated processor count");
+  cli.add_string("candidates", "prefix-suffix", "prefix-suffix|tryptic");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Inputs inputs = load_inputs(cli);
+
+  msp::PipelineOptions options;
+  options.algorithm = msp::algorithm_from_name(cli.get_string("algorithm"));
+  options.p = static_cast<int>(cli.get_int("p"));
+  options.config.tau = static_cast<std::size_t>(cli.get_int("tau"));
+  options.config.tolerance_da = cli.get_double("tolerance");
+  options.config.model = score_model_from_cli(cli);
+  const std::string candidates = cli.get_string("candidates");
+  if (candidates == "tryptic")
+    options.config.candidate_mode = msp::CandidateMode::kTryptic;
+  else if (candidates != "prefix-suffix")
+    throw msp::InvalidArgument("unknown --candidates " + candidates);
+
+  std::cout << "searching " << msp::group_digits(inputs.db.sequence_count())
+            << " proteins with " << inputs.queries.size() << " spectra ("
+            << msp::algorithm_name(options.algorithm) << ", p=" << options.p
+            << ")...\n";
+  const msp::PipelineResult result =
+      msp::run_pipeline(inputs.fasta_image, inputs.queries, options);
+
+  const auto records = msp::to_hit_records(inputs.queries, result.hits);
+  msp::write_hits_file(cli.get_string("out"), records);
+  std::cout << "wrote " << records.size() << " hits to "
+            << cli.get_string("out") << '\n';
+  if (options.algorithm != msp::Algorithm::kSerial) {
+    std::cout << "simulated run-time: " << result.run_seconds
+              << " s on p=" << options.p << "; candidates evaluated: "
+              << msp::group_digits(result.candidates) << '\n';
+  }
+  return 0;
+}
+
+int run_serve(int argc, const char* const* argv) {
+  msp::Cli cli("mspar_cli serve",
+               "online peptide-identification service (virtual clock)");
+  add_input_options(cli);
+  cli.add_int("p", 8, "simulated processor count");
+  cli.add_string("arrival", "poisson", "uniform|poisson|burst");
+  cli.add_double("rate", 200.0, "arrival rate (queries per virtual second)");
+  cli.add_string("mode", "multi",
+                 "dispatch: multi (continuous ring) | naive (batch-at-a-time)");
+  cli.add_int("batch", 8, "batcher size-close threshold");
+  cli.add_double("wait-ms", 20.0, "batcher deadline close (virtual ms)");
+  cli.add_int("outstanding", 512, "admission cap (queued + in-flight)");
+  cli.add_string("overload", "delay", "overload policy: shed|delay");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Inputs inputs = load_inputs(cli);
+
+  msp::SearchConfig config;
+  config.tau = static_cast<std::size_t>(cli.get_int("tau"));
+  config.tolerance_da = cli.get_double("tolerance");
+  config.model = score_model_from_cli(cli);
+
+  msp::serve::ServiceOptions options;
+  options.arrivals.kind =
+      msp::serve::arrival_kind_from_name(cli.get_string("arrival"));
+  options.arrivals.rate_qps = cli.get_double("rate");
+  options.arrivals.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  options.batch.max_batch = static_cast<std::size_t>(cli.get_int("batch"));
+  options.batch.max_wait_s = cli.get_double("wait-ms") * 1e-3;
+  options.admission.max_outstanding =
+      static_cast<std::size_t>(cli.get_int("outstanding"));
+  options.admission.overload =
+      msp::serve::overload_policy_from_name(cli.get_string("overload"));
+  options.mode = msp::serve::dispatch_mode_from_name(cli.get_string("mode"));
+
+  std::cout << "serving " << inputs.queries.size() << " spectra at "
+            << options.arrivals.rate_qps << " q/s against "
+            << msp::group_digits(inputs.db.sequence_count()) << " proteins ("
+            << msp::serve::dispatch_mode_name(options.mode)
+            << ", p=" << cli.get_int("p") << ")...\n";
+  const msp::sim::Runtime runtime(static_cast<int>(cli.get_int("p")));
+  const msp::serve::ServiceResult result = msp::serve::run_service(
+      runtime, inputs.fasta_image, inputs.queries, config, options);
+
+  const auto records = msp::to_hit_records(inputs.queries, result.hits);
+  msp::write_hits_file(cli.get_string("out"), records);
+  std::cout << "wrote " << records.size() << " hits to "
+            << cli.get_string("out") << '\n';
+  std::cout << "completed " << result.completed << "/"
+            << inputs.queries.size() << " queries (" << result.shed
+            << " shed) in " << result.batches << " batches, "
+            << result.ring_steps << " ring steps\n";
+  std::cout << "throughput: " << msp::Table::cell(result.throughput_qps, 1)
+            << " q/s; latency p50/p95/p99: "
+            << msp::Table::cell(result.latency.p50) << "/"
+            << msp::Table::cell(result.latency.p95) << "/"
+            << msp::Table::cell(result.latency.p99) << " s (virtual)\n";
+  return 0;
+}
+
+void print_usage(std::ostream& os) {
+  os << "usage: mspar_cli [search|serve] [--options]\n"
+        "  search   one-shot batch identification (default subcommand)\n"
+        "  serve    online arrival-stream service with latency accounting\n"
+        "run 'mspar_cli <subcommand> --help' for the subcommand's options\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Optional leading subcommand; bare flags mean `search` (the historical
+  // interface). Everything after the subcommand is parsed by it.
+  std::string command = "search";
+  int skip = 0;
+  if (argc > 1 && argv[1][0] != '-') {
+    command = argv[1];
+    skip = 1;
+  }
+
+  std::vector<const char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1 + skip; i < argc; ++i) args.push_back(argv[i]);
+  const int sub_argc = static_cast<int>(args.size());
+
   try {
-    if (!cli.parse(argc, argv)) return 0;
-
-    // --- inputs ---
-    std::string fasta_image;
-    msp::ProteinDatabase db;
-    if (cli.get_int("synth-db") > 0) {
-      msp::ProteinGenOptions options = msp::microbial_like_options(1.0);
-      options.sequence_count = static_cast<std::size_t>(cli.get_int("synth-db"));
-      options.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
-      db = msp::generate_proteins(options);
-      fasta_image = msp::to_fasta_string(db);
-    } else {
-      if (cli.get_string("db").empty())
-        throw msp::InvalidArgument("need --db FILE or --synth-db N");
-      std::ifstream in(cli.get_string("db"));
-      if (!in) throw msp::IoError("cannot open " + cli.get_string("db"));
-      fasta_image.assign((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
-      db = msp::read_fasta_string(fasta_image);
-    }
-
-    std::vector<msp::Spectrum> queries;
-    if (cli.get_int("synth-queries") > 0) {
-      msp::QueryGenOptions options;
-      options.query_count =
-          static_cast<std::size_t>(cli.get_int("synth-queries"));
-      options.seed = static_cast<std::uint64_t>(cli.get_int("seed")) + 1;
-      queries = msp::spectra_of(msp::generate_queries(db, options));
-    } else {
-      if (cli.get_string("queries").empty())
-        throw msp::InvalidArgument("need --queries FILE or --synth-queries M");
-      queries = msp::read_mgf_file(cli.get_string("queries"));
-    }
-
-    // --- configuration ---
-    msp::PipelineOptions options;
-    options.algorithm = msp::algorithm_from_name(cli.get_string("algorithm"));
-    options.p = static_cast<int>(cli.get_int("p"));
-    options.config.tau = static_cast<std::size_t>(cli.get_int("tau"));
-    options.config.tolerance_da = cli.get_double("tolerance");
-    const std::string model = cli.get_string("model");
-    if (model == "likelihood")
-      options.config.model = msp::ScoreModel::kLikelihood;
-    else if (model == "hyperscore")
-      options.config.model = msp::ScoreModel::kHyperscore;
-    else if (model == "shared-peak")
-      options.config.model = msp::ScoreModel::kSharedPeak;
-    else
-      throw msp::InvalidArgument("unknown --model " + model);
-    const std::string candidates = cli.get_string("candidates");
-    if (candidates == "tryptic")
-      options.config.candidate_mode = msp::CandidateMode::kTryptic;
-    else if (candidates != "prefix-suffix")
-      throw msp::InvalidArgument("unknown --candidates " + candidates);
-
-    // --- run ---
-    std::cout << "searching " << msp::group_digits(db.sequence_count())
-              << " proteins with " << queries.size() << " spectra ("
-              << msp::algorithm_name(options.algorithm) << ", p=" << options.p
-              << ")...\n";
-    const msp::PipelineResult result =
-        msp::run_pipeline(fasta_image, queries, options);
-
-    const auto records = msp::to_hit_records(queries, result.hits);
-    msp::write_hits_file(cli.get_string("out"), records);
-    std::cout << "wrote " << records.size() << " hits to "
-              << cli.get_string("out") << '\n';
-    if (options.algorithm != msp::Algorithm::kSerial) {
-      std::cout << "simulated run-time: " << result.run_seconds
-                << " s on p=" << options.p << "; candidates evaluated: "
-                << msp::group_digits(result.candidates) << '\n';
-    }
-    return 0;
+    if (command == "search") return run_search(sub_argc, args.data());
+    if (command == "serve") return run_serve(sub_argc, args.data());
+    std::cerr << "error: unknown subcommand '" << command << "'\n";
+    print_usage(std::cerr);
+    return kUsageError;
+  } catch (const msp::InvalidArgument& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    print_usage(std::cerr);
+    return kUsageError;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

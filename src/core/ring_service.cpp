@@ -1,0 +1,302 @@
+#include "core/ring_service.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+/// Rough per-query memory footprint (peak list + binned vector) — the same
+/// accounting rule Algorithm A charges for its query blocks.
+std::size_t query_bytes(const Spectrum& spectrum) {
+  return spectrum.peaks().size() * sizeof(Peak) + 4096;
+}
+
+}  // namespace
+
+RingService::RingService(sim::Comm& comm, const std::string& fasta_image,
+                         std::span<const Spectrum> queries,
+                         const SearchEngine& engine, QueryHits& all_hits)
+    : comm_(comm),
+      queries_(queries),
+      engine_(engine),
+      all_hits_(all_hits),
+      p_(comm.size()),
+      rank_(comm.rank()) {
+  const auto& cost = comm_.compute_model();
+  const sim::FaultModel& faults = comm_.faults();
+  my_crash_step_ = crash_step_of(rank_);
+
+  const bool fault_tolerant = faults.has_crashes();
+  if (fault_tolerant) {
+    int survivors = 0;
+    for (int r = 0; r < p_; ++r)
+      if (crash_step_of(r) < 0) ++survivors;
+    if (survivors == 0)
+      throw FaultUnrecoverable(
+          "fault schedule kills every rank of the service ring — nobody "
+          "left to answer the query stream");
+  }
+
+  // Shard load + candidate index, as in Algorithm A's A1/A2 setup. Queries
+  // are NOT prepared here — they arrive over virtual time and are prepared
+  // per batch at admission.
+  comm_.trace_mark("serve setup");
+  local_db_ = load_database_shard(fasta_image, rank_, p_);
+  comm_.clock().charge_io(static_cast<double>(local_db_.total_residues()) *
+                          cost.seconds_per_residue_load);
+  local_index_ = CandidateIndex::build(local_db_, engine_.config());
+  comm_.clock().charge_compute(static_cast<double>(local_index_.size()) *
+                               cost.seconds_per_mz);
+  local_pack_ = pack_database(local_db_, local_index_);
+  comm_.charge_alloc(local_pack_.size());  // D_local (window)
+  window_.emplace(comm_, std::span<const char>(local_pack_.data(),
+                                               local_pack_.size()));
+
+  std::size_t max_shard = 0;
+  for (int r = 0; r < p_; ++r)
+    max_shard = std::max(max_shard, window_->shard_size(r));
+  comm_.charge_alloc(2 * max_shard);  // D_recv + D_comp
+  pulls_ = comm_.network().concurrent_pulls(p_);
+
+  // Ring-successor shard replica, pulled before any crash can fire (the
+  // PR-1 recovery scheme): a dead rank's shard stays reachable at its
+  // successor for the rest of the service's lifetime.
+  if (fault_tolerant) {
+    const int predecessor = (rank_ + p_ - 1) % p_;
+    sim::RmaRequest pull = window_->rget(predecessor, replica_, pulls_);
+    window_->wait(pull);
+    comm_.charge_alloc(replica_.size());
+    replica_window_.emplace(
+        comm_, std::span<const char>(replica_.data(), replica_.size()));
+  }
+
+  // Align every clock so the first service boundary is shared — all control
+  // determinism derives from boundaries being fence-aligned.
+  comm_.barrier();
+}
+
+int RingService::crash_step_of(int r) const {
+  // Service ring steps are unbounded, so any scheduled step >= 0 fires
+  // (contrast Algorithm A, whose single rotation only reaches step p − 1).
+  return comm_.faults().crash_step(comm_.global_rank_of(r));
+}
+
+bool RingService::dead_at(int r, int at_step) const {
+  const int step = crash_step_of(r);
+  return step >= 0 && step <= at_step;
+}
+
+RingService::ShardFetch RingService::fetch_shard(int owner, int at_step,
+                                                 std::vector<char>& dest) {
+  if (!dead_at(owner, at_step))
+    return ShardFetch{window_->rget(owner, dest, pulls_), &*window_};
+  const int holder = (owner + 1) % p_;
+  if (dead_at(holder, at_step))
+    throw FaultUnrecoverable("shard " + std::to_string(owner) +
+                             ": owner and replica holder " +
+                             std::to_string(holder) + " both crashed");
+  return ShardFetch{replica_window_->rget(holder, dest, pulls_),
+                    &*replica_window_};
+}
+
+void RingService::admit(const ServiceBatch& batch) {
+  const auto& cost = comm_.compute_model();
+  Flight flight;
+  flight.batch_id = batch.id;
+  flight.ids = batch.query_ids;
+  flight.first_step = step_;
+  // Members: ranks alive through this boundary. A rank whose crash fires at
+  // the upcoming step would score nothing, so it is excluded up front; a
+  // rank dying later mid-flight is included and its block is orphaned when
+  // the crash fires.
+  for (int r = 0; r < p_; ++r)
+    if (!dead_at(r, step_)) flight.ranks.push_back(r);
+  MSP_CHECK_MSG(!flight.ranks.empty(), "service batch with no live ranks");
+
+  const auto member =
+      std::find(flight.ranks.begin(), flight.ranks.end(), rank_);
+  if (member != flight.ranks.end()) {
+    const int index = static_cast<int>(member - flight.ranks.begin());
+    flight.block = query_block(flight.ids.size(), index,
+                               static_cast<int>(flight.ranks.size()));
+    if (flight.block.count() > 0) {
+      std::vector<Spectrum> gathered;
+      gathered.reserve(flight.block.count());
+      for (std::size_t i = flight.block.begin; i < flight.block.end; ++i) {
+        MSP_CHECK_MSG(flight.ids[i] < queries_.size(),
+                      "service batch query id out of range");
+        gathered.push_back(queries_[flight.ids[i]]);
+      }
+      for (const Spectrum& q : gathered)
+        flight.alloc_bytes += query_bytes(q);
+      comm_.charge_alloc(flight.alloc_bytes);
+      flight.prepared = engine_.prepare(gathered);
+      comm_.clock().charge_compute(static_cast<double>(gathered.size()) *
+                                   cost.seconds_per_query_prep);
+      flight.tops.reserve(flight.block.count());
+      for (std::size_t q = 0; q < flight.block.count(); ++q)
+        flight.tops.emplace_back(engine_.config().tau,
+                                 static_cast<std::size_t>(p_));
+    }
+    comm_.trace_serve(sim::SpanKind::kServeDispatch,
+                      "batch " + std::to_string(batch.id) + ": " +
+                          std::to_string(flight.ids.size()) + " queries over " +
+                          std::to_string(flight.ranks.size()) + " ranks");
+  }
+  flights_.push_back(std::move(flight));
+}
+
+ServiceStepOutcome RingService::step(bool prefetch_next) {
+  const auto& cost = comm_.compute_model();
+  const int s = step_;
+  comm_.trace_mark("serve step " + std::to_string(s));
+  const bool dead = my_crash_step_ >= 0 && s >= my_crash_step_;
+  if (s == my_crash_step_)
+    comm_.mark_crashed("serve step " + std::to_string(s));
+
+  if (!dead) {
+    // Make this step's shard resident. While the ring stays busy the
+    // previous step's prefetch already delivered it; after an idle gap (or
+    // a declined prefetch hint) fetch it blocking — fully exposed, exactly
+    // the cost the masked path avoids.
+    const int shard = (rank_ + s) % p_;
+    if (shard != rank_ && comp_shard_ != shard) {
+      ShardFetch fetch = fetch_shard(shard, s, comp_buffer_);
+      fetch.window->wait(fetch.request);
+      comp_shard_ = shard;
+    }
+    PackedShard fetched;
+    const ProteinDatabase* shard_db = &local_db_;
+    const CandidateIndex* shard_index = &local_index_;
+    if (shard != rank_) {
+      fetched = unpack_shard(comp_buffer_);
+      shard_db = &fetched.db;
+      shard_index = fetched.has_index ? &fetched.index : nullptr;
+    }
+
+    // Masked prefetch of the next step's shard under this step's scoring
+    // (Algorithm A's A2 pattern, amortized over every in-flight batch). The
+    // ring knows a next step is coming whenever a flight outlives this one;
+    // the hint covers dispatches only the serving layer can foresee. The
+    // step counter alone decides which shard each step scores, so a
+    // prefetched shard is never the wrong one — it is exactly step s + 1's.
+    bool continues = prefetch_next;
+    for (const Flight& flight : flights_)
+      if (s < flight.first_step + p_ - 1) continues = true;
+    ShardFetch prefetch;
+    const int next_shard = (rank_ + s + 1) % p_;
+    if (continues && next_shard != rank_)
+      prefetch = fetch_shard(next_shard, s, recv_buffer_);
+
+    for (Flight& flight : flights_) {
+      if (flight.block.count() == 0) continue;
+      std::vector<TopK<Hit>> shard_tops =
+          engine_.make_tops(flight.block.count());
+      const ShardSearchStats stats = engine_.search_shard(
+          *shard_db, flight.prepared, shard_tops, nullptr, shard_index);
+      comm_.clock().charge_compute(kernel_cost_seconds(stats, cost));
+      comm_.bump("candidates", stats.candidates_evaluated);
+      comm_.bump("prefiltered", stats.candidates_prefiltered);
+      comm_.bump("offers", stats.hits_offered);
+      comm_.bump("ions", stats.ions_built);
+      for (std::size_t q = 0; q < flight.block.count(); ++q)
+        flight.tops[q].absorb(static_cast<std::size_t>(shard), shard_tops[q]);
+    }
+
+    if (prefetch.request.active) {
+      prefetch.window->wait(prefetch.request);
+      std::swap(comp_buffer_, recv_buffer_);
+      comp_shard_ = next_shard;
+    }
+  }
+  // Every rank — zombies included — attends the fence: this is both the
+  // window epoch and the boundary that re-aligns all clocks, the invariant
+  // the replicated controllers live on.
+  window_->fence();
+
+  ServiceStepOutcome out;
+  out.step = s;
+
+  // Crash boundary: orphan the dead ranks' blocks of every older flight and
+  // charge the survivors the (omniscient, deterministic) detection timeout.
+  std::vector<int> died;
+  for (int r = 0; r < p_; ++r)
+    if (crash_step_of(r) == s) died.push_back(r);
+  if (!died.empty()) {
+    for (Flight& flight : flights_) {
+      for (const int d : died) {
+        const auto member =
+            std::find(flight.ranks.begin(), flight.ranks.end(), d);
+        if (member == flight.ranks.end()) continue;
+        const int index = static_cast<int>(member - flight.ranks.begin());
+        const QueryRange block = query_block(
+            flight.ids.size(), index, static_cast<int>(flight.ranks.size()));
+        for (std::size_t i = block.begin; i < block.end; ++i) {
+          flight.orphaned.push_back(flight.ids[i]);
+          out.orphaned.push_back(flight.ids[i]);
+        }
+      }
+    }
+    if (!dead) {
+      comm_.charge_recovery(comm_.faults().crash_detection_timeout_s,
+                            "declared " + std::to_string(died.size()) +
+                                " rank(s) dead at serve step " +
+                                std::to_string(s));
+    }
+  }
+  // The shared boundary time: post-fence clocks are equal on every rank;
+  // zombies add the detection charge they did not pay.
+  out.boundary_time = comm_.clock().now();
+  if (!died.empty() && dead)
+    out.boundary_time += comm_.faults().crash_detection_timeout_s;
+
+  // Publish flights whose last shard this step scored. Owners report their
+  // block's hits (charged as output I/O, after the boundary — the next
+  // fence absorbs the imbalance, as with every per-rank cost).
+  for (auto it = flights_.begin(); it != flights_.end();) {
+    Flight& flight = *it;
+    if (s != flight.first_step + p_ - 1) {
+      ++it;
+      continue;
+    }
+    std::vector<std::size_t> published;
+    published.reserve(flight.ids.size());
+    for (const std::size_t id : flight.ids)
+      if (std::find(flight.orphaned.begin(), flight.orphaned.end(), id) ==
+          flight.orphaned.end())
+        published.push_back(id);
+    if (!dead) {
+      comm_.trace_serve(sim::SpanKind::kServePublish,
+                        "batch " + std::to_string(flight.batch_id) +
+                            " published (" + std::to_string(published.size()) +
+                            " queries)");
+      if (flight.block.count() > 0) {
+        std::size_t reported = 0;
+        for (std::size_t q = 0; q < flight.block.count(); ++q) {
+          std::vector<Hit> hits = flight.tops[q].finalize();
+          reported += hits.size();
+          all_hits_[flight.ids[flight.block.begin + q]] = std::move(hits);
+        }
+        comm_.clock().charge_io(static_cast<double>(reported) *
+                                cost.seconds_per_hit_output);
+        comm_.bump("hits_reported", reported);
+        comm_.release_alloc(flight.alloc_bytes);
+      }
+    }
+    out.published.emplace_back(flight.batch_id, std::move(published));
+    it = flights_.erase(it);
+  }
+
+  ++step_;
+  return out;
+}
+
+void RingService::finish() {
+  MSP_CHECK_MSG(flights_.empty(), "service finished with batches in flight");
+  window_->fence();
+  if (replica_window_) replica_window_->fence();
+}
+
+}  // namespace msp

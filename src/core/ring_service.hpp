@@ -1,0 +1,158 @@
+// Multi-batch ring transport for the online query service.
+//
+// Algorithm A rotates the sharded database once per query *set*: a batch
+// costs a full p-step rotation even when it holds a handful of spectra, so
+// batch-at-a-time dispatch pays the per-batch communication floor on every
+// batch. The service ring instead rotates *continuously*: one global step
+// counter s advances whenever any batch is in flight, rank i scores shard
+// (i + s) mod p at step s, and every admitted batch is scored against the
+// current shard of the same pass — one shard fetch and one fence per step
+// no matter how many batches ride it. A batch admitted at the boundary
+// before step s has seen all p shards after step s + p − 1 and publishes at
+// that boundary (the incremental top-τ merge makes the result identical to
+// a one-shot search regardless of shard order).
+//
+// Determinism without control messages: the fence at the end of every step
+// equalizes all ranks' virtual clocks, so any control decision taken at a
+// step boundary from globally known inputs (the arrival schedule, the fault
+// schedule, published state) is computed identically by every rank. The
+// serving layer (src/serve) exploits that by replicating its controller
+// per rank; this class's step() returns the fence-aligned boundary time the
+// controllers must use as "now".
+//
+// Fault compatibility (reusing the PR-1 recovery machinery): crash steps in
+// the run's FaultModel index *service ring steps*. A crashing rank becomes
+// a fail-stop zombie that keeps matching fences; its blocks of every
+// in-flight batch are lost and the orphaned query ids are returned from
+// step() so the serving layer re-admits them (they re-enter admission, get
+// re-batched, and are re-scored from scratch — same hits, later). Shards
+// stay reachable through the ring-successor replica window, exactly as in
+// Algorithm A.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/candidate_index.hpp"
+#include "core/hit.hpp"
+#include "core/packdb.hpp"
+#include "core/partition.hpp"
+#include "core/search_engine.hpp"
+#include "scoring/incremental_topk.hpp"
+#include "simmpi/comm.hpp"
+
+namespace msp {
+
+/// One closed batch handed to the ring: ids into the service's global query
+/// stream (not necessarily contiguous — shed gaps and crash re-admissions
+/// fragment the stream).
+struct ServiceBatch {
+  std::size_t id = 0;
+  std::vector<std::size_t> query_ids;
+};
+
+/// What one ring step produced. Every field is a function of fence-aligned
+/// state plus the globally known schedules, so all ranks (zombies included)
+/// return identical outcomes — the lockstep contract the per-rank
+/// controllers rely on.
+struct ServiceStepOutcome {
+  int step = 0;  ///< the step ordinal just executed
+  /// Fence-aligned boundary time this step ended on (including the crash
+  /// detection charge when a crash fired). Controllers must use this as
+  /// "now" — a zombie's own clock lags the survivors'.
+  double boundary_time = 0.0;
+  /// Batches whose last shard was scored this step, with the query ids
+  /// actually published (ids orphaned by crashes excluded).
+  std::vector<std::pair<std::size_t, std::vector<std::size_t>>> published;
+  /// Query ids orphaned by ranks that crashed at this step; they must
+  /// re-enter admission.
+  std::vector<std::size_t> orphaned;
+};
+
+class RingService {
+ public:
+  /// Collective over `comm` (window creation + barrier): loads the rank's
+  /// shard, builds/packs its candidate index, exposes it, pulls the ring
+  /// predecessor's replica when the fault schedule has crashes, and aligns
+  /// all clocks so the first boundary is shared. `all_hits` must have one
+  /// slot per stream query; owners write disjoint slots at publication.
+  RingService(sim::Comm& comm, const std::string& fasta_image,
+              std::span<const Spectrum> queries, const SearchEngine& engine,
+              QueryHits& all_hits);
+
+  /// Admit a closed batch at the current boundary (before the next step()).
+  /// Must be invoked with identical arguments on every rank. The batch's
+  /// queries are block-partitioned over the ranks alive at this boundary;
+  /// each member gathers and prepares its block (prep compute and memory
+  /// are charged here; the next fence re-aligns the clocks).
+  void admit(const ServiceBatch& batch);
+
+  /// Advance the ring one step: make shard (rank + s) mod p resident
+  /// (blocking only after an idle gap — while batches keep the ring busy
+  /// the previous step's masked prefetch already delivered it), score every
+  /// in-flight batch's local block against it, optionally prefetch the next
+  /// shard under the computation, fence, then publish batches whose last
+  /// shard this was. `prefetch_next` is the serving layer's hint that
+  /// another step is likely; a wrong hint affects time, never results.
+  ServiceStepOutcome step(bool prefetch_next);
+
+  std::size_t in_flight() const { return flights_.size(); }
+  int steps_done() const { return step_; }
+
+  /// Collective teardown (window close). Every rank, zombies included,
+  /// must call it after the last step.
+  void finish();
+
+ private:
+  /// Per-rank state of one batch riding the ring.
+  struct Flight {
+    std::size_t batch_id = 0;
+    std::vector<std::size_t> ids;  ///< batch query ids (global stream)
+    std::vector<int> ranks;        ///< members: ranks alive at admit
+    int first_step = 0;            ///< first ring step that scores it
+    std::vector<std::size_t> orphaned;  ///< ids lost to crashes (all ranks)
+    // This rank's block (empty when not a member):
+    QueryRange block;                   ///< range into `ids`
+    PreparedQueries prepared;
+    std::vector<IncrementalTopK<Hit>> tops;  ///< one per block query
+    std::size_t alloc_bytes = 0;
+  };
+
+  struct ShardFetch {
+    sim::RmaRequest request;
+    sim::Window* window = nullptr;
+  };
+
+  int crash_step_of(int r) const;
+  bool dead_at(int r, int at_step) const;
+  ShardFetch fetch_shard(int owner, int at_step, std::vector<char>& dest);
+
+  sim::Comm& comm_;
+  std::span<const Spectrum> queries_;
+  const SearchEngine& engine_;
+  QueryHits& all_hits_;
+
+  int p_ = 0;
+  int rank_ = 0;
+  int my_crash_step_ = -1;
+
+  ProteinDatabase local_db_;
+  CandidateIndex local_index_;
+  std::vector<char> local_pack_;
+  std::optional<sim::Window> window_;
+  std::vector<char> replica_;
+  std::optional<sim::Window> replica_window_;
+  std::vector<char> comp_buffer_;
+  std::vector<char> recv_buffer_;
+  int comp_shard_ = -1;  ///< shard id resident in comp_buffer_ (-1: none)
+  int pulls_ = 1;
+
+  int step_ = 0;
+  std::vector<Flight> flights_;
+};
+
+}  // namespace msp

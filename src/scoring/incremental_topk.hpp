@@ -1,0 +1,60 @@
+// Streamed per-shard top-τ accumulation for the online service.
+//
+// A one-shot search offers every candidate of every shard to one TopK; the
+// service instead scores a query's shards one ring step at a time, in
+// whatever order the rotation (and any crash recovery) delivers them, and
+// must publish the moment the last shard lands. This wrapper absorbs one
+// partial top-τ list per shard and exposes completion; because TopK's total
+// order (score desc, tie-key asc) makes the bounded list a function of the
+// candidate *set* — any global top-τ entry is necessarily inside its own
+// shard's top-τ — the finalized list is bit-identical to the one-shot
+// result for every absorption order. tests/serve_test.cpp holds that
+// property over random orders and fault schedules.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "scoring/top_hits.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+template <typename Entry>
+class IncrementalTopK {
+ public:
+  /// `shard_count` shards must each be absorbed exactly once before the
+  /// result can be finalized.
+  IncrementalTopK(std::size_t capacity, std::size_t shard_count)
+      : running_(capacity), seen_(shard_count, false) {}
+
+  /// Merge shard `shard`'s partial top-τ list (entries from that shard
+  /// only, any capacity >= this one's effective need).
+  void absorb(std::size_t shard, const TopK<Entry>& partial) {
+    MSP_CHECK_MSG(shard < seen_.size(), "shard id out of range");
+    MSP_CHECK_MSG(!seen_[shard], "shard absorbed twice");
+    seen_[shard] = true;
+    ++absorbed_;
+    running_.merge(partial);
+  }
+
+  std::size_t absorbed() const { return absorbed_; }
+  std::size_t shard_count() const { return seen_.size(); }
+  bool complete() const { return absorbed_ == seen_.size(); }
+
+  /// The running list (inspectable before completion, e.g. for cutoffs).
+  const TopK<Entry>& top() const { return running_; }
+
+  /// Best-first final list; requires every shard to have been absorbed.
+  std::vector<Entry> finalize() const {
+    MSP_CHECK_MSG(complete(), "finalize before every shard was absorbed");
+    return running_.sorted();
+  }
+
+ private:
+  TopK<Entry> running_;
+  std::vector<bool> seen_;
+  std::size_t absorbed_ = 0;
+};
+
+}  // namespace msp

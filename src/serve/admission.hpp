@@ -1,0 +1,76 @@
+// Admission control and backpressure for the online query service.
+//
+// The service bounds the queries it holds state for — queued plus in
+// flight — the way the paper's 1 GB/process constraint bounds a rank's
+// buffers: every admitted query eventually costs its block owner prepared
+// spectra and a top-τ list, so max_outstanding is the knob that keeps the
+// per-rank memory cap safe under any arrival burst. Overload is resolved
+// deterministically by policy: kShed drops the arrival on the floor
+// (recorded, never scored), kDelay parks it in an admission queue that
+// drains as publications free capacity.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace msp::serve {
+
+enum class OverloadPolicy { kShed, kDelay };
+
+const char* overload_policy_name(OverloadPolicy policy);
+OverloadPolicy overload_policy_from_name(const std::string& name);
+
+struct AdmissionPolicy {
+  std::size_t max_outstanding = 64;  ///< queued + in-flight query cap
+  OverloadPolicy overload = OverloadPolicy::kShed;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionPolicy policy) : policy_(policy) {
+    MSP_CHECK_MSG(policy_.max_outstanding >= 1,
+                  "admission cap must be >= 1 or nothing ever runs");
+  }
+
+  bool has_capacity() const { return outstanding_ < policy_.max_outstanding; }
+
+  /// Admit one query if capacity allows; outstanding until released.
+  bool try_admit() {
+    if (!has_capacity()) return false;
+    ++outstanding_;
+    return true;
+  }
+
+  /// Publication (or terminal shed of an already-admitted query) frees
+  /// capacity. Crash-orphaned queries are NOT released — they stay
+  /// outstanding until their re-admitted batch finally publishes.
+  void release(std::size_t count) {
+    MSP_CHECK_MSG(count <= outstanding_, "released more than outstanding");
+    outstanding_ -= count;
+  }
+
+  std::size_t outstanding() const { return outstanding_; }
+  const AdmissionPolicy& policy() const { return policy_; }
+
+ private:
+  AdmissionPolicy policy_;
+  std::size_t outstanding_ = 0;
+};
+
+inline const char* overload_policy_name(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kShed: return "shed";
+    case OverloadPolicy::kDelay: return "delay";
+  }
+  return "?";
+}
+
+inline OverloadPolicy overload_policy_from_name(const std::string& name) {
+  if (name == "shed") return OverloadPolicy::kShed;
+  if (name == "delay") return OverloadPolicy::kDelay;
+  throw InvalidArgument("unknown overload policy: " + name);
+}
+
+}  // namespace msp::serve

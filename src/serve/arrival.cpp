@@ -1,0 +1,73 @@
+#include "serve/arrival.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace msp::serve {
+
+const char* arrival_kind_name(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kUniform: return "uniform";
+    case ArrivalKind::kPoisson: return "poisson";
+    case ArrivalKind::kBurst: return "burst";
+    case ArrivalKind::kReplay: return "replay";
+  }
+  return "?";
+}
+
+ArrivalKind arrival_kind_from_name(const std::string& name) {
+  if (name == "uniform") return ArrivalKind::kUniform;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "burst") return ArrivalKind::kBurst;
+  if (name == "replay") return ArrivalKind::kReplay;
+  throw InvalidArgument("unknown arrival kind: " + name);
+}
+
+std::vector<double> make_arrivals(const ArrivalModel& model,
+                                  std::size_t count) {
+  std::vector<double> times;
+  times.reserve(count);
+  switch (model.kind) {
+    case ArrivalKind::kUniform: {
+      MSP_CHECK_MSG(model.rate_qps > 0.0, "arrival rate must be positive");
+      for (std::size_t i = 0; i < count; ++i)
+        times.push_back(static_cast<double>(i) / model.rate_qps);
+      break;
+    }
+    case ArrivalKind::kPoisson: {
+      MSP_CHECK_MSG(model.rate_qps > 0.0, "arrival rate must be positive");
+      Xoshiro256 rng(model.seed);
+      double t = 0.0;
+      for (std::size_t i = 0; i < count; ++i) {
+        // Exponential inter-arrival gap; 1 − u avoids log(0).
+        t += -__builtin_log(1.0 - rng.uniform()) / model.rate_qps;
+        times.push_back(t);
+      }
+      break;
+    }
+    case ArrivalKind::kBurst: {
+      MSP_CHECK_MSG(model.burst_size >= 1, "burst size must be >= 1");
+      MSP_CHECK_MSG(model.burst_gap_s > 0.0, "burst gap must be positive");
+      for (std::size_t i = 0; i < count; ++i)
+        times.push_back(static_cast<double>(i / model.burst_size) *
+                        model.burst_gap_s);
+      break;
+    }
+    case ArrivalKind::kReplay: {
+      MSP_CHECK_MSG(model.replay_times.size() >= count,
+                    "replay schedule covers fewer arrivals than the stream");
+      times.assign(model.replay_times.begin(),
+                   model.replay_times.begin() + static_cast<long>(count));
+      MSP_CHECK_MSG(std::is_sorted(times.begin(), times.end()),
+                    "replay arrival times must be non-decreasing");
+      MSP_CHECK_MSG(times.empty() || times.front() >= 0.0,
+                    "replay arrival times must be non-negative");
+      break;
+    }
+  }
+  return times;
+}
+
+}  // namespace msp::serve

@@ -1,0 +1,43 @@
+// Virtual-clock arrival processes for the online query service.
+//
+// The service answers a *stream*: query i of the global stream becomes
+// visible to admission at times[i] virtual seconds. Schedules are pure
+// functions of (model, count) — every rank computes the same one, which is
+// half of what makes the replicated service controllers deterministic (the
+// other half is fence-aligned boundaries; see core/ring_service.hpp).
+//
+//   kUniform — evenly spaced at 1/rate_qps.
+//   kPoisson — exponential inter-arrival gaps at mean rate rate_qps, drawn
+//              from the repo's deterministic xoshiro stream.
+//   kBurst   — bursts of burst_size simultaneous arrivals every
+//              burst_gap_s (the worst case for a size-or-deadline batcher).
+//   kReplay  — caller-supplied times (a recorded production trace).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace msp::serve {
+
+enum class ArrivalKind { kUniform, kPoisson, kBurst, kReplay };
+
+const char* arrival_kind_name(ArrivalKind kind);
+/// "uniform" | "poisson" | "burst" | "replay"; throws InvalidArgument
+/// otherwise.
+ArrivalKind arrival_kind_from_name(const std::string& name);
+
+struct ArrivalModel {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  double rate_qps = 200.0;       ///< mean arrival rate (uniform/poisson)
+  std::uint64_t seed = 2009;     ///< poisson inter-arrival draws
+  std::size_t burst_size = 16;   ///< arrivals per burst (burst)
+  double burst_gap_s = 0.5;      ///< time between burst starts (burst)
+  std::vector<double> replay_times;  ///< replay: must cover `count` queries
+};
+
+/// Arrival time of each of `count` stream queries, non-decreasing from 0.
+std::vector<double> make_arrivals(const ArrivalModel& model,
+                                  std::size_t count);
+
+}  // namespace msp::serve

@@ -1,0 +1,52 @@
+// Latency accounting for the online query service.
+//
+// Completion latency is per query: publication boundary minus arrival time,
+// all in virtual seconds, so the percentiles are deterministic functions of
+// (workload, schedule, policies) — the property the latency-SLO bench and
+// its byte-identical BENCH_serve.json rest on.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace msp::serve {
+
+/// Nearest-rank percentile (q in (0, 1]) of an ascending-sorted sample.
+inline double percentile_sorted(const std::vector<double>& sorted, double q) {
+  MSP_CHECK_MSG(!sorted.empty(), "percentile of an empty sample");
+  MSP_CHECK_MSG(q > 0.0 && q <= 1.0, "percentile rank out of (0, 1]");
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::max<std::size_t>(rank, 1) - 1];
+}
+
+struct LatencySummary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Summary of a latency sample (seconds); all-zero when empty.
+inline LatencySummary summarize_latencies(std::vector<double> samples) {
+  LatencySummary summary;
+  summary.count = samples.size();
+  if (samples.empty()) return summary;
+  std::sort(samples.begin(), samples.end());
+  double total = 0.0;
+  for (const double s : samples) total += s;
+  summary.mean = total / static_cast<double>(samples.size());
+  summary.p50 = percentile_sorted(samples, 0.50);
+  summary.p95 = percentile_sorted(samples, 0.95);
+  summary.p99 = percentile_sorted(samples, 0.99);
+  summary.max = samples.back();
+  return summary;
+}
+
+}  // namespace msp::serve

@@ -382,6 +382,13 @@ void Comm::trace_mark(const std::string& label) {
       {SpanKind::kMarker, state_.clock.now(), state_.clock.now(), label});
 }
 
+void Comm::trace_serve(SpanKind kind, const std::string& label) {
+  if (!state_.clock.tracing()) return;
+  MSP_CHECK_MSG(span_lane(kind) == 3,
+                "trace_serve requires a serve-lane span kind");
+  state_.spans.push_back({kind, state_.clock.now(), state_.clock.now(), label});
+}
+
 RankStats Comm::stats() const {
   RankStats stats;
   stats.rank = global_rank_;
@@ -391,6 +398,7 @@ RankStats Comm::stats() const {
   stats.comm_issued_seconds = state_.clock.comm_issued_seconds();
   stats.residual_comm_seconds = state_.clock.residual_comm_seconds();
   stats.sync_wait_seconds = state_.clock.sync_wait_seconds();
+  stats.idle_seconds = state_.clock.idle_seconds();
   stats.rget_issued_seconds = state_.clock.rget_issued_seconds();
   stats.rget_overlapped_seconds = state_.clock.rget_overlapped_seconds();
   stats.bytes_sent = state_.bytes_sent;

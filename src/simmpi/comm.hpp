@@ -146,6 +146,11 @@ class Comm {
   /// virtual time (ring iteration, batch, phase boundary). No-op when
   /// tracing is disabled; never advances the clock.
   void trace_mark(const std::string& label);
+  /// Drop an instant control event on this rank's serve lane (lane 3) at
+  /// the current virtual time. `kind` must be one of the kServe* marker
+  /// kinds (admit/shed/dispatch/publish). No-op when tracing is disabled;
+  /// never advances the clock.
+  void trace_serve(SpanKind kind, const std::string& label);
 
   // ---- fault bookkeeping (called by the algorithms' recovery paths) ----
 

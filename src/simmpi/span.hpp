@@ -18,6 +18,10 @@
 //                   IS the masking the paper measures.
 //   2 "faults"    — injected-fault activity (retry, crash, recovery spans)
 //                   with human-readable detail; overlays the clock lane.
+//   3 "serve"     — online-service control events (arrival admission, load
+//                   shedding, batch dispatch/publication): instant markers
+//                   dropped by the serving layer at step boundaries, plus
+//                   queue-depth detail. Only populated by serving runs.
 #pragma once
 
 #include <string>
@@ -33,17 +37,23 @@ enum class SpanKind {
   kBarrier,       ///< barrier/fence imbalance wait: VirtualClock::sync_until
   kRecoveryWait,  ///< clock blocked on retry backoff / crash detection
   kMarker,        ///< instant algorithm marker (ring iteration, phase start)
+  kServeIdle,     ///< service ring idle: clock advanced to the next arrival
   // ---- transfer lane ----
   kRgetIssue,     ///< modeled one-sided transfer in flight (rget/rget_range)
   // ---- fault lane ----
   kFaultRetry,
   kFaultCrash,
   kFaultRecovery,
+  // ---- serve lane (instant control markers; see serve/service.hpp) ----
+  kServeAdmit,     ///< queries admitted to the service queue
+  kServeShed,      ///< arrivals shed by admission control
+  kServeDispatch,  ///< batch dispatched into the service ring
+  kServePublish,   ///< batch's last shard scored; results published
 };
 
 const char* span_kind_name(SpanKind kind);
 
-/// Trace lane a kind renders on (0 clock, 1 transfers, 2 faults).
+/// Trace lane a kind renders on (0 clock, 1 transfers, 2 faults, 3 serve).
 int span_lane(SpanKind kind);
 
 struct Span {

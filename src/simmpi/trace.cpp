@@ -4,6 +4,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "util/json.hpp"
+
 namespace msp::sim {
 namespace {
 
@@ -53,6 +55,7 @@ const char* lane_name(int lane) {
     case 0: return "clock";
     case 1: return "transfers";
     case 2: return "faults";
+    case 3: return "serve";
   }
   return "?";
 }
@@ -67,10 +70,15 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kBarrier: return "barrier";
     case SpanKind::kRecoveryWait: return "recovery-wait";
     case SpanKind::kMarker: return "marker";
+    case SpanKind::kServeIdle: return "serve-idle";
     case SpanKind::kRgetIssue: return "rget-issue";
     case SpanKind::kFaultRetry: return "fault-retry";
     case SpanKind::kFaultCrash: return "fault-crash";
     case SpanKind::kFaultRecovery: return "fault-recovery";
+    case SpanKind::kServeAdmit: return "serve-admit";
+    case SpanKind::kServeShed: return "serve-shed";
+    case SpanKind::kServeDispatch: return "serve-dispatch";
+    case SpanKind::kServePublish: return "serve-publish";
   }
   return "?";
 }
@@ -83,6 +91,11 @@ int span_lane(SpanKind kind) {
     case SpanKind::kFaultCrash:
     case SpanKind::kFaultRecovery:
       return 2;
+    case SpanKind::kServeAdmit:
+    case SpanKind::kServeShed:
+    case SpanKind::kServeDispatch:
+    case SpanKind::kServePublish:
+      return 3;
     default:
       return 0;
   }
@@ -250,6 +263,64 @@ std::string RunReport::to_csv(CsvFaultColumns fault_columns) const {
   return os.str();
 }
 
+std::string RunReport::to_json() const {
+  JsonWriter json;
+  json.begin_object();
+  json.field("p", p);
+  json.field("total_time_s", total_time());
+  json.field("max_compute_s", max_compute());
+  json.field("sum_compute_s", sum_compute());
+  json.field("mean_residual_over_compute", mean_residual_over_compute());
+  json.field("masking_efficiency", masking_efficiency());
+  json.field("masking_saving_estimate", masking_saving_estimate());
+  json.field("max_peak_memory_bytes", max_peak_memory());
+
+  // Counter sums, name-sorted (the union the CSV columns carry).
+  std::map<std::string, std::uint64_t> sums;
+  for (const RankStats& r : ranks)
+    for (const auto& [name, value] : r.counters) sums[name] += value;
+  json.key("counters").begin_object();
+  for (const auto& [name, value] : sums) json.field(name, value);
+  json.end_object();
+
+  if (has_fault_activity()) {
+    json.key("faults").begin_object();
+    json.field("transfer_retries", total_transfer_retries());
+    json.field("recovery_s", total_recovery_seconds());
+    json.key("crashed_ranks").begin_array();
+    for (const int r : crashed_ranks()) json.value(r);
+    json.end_array();
+    json.end_object();
+  }
+
+  json.key("ranks").begin_array();
+  for (const RankStats& r : ranks) {
+    json.begin_object();
+    json.field("rank", r.rank);
+    json.field("total_s", r.total_time);
+    json.field("compute_s", r.compute_seconds);
+    json.field("io_s", r.io_seconds);
+    json.field("comm_issued_s", r.comm_issued_seconds);
+    json.field("residual_s", r.residual_comm_seconds);
+    json.field("sync_s", r.sync_wait_seconds);
+    if (r.idle_seconds != 0.0) json.field("idle_s", r.idle_seconds);
+    json.field("rget_issued_s", r.rget_issued_seconds);
+    json.field("rget_overlap_s", r.rget_overlapped_seconds);
+    json.field("bytes_sent", r.bytes_sent);
+    json.field("bytes_received", r.bytes_received);
+    json.field("peak_memory", r.peak_memory_bytes);
+    if (has_fault_activity()) {
+      json.field("retries", r.transfer_retries);
+      json.field("recovery_s", r.recovery_seconds);
+      json.field("crashed", r.crashed);
+    }
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
 std::string RunReport::to_chrome_trace() const {
   std::ostringstream os;
   os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
@@ -262,7 +333,7 @@ std::string RunReport::to_chrome_trace() const {
 
   for (const RankStats& r : ranks) {
     // Process/thread metadata: one pid per rank, one tid per populated lane.
-    bool lane_used[3] = {false, false, false};
+    bool lane_used[4] = {false, false, false, false};
     for (const Span& span : r.spans) lane_used[span_lane(span.kind)] = true;
     lane_used[0] = true;  // the clock lane always exists
     {
@@ -272,7 +343,7 @@ std::string RunReport::to_chrome_trace() const {
            << r.rank << "\"}}";
       emit(meta.str());
     }
-    for (int lane = 0; lane < 3; ++lane) {
+    for (int lane = 0; lane < 4; ++lane) {
       if (!lane_used[lane]) continue;
       std::ostringstream meta;
       meta << "{\"ph\":\"M\",\"pid\":" << r.rank << ",\"tid\":" << lane
@@ -289,8 +360,10 @@ std::string RunReport::to_chrome_trace() const {
       // args.i is the span's index on the rank's timeline — the stable id
       // that simcheck violation reports cite as `trace#N`, so a report
       // links directly to the event in the viewer.
+      // Serve-lane control events are instants too (begin == end), so they
+      // render like markers rather than zero-duration slices.
       std::ostringstream event;
-      if (span.kind == SpanKind::kMarker) {
+      if (span.kind == SpanKind::kMarker || lane == 3) {
         event << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << r.rank
               << ",\"tid\":" << lane << ",\"ts\":" << micros(span.begin)
               << ",\"cat\":\"" << span_kind_name(span.kind) << "\",\"name\":\""

@@ -30,6 +30,7 @@ struct RankStats {
   double comm_issued_seconds = 0.0; ///< modeled duration of all transfers
   double residual_comm_seconds = 0.0;  ///< transfer wait not masked by compute
   double sync_wait_seconds = 0.0;      ///< barrier/fence (imbalance) waits
+  double idle_seconds = 0.0;  ///< service idle (waiting for query arrivals)
   double rget_issued_seconds = 0.0;  ///< modeled one-sided transfer issued
   double rget_overlapped_seconds = 0.0;  ///< part of it hidden under local work
   std::size_t bytes_sent = 0;
@@ -112,6 +113,14 @@ struct RunReport {
   /// `fault_columns` (kAuto: only when this run has fault activity).
   std::string to_csv(
       CsvFaultColumns fault_columns = CsvFaultColumns::kAuto) const;
+
+  /// Machine-readable summary as deterministic JSON (util/json.hpp
+  /// rendering): run aggregates, counter sums, per-rank time buckets, and —
+  /// only when the run had fault activity — a "faults" object, mirroring
+  /// to_csv's auto column policy. The sweep benches embed this instead of
+  /// hand-rolling their own emitters, so field names and float formatting
+  /// cannot drift between them.
+  std::string to_json() const;
 
   // ---- span-trace exports (rows only when tracing was enabled) ----
 

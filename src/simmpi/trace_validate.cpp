@@ -317,9 +317,11 @@ std::string validate_chrome_trace(const std::string& json) {
         return where.str() + "\"X\" event missing numeric \"dur\"";
       if (dur->number < 0.0) return where.str() + "negative \"dur\"";
       if (tid == 0) {
-        // Flat clock lane: spans must not overlap. Tolerance covers the
-        // µs-rounding of ts/dur rendering.
-        if (ts->number + 1e-6 < lane.clock_open_until)
+        // Flat clock lane: spans must not overlap. ts and dur are rounded
+        // to 1e-3 µs independently, so an adjacent pair can disagree by up
+        // to one rounding unit on each side; 2e-3 covers exactly that and
+        // still catches any real (>= one-nanosecond) overlap.
+        if (ts->number + 2e-3 < lane.clock_open_until)
           return where.str() + "clock-lane spans overlap on rank " +
                  std::to_string(pid);
         lane.clock_open_until = ts->number + dur->number;

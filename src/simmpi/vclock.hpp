@@ -70,6 +70,17 @@ class VirtualClock {
     }
   }
 
+  /// Service idle: advance to `ready` without charging any work bucket —
+  /// the rank is waiting for queries to *arrive*, not for data or peers, so
+  /// idle time must not pollute the residual/sync decomposition.
+  void idle_until(double ready) {
+    if (ready > now_) {
+      idle_ += ready - now_;
+      if (spans_) spans_->push_back({SpanKind::kServeIdle, now_, ready, {}});
+      now_ = ready;
+    }
+  }
+
   /// Synchronization wait (barrier/fence): like wait_until but accounted in
   /// its own bucket so imbalance is distinguishable from transfer delay.
   void sync_until(double ready) {
@@ -85,6 +96,7 @@ class VirtualClock {
   double comm_issued_seconds() const { return comm_issued_; }
   double residual_comm_seconds() const { return residual_; }
   double sync_wait_seconds() const { return sync_wait_; }
+  double idle_seconds() const { return idle_; }
   double recovery_seconds() const { return recovery_; }
   double rget_issued_seconds() const { return rget_issued_; }
   double rget_overlapped_seconds() const { return rget_overlapped_; }
@@ -102,6 +114,7 @@ class VirtualClock {
   double comm_issued_ = 0.0;
   double residual_ = 0.0;
   double sync_wait_ = 0.0;
+  double idle_ = 0.0;
   double recovery_ = 0.0;
   double rget_issued_ = 0.0;
   double rget_overlapped_ = 0.0;

@@ -1,0 +1,146 @@
+// Minimal deterministic JSON writer for the bench/report emitters.
+//
+// Every sweep bench used to hand-roll its JSON with ad-hoc field names and
+// whatever float formatting the default ostream gave it; this writer gives
+// them one shared, deterministic rendering: objects/arrays with 2-space
+// indentation, commas managed by the writer, strings escaped per RFC 8259,
+// and numbers rendered with a fixed significant-digit policy so the same
+// doubles always produce the same bytes (the byte-determinism contract the
+// trace exporters already follow).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace msp {
+
+class JsonWriter {
+ public:
+  /// Deterministic number rendering: integers (and integral doubles up to
+  /// 2^53) print without a decimal point; everything else prints with up to
+  /// 12 significant digits — enough to round-trip every modeled quantity,
+  /// few enough to stay readable.
+  static std::string number(double value) {
+    MSP_CHECK_MSG(std::isfinite(value), "JSON numbers must be finite");
+    if (value == std::floor(value) && std::abs(value) < 9.007199254740992e15) {
+      std::ostringstream os;
+      os << static_cast<std::int64_t>(value);
+      return os.str();
+    }
+    std::ostringstream os;
+    os << std::setprecision(12) << value;
+    return os.str();
+  }
+
+  static std::string escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size() + 2);
+    for (const char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            static const char* hex = "0123456789abcdef";
+            out += "\\u00";
+            out += hex[(c >> 4) & 0xF];
+            out += hex[c & 0xF];
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key of the next member (objects only).
+  JsonWriter& key(const std::string& name) {
+    comma();
+    os_ << '"' << escape(name) << "\": ";
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(double v) { return raw(number(v)); }
+  JsonWriter& value(std::int64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(std::uint64_t v) { return raw(std::to_string(v)); }
+  JsonWriter& value(int v) { return raw(std::to_string(v)); }
+  JsonWriter& value(bool v) { return raw(v ? "true" : "false"); }
+  JsonWriter& value(const std::string& v) {
+    return raw('"' + escape(v) + '"');
+  }
+  JsonWriter& value(const char* v) { return value(std::string(v)); }
+
+  /// key(name).value(v) in one call.
+  template <typename T>
+  JsonWriter& field(const std::string& name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// The finished document (all containers must be closed).
+  std::string str() const {
+    MSP_CHECK_MSG(depth_.empty(), "unclosed JSON container");
+    return os_.str() + "\n";
+  }
+
+ private:
+  struct Level {
+    char kind = '{';
+    bool has_member = false;
+  };
+
+  JsonWriter& raw(const std::string& text) {
+    comma();
+    os_ << text;
+    return *this;
+  }
+
+  void comma() {
+    if (pending_key_) {  // value directly after key(): no comma, no newline
+      pending_key_ = false;
+      return;
+    }
+    if (!depth_.empty()) {
+      if (depth_.back().has_member) os_ << ',';
+      depth_.back().has_member = true;
+      os_ << '\n' << std::string(2 * depth_.size(), ' ');
+    }
+  }
+
+  JsonWriter& open(char c) {
+    comma();
+    os_ << c;
+    depth_.push_back({c, false});
+    return *this;
+  }
+
+  JsonWriter& close(char c) {
+    MSP_CHECK_MSG(!depth_.empty(), "JSON close without open");
+    const bool had_members = depth_.back().has_member;
+    depth_.pop_back();
+    if (had_members) os_ << '\n' << std::string(2 * depth_.size(), ' ');
+    os_ << c;
+    return *this;
+  }
+
+  std::ostringstream os_;
+  std::vector<Level> depth_;
+  bool pending_key_ = false;
+};
+
+}  // namespace msp
