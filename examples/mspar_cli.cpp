@@ -17,6 +17,7 @@
 #include <fstream>
 #include <iostream>
 
+#include "core/candidate_record.hpp"
 #include "core/pipeline.hpp"
 #include "dbgen/protein_gen.hpp"
 #include "dbgen/query_gen.hpp"
@@ -146,6 +147,9 @@ int run_serve(int argc, const char* const* argv) {
   cli.add_double("wait-ms", 20.0, "batcher deadline close (virtual ms)");
   cli.add_int("outstanding", 512, "admission cap (queued + in-flight)");
   cli.add_string("overload", "delay", "overload policy: shed|delay");
+  cli.add_flag("no-routing",
+               "disable mass-aware shard routing (visit every band; "
+               "hits are bit-identical either way)");
   if (!cli.parse(argc, argv)) return 0;
 
   const Inputs inputs = load_inputs(cli);
@@ -154,6 +158,14 @@ int run_serve(int argc, const char* const* argv) {
   config.tau = static_cast<std::size_t>(cli.get_int("tau"));
   config.tolerance_da = cli.get_double("tolerance");
   config.model = score_model_from_cli(cli);
+  // The banded serving ring stores candidates as fixed-width records
+  // (core/candidate_record.hpp), which cap peptide length at 63 residues.
+  const std::size_t record_cap = sizeof(msp::CandidateRecord{}.peptide) - 1;
+  if (config.max_candidate_length > record_cap) {
+    std::cout << "note: serving mode caps candidate length at " << record_cap
+              << " residues (was " << config.max_candidate_length << ")\n";
+    config.max_candidate_length = record_cap;
+  }
 
   msp::serve::ServiceOptions options;
   options.arrivals.kind =
@@ -167,6 +179,7 @@ int run_serve(int argc, const char* const* argv) {
   options.admission.overload =
       msp::serve::overload_policy_from_name(cli.get_string("overload"));
   options.mode = msp::serve::dispatch_mode_from_name(cli.get_string("mode"));
+  options.mass_routing = !cli.flag("no-routing");
 
   std::cout << "serving " << inputs.queries.size() << " spectra at "
             << options.arrivals.rate_qps << " q/s against "
@@ -185,6 +198,11 @@ int run_serve(int argc, const char* const* argv) {
             << inputs.queries.size() << " queries (" << result.shed
             << " shed) in " << result.batches << " batches, "
             << result.ring_steps << " ring steps\n";
+  if (options.mass_routing)
+    std::cout << "routing: skipped " << result.steps_skipped << "/"
+              << result.steps_visited + result.steps_skipped
+              << " scoring slots (skip ratio "
+              << msp::Table::cell(result.skip_ratio, 2) << ")\n";
   std::cout << "throughput: " << msp::Table::cell(result.throughput_qps, 1)
             << " q/s; latency p50/p95/p99: "
             << msp::Table::cell(result.latency.p50) << "/"

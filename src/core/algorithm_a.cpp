@@ -76,7 +76,20 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
       CandidateIndex::build(local_db, engine.config());
   comm.clock().charge_compute(static_cast<double>(local_index.size()) *
                               cost.seconds_per_mz);
-  std::vector<char> local_pack = pack_database(local_db, local_index);
+  // Mass routing (shared with the serving ring): the shard's bucketed mass
+  // histogram rides in the pack trailer, and a collective exchange leaves
+  // every rank holding the identical global shard mass map before the
+  // rotation starts — routing decisions are then pure functions of frozen
+  // global inputs.
+  ShardMassMap shard_map;
+  std::vector<char> local_pack;
+  if (options.mass_routing) {
+    const MassHistogram local_histogram = MassHistogram::build(local_index);
+    local_pack = pack_database(local_db, local_index, local_histogram);
+    shard_map = ShardMassMap::exchange(comm, local_histogram);
+  } else {
+    local_pack = pack_database(local_db, local_index);
+  }
   comm.charge_alloc(local_pack.size());  // D_local (window)
   sim::Window window(comm, local_pack);
 
@@ -129,6 +142,32 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
                       &*replica_window};
   };
 
+  // Router verdict per shard for this rank's block, fixed for the whole
+  // rotation (the block and the map are both frozen before step 0). A 0 is
+  // a proof the block matches nothing in that shard at this tolerance —
+  // skipping is an optimization, never a correctness decision.
+  std::vector<std::uint8_t> shard_needed(static_cast<std::size_t>(p), 1);
+  if (options.mass_routing && shard_map.routes()) {
+    std::uint64_t visited = 0;
+    std::uint64_t skipped = 0;
+    for (int j = 0; j < p; ++j) {
+      const bool need =
+          shard_map.needed(j,
+                           std::span<const double>(prepared.sorted_masses),
+                           engine.config().tolerance_da);
+      shard_needed[static_cast<std::size_t>(j)] = need ? 1 : 0;
+      if (need)
+        ++visited;
+      else
+        ++skipped;
+    }
+    comm.clock().charge_compute(static_cast<double>(p) *
+                                cost.seconds_per_route_check);
+    comm.bump("route_steps_visited", visited);
+    comm.bump("route_steps_skipped", skipped);
+  }
+
+  int comp_shard = rank;  // shard image resident in comp_buffer
   for (int s = 0; s < p; ++s) {
     comm.trace_mark("A2 ring step " + std::to_string(s));
     if (my_crash_step >= 0 && s >= my_crash_step) {
@@ -141,26 +180,41 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
       continue;
     }
 
+    const int current = (rank + s) % p;
+    if (!shard_needed[static_cast<std::size_t>(current)]) {
+      // Routed-away step: the constant decision cost only — no fetch, no
+      // scoring. The per-iteration fence still runs (it is collective).
+      comm.clock().charge_compute(cost.seconds_per_route_check);
+      comm.trace_mark("A2 ring step " + std::to_string(s) + " routed skip");
+      if (options.fence_per_iteration) window.fence();
+      continue;
+    }
+
     const int next = (rank + s + 1) % p;
 
     ShardFetch prefetch;
     if (options.mask) {
-      // Non-blocking request for the *next* iteration's shard (A2's
-      // masking): issued before this iteration's computation.
-      if (s + 1 < p) prefetch = fetch_shard(next, s, recv_buffer);
-    } else if (s > 0) {
-      // Unmasked variant: this iteration's shard is fetched blocking,
-      // fully exposing the transfer (s = 0 processes the local shard).
-      const int current = (rank + s) % p;
+      // Non-blocking request for the next *visited* iteration's shard
+      // (A2's masking): issued before this iteration's computation. A
+      // shard the router will skip is never worth fetching.
+      if (s + 1 < p && shard_needed[static_cast<std::size_t>(next)])
+        prefetch = fetch_shard(next, s, recv_buffer);
+    }
+    if (current != rank && comp_shard != current) {
+      // Nothing delivered this shard under a previous step's mask (the
+      // unmasked variant, or the router skipped the steps in between):
+      // fetch it blocking, fully exposing the transfer.
       ShardFetch fetch = fetch_shard(current, s, comp_buffer);
       fetch.window->wait(fetch.request);
+      comp_shard = current;
     }
 
     PackedShard fetched;
-    if (s > 0) fetched = unpack_shard(comp_buffer);
-    const ProteinDatabase& shard_db = s == 0 ? local_db : fetched.db;
+    if (current != rank) fetched = unpack_shard(comp_buffer);
+    const ProteinDatabase& shard_db = current == rank ? local_db : fetched.db;
     const CandidateIndex* shard_index =
-        s == 0 ? &local_index : (fetched.has_index ? &fetched.index : nullptr);
+        current == rank ? &local_index
+                        : (fetched.has_index ? &fetched.index : nullptr);
     const ShardSearchStats stats =
         engine.search_shard(shard_db, prepared, tops, nullptr, shard_index);
     comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
@@ -172,6 +226,7 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
     if (options.mask && prefetch.request.active) {
       prefetch.window->wait(prefetch.request);
       std::swap(comp_buffer, recv_buffer);
+      comp_shard = next;
     }
     if (options.fence_per_iteration) window.fence();
   }
@@ -219,7 +274,35 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
                                     cost.seconds_per_query_prep);
         std::vector<TopK<Hit>> orphan_tops = engine.make_tops(orphans.size());
 
+        // The adopted block re-enters through the same router: shards that
+        // provably hold nothing for the orphans are skipped at the constant
+        // decision cost, exactly as in the main rotation.
+        std::vector<std::uint8_t> orphan_needed(static_cast<std::size_t>(p),
+                                                1);
+        if (options.mass_routing && shard_map.routes()) {
+          std::uint64_t visited = 0;
+          std::uint64_t skipped = 0;
+          for (int j = 0; j < p; ++j) {
+            const bool need = shard_map.needed(
+                j, std::span<const double>(orphan_prepared.sorted_masses),
+                engine.config().tolerance_da);
+            orphan_needed[static_cast<std::size_t>(j)] = need ? 1 : 0;
+            if (need)
+              ++visited;
+            else
+              ++skipped;
+          }
+          comm.clock().charge_compute(static_cast<double>(p) *
+                                      cost.seconds_per_route_check);
+          comm.bump("route_steps_visited", visited);
+          comm.bump("route_steps_skipped", skipped);
+        }
+
         for (int shard = 0; shard < p; ++shard) {
+          if (!orphan_needed[static_cast<std::size_t>(shard)]) {
+            comm.clock().charge_compute(cost.seconds_per_route_check);
+            continue;
+          }
           PackedShard fetched;
           if (shard != rank) {
             ShardFetch fetch = fetch_shard(shard, p, recv_buffer);

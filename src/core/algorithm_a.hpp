@@ -34,6 +34,12 @@ struct AlgorithmAOptions {
   /// target, the standard 2009 one-sided pattern over ethernet). Makes per-
   /// iteration load imbalance visible as wait time; ablatable.
   bool fence_per_iteration = true;
+  /// Mass-aware shard routing (the serving ring's router, shared): exchange
+  /// per-shard mass histograms up front, then skip ring steps whose shard
+  /// provably holds no candidate for this rank's query block — a constant
+  /// routing-decision charge instead of a fetch plus a scoring pass. Hits
+  /// are bit-identical with routing on or off.
+  bool mass_routing = true;
   /// Per-rank memory budget in bytes (the paper's 1 GB/process cap);
   /// 0 disables. Exceeding it throws OutOfMemoryBudget.
   std::size_t memory_budget_bytes = 0;

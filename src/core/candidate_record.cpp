@@ -1,0 +1,125 @@
+#include "core/candidate_record.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+namespace {
+
+CandidateRecord make_record(const Protein& protein, std::uint32_t offset,
+                            std::uint16_t length, FragmentEnd end,
+                            double mass) {
+  MSP_CHECK_MSG(protein.id.size() < sizeof(CandidateRecord{}.protein_id),
+                "candidate records require protein ids < 24 chars, got '"
+                    << protein.id << "'");
+  CandidateRecord record;
+  record.mass = mass;
+  std::memcpy(record.protein_id, protein.id.data(), protein.id.size());
+  std::memcpy(record.peptide, protein.residues.data() + offset, length);
+  record.offset = offset;
+  record.length = length;
+  record.end = static_cast<std::uint8_t>(end);
+  return record;
+}
+
+}  // namespace
+
+std::vector<CandidateRecord> enumerate_candidate_records(
+    const ProteinDatabase& db, const SearchConfig& config, double mass_floor,
+    double mass_ceil) {
+  MSP_CHECK_MSG(config.max_candidate_length <
+                    sizeof(CandidateRecord{}.peptide),
+                "candidate records cap peptide length at 63 residues");
+  std::vector<CandidateRecord> records;
+  for (const Protein& protein : db.proteins) {
+    const std::size_t len = protein.residues.size();
+    if (len < config.min_candidate_length) continue;
+    const FragmentMassIndex index(protein.residues);
+    const std::size_t max_k = std::min(len, config.max_candidate_length);
+    for (std::size_t k = config.min_candidate_length; k <= max_k; ++k) {
+      const double mass = index.prefix_mass(k);
+      if (mass > mass_ceil) break;
+      if (mass < mass_floor) continue;
+      records.push_back(make_record(protein, 0, static_cast<std::uint16_t>(k),
+                                    FragmentEnd::kPrefix, mass));
+    }
+    for (std::size_t k = config.min_candidate_length; k <= max_k; ++k) {
+      if (k == len) break;  // full sequence already counted as a prefix
+      const double mass = index.suffix_mass(k);
+      if (mass > mass_ceil) break;
+      if (mass < mass_floor) continue;
+      records.push_back(make_record(protein,
+                                    static_cast<std::uint32_t>(len - k),
+                                    static_cast<std::uint16_t>(k),
+                                    FragmentEnd::kSuffix, mass));
+    }
+  }
+  return records;
+}
+
+bool candidate_record_less(const CandidateRecord& a,
+                           const CandidateRecord& b) {
+  if (a.mass != b.mass) return a.mass < b.mass;
+  const int id_cmp = std::strncmp(a.protein_id, b.protein_id,
+                                  sizeof(a.protein_id));
+  if (id_cmp != 0) return id_cmp < 0;
+  if (a.offset != b.offset) return a.offset < b.offset;
+  return a.length < b.length;
+}
+
+std::vector<CandidateRecord> sort_candidate_records_by_mass(
+    sim::Comm& comm, std::vector<CandidateRecord> local) {
+  const int p = comm.size();
+  double local_max = 0.0;
+  for (const CandidateRecord& record : local)
+    local_max = std::max(local_max, record.mass);
+  const double global_max = comm.allreduce_max(local_max);
+  const auto array_size = static_cast<std::size_t>(global_max) + 2;
+
+  std::vector<std::uint64_t> counts(array_size, 0);
+  for (const CandidateRecord& record : local)
+    ++counts[static_cast<std::size_t>(record.mass)];
+  comm.allreduce_sum(counts);
+
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  std::vector<std::uint32_t> owner(array_size, 0);
+  {
+    std::uint64_t running = 0;
+    std::uint32_t rank = 0;
+    for (std::size_t v = 0; v < array_size; ++v) {
+      while (rank + 1 < static_cast<std::uint32_t>(p) && total > 0 &&
+             running >= (static_cast<std::uint64_t>(rank) + 1) * total /
+                            static_cast<std::uint64_t>(p)) {
+        ++rank;
+      }
+      owner[v] = rank;
+      running += counts[v];
+    }
+  }
+
+  std::vector<std::vector<char>> send(static_cast<std::size_t>(p));
+  for (const CandidateRecord& record : local) {
+    auto& payload = send[owner[static_cast<std::size_t>(record.mass)]];
+    const char* bytes = reinterpret_cast<const char*>(&record);
+    payload.insert(payload.end(), bytes, bytes + sizeof(CandidateRecord));
+  }
+  const auto received = comm.alltoallv(send);
+
+  std::vector<CandidateRecord> sorted;
+  for (const auto& payload : received) {
+    MSP_CHECK_MSG(payload.size() % sizeof(CandidateRecord) == 0,
+                  "candidate payload misaligned");
+    const std::size_t count = payload.size() / sizeof(CandidateRecord);
+    const std::size_t base = sorted.size();
+    sorted.resize(base + count);
+    std::memcpy(sorted.data() + base, payload.data(), payload.size());
+  }
+  std::sort(sorted.begin(), sorted.end(), candidate_record_less);
+  return sorted;
+}
+
+}  // namespace msp

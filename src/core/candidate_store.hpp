@@ -28,24 +28,12 @@
 #include <vector>
 
 #include "core/algorithm_a.hpp"
+#include "core/candidate_record.hpp"
 #include "core/config.hpp"
 #include "simmpi/runtime.hpp"
 #include "spectra/spectrum.hpp"
 
 namespace msp {
-
-/// Fixed-size candidate record (fixed so a mass range maps to a byte range
-/// that a single partial get can fetch).
-struct CandidateRecord {
-  double mass = 0.0;
-  char protein_id[24] = {};   ///< NUL-padded
-  char peptide[64] = {};      ///< NUL-padded residue string
-  std::uint32_t offset = 0;   ///< within the parent sequence
-  std::uint16_t length = 0;
-  std::uint8_t end = 0;       ///< FragmentEnd underlying value
-  std::uint8_t pad = 0;
-};
-static_assert(sizeof(CandidateRecord) == 104);
 
 struct CandidateStoreOptions {
   bool fence_per_iteration = true;  ///< kept for symmetry; query phase is

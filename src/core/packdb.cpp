@@ -91,6 +91,17 @@ std::vector<char> pack_database(const ProteinDatabase& db,
   return writer.take();
 }
 
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index,
+                                const MassHistogram& histogram) {
+  wire::Writer writer;
+  writer.put_u64(kIndexedShardMagic);
+  put_proteins(writer, db);
+  put_index(writer, index);
+  put_histogram(writer, histogram);
+  return writer.take();
+}
+
 PackedShard unpack_shard(std::span<const char> bytes) {
   wire::Reader reader(bytes.data(), bytes.size());
   PackedShard shard;
@@ -100,6 +111,12 @@ PackedShard unpack_shard(std::span<const char> bytes) {
     shard.db = get_proteins(reader);
     shard.index = get_index(reader);
     shard.has_index = true;
+    // Optional trailer: the shard's mass histogram. Absent in legacy
+    // images (routing then treats the shard as unknown — visit always).
+    if (peek_histogram(reader)) {
+      shard.histogram = get_histogram(reader);
+      shard.has_histogram = true;
+    }
   } else {
     shard.db = get_proteins(reader);
   }

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidate_index.hpp"
+#include "core/shard_map.hpp"
 #include "mass/peptide.hpp"
 #include "spectra/spectrum.hpp"
 
@@ -25,17 +26,27 @@ std::vector<char> pack_database(const ProteinDatabase& db);
 std::vector<char> pack_database(const ProteinDatabase& db,
                                 const CandidateIndex& index);
 
+/// Indexed image plus a trailing shard-mass-histogram record (versioned and
+/// magic-tagged), the routing layer's summary of the index. Legacy readers
+/// of the plain/indexed formats never see the trailer (the magic cannot
+/// collide with either lead-in), and unpack_shard accepts all three forms.
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index,
+                                const MassHistogram& histogram);
+
 /// Inverse of pack_database. Throws IoError on malformed bytes. Accepts
 /// indexed images too (the index is parsed and dropped).
 ProteinDatabase unpack_database(std::span<const char> bytes);
 ProteinDatabase unpack_database(const std::vector<char>& bytes);
 
 /// A shard as it comes off the wire: proteins plus (when the packer shipped
-/// one) the shard's candidate index.
+/// them) the shard's candidate index and mass histogram.
 struct PackedShard {
   ProteinDatabase db;
-  CandidateIndex index;    ///< empty when the image carried none
+  CandidateIndex index;     ///< empty when the image carried none
   bool has_index = false;
+  MassHistogram histogram;  ///< empty when the image carried none
+  bool has_histogram = false;
 };
 
 /// Inverse of either pack_database form. Throws IoError on malformed bytes.

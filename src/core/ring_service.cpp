@@ -1,6 +1,7 @@
 #include "core/ring_service.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "util/error.hpp"
 
@@ -13,20 +14,40 @@ std::size_t query_bytes(const Spectrum& spectrum) {
   return spectrum.peaks().size() * sizeof(Peak) + 4096;
 }
 
+/// Reinterpret fetched band bytes as records. The transport moves raw
+/// record bytes, so a fetched range is decoded by one memcpy into typed
+/// storage (the simulator's virtual clock never sees this host-side copy).
+std::span<const CandidateRecord> decode_records(
+    const std::vector<char>& bytes, std::vector<CandidateRecord>& out) {
+  MSP_CHECK_MSG(bytes.size() % sizeof(CandidateRecord) == 0,
+                "band bytes are not a whole number of candidate records");
+  out.resize(bytes.size() / sizeof(CandidateRecord));
+  if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return {out.data(), out.size()};
+}
+
 }  // namespace
 
 RingService::RingService(sim::Comm& comm, const std::string& fasta_image,
                          std::span<const Spectrum> queries,
-                         const SearchEngine& engine, QueryHits& all_hits)
+                         const SearchEngine& engine, QueryHits& all_hits,
+                         bool mass_routing, double route_bucket_da)
     : comm_(comm),
       queries_(queries),
       engine_(engine),
       all_hits_(all_hits),
+      routing_(mass_routing),
+      route_bucket_da_(route_bucket_da),
       p_(comm.size()),
       rank_(comm.rank()) {
   const auto& cost = comm_.compute_model();
   const sim::FaultModel& faults = comm_.faults();
   my_crash_step_ = crash_step_of(rank_);
+
+  const SearchConfig& config = engine_.config();
+  MSP_CHECK_MSG(config.candidate_mode == CandidateMode::kPrefixSuffix,
+                "the banded service ring implements the paper's "
+                "prefix/suffix candidate rule");
 
   const bool fault_tolerant = faults.has_crashes();
   if (fault_tolerant) {
@@ -39,20 +60,48 @@ RingService::RingService(sim::Comm& comm, const std::string& fasta_image,
           "left to answer the query stream");
   }
 
-  // Shard load + candidate index, as in Algorithm A's A1/A2 setup. Queries
-  // are NOT prepared here — they arrive over virtual time and are prepared
-  // per batch at admission.
+  // Band construction: load the i-th chunk (Algorithm A's A1), enumerate
+  // its candidate records inside the stream's query-mass envelope, and
+  // counting-sort them across ranks so this rank ends up holding one
+  // contiguous mass band of the global record array. Queries are NOT
+  // prepared here — they arrive over virtual time and are prepared per
+  // batch at admission; only their (globally known) precursor masses bound
+  // the enumeration, identically on every rank.
   comm_.trace_mark("serve setup");
-  local_db_ = load_database_shard(fasta_image, rank_, p_);
-  comm_.clock().charge_io(static_cast<double>(local_db_.total_residues()) *
+  ProteinDatabase local_db = load_database_shard(fasta_image, rank_, p_);
+  comm_.clock().charge_io(static_cast<double>(local_db.total_residues()) *
                           cost.seconds_per_residue_load);
-  local_index_ = CandidateIndex::build(local_db_, engine_.config());
-  comm_.clock().charge_compute(static_cast<double>(local_index_.size()) *
+
+  double stream_lo = 0.0;
+  double stream_hi = -1.0;  // empty stream → empty enumeration window
+  for (const Spectrum& query : queries_) {
+    for (const double mass : engine_.hypothesis_masses(query)) {
+      if (stream_hi < stream_lo) {
+        stream_lo = stream_hi = mass;
+      } else {
+        stream_lo = std::min(stream_lo, mass);
+        stream_hi = std::max(stream_hi, mass);
+      }
+    }
+  }
+  std::vector<CandidateRecord> records =
+      stream_lo <= stream_hi
+          ? enumerate_candidate_records(local_db, config,
+                                        stream_lo - config.tolerance_da,
+                                        stream_hi + config.tolerance_da)
+          : std::vector<CandidateRecord>{};
+  local_db = ProteinDatabase{};
+  // Same per-candidate charge as CandidateIndex::build — the enumeration
+  // is the same mass walk; ion generation stays a scoring-time cost.
+  comm_.clock().charge_compute(static_cast<double>(records.size()) *
                                cost.seconds_per_mz);
-  local_pack_ = pack_database(local_db_, local_index_);
-  comm_.charge_alloc(local_pack_.size());  // D_local (window)
-  window_.emplace(comm_, std::span<const char>(local_pack_.data(),
-                                               local_pack_.size()));
+
+  band_ = sort_candidate_records_by_mass(comm_, std::move(records));
+  comm_.charge_alloc(band_.size() * sizeof(CandidateRecord));  // D_local
+  window_.emplace(comm_,
+                  std::span<const char>(
+                      reinterpret_cast<const char*>(band_.data()),
+                      band_.size() * sizeof(CandidateRecord)));
 
   std::size_t max_shard = 0;
   for (int r = 0; r < p_; ++r)
@@ -60,9 +109,10 @@ RingService::RingService(sim::Comm& comm, const std::string& fasta_image,
   comm_.charge_alloc(2 * max_shard);  // D_recv + D_comp
   pulls_ = comm_.network().concurrent_pulls(p_);
 
-  // Ring-successor shard replica, pulled before any crash can fire (the
-  // PR-1 recovery scheme): a dead rank's shard stays reachable at its
-  // successor for the rest of the service's lifetime.
+  // Ring-successor band replica, pulled before any crash can fire (the
+  // PR-1 recovery scheme): a dead rank's band stays reachable at its
+  // successor for the rest of the service's lifetime, byte-for-byte at the
+  // same offsets — partial fetches redirect without translation.
   if (fault_tolerant) {
     const int predecessor = (rank_ + p_ - 1) % p_;
     sim::RmaRequest pull = window_->rget(predecessor, replica_, pulls_);
@@ -70,6 +120,26 @@ RingService::RingService(sim::Comm& comm, const std::string& fasta_image,
     comm_.charge_alloc(replica_.size());
     replica_window_.emplace(
         comm_, std::span<const char>(replica_.data(), replica_.size()));
+  }
+
+  // The map exchange is collective and runs before any crash can fire,
+  // like the replica pull: routing state is frozen global input from the
+  // first step on. Bands are mass-contiguous, so a coarse bucket grid
+  // keeps each payload to a few KB; the prefix sums over its counts are
+  // what clip visited-band fetches to the matching record range, so the
+  // counts must be exact (total() == band size ⇒ nothing saturated).
+  if (routing_) {
+    std::vector<double> band_masses;
+    band_masses.reserve(band_.size());
+    for (const CandidateRecord& record : band_)
+      band_masses.push_back(record.mass);
+    const MassHistogram local_histogram =
+        MassHistogram::build(std::span<const double>(band_masses),
+                             route_bucket_da_);
+    MSP_CHECK_MSG(local_histogram.total() == band_.size(),
+                  "band histogram lost counts (saturated bucket?) — "
+                  "record ranges would under-fetch");
+    shard_map_ = ShardMassMap::exchange(comm_, local_histogram);
   }
 
   // Align every clock so the first service boundary is shared — all control
@@ -101,6 +171,48 @@ RingService::ShardFetch RingService::fetch_shard(int owner, int at_step,
                     &*replica_window_};
 }
 
+RingService::ShardFetch RingService::fetch_shard_range(
+    int owner, int at_step, std::uint64_t first, std::uint64_t last,
+    std::vector<char>& dest) {
+  const std::size_t offset =
+      static_cast<std::size_t>(first) * sizeof(CandidateRecord);
+  const std::size_t length =
+      static_cast<std::size_t>(last - first) * sizeof(CandidateRecord);
+  if (!dead_at(owner, at_step))
+    return ShardFetch{window_->rget_range(owner, offset, length, dest, pulls_),
+                      &*window_};
+  const int holder = (owner + 1) % p_;
+  if (dead_at(holder, at_step))
+    throw FaultUnrecoverable("shard " + std::to_string(owner) +
+                             ": owner and replica holder " +
+                             std::to_string(holder) + " both crashed");
+  return ShardFetch{
+      replica_window_->rget_range(holder, offset, length, dest, pulls_),
+      &*replica_window_};
+}
+
+std::span<const CandidateRecord> RingService::resident_records(
+    int shard, int at_step, const Flight& flight) {
+  if (shard == rank_) return {band_.data(), band_.size()};
+  const MassHistogram* histogram = shard_map_.histogram(shard);
+  if (histogram == nullptr) {
+    // Route-everything fallback (no histogram for this band): fetch whole.
+    ShardFetch fetch = fetch_shard(shard, at_step, fetch_buffer_);
+    fetch.window->wait(fetch.request);
+    return decode_records(fetch_buffer_, scratch_records_);
+  }
+  const auto [first, last] =
+      histogram->record_range(flight.fetch_lo, flight.fetch_hi);
+  if (first >= last) {
+    scratch_records_.clear();
+    return {scratch_records_.data(), scratch_records_.size()};
+  }
+  ShardFetch fetch =
+      fetch_shard_range(shard, at_step, first, last, fetch_buffer_);
+  fetch.window->wait(fetch.request);
+  return decode_records(fetch_buffer_, scratch_records_);
+}
+
 void RingService::admit(const ServiceBatch& batch) {
   const auto& cost = comm_.compute_model();
   Flight flight;
@@ -114,6 +226,52 @@ void RingService::admit(const ServiceBatch& batch) {
   for (int r = 0; r < p_; ++r)
     if (!dead_at(r, step_)) flight.ranks.push_back(r);
   MSP_CHECK_MSG(!flight.ranks.empty(), "service batch with no live ranks");
+
+  // Mass routing: every rank computes the full (member, shard) routing
+  // matrix from globally known inputs — the admitted ids, the member list,
+  // and the exchanged shard mass map — so the batch-wide audit counters
+  // agree everywhere and this rank's own row needs no communication. The
+  // map answers conservatively: a 0 is a proof the member's block matches
+  // nothing in that shard at the engine's tolerance.
+  flight.my_routed.assign(static_cast<std::size_t>(p_), 1);
+  if (routing_ && shard_map_.routes()) {
+    const double tolerance = engine_.config().tolerance_da;
+    std::vector<double> member_masses;
+    for (std::size_t m = 0; m < flight.ranks.size(); ++m) {
+      const QueryRange member_block =
+          query_block(flight.ids.size(), static_cast<int>(m),
+                      static_cast<int>(flight.ranks.size()));
+      if (member_block.count() == 0) continue;
+      member_masses.clear();
+      for (std::size_t i = member_block.begin; i < member_block.end; ++i) {
+        MSP_CHECK_MSG(flight.ids[i] < queries_.size(),
+                      "service batch query id out of range");
+        for (const double mass :
+             engine_.hypothesis_masses(queries_[flight.ids[i]]))
+          member_masses.push_back(mass);
+      }
+      for (int shard = 0; shard < p_; ++shard) {
+        const bool need = shard_map_.needed(shard, member_masses, tolerance);
+        if (flight.ranks[m] == rank_)
+          flight.my_routed[static_cast<std::size_t>(shard)] = need ? 1 : 0;
+        if (need)
+          ++flight.steps_visited;
+        else
+          ++flight.steps_skipped;
+      }
+    }
+    comm_.clock().charge_compute(static_cast<double>(flight.ranks.size()) *
+                                 static_cast<double>(p_) *
+                                 cost.seconds_per_route_check);
+  } else {
+    // Unrouted: every member with a block visits all p shards. Keeps the
+    // audit columns meaningful (skip ratio 0) in unrouted runs.
+    for (std::size_t m = 0; m < flight.ranks.size(); ++m)
+      if (query_block(flight.ids.size(), static_cast<int>(m),
+                      static_cast<int>(flight.ranks.size()))
+              .count() > 0)
+        flight.steps_visited += static_cast<std::uint64_t>(p_);
+  }
 
   const auto member =
       std::find(flight.ranks.begin(), flight.ranks.end(), rank_);
@@ -135,10 +293,23 @@ void RingService::admit(const ServiceBatch& batch) {
       flight.prepared = engine_.prepare(gathered);
       comm_.clock().charge_compute(static_cast<double>(gathered.size()) *
                                    cost.seconds_per_query_prep);
+      // The block's query-mass window: visited-band partial fetches are
+      // clipped to it (the scoring merge-join re-applies the exact
+      // per-query predicates, so over-fetch is only a time cost).
+      flight.fetch_lo =
+          flight.prepared.min_mass() - engine_.config().tolerance_da;
+      flight.fetch_hi =
+          flight.prepared.max_mass() + engine_.config().tolerance_da;
       flight.tops.reserve(flight.block.count());
       for (std::size_t q = 0; q < flight.block.count(); ++q)
         flight.tops.emplace_back(engine_.config().tau,
                                  static_cast<std::size_t>(p_));
+      // Shards the router proved empty are recorded as skipped up front:
+      // completion accounting stays exact while step() never touches them.
+      for (int shard = 0; shard < p_; ++shard)
+        if (!flight.my_routed[static_cast<std::size_t>(shard)])
+          for (IncrementalTopK<Hit>& top : flight.tops)
+            top.skip(static_cast<std::size_t>(shard));
     }
     comm_.trace_serve(sim::SpanKind::kServeDispatch,
                       "batch " + std::to_string(batch.id) + ": " +
@@ -157,58 +328,103 @@ ServiceStepOutcome RingService::step(bool prefetch_next) {
     comm_.mark_crashed("serve step " + std::to_string(s));
 
   if (!dead) {
-    // Make this step's shard resident. While the ring stays busy the
-    // previous step's prefetch already delivered it; after an idle gap (or
-    // a declined prefetch hint) fetch it blocking — fully exposed, exactly
-    // the cost the masked path avoids.
     const int shard = (rank_ + s) % p_;
-    if (shard != rank_ && comp_shard_ != shard) {
-      ShardFetch fetch = fetch_shard(shard, s, comp_buffer_);
-      fetch.window->wait(fetch.request);
-      comp_shard_ = shard;
-    }
-    PackedShard fetched;
-    const ProteinDatabase* shard_db = &local_db_;
-    const CandidateIndex* shard_index = &local_index_;
-    if (shard != rank_) {
-      fetched = unpack_shard(comp_buffer_);
-      shard_db = &fetched.db;
-      shard_index = fetched.has_index ? &fetched.index : nullptr;
-    }
+    // The router's verdict for this step on this rank: the band must be
+    // visited when any in-flight block may hold a candidate in it. A pure
+    // function of admit-time state, so reruns and thread counts agree.
+    bool need_shard = !routing_;
+    if (routing_)
+      for (const Flight& flight : flights_)
+        if (flight.block.count() > 0 &&
+            flight.my_routed[static_cast<std::size_t>(shard)])
+          need_shard = true;
 
-    // Masked prefetch of the next step's shard under this step's scoring
-    // (Algorithm A's A2 pattern, amortized over every in-flight batch). The
-    // ring knows a next step is coming whenever a flight outlives this one;
-    // the hint covers dispatches only the serving layer can foresee. The
-    // step counter alone decides which shard each step scores, so a
-    // prefetched shard is never the wrong one — it is exactly step s + 1's.
-    bool continues = prefetch_next;
-    for (const Flight& flight : flights_)
-      if (s < flight.first_step + p_ - 1) continues = true;
-    ShardFetch prefetch;
-    const int next_shard = (rank_ + s + 1) % p_;
-    if (continues && next_shard != rank_)
-      prefetch = fetch_shard(next_shard, s, recv_buffer_);
+    if (!need_shard) {
+      // Routed-away step: the constant decision cost only — no band
+      // fetch, no decode, no scoring. The fence below still runs, so the
+      // lockstep boundary contract is untouched.
+      comm_.clock().charge_compute(cost.seconds_per_route_check);
+      comm_.bump("route_steps_skipped", 1);
+      comm_.trace_serve(sim::SpanKind::kServeRouteSkip,
+                        "step " + std::to_string(s) + ": shard " +
+                            std::to_string(shard) + " routed away");
+    } else if (routing_) {
+      comm_.clock().charge_compute(cost.seconds_per_route_check);
+      comm_.bump("route_steps_visited", 1);
+      // Routed visit: each needed flight fetches only its matching record
+      // range of the band (histogram prefix sums bound it), scores it, and
+      // moves on — a few KB per flight instead of the whole band, so no
+      // masked prefetch chain is worth its buffer here.
+      for (Flight& flight : flights_) {
+        if (flight.block.count() == 0 ||
+            !flight.my_routed[static_cast<std::size_t>(shard)])
+          continue;  // admit() already recorded the skip in its tops
+        const std::span<const CandidateRecord> resident =
+            resident_records(shard, s, flight);
+        std::vector<TopK<Hit>> shard_tops =
+            engine_.make_tops(flight.block.count());
+        const ShardSearchStats stats =
+            engine_.search_records(resident, flight.prepared, shard_tops);
+        comm_.clock().charge_compute(kernel_cost_seconds(stats, cost));
+        comm_.bump("candidates", stats.candidates_evaluated);
+        comm_.bump("prefiltered", stats.candidates_prefiltered);
+        comm_.bump("offers", stats.hits_offered);
+        comm_.bump("ions", stats.ions_built);
+        for (std::size_t q = 0; q < flight.block.count(); ++q)
+          flight.tops[q].absorb(static_cast<std::size_t>(shard),
+                                shard_tops[q]);
+      }
+    } else {
+      // Unrouted visit: make the whole band resident. While the ring stays
+      // busy the previous step's prefetch already delivered it; after an
+      // idle gap or a declined prefetch hint, fetch it blocking — fully
+      // exposed, exactly the cost the masked path avoids.
+      if (shard != rank_ && comp_shard_ != shard) {
+        ShardFetch fetch = fetch_shard(shard, s, comp_buffer_);
+        fetch.window->wait(fetch.request);
+        comp_shard_ = shard;
+      }
+      const std::span<const CandidateRecord> resident =
+          shard == rank_
+              ? std::span<const CandidateRecord>(band_.data(), band_.size())
+              : decode_records(comp_buffer_, scratch_records_);
 
-    for (Flight& flight : flights_) {
-      if (flight.block.count() == 0) continue;
-      std::vector<TopK<Hit>> shard_tops =
-          engine_.make_tops(flight.block.count());
-      const ShardSearchStats stats = engine_.search_shard(
-          *shard_db, flight.prepared, shard_tops, nullptr, shard_index);
-      comm_.clock().charge_compute(kernel_cost_seconds(stats, cost));
-      comm_.bump("candidates", stats.candidates_evaluated);
-      comm_.bump("prefiltered", stats.candidates_prefiltered);
-      comm_.bump("offers", stats.hits_offered);
-      comm_.bump("ions", stats.ions_built);
-      for (std::size_t q = 0; q < flight.block.count(); ++q)
-        flight.tops[q].absorb(static_cast<std::size_t>(shard), shard_tops[q]);
-    }
+      // Masked prefetch of the next step's band under this step's scoring
+      // (Algorithm A's A2 pattern, amortized over every in-flight batch).
+      // The ring knows a next step is coming whenever a flight outlives
+      // this one; the hint covers dispatches only the serving layer can
+      // foresee. The step counter alone decides which shard each step
+      // scores, so a prefetched band is never the wrong one — it is
+      // exactly step s + 1's.
+      const int next_shard = (rank_ + s + 1) % p_;
+      bool continues = prefetch_next;
+      for (const Flight& flight : flights_)
+        if (s < flight.first_step + p_ - 1) continues = true;
+      ShardFetch prefetch;
+      if (continues && next_shard != rank_)
+        prefetch = fetch_shard(next_shard, s, recv_buffer_);
 
-    if (prefetch.request.active) {
-      prefetch.window->wait(prefetch.request);
-      std::swap(comp_buffer_, recv_buffer_);
-      comp_shard_ = next_shard;
+      for (Flight& flight : flights_) {
+        if (flight.block.count() == 0) continue;
+        std::vector<TopK<Hit>> shard_tops =
+            engine_.make_tops(flight.block.count());
+        const ShardSearchStats stats =
+            engine_.search_records(resident, flight.prepared, shard_tops);
+        comm_.clock().charge_compute(kernel_cost_seconds(stats, cost));
+        comm_.bump("candidates", stats.candidates_evaluated);
+        comm_.bump("prefiltered", stats.candidates_prefiltered);
+        comm_.bump("offers", stats.hits_offered);
+        comm_.bump("ions", stats.ions_built);
+        for (std::size_t q = 0; q < flight.block.count(); ++q)
+          flight.tops[q].absorb(static_cast<std::size_t>(shard),
+                                shard_tops[q]);
+      }
+
+      if (prefetch.request.active) {
+        prefetch.window->wait(prefetch.request);
+        std::swap(comp_buffer_, recv_buffer_);
+        comp_shard_ = next_shard;
+      }
     }
   }
   // Every rank — zombies included — attends the fence: this is both the
@@ -285,7 +501,12 @@ ServiceStepOutcome RingService::step(bool prefetch_next) {
         comm_.release_alloc(flight.alloc_bytes);
       }
     }
-    out.published.emplace_back(flight.batch_id, std::move(published));
+    PublishedBatch record;
+    record.batch_id = flight.batch_id;
+    record.query_ids = std::move(published);
+    record.steps_visited = flight.steps_visited;
+    record.steps_skipped = flight.steps_skipped;
+    out.published.push_back(std::move(record));
     it = flights_.erase(it);
   }
 

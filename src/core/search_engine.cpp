@@ -63,6 +63,21 @@ PreparedQueries SearchEngine::prepare(std::span<const Spectrum> queries) const {
   return prepared;
 }
 
+std::vector<double> SearchEngine::hypothesis_masses(
+    const Spectrum& query) const {
+  std::vector<double> masses;
+  if (config_.try_alternate_charges) {
+    masses.reserve(config_.charge_hypotheses.size());
+    for (const int z : config_.charge_hypotheses) {
+      MSP_CHECK_MSG(z >= 1, "charge hypotheses must be >= 1");
+      masses.push_back(mass_from_mz(query.precursor_mz(), z));
+    }
+  } else {
+    masses.push_back(query.parent_mass());
+  }
+  return masses;
+}
+
 double SearchEngine::score_candidate(const QueryContext& context,
                                      std::string_view peptide) const {
   switch (config_.model) {
@@ -288,6 +303,91 @@ ShardSearchStats SearchEngine::search_shard(
     if (per_query_candidates)
       for (std::size_t q = 0; q < state.per_query.size(); ++q)
         (*per_query_candidates)[q] += state.per_query[q];
+  }
+  return stats;
+}
+
+ShardSearchStats SearchEngine::search_records(
+    std::span<const CandidateRecord> records, const PreparedQueries& queries,
+    std::span<TopK<Hit>> tops) const {
+  MSP_CHECK_MSG(tops.size() == queries.size(),
+                "tops arity must match query arity");
+  ShardSearchStats stats;
+  if (queries.size() == 0 || records.empty()) return stats;
+
+  const double delta = config_.tolerance_da;
+  const std::vector<double>& sorted = queries.sorted_masses;
+
+  // Trim the record span to the query envelope, then merge-join — the same
+  // forward-sliding window and boundary predicates as search_index_block.
+  const double query_mass_floor = queries.min_mass() - delta;
+  const double query_mass_ceil = queries.max_mass() + delta;
+  std::size_t first = static_cast<std::size_t>(
+      std::lower_bound(records.begin(), records.end(), query_mass_floor,
+                       [](const CandidateRecord& record, double mass) {
+                         return record.mass < mass;
+                       }) -
+      records.begin());
+  std::size_t last = first;
+  while (last < records.size() && records[last].mass <= query_mass_ceil)
+    ++last;
+  if (first >= last) return stats;
+
+  std::size_t lo = static_cast<std::size_t>(
+      std::lower_bound(sorted.begin(), sorted.end(),
+                       records[first].mass - delta) -
+      sorted.begin());
+  std::size_t hi = lo;
+
+  FragmentIonWorkspace workspace;
+  const TheoreticalOptions ion_options;  // same defaults as the index path
+
+  for (std::size_t e = first; e < last; ++e) {
+    const CandidateRecord& record = records[e];
+    const double mass = record.mass;
+    while (lo < sorted.size() && sorted[lo] < mass - delta) ++lo;
+    if (hi < lo) hi = lo;
+    while (hi < sorted.size() && sorted[hi] <= mass + delta) ++hi;
+    if (lo == hi) continue;
+
+    const std::string_view peptide(record.peptide, record.length);
+    const std::vector<FragmentIon>* ions = nullptr;
+
+    for (std::size_t pos = lo; pos < hi; ++pos) {
+      const std::uint32_t q = queries.order[pos];
+      if (ions == nullptr) {
+        ions = &fragment_ions_into(peptide, ion_options, workspace);
+        ++stats.ions_built;
+      }
+      double score;
+      if (config_.prefilter) {
+        const std::size_t shared =
+            shared_peak_count(queries.contexts[q].binned(), *ions);
+        if (shared < config_.prefilter_min_shared_peaks) {
+          ++stats.candidates_prefiltered;
+          continue;  // the aggressive screen: never fully scored
+        }
+        score = config_.model == ScoreModel::kSharedPeak
+                    ? static_cast<double>(shared)
+                    : score_candidate(queries.contexts[q], peptide, *ions);
+      } else {
+        score = score_candidate(queries.contexts[q], peptide, *ions);
+      }
+      ++stats.candidates_evaluated;
+      if (score < config_.score_cutoff) continue;
+      ++stats.hits_offered;
+      TopK<Hit>& top = tops[q];
+      if (top.full() && score < top.cutoff()) continue;
+      Hit hit;
+      hit.score = score;
+      hit.protein_id = record.protein_id;  // NUL-padded → C string
+      hit.offset = record.offset;
+      hit.length = record.length;
+      hit.end = static_cast<FragmentEnd>(record.end);
+      hit.mass = mass;
+      hit.peptide = std::string(peptide);
+      top.offer(hit);
+    }
   }
   return stats;
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "core/candidate_index.hpp"
+#include "core/candidate_record.hpp"
 #include "core/config.hpp"
 #include "core/hit.hpp"
 #include "mass/peptide.hpp"
@@ -101,6 +102,14 @@ class SearchEngine {
   /// Preprocess and index a query set (any subset of the global queries).
   PreparedQueries prepare(std::span<const Spectrum> queries) const;
 
+  /// The parent-mass hypotheses one raw query contributes — exactly the
+  /// enumeration prepare() feeds the kernel (one per charge hypothesis when
+  /// try_alternate_charges is on, else the reported parent mass), computable
+  /// without preprocessing since preprocessing never alters the precursor.
+  /// This is what mass routing matches against shard histograms: routing
+  /// and scoring must window on the same masses.
+  std::vector<double> hypothesis_masses(const Spectrum& query) const;
+
   /// Score every candidate of `shard` against every matching query in
   /// `queries`, updating tops[q]. tops.size() must equal queries.size().
   /// If `per_query_candidates` is non-null it accumulates, per query, the
@@ -119,6 +128,18 @@ class SearchEngine {
       std::span<TopK<Hit>> tops,
       std::vector<std::uint64_t>* per_query_candidates = nullptr,
       const CandidateIndex* index = nullptr) const;
+
+  /// The record-array form of the candidate-centric kernel: merge-joins a
+  /// mass-ascending CandidateRecord span (a band of the serving ring's
+  /// sorted record layout, or any partial fetch of one) against the sorted
+  /// query hypotheses, with the same window predicates, lazy one-build-per-
+  /// candidate ion generation, prefilter screen, and hit admission as
+  /// search_shard() — scores and hits are bit-identical to scoring the same
+  /// candidates through the index path. Single-threaded: a band visit
+  /// touches few records, so there is nothing to fan out.
+  ShardSearchStats search_records(std::span<const CandidateRecord> records,
+                                  const PreparedQueries& queries,
+                                  std::span<TopK<Hit>> tops) const;
 
   /// The original database-walking kernel (re-enumerates candidates and
   /// regenerates ions per scoring call). Kept as the ground truth the

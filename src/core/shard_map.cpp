@@ -1,0 +1,243 @@
+#include "core/shard_map.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/wire.hpp"
+#include "simmpi/comm.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+namespace {
+
+// Leads the histogram record in a shard pack (and the exchange payload).
+// "MSPARHST" in ASCII — distinct from the indexed-shard magic.
+constexpr std::uint64_t kHistogramMagic = 0x4D53504152485354ull;
+constexpr std::uint32_t kHistogramVersion = 1;
+
+}  // namespace
+
+namespace {
+
+/// Shared accumulation loop over a mass-ascending sequence: buckets come
+/// out index-ascending in one pass, the grid extent fixed by the extremes.
+MassHistogram build_from_sorted_masses(double front_mass, double back_mass,
+                                       std::span<const double> masses,
+                                       double width) {
+  MassHistogram histogram;
+  histogram.bucket_width = width;
+  if (masses.empty()) return histogram;
+  histogram.min_mass = front_mass;
+  const double span = back_mass - histogram.min_mass;
+  histogram.bucket_count = static_cast<std::uint64_t>(span / width) + 1;
+  for (const double mass : masses) {
+    const auto bucket = static_cast<std::uint32_t>(
+        std::min(static_cast<double>(histogram.bucket_count - 1),
+                 (mass - histogram.min_mass) / width));
+    if (!histogram.buckets.empty() &&
+        histogram.buckets.back().index == bucket) {
+      // Saturate rather than wrap: routing only asks "nonzero?". (A
+      // saturated count would make record_range inexact — the serving ring
+      // guards by checking total() against its band size.)
+      if (histogram.buckets.back().count != UINT32_MAX)
+        ++histogram.buckets.back().count;
+    } else {
+      MSP_CHECK_MSG(histogram.buckets.empty() ||
+                        bucket > histogram.buckets.back().index,
+                    "histogram masses must be non-decreasing");
+      histogram.buckets.push_back(MassBucket{bucket, 1});
+    }
+  }
+  return histogram;
+}
+
+}  // namespace
+
+MassHistogram MassHistogram::build(const CandidateIndex& index, double width) {
+  MSP_CHECK_MSG(width > 0.0 && std::isfinite(width),
+                "histogram bucket width must be positive and finite");
+  const std::vector<IndexedCandidate>& entries = index.entries();
+  std::vector<double> masses;
+  masses.reserve(entries.size());
+  for (const IndexedCandidate& entry : entries) masses.push_back(entry.mass);
+  if (masses.empty()) {
+    MassHistogram histogram;
+    histogram.bucket_width = width;
+    return histogram;
+  }
+  return build_from_sorted_masses(masses.front(), masses.back(), masses,
+                                  width);
+}
+
+MassHistogram MassHistogram::build(std::span<const double> masses,
+                                   double width) {
+  MSP_CHECK_MSG(width > 0.0 && std::isfinite(width),
+                "histogram bucket width must be positive and finite");
+  if (masses.empty()) {
+    MassHistogram histogram;
+    histogram.bucket_width = width;
+    return histogram;
+  }
+  return build_from_sorted_masses(masses.front(), masses.back(), masses,
+                                  width);
+}
+
+std::uint64_t MassHistogram::total() const {
+  std::uint64_t total = 0;
+  for (const MassBucket& bucket : buckets) total += bucket.count;
+  return total;
+}
+
+bool MassHistogram::occupied(double lo, double hi) const {
+  if (buckets.empty() || hi < lo) return false;
+  // Widen by one bucket per side before the grid test so boundary rounding
+  // can only produce false positives, never a wrong skip.
+  const double lo_bucket = std::floor((lo - min_mass) / bucket_width) - 1.0;
+  const double hi_bucket = std::floor((hi - min_mass) / bucket_width) + 1.0;
+  if (hi_bucket < 0.0) return false;
+  const std::uint32_t last = buckets.back().index;
+  if (lo_bucket > static_cast<double>(last)) return false;
+  const std::uint32_t first_wanted =
+      lo_bucket <= 0.0 ? 0 : static_cast<std::uint32_t>(lo_bucket);
+  const auto it = std::lower_bound(
+      buckets.begin(), buckets.end(), first_wanted,
+      [](const MassBucket& bucket, std::uint32_t want) {
+        return bucket.index < want;
+      });
+  return it != buckets.end() &&
+         static_cast<double>(it->index) <= hi_bucket;
+}
+
+std::pair<std::uint64_t, std::uint64_t> MassHistogram::record_range(
+    double lo, double hi) const {
+  if (buckets.empty() || hi < lo) return {0, 0};
+  // The same ±1-bucket widening as occupied(): rounding at the window edges
+  // can only widen the returned range, never drop a matching record.
+  const double lo_bucket = std::floor((lo - min_mass) / bucket_width) - 1.0;
+  const double hi_bucket = std::floor((hi - min_mass) / bucket_width) + 1.0;
+  if (hi_bucket < 0.0) return {0, 0};
+  // Prefix sums over the sparse encoding: records are bucket-ascending in
+  // the summarized array, so "count of records in buckets < b" is the index
+  // of the first record at or above bucket b.
+  std::uint64_t first = 0;
+  std::uint64_t last = 0;
+  for (const MassBucket& bucket : buckets) {
+    if (static_cast<double>(bucket.index) < lo_bucket)
+      first += bucket.count;
+    if (static_cast<double>(bucket.index) <= hi_bucket)
+      last += bucket.count;
+    else
+      break;
+  }
+  return {first, last};
+}
+
+void put_histogram(wire::Writer& writer, const MassHistogram& histogram) {
+  writer.put_u64(kHistogramMagic);
+  writer.put_u32(kHistogramVersion);
+  writer.put_double(histogram.bucket_width);
+  writer.put_double(histogram.min_mass);
+  writer.put_u64(histogram.bucket_count);
+  writer.put_u64(histogram.buckets.size());
+  writer.reserve(histogram.buckets.size() * 2 * sizeof(std::uint32_t));
+  for (const MassBucket& bucket : histogram.buckets) {
+    writer.put_u32(bucket.index);
+    writer.put_u32(bucket.count);
+  }
+}
+
+bool peek_histogram(wire::Reader& reader) {
+  return reader.remaining() >= sizeof(std::uint64_t) &&
+         reader.peek_u64() == kHistogramMagic;
+}
+
+MassHistogram get_histogram(wire::Reader& reader) {
+  if (reader.get_u64() != kHistogramMagic)
+    throw IoError("shard mass histogram: bad magic");
+  const std::uint32_t version = reader.get_u32();
+  if (version != kHistogramVersion)
+    throw IoError("shard mass histogram: unsupported version " +
+                  std::to_string(version));
+  MassHistogram histogram;
+  histogram.bucket_width = reader.get_double();
+  histogram.min_mass = reader.get_double();
+  histogram.bucket_count = reader.get_u64();
+  const std::uint64_t nonzero = reader.get_u64();
+  if (!(histogram.bucket_width > 0.0) ||
+      !std::isfinite(histogram.bucket_width))
+    throw IoError("shard mass histogram: bucket width must be positive "
+                  "and finite");
+  if (!std::isfinite(histogram.min_mass))
+    throw IoError("shard mass histogram: min mass must be finite");
+  if (nonzero > histogram.bucket_count)
+    throw IoError("shard mass histogram: more nonzero buckets than the "
+                  "grid holds");
+  histogram.buckets.reserve(nonzero);
+  for (std::uint64_t i = 0; i < nonzero; ++i) {
+    MassBucket bucket;
+    bucket.index = reader.get_u32();
+    bucket.count = reader.get_u32();
+    if (bucket.count == 0)
+      throw IoError("shard mass histogram: zero-count bucket in sparse "
+                    "encoding");
+    if (bucket.index >= histogram.bucket_count)
+      throw IoError("shard mass histogram: bucket index " +
+                    std::to_string(bucket.index) + " outside grid of " +
+                    std::to_string(histogram.bucket_count));
+    if (!histogram.buckets.empty() &&
+        bucket.index <= histogram.buckets.back().index)
+      throw IoError("shard mass histogram: bucket indices must be strictly "
+                    "ascending");
+    histogram.buckets.push_back(bucket);
+  }
+  return histogram;
+}
+
+ShardMassMap ShardMassMap::exchange(sim::Comm& comm,
+                                    const MassHistogram& local) {
+  wire::Writer writer;
+  put_histogram(writer, local);
+  const std::vector<char> mine = writer.take();
+
+  const int p = comm.size();
+  std::vector<std::optional<MassHistogram>> shards(
+      static_cast<std::size_t>(p));
+  for (int r = 0; r < p; ++r) {
+    const std::vector<char> bytes = comm.bcast(r, mine);
+    wire::Reader reader(bytes);
+    shards[static_cast<std::size_t>(r)] = get_histogram(reader);
+    if (!reader.exhausted())
+      throw IoError("shard mass histogram: trailing bytes in exchange "
+                    "payload");
+  }
+  return ShardMassMap(std::move(shards));
+}
+
+bool ShardMassMap::known(int shard) const {
+  return shard >= 0 && shard < shard_count() &&
+         shards_[static_cast<std::size_t>(shard)].has_value();
+}
+
+const MassHistogram* ShardMassMap::histogram(int shard) const {
+  return known(shard) ? &*shards_[static_cast<std::size_t>(shard)] : nullptr;
+}
+
+bool ShardMassMap::routes() const {
+  return std::any_of(shards_.begin(), shards_.end(),
+                     [](const std::optional<MassHistogram>& h) {
+                       return h.has_value();
+                     });
+}
+
+bool ShardMassMap::needed(int shard,
+                          std::span<const double> hypothesis_masses,
+                          double tolerance_da) const {
+  const MassHistogram* hist = histogram(shard);
+  if (hist == nullptr) return true;  // unknown: visiting is always safe
+  for (const double mass : hypothesis_masses)
+    if (hist->occupied(mass - tolerance_da, mass + tolerance_da)) return true;
+  return false;
+}
+
+}  // namespace msp

@@ -38,6 +38,16 @@ class IncrementalTopK {
     running_.merge(partial);
   }
 
+  /// Record that shard `shard` provably contributes nothing (the mass
+  /// router's skip): counts toward completion without merging — identical
+  /// to absorbing an empty partial list.
+  void skip(std::size_t shard) {
+    MSP_CHECK_MSG(shard < seen_.size(), "shard id out of range");
+    MSP_CHECK_MSG(!seen_[shard], "shard absorbed twice");
+    seen_[shard] = true;
+    ++absorbed_;
+  }
+
   std::size_t absorbed() const { return absorbed_; }
   std::size_t shard_count() const { return seen_.size(); }
   bool complete() const { return absorbed_ == seen_.size(); }

@@ -123,11 +123,12 @@ class Controller {
 
   /// Fold one ring step's outcome back into the control plane.
   void on_step(const ServiceStepOutcome& out) {
-    for (const auto& [batch_id, ids] : out.published) {
-      (void)batch_id;
-      for (const std::size_t id : ids)
+    for (const PublishedBatch& batch : out.published) {
+      for (const std::size_t id : batch.query_ids)
         outcomes_[id].complete_s = out.boundary_time;
-      admission_.release(ids.size());
+      admission_.release(batch.query_ids.size());
+      batch_routes_.push_back(BatchRouteStats{
+          batch.batch_id, batch.steps_visited, batch.steps_skipped});
     }
     for (const std::size_t id : out.orphaned) orphans_.push_back(id);
   }
@@ -147,6 +148,7 @@ class Controller {
   }
 
   std::vector<QueryOutcome>& outcomes() { return outcomes_; }
+  std::vector<BatchRouteStats>& batch_routes() { return batch_routes_; }
   std::size_t shed_count() const { return shed_; }
   std::size_t batches_dispatched() const { return batches_dispatched_; }
 
@@ -161,12 +163,14 @@ class Controller {
   std::deque<std::size_t> waiting_;  ///< kDelay backpressure queue
   std::deque<std::size_t> orphans_;  ///< crash orphans awaiting re-admission
   std::deque<std::vector<std::size_t>> ready_;  ///< closed, undispatched
+  std::vector<BatchRouteStats> batch_routes_;  ///< publication order
   std::size_t batches_dispatched_ = 0;
   std::size_t shed_ = 0;
 };
 
 struct BodyOutput {
   std::vector<QueryOutcome> outcomes;
+  std::vector<BatchRouteStats> batch_routes;
   std::size_t shed = 0;
   std::size_t batches = 0;
   int ring_steps = 0;
@@ -180,7 +184,8 @@ void service_body(sim::Comm& comm, const std::string& fasta_image,
   RingService ring(comm,
                    fasta_image,
                    std::span<const Spectrum>(queries.data(), queries.size()),
-                   engine, all_hits);
+                   engine, all_hits, options.mass_routing,
+                   options.route_bucket_da);
   Controller ctl(comm, arrivals, options);
 
   // The service event loop. `boundary` only ever takes fence-aligned values
@@ -213,6 +218,7 @@ void service_body(sim::Comm& comm, const std::string& fasta_image,
 
   if (comm.rank() == 0) {
     output.outcomes = std::move(ctl.outcomes());
+    output.batch_routes = std::move(ctl.batch_routes());
     output.shed = ctl.shed_count();
     output.batches = ctl.batches_dispatched();
     output.ring_steps = ring.steps_done();
@@ -259,9 +265,18 @@ ServiceResult run_service(const sim::Runtime& runtime,
   result.report = std::move(report);
   result.hits = std::move(all_hits);
   result.outcomes = std::move(output.outcomes);
+  result.batch_routes = std::move(output.batch_routes);
   result.shed = output.shed;
   result.batches = output.batches;
   result.ring_steps = output.ring_steps;
+  for (const BatchRouteStats& route : result.batch_routes) {
+    result.steps_visited += route.steps_visited;
+    result.steps_skipped += route.steps_skipped;
+  }
+  if (result.steps_visited + result.steps_skipped > 0)
+    result.skip_ratio =
+        static_cast<double>(result.steps_skipped) /
+        static_cast<double>(result.steps_visited + result.steps_skipped);
 
   std::vector<double> latencies;
   for (const QueryOutcome& outcome : result.outcomes) {

@@ -27,6 +27,7 @@
 
 #include "core/config.hpp"
 #include "core/hit.hpp"
+#include "core/ring_service.hpp"
 #include "serve/admission.hpp"
 #include "serve/arrival.hpp"
 #include "serve/batcher.hpp"
@@ -50,6 +51,17 @@ struct ServiceOptions {
   BatchPolicy batch;
   AdmissionPolicy admission;
   DispatchMode mode = DispatchMode::kMultiBatchRing;
+  /// Route batches through the global shard mass map: ring steps whose
+  /// shard provably holds no candidate for any in-flight block are skipped
+  /// at a constant decision cost (no fetch, no scoring), and visited bands
+  /// are fetched partially (only the matching record range). Hits are
+  /// bit-identical with routing on or off; only time and the audit
+  /// counters change.
+  bool mass_routing = true;
+  /// Bucket width (Da) of the per-band mass histograms the ring exchanges
+  /// for routing. Coarser = smaller exchange payload, slightly wider
+  /// partial fetches; never affects hits (see core/ring_service.hpp).
+  double route_bucket_da = kServeRouteBucketDa;
   /// Per-rank memory budget in bytes (0 disables). The admission cap is
   /// the deterministic guard that keeps runs under it; exceeding the budget
   /// anyway throws OutOfMemoryBudget, same as the batch drivers.
@@ -68,6 +80,14 @@ struct QueryOutcome {
   std::size_t batch_id = 0;        ///< last batch it rode (if dispatched)
 };
 
+/// Router audit for one published batch: its (member rank, shard) scoring
+/// slots the mass router visited vs proved empty and skipped.
+struct BatchRouteStats {
+  std::size_t batch_id = 0;
+  std::uint64_t steps_visited = 0;
+  std::uint64_t steps_skipped = 0;
+};
+
 struct ServiceResult {
   sim::RunReport report;
   QueryHits hits;  ///< hits[q] best-first; empty for shed queries
@@ -77,6 +97,13 @@ struct ServiceResult {
   std::size_t shed = 0;
   std::size_t batches = 0;  ///< batches dispatched into the ring
   int ring_steps = 0;
+  /// Per-batch router audit, in publication order (empty batches shed
+  /// before dispatch never appear). Aggregates below sum these.
+  std::vector<BatchRouteStats> batch_routes;
+  std::uint64_t steps_visited = 0;
+  std::uint64_t steps_skipped = 0;
+  /// skipped / (visited + skipped); 0 when nothing was dispatched.
+  double skip_ratio = 0.0;
   double makespan_s = 0.0;      ///< last publication boundary
   double throughput_qps = 0.0;  ///< completed / makespan
   LatencySummary latency;       ///< completion latency of completed queries

@@ -98,6 +98,10 @@ struct ComputeModel {
   double seconds_per_query_prep = 200e-6;
   /// Computing one sequence's parent m/z during Algorithm B's sort.
   double seconds_per_mz = 100e-9;
+  /// One mass-routing decision at a ring-step boundary (shard mass map
+  /// lookup). A routed-away step charges only this constant — no shard
+  /// fetch, no scoring.
+  double seconds_per_route_check = 1e-6;
   /// Writing one hit record to the (NFS) output file.
   double seconds_per_hit_output = 2e-6;
   /// Fraction of ρ spent *generating* a candidate (fragment masses + model

@@ -49,6 +49,7 @@ enum class SpanKind {
   kServeShed,      ///< arrivals shed by admission control
   kServeDispatch,  ///< batch dispatched into the service ring
   kServePublish,   ///< batch's last shard scored; results published
+  kServeRouteSkip, ///< ring step skipped by the shard mass map router
 };
 
 const char* span_kind_name(SpanKind kind);

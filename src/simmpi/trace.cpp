@@ -79,6 +79,7 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kServeShed: return "serve-shed";
     case SpanKind::kServeDispatch: return "serve-dispatch";
     case SpanKind::kServePublish: return "serve-publish";
+    case SpanKind::kServeRouteSkip: return "serve-route-skip";
   }
   return "?";
 }
@@ -95,6 +96,7 @@ int span_lane(SpanKind kind) {
     case SpanKind::kServeShed:
     case SpanKind::kServeDispatch:
     case SpanKind::kServePublish:
+    case SpanKind::kServeRouteSkip:
       return 3;
     default:
       return 0;
