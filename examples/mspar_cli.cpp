@@ -24,6 +24,7 @@
 #include "io/fasta.hpp"
 #include "io/mgf.hpp"
 #include "io/results_io.hpp"
+#include "mass/ptm.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/str.hpp"
@@ -41,9 +42,47 @@ void add_input_options(msp::Cli& cli) {
   cli.add_int("tau", 10, "hits reported per query");
   cli.add_double("tolerance", 3.0, "parent mass tolerance (Da)");
   cli.add_string("model", "likelihood", "likelihood|hyperscore|shared-peak");
+  cli.add_double("open-window-da", 0.0,
+                 "widen the precursor window by this many Da on each side "
+                 "(open search; 0 = narrow)");
+  cli.add_string("ptm-set", "",
+                 "comma-separated variable modifications widening the "
+                 "window: phospho-s|phospho-t|phospho-st|oxidation-m|"
+                 "acetyl-k");
   cli.add_int("synth-db", 0, "generate this many synthetic proteins");
   cli.add_int("synth-queries", 0, "generate this many synthetic spectra");
   cli.add_int("seed", 1, "seed for synthetic inputs");
+}
+
+/// Parse --ptm-set into Ptm rules; unknown names are usage errors.
+std::vector<msp::Ptm> ptms_from_cli(const msp::Cli& cli) {
+  std::vector<msp::Ptm> rules;
+  for (const std::string& name : msp::split(cli.get_string("ptm-set"), ',')) {
+    if (name.empty()) continue;
+    if (name == "phospho-s") {
+      rules.push_back(msp::ptm_phospho_s());
+    } else if (name == "phospho-t") {
+      rules.push_back(msp::ptm_phospho_t());
+    } else if (name == "phospho-st") {
+      rules.push_back(msp::ptm_phospho_s());
+      rules.push_back(msp::ptm_phospho_t());
+    } else if (name == "oxidation-m") {
+      rules.push_back(msp::ptm_oxidation_m());
+    } else if (name == "acetyl-k") {
+      rules.push_back(msp::ptm_acetyl_k());
+    } else {
+      throw msp::InvalidArgument("unknown --ptm-set entry '" + name + "'");
+    }
+  }
+  return rules;
+}
+
+/// Apply the shared open-search flags onto a SearchConfig.
+void apply_open_options(const msp::Cli& cli, msp::SearchConfig& config) {
+  config.open_window_da = cli.get_double("open-window-da");
+  if (config.open_window_da < 0.0)
+    throw msp::InvalidArgument("--open-window-da must be non-negative");
+  config.ptms = ptms_from_cli(cli);
 }
 
 struct Inputs {
@@ -109,6 +148,7 @@ int run_search(int argc, const char* const* argv) {
   options.config.tau = static_cast<std::size_t>(cli.get_int("tau"));
   options.config.tolerance_da = cli.get_double("tolerance");
   options.config.model = score_model_from_cli(cli);
+  apply_open_options(cli, options.config);
   const std::string candidates = cli.get_string("candidates");
   if (candidates == "tryptic")
     options.config.candidate_mode = msp::CandidateMode::kTryptic;
@@ -158,6 +198,7 @@ int run_serve(int argc, const char* const* argv) {
   config.tau = static_cast<std::size_t>(cli.get_int("tau"));
   config.tolerance_da = cli.get_double("tolerance");
   config.model = score_model_from_cli(cli);
+  apply_open_options(cli, config);
   // The banded serving ring stores candidates as fixed-width records
   // (core/candidate_record.hpp), which cap peptide length at 63 residues.
   const std::size_t record_cap = sizeof(msp::CandidateRecord{}.peptide) - 1;

@@ -76,6 +76,21 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
       CandidateIndex::build(local_db, engine.config());
   comm.clock().charge_compute(static_cast<double>(local_index.size()) *
                               cost.seconds_per_mz);
+  // Open search ships a fragment-ion index next to the candidate index so
+  // every rank the rotation delivers the shard to gets indexed lookups
+  // instead of exhaustive enumeration. Build cost is one mass computation
+  // per posting (= per theoretical ion), the same unit as the index build.
+  const bool ship_fragment =
+      engine.config().open_search() &&
+      engine.config().candidate_source != CandidateSourceKind::kMassWindow;
+  FragmentIndex local_fragment;
+  if (ship_fragment) {
+    local_fragment =
+        FragmentIndex::build(local_db, local_index, engine.config().bin_width);
+    comm.clock().charge_compute(
+        static_cast<double>(local_fragment.posting_count()) *
+        cost.seconds_per_mz);
+  }
   // Mass routing (shared with the serving ring): the shard's bucketed mass
   // histogram rides in the pack trailer, and a collective exchange leaves
   // every rank holding the identical global shard mass map before the
@@ -85,10 +100,15 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   std::vector<char> local_pack;
   if (options.mass_routing) {
     const MassHistogram local_histogram = MassHistogram::build(local_index);
-    local_pack = pack_database(local_db, local_index, local_histogram);
+    local_pack = ship_fragment
+                     ? pack_database(local_db, local_index, local_histogram,
+                                     local_fragment)
+                     : pack_database(local_db, local_index, local_histogram);
     shard_map = ShardMassMap::exchange(comm, local_histogram);
   } else {
-    local_pack = pack_database(local_db, local_index);
+    local_pack = ship_fragment
+                     ? pack_database(local_db, local_index, local_fragment)
+                     : pack_database(local_db, local_index);
   }
   comm.charge_alloc(local_pack.size());  // D_local (window)
   sim::Window window(comm, local_pack);
@@ -151,10 +171,13 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
     std::uint64_t visited = 0;
     std::uint64_t skipped = 0;
     for (int j = 0; j < p; ++j) {
+      // Open search widens the scoring window asymmetrically (PTM deltas
+      // shift the observed mass); routing must widen identically or a skip
+      // could hide a modified match.
       const bool need =
-          shard_map.needed(j,
-                           std::span<const double>(prepared.sorted_masses),
-                           engine.config().tolerance_da);
+          shard_map.needed(j, std::span<const double>(prepared.sorted_masses),
+                           engine.config().window_below(),
+                           engine.config().window_above());
       shard_needed[static_cast<std::size_t>(j)] = need ? 1 : 0;
       if (need)
         ++visited;
@@ -215,13 +238,20 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
     const CandidateIndex* shard_index =
         current == rank ? &local_index
                         : (fetched.has_index ? &fetched.index : nullptr);
-    const ShardSearchStats stats =
-        engine.search_shard(shard_db, prepared, tops, nullptr, shard_index);
+    // A fetched legacy pack carries no fragment record → null → the kernel
+    // falls back to exhaustive open enumeration for that shard.
+    const FragmentIndex* shard_fragment =
+        current == rank ? (ship_fragment ? &local_fragment : nullptr)
+                        : (fetched.has_fragment ? &fetched.fragment : nullptr);
+    const ShardSearchStats stats = engine.search_shard(
+        shard_db, prepared, tops, nullptr, shard_index, shard_fragment);
     comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
     comm.bump("candidates", stats.candidates_evaluated);
     comm.bump("prefiltered", stats.candidates_prefiltered);
     comm.bump("offers", stats.hits_offered);
     comm.bump("ions", stats.ions_built);
+    if (engine.config().open_search())
+      comm.bump("postings", stats.postings_scanned);
 
     if (options.mask && prefetch.request.active) {
       prefetch.window->wait(prefetch.request);
@@ -285,7 +315,7 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
           for (int j = 0; j < p; ++j) {
             const bool need = shard_map.needed(
                 j, std::span<const double>(orphan_prepared.sorted_masses),
-                engine.config().tolerance_da);
+                engine.config().window_below(), engine.config().window_above());
             orphan_needed[static_cast<std::size_t>(j)] = need ? 1 : 0;
             if (need)
               ++visited;
@@ -314,15 +344,28 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
           const CandidateIndex* shard_index =
               shard == rank ? &local_index
                             : (fetched.has_index ? &fetched.index : nullptr);
-          const ShardSearchStats stats = engine.search_shard(
-              shard_db, orphan_prepared, orphan_tops, nullptr, shard_index);
+          const FragmentIndex* shard_fragment =
+              shard == rank
+                  ? (ship_fragment ? &local_fragment : nullptr)
+                  : (fetched.has_fragment ? &fetched.fragment : nullptr);
+          const ShardSearchStats stats =
+              engine.search_shard(shard_db, orphan_prepared, orphan_tops,
+                                  nullptr, shard_index, shard_fragment);
           comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
           comm.bump("candidates", stats.candidates_evaluated);
           comm.bump("prefiltered", stats.candidates_prefiltered);
           comm.bump("ions", stats.ions_built);
+          if (engine.config().open_search())
+            comm.bump("postings", stats.postings_scanned);
         }
 
         QueryHits orphan_hits = engine.finalize(orphan_tops);
+        if (engine.config().open_search()) {
+          std::uint64_t misses = 0;
+          for (const std::vector<Hit>& hits : orphan_hits)
+            if (hits.empty()) ++misses;
+          comm.bump("open_index_miss_queries", misses);
+        }
         std::size_t reported = 0;
         for (std::size_t q = 0; q < orphan_hits.size(); ++q) {
           reported += orphan_hits[q].size();
@@ -349,6 +392,14 @@ void ring_search_body(sim::Comm& comm, const std::string& fasta_image,
   comm.trace_mark("A3 finalize");
   if (my_crash_step < 0) {
     QueryHits local_hits = engine.finalize(tops);
+    // Index-miss queries (no candidate cleared the vote gate anywhere) are
+    // the de novo fallback lane's input; the counter lets callers size it.
+    if (engine.config().open_search()) {
+      std::uint64_t misses = 0;
+      for (const std::vector<Hit>& hits : local_hits)
+        if (hits.empty()) ++misses;
+      comm.bump("open_index_miss_queries", misses);
+    }
     std::size_t reported = 0;
     for (std::size_t q = 0; q < local_hits.size(); ++q) {
       reported += local_hits[q].size();

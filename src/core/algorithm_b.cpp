@@ -67,8 +67,12 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
     // ---- B3: restricted ring with masked one-sided transport ----
     // Sender group {i′, ..., p−1}: only those sorted shards can contain
     // sequences heavy enough to offer candidates to any local query.
+    // window_below() degenerates to tolerance_da in narrow mode; in open
+    // mode it widens the restriction so heavy modified matches stay in the
+    // sender group (conservative-safe, like the slack below).
     const double min_needed =
-        prepared.size() == 0 ? 0.0 : prepared.min_mass() - config.tolerance_da;
+        prepared.size() == 0 ? 0.0
+                             : prepared.min_mass() - config.window_below();
     const int low_rank =
         prepared.size() == 0 ? p : lowest_useful_rank(sorted.boundaries,
                                                       min_needed);
@@ -81,7 +85,20 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
         CandidateIndex::build(sorted.shard, engine.config());
     comm.clock().charge_compute(static_cast<double>(local_index.size()) *
                                 cost.seconds_per_mz);
-    std::vector<char> local_pack = pack_database(sorted.shard, local_index);
+    const bool ship_fragment =
+        config.open_search() &&
+        config.candidate_source != CandidateSourceKind::kMassWindow;
+    FragmentIndex local_fragment;
+    if (ship_fragment) {
+      local_fragment =
+          FragmentIndex::build(sorted.shard, local_index, config.bin_width);
+      comm.clock().charge_compute(
+          static_cast<double>(local_fragment.posting_count()) *
+          cost.seconds_per_mz);
+    }
+    std::vector<char> local_pack =
+        ship_fragment ? pack_database(sorted.shard, local_index, local_fragment)
+                      : pack_database(sorted.shard, local_index);
     comm.charge_alloc(local_pack.size());
     sim::Window window(comm, local_pack);
     std::size_t max_shard = 0;
@@ -135,13 +152,19 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
         const CandidateIndex* shard_index =
             current == rank ? &local_index
                             : (fetched.has_index ? &fetched.index : nullptr);
-        const ShardSearchStats stats =
-            engine.search_shard(shard_db, prepared, tops, nullptr, shard_index);
+        const FragmentIndex* shard_fragment =
+            current == rank
+                ? (ship_fragment ? &local_fragment : nullptr)
+                : (fetched.has_fragment ? &fetched.fragment : nullptr);
+        const ShardSearchStats stats = engine.search_shard(
+            shard_db, prepared, tops, nullptr, shard_index, shard_fragment);
         comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
         comm.bump("candidates", stats.candidates_evaluated);
         comm.bump("prefiltered", stats.candidates_prefiltered);
         comm.bump("offers", stats.hits_offered);
         comm.bump("ions", stats.ions_built);
+        if (config.open_search())
+          comm.bump("postings", stats.postings_scanned);
       }
 
       if (options.mask && prefetch.active) {
@@ -156,6 +179,12 @@ AlgorithmBResult run_algorithm_b(const sim::Runtime& runtime,
     // ---- report ----
     comm.trace_mark("B4 finalize");
     QueryHits local_hits = engine.finalize(tops);
+    if (config.open_search()) {
+      std::uint64_t misses = 0;
+      for (const std::vector<Hit>& hits : local_hits)
+        if (hits.empty()) ++misses;
+      comm.bump("open_index_miss_queries", misses);
+    }
     std::size_t reported = 0;
     for (std::size_t q = 0; q < local_hits.size(); ++q) {
       reported += local_hits[q].size();

@@ -1,10 +1,12 @@
 // Search configuration shared by every engine variant.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "mass/ptm.hpp"
 #include "spectra/library.hpp"
 #include "spectra/preprocess.hpp"
 #include "spectra/spectrum.hpp"
@@ -22,6 +24,18 @@ enum class ScoreModel : std::uint8_t {
   kLikelihood,  ///< MSPolygraph's accurate model (default; the paper's point)
   kHyperscore,  ///< X!Tandem-style fast baseline
   kSharedPeak,  ///< simplest; used by tests for hand-checkable scores
+};
+
+enum class CandidateSourceKind : std::uint8_t {
+  /// Use the shard's fragment-ion index when one was shipped with the pack
+  /// image, else fall back to exhaustive mass-window enumeration — the
+  /// legacy-pack-safe default.
+  kAuto,
+  /// Force exhaustive mass-window enumeration (the ablation baseline).
+  kMassWindow,
+  /// Force the fragment-ion index, building one in place when the caller
+  /// did not supply it.
+  kFragmentIndex,
 };
 
 enum class CandidateMode : std::uint8_t {
@@ -76,6 +90,50 @@ struct SearchConfig {
   /// consulted under ScoreModel::kLikelihood.
   const SpectralLibrary* library = nullptr;
   PreprocessOptions preprocess;
+  /// --- Open / PTM search (the OMSSA/MSFragger regime) ---------------------
+  /// Extra precursor window beyond tolerance_da, applied on both sides: a
+  /// candidate of mass M matches hypothesis mass m iff
+  /// M ∈ [m − window_below(), m + window_above()]. Zero (with no PTM rules)
+  /// is the paper's narrow-window search, bit-for-bit unchanged.
+  double open_window_da = 0.0;
+  /// Variable-modification rules: the precursor window additionally widens
+  /// by the extreme total deltas any variant can carry (ptm_delta_range with
+  /// max_ptm_mods), so a query whose precursor was shifted by modifications
+  /// still reaches its unmodified base peptide. Candidates are scored on the
+  /// unmodified b/y ladder (the open-search convention: fragments away from
+  /// the modified site still match).
+  std::vector<Ptm> ptms;
+  std::size_t max_ptm_mods = 2;
+  /// Open-search vote gate: a candidate inside the widened window is fully
+  /// scored only when at least this many of its theoretical ions land in
+  /// occupied query bins (exactly shared_peak_count). Part of the open-
+  /// search *definition* — both the indexed and the exhaustive candidate
+  /// sources apply it, which is what makes them provably hit-identical.
+  /// Must be ≥ 1: a zero-vote candidate is invisible to an inverted index.
+  std::size_t min_fragment_votes = 2;
+  /// Which candidate source the open-search kernel uses (narrow-window
+  /// search always merge-joins the CandidateIndex and ignores this).
+  CandidateSourceKind candidate_source = CandidateSourceKind::kAuto;
+
+  bool open_search() const { return open_window_da > 0.0 || !ptms.empty(); }
+  /// How far below a hypothesis mass candidate masses may lie (a +Δ variant
+  /// is observed Δ above its base peptide, so positive deltas widen below).
+  double window_below() const {
+    const PtmDeltaRange range = ptm_delta_range(ptms, max_ptm_mods);
+    return tolerance_da + open_window_da + std::max(0.0, range.max_total);
+  }
+  double window_above() const {
+    const PtmDeltaRange range = ptm_delta_range(ptms, max_ptm_mods);
+    return tolerance_da + open_window_da + std::max(0.0, -range.min_total);
+  }
+  /// The effective open-search vote gate: composes with the prefilter knob
+  /// (a survivor of the votes gate must also survive the configured
+  /// prefilter, and the screen is the same shared-peak count).
+  std::size_t vote_gate() const {
+    return std::max(min_fragment_votes,
+                    prefilter ? prefilter_min_shared_peaks : std::size_t{0});
+  }
+
   /// Intra-rank threading of the scoring kernel: one simulated rank fans its
   /// shard search over this many OS threads (index blocks, per-thread top-τ
   /// lists merged under the total hit order). Purely an implementation-level

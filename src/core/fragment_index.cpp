@@ -1,0 +1,183 @@
+#include "core/fragment_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <utility>
+
+#include "core/wire.hpp"
+#include "io/wire_record.hpp"
+#include "spectra/theoretical.hpp"
+#include "util/error.hpp"
+
+namespace msp {
+
+namespace {
+
+// Leads the fragment-ion-index record in a shard pack.
+// "MSPARFRG" in ASCII — distinct from the indexed-shard and histogram magics.
+constexpr std::uint64_t kFragmentIndexMagic = 0x4D53504152465247ull;
+constexpr std::uint32_t kFragmentIndexVersion = 1;
+
+void validate_csr(const FragmentIndexParams& params,
+                  std::uint64_t candidate_count,
+                  const std::vector<std::uint64_t>& starts,
+                  const std::vector<std::uint32_t>& postings) {
+  MSP_CHECK_MSG(params.bin_width > 0.0 && std::isfinite(params.bin_width),
+                "fragment index bin width must be positive and finite");
+  MSP_CHECK_MSG(starts.empty() || starts.front() == 0,
+                "fragment index CSR must start at zero");
+  MSP_CHECK_MSG(starts.empty() ? postings.empty()
+                               : starts.back() == postings.size(),
+                "fragment index CSR extent must match posting count");
+  for (std::size_t b = 1; b < starts.size(); ++b)
+    MSP_CHECK_MSG(starts[b - 1] <= starts[b],
+                  "fragment index CSR starts must be non-decreasing");
+  for (std::size_t b = 1; b < starts.size(); ++b)
+    for (std::size_t i = starts[b - 1]; i < starts[b]; ++i) {
+      MSP_CHECK_MSG(postings[i] < candidate_count,
+                    "fragment index posting outside the candidate range");
+      MSP_CHECK_MSG(i == starts[b - 1] || postings[i - 1] <= postings[i],
+                    "fragment index postings must be ordinal-ascending");
+    }
+}
+
+}  // namespace
+
+FragmentIndex::FragmentIndex(FragmentIndexParams params,
+                             std::uint64_t candidate_count,
+                             std::vector<std::uint64_t> starts,
+                             std::vector<std::uint32_t> postings)
+    : params_(params),
+      candidate_count_(candidate_count),
+      starts_(std::move(starts)),
+      postings_(std::move(postings)) {
+  validate_csr(params_, candidate_count_, starts_, postings_);
+}
+
+FragmentIndex FragmentIndex::build(const ProteinDatabase& shard,
+                                   const CandidateIndex& index,
+                                   double bin_width) {
+  MSP_CHECK_MSG(bin_width > 0.0 && std::isfinite(bin_width),
+                "fragment index bin width must be positive and finite");
+  FragmentIndex out;
+  out.params_ = FragmentIndexParams{index.params(), bin_width};
+  out.candidate_count_ = index.size();
+  if (index.empty()) return out;
+
+  // One (bin, ordinal) pair per theoretical ion, candidate-major so each
+  // bin's postings come out ordinal-ascending under the stable counting
+  // sort below. The ion ladder is the exact one the kernels score (default
+  // TheoreticalOptions through the same fragment_ions_into), so index votes
+  // and shared_peak_count agree integer-for-integer.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
+  FragmentIonWorkspace workspace;
+  const TheoreticalOptions ion_options;
+  std::uint32_t max_bin = 0;
+  const std::vector<IndexedCandidate>& entries = index.entries();
+  for (std::size_t e = 0; e < entries.size(); ++e) {
+    const IndexedCandidate& entry = entries[e];
+    const Protein& protein = shard.proteins[entry.protein];
+    const std::string_view peptide =
+        std::string_view(protein.residues).substr(entry.offset, entry.length);
+    for (const FragmentIon& ion :
+         fragment_ions_into(peptide, ion_options, workspace)) {
+      // The same grid arithmetic as BinnedSpectrum: truncation of a
+      // positive mz / width is floor.
+      const auto bin = static_cast<std::uint32_t>(ion.mz / bin_width);
+      max_bin = std::max(max_bin, bin);
+      pairs.emplace_back(bin, static_cast<std::uint32_t>(e));
+    }
+  }
+
+  out.starts_.assign(static_cast<std::size_t>(max_bin) + 2, 0);
+  for (const auto& [bin, ordinal] : pairs) ++out.starts_[bin + 1];
+  for (std::size_t b = 1; b < out.starts_.size(); ++b)
+    out.starts_[b] += out.starts_[b - 1];
+  out.postings_.resize(pairs.size());
+  std::vector<std::uint64_t> cursor(out.starts_.begin(),
+                                    out.starts_.end() - 1);
+  for (const auto& [bin, ordinal] : pairs)
+    out.postings_[cursor[bin]++] = ordinal;
+  return out;
+}
+
+void put_fragment_index(wire::Writer& writer, const FragmentIndex& index) {
+  wire::put_record_header(writer, kFragmentIndexMagic, kFragmentIndexVersion);
+  const CandidateIndexParams& params = index.params().index_params;
+  writer.put_u8(static_cast<std::uint8_t>(params.mode));
+  writer.put_u32(params.min_length);
+  writer.put_u32(params.max_length);
+  writer.put_u32(params.missed_cleavages);
+  writer.put_double(index.params().bin_width);
+  writer.put_u64(index.candidate_count());
+  const std::uint32_t bins = index.bin_count();
+  writer.put_u64(bins);
+  writer.put_u64(index.posting_count());
+  writer.reserve((static_cast<std::size_t>(bins) + index.posting_count()) *
+                 sizeof(std::uint32_t));
+  for (std::uint32_t b = 0; b < bins; ++b)
+    writer.put_u32(static_cast<std::uint32_t>(index.postings(b).size()));
+  for (std::uint32_t b = 0; b < bins; ++b)
+    for (const std::uint32_t ordinal : index.postings(b))
+      writer.put_u32(ordinal);
+}
+
+bool peek_fragment_index(wire::Reader& reader) {
+  return wire::peek_record(reader, kFragmentIndexMagic);
+}
+
+FragmentIndex get_fragment_index(wire::Reader& reader) {
+  wire::get_record_header(reader, kFragmentIndexMagic, kFragmentIndexVersion,
+                          "fragment index");
+  FragmentIndexParams params;
+  params.index_params.mode = static_cast<CandidateMode>(reader.get_u8());
+  params.index_params.min_length = reader.get_u32();
+  params.index_params.max_length = reader.get_u32();
+  params.index_params.missed_cleavages = reader.get_u32();
+  params.bin_width = reader.get_double();
+  if (!(params.bin_width > 0.0) || !std::isfinite(params.bin_width))
+    throw IoError("fragment index: bin width must be positive and finite");
+  const std::uint64_t candidates = reader.get_u64();
+  const std::uint64_t bins = reader.get_u64();
+  const std::uint64_t posting_count = reader.get_u64();
+  // Size fields are untrusted: bound them by the bytes actually present
+  // before allocating anything proportional to them.
+  if (bins > reader.remaining() / sizeof(std::uint32_t))
+    throw IoError("fragment index: bin count exceeds payload");
+  if (posting_count > reader.remaining() / sizeof(std::uint32_t))
+    throw IoError("fragment index: posting count exceeds payload");
+
+  std::vector<std::uint64_t> starts;
+  std::vector<std::uint32_t> postings;
+  if (bins > 0) {
+    starts.reserve(bins + 1);
+    starts.push_back(0);
+    for (std::uint64_t b = 0; b < bins; ++b)
+      starts.push_back(starts.back() + reader.get_u32());
+    if (starts.back() != posting_count)
+      throw IoError("fragment index: per-bin counts sum to " +
+                    std::to_string(starts.back()) + ", expected " +
+                    std::to_string(posting_count));
+  } else if (posting_count != 0) {
+    throw IoError("fragment index: postings without bins");
+  }
+  postings.reserve(posting_count);
+  for (std::uint64_t i = 0; i < posting_count; ++i) {
+    const std::uint32_t ordinal = reader.get_u32();
+    if (ordinal >= candidates)
+      throw IoError("fragment index: posting ordinal " +
+                    std::to_string(ordinal) + " outside candidate range of " +
+                    std::to_string(candidates));
+    postings.push_back(ordinal);
+  }
+  for (std::uint64_t b = 0; b < bins; ++b)
+    for (std::uint64_t i = starts[b] + 1; i < starts[b + 1]; ++i)
+      if (postings[i - 1] > postings[i])
+        throw IoError("fragment index: postings must be ordinal-ascending "
+                      "within a bin");
+  return FragmentIndex(params, candidates, std::move(starts),
+                       std::move(postings));
+}
+
+}  // namespace msp

@@ -1,0 +1,118 @@
+// Per-shard fragment-ion index: the open-search candidate source.
+//
+// Open/PTM search widens the precursor window from ±δ to ±hundreds of
+// daltons, inflating candidates per query by 100–1000x; exhaustively
+// building every windowed candidate's ion ladder is then the dominant cost
+// (HiCOPS's observation). The fragment-ion index inverts that work: at pack
+// time — next to the CandidateIndex — every candidate's theoretical b/y
+// ions are binned on the same global grid BinnedSpectrum uses
+// (bin = floor(mz / bin_width)), and the index stores, per ion bin, the
+// ordinals of the candidates owning an ion in that bin (CSR layout). An
+// open-search lookup then walks only the query's *occupied* bins,
+// accumulating per-candidate matched-ion counts ("votes") that equal
+// shared_peak_count() exactly — candidate ordinals are CandidateIndex entry
+// order, which is mass-ascending, so the precursor window restricts each
+// posting list to one contiguous ordinal range. Only candidates at or above
+// the vote gate are ever fully scored, and because the exhaustive source
+// computes the identical integer votes the two sources admit the identical
+// candidate set: bit-identical hits by construction (DESIGN.md §5i).
+//
+// The index ships in the pack image as a versioned magic-tagged record
+// ("MSPARFRG") behind the CandidateIndex; legacy images simply lack the
+// record and open search falls back to exhaustive enumeration.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/candidate_index.hpp"
+#include "mass/peptide.hpp"
+
+namespace msp {
+
+namespace wire {
+class Writer;
+class Reader;
+}  // namespace wire
+
+/// The parameters a fragment index was built under. Valid only for engines
+/// whose SearchConfig agrees on the enumeration parameters AND the bin
+/// width (votes are bin-occupancy counts — a different grid is a different
+/// gate); the engine checks both before searching.
+struct FragmentIndexParams {
+  CandidateIndexParams index_params;
+  double bin_width = 0.0;
+
+  friend bool operator==(const FragmentIndexParams& a,
+                         const FragmentIndexParams& b) = default;
+};
+
+/// CSR postings over global ion bins for one shard's CandidateIndex.
+class FragmentIndex {
+ public:
+  FragmentIndex() = default;
+  /// From parsed wire fields; validates the CSR invariants (monotone
+  /// starts, ordinals in range) via the same checks get_fragment_index
+  /// applies. `starts` must have bin_count + 1 entries.
+  FragmentIndex(FragmentIndexParams params, std::uint64_t candidate_count,
+                std::vector<std::uint64_t> starts,
+                std::vector<std::uint32_t> postings);
+
+  /// Build from a shard and its CandidateIndex: every entry's theoretical
+  /// ions (default TheoreticalOptions — the exact ladder the kernels score)
+  /// binned at floor(mz / bin_width). Deterministic: entries are visited in
+  /// index order, so each bin's postings come out ordinal-ascending (which
+  /// is mass-ascending) with one posting per ion, duplicates included — a
+  /// candidate with two ions in one bin must vote twice there, exactly as
+  /// shared_peak_count counts it.
+  static FragmentIndex build(const ProteinDatabase& shard,
+                             const CandidateIndex& index, double bin_width);
+
+  const FragmentIndexParams& params() const { return params_; }
+  /// Size of the CandidateIndex this was built over (ordinal bound).
+  std::uint64_t candidate_count() const { return candidate_count_; }
+  std::uint32_t bin_count() const {
+    return starts_.empty() ? 0
+                           : static_cast<std::uint32_t>(starts_.size() - 1);
+  }
+  std::size_t posting_count() const { return postings_.size(); }
+  bool empty() const { return postings_.empty(); }
+
+  /// Candidate ordinals (into the CandidateIndex entries) owning an ion in
+  /// `bin`, ordinal-ascending with multiplicity. Empty for out-of-grid bins.
+  std::span<const std::uint32_t> postings(std::uint32_t bin) const {
+    if (bin >= bin_count()) return {};
+    return std::span<const std::uint32_t>(postings_)
+        .subspan(starts_[bin], starts_[bin + 1] - starts_[bin]);
+  }
+
+  /// Bytes this index occupies in memory (simulated memory accounting).
+  std::size_t byte_size() const {
+    return starts_.size() * sizeof(std::uint64_t) +
+           postings_.size() * sizeof(std::uint32_t);
+  }
+
+  friend bool operator==(const FragmentIndex& a,
+                         const FragmentIndex& b) = default;
+
+ private:
+  FragmentIndexParams params_;
+  std::uint64_t candidate_count_ = 0;
+  std::vector<std::uint64_t> starts_;    ///< CSR row starts, bin_count + 1
+  std::vector<std::uint32_t> postings_;  ///< candidate ordinals
+};
+
+/// Append `index` as a versioned, magic-tagged "MSPARFRG" record.
+void put_fragment_index(wire::Writer& writer, const FragmentIndex& index);
+
+/// True when the reader is positioned at a fragment-index record's magic.
+bool peek_fragment_index(wire::Reader& reader);
+
+/// Parse a fragment-index record, validating magic, version, and the CSR
+/// invariants (positive finite bin width, per-bin counts summing to the
+/// posting count, ordinals inside the candidate range, ordinal-ascending
+/// posting lists). Throws IoError with a specific message on any violation.
+FragmentIndex get_fragment_index(wire::Reader& reader);
+
+}  // namespace msp

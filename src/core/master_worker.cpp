@@ -74,7 +74,8 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
     // worker's candidate index is built once at load time and reused by
     // every batch it is dealt.
     auto process_batch = [&](const ProteinDatabase& db,
-                             const CandidateIndex& index, std::size_t begin,
+                             const CandidateIndex& index,
+                             const FragmentIndex* fragment, std::size_t begin,
                              std::size_t count) {
       comm.trace_mark("batch [" + std::to_string(begin) + ", " +
                       std::to_string(begin + count) + ")");
@@ -84,12 +85,20 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
                                   cost.seconds_per_query_prep);
       std::vector<TopK<Hit>> tops = engine.make_tops(count);
       const ShardSearchStats stats =
-          engine.search_shard(db, prepared, tops, nullptr, &index);
+          engine.search_shard(db, prepared, tops, nullptr, &index, fragment);
       comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
       comm.bump("candidates", stats.candidates_evaluated);
       comm.bump("prefiltered", stats.candidates_prefiltered);
       comm.bump("ions", stats.ions_built);
+      if (config.open_search())
+        comm.bump("postings", stats.postings_scanned);
       QueryHits hits = engine.finalize(tops);
+      if (config.open_search()) {
+        std::uint64_t misses = 0;
+        for (const std::vector<Hit>& per_query : hits)
+          if (per_query.empty()) ++misses;
+        comm.bump("open_index_miss_queries", misses);
+      }
       std::size_t reported = 0;
       for (std::size_t q = 0; q < hits.size(); ++q) {
         reported += hits[q].size();
@@ -118,15 +127,32 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
       return index;
     };
 
+    // Workers hold the whole database, so the fragment index is built once
+    // at load time (never shipped) and reused by every batch.
+    auto build_fragment = [&](const ProteinDatabase& db,
+                              const CandidateIndex& index) {
+      FragmentIndex fragment;
+      if (config.open_search() &&
+          config.candidate_source != CandidateSourceKind::kMassWindow) {
+        fragment = FragmentIndex::build(db, index, config.bin_width);
+        comm.clock().charge_compute(
+            static_cast<double>(fragment.posting_count()) *
+            cost.seconds_per_mz);
+      }
+      return fragment;
+    };
+
     if (p == 1) {
       // Uni-worker degenerate case: serial MSPolygraph.
       const ProteinDatabase db = load_full_database();
       const CandidateIndex index = build_index(db);
+      const FragmentIndex fragment = build_fragment(db, index);
       for (std::size_t begin = 0; begin < queries.size();
            begin += options.batch_size) {
         const std::size_t count =
             std::min(options.batch_size, queries.size() - begin);
-        process_batch(db, index, begin, count);
+        process_batch(db, index, fragment.empty() ? nullptr : &fragment, begin,
+                      count);
       }
       return;
     }
@@ -210,6 +236,7 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
       const int my_crash_batch = faults.crash_step(comm.global_rank());
       const ProteinDatabase db = load_full_database();
       const CandidateIndex index = build_index(db);
+      const FragmentIndex fragment = build_fragment(db, index);
       int batches_received = 0;
       while (true) {
         comm.send(0, kTagReady, {});
@@ -230,7 +257,8 @@ ParallelRunResult run_master_worker(const sim::Runtime& runtime,
         }
         ++batches_received;
         const auto [begin, count] = decode_batch(reply.payload);
-        process_batch(db, index, begin, count);
+        process_batch(db, index, fragment.empty() ? nullptr : &fragment, begin,
+                      count);
       }
     }
   });

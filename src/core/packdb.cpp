@@ -1,6 +1,7 @@
 #include "core/packdb.hpp"
 
 #include "core/wire.hpp"
+#include "io/wire_record.hpp"
 
 namespace msp {
 
@@ -85,7 +86,7 @@ std::vector<char> pack_database(const ProteinDatabase& db) {
 std::vector<char> pack_database(const ProteinDatabase& db,
                                 const CandidateIndex& index) {
   wire::Writer writer;
-  writer.put_u64(kIndexedShardMagic);
+  wire::put_record_magic(writer, kIndexedShardMagic);
   put_proteins(writer, db);
   put_index(writer, index);
   return writer.take();
@@ -93,29 +94,58 @@ std::vector<char> pack_database(const ProteinDatabase& db,
 
 std::vector<char> pack_database(const ProteinDatabase& db,
                                 const CandidateIndex& index,
+                                const FragmentIndex& fragment) {
+  wire::Writer writer;
+  wire::put_record_magic(writer, kIndexedShardMagic);
+  put_proteins(writer, db);
+  put_index(writer, index);
+  put_fragment_index(writer, fragment);
+  return writer.take();
+}
+
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index,
                                 const MassHistogram& histogram) {
   wire::Writer writer;
-  writer.put_u64(kIndexedShardMagic);
+  wire::put_record_magic(writer, kIndexedShardMagic);
   put_proteins(writer, db);
   put_index(writer, index);
   put_histogram(writer, histogram);
   return writer.take();
 }
 
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index,
+                                const MassHistogram& histogram,
+                                const FragmentIndex& fragment) {
+  wire::Writer writer;
+  wire::put_record_magic(writer, kIndexedShardMagic);
+  put_proteins(writer, db);
+  put_index(writer, index);
+  put_histogram(writer, histogram);
+  put_fragment_index(writer, fragment);
+  return writer.take();
+}
+
 PackedShard unpack_shard(std::span<const char> bytes) {
   wire::Reader reader(bytes.data(), bytes.size());
   PackedShard shard;
-  if (reader.remaining() >= sizeof(std::uint64_t) &&
-      reader.peek_u64() == kIndexedShardMagic) {
+  if (wire::peek_record(reader, kIndexedShardMagic)) {
     reader.get_u64();  // consume the magic
     shard.db = get_proteins(reader);
     shard.index = get_index(reader);
     shard.has_index = true;
-    // Optional trailer: the shard's mass histogram. Absent in legacy
-    // images (routing then treats the shard as unknown — visit always).
+    // Optional trailers, each magic-discriminated: the shard's mass
+    // histogram, then its fragment-ion index. Absent in legacy images
+    // (routing then treats the shard as unknown — visit always — and open
+    // search falls back to exhaustive enumeration).
     if (peek_histogram(reader)) {
       shard.histogram = get_histogram(reader);
       shard.has_histogram = true;
+    }
+    if (peek_fragment_index(reader)) {
+      shard.fragment = get_fragment_index(reader);
+      shard.has_fragment = true;
     }
   } else {
     shard.db = get_proteins(reader);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/candidate_index.hpp"
+#include "core/fragment_index.hpp"
 #include "core/shard_map.hpp"
 #include "mass/peptide.hpp"
 #include "spectra/spectrum.hpp"
@@ -34,19 +35,34 @@ std::vector<char> pack_database(const ProteinDatabase& db,
                                 const CandidateIndex& index,
                                 const MassHistogram& histogram);
 
+/// Indexed image plus a trailing fragment-ion-index record (the open-search
+/// postings built next to the CandidateIndex at pack time), without resp.
+/// with the histogram trailer. Trailer order is histogram then fragment
+/// index; each is magic-discriminated, so every subset parses.
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index,
+                                const FragmentIndex& fragment);
+std::vector<char> pack_database(const ProteinDatabase& db,
+                                const CandidateIndex& index,
+                                const MassHistogram& histogram,
+                                const FragmentIndex& fragment);
+
 /// Inverse of pack_database. Throws IoError on malformed bytes. Accepts
 /// indexed images too (the index is parsed and dropped).
 ProteinDatabase unpack_database(std::span<const char> bytes);
 ProteinDatabase unpack_database(const std::vector<char>& bytes);
 
 /// A shard as it comes off the wire: proteins plus (when the packer shipped
-/// them) the shard's candidate index and mass histogram.
+/// them) the shard's candidate index, mass histogram, and fragment-ion
+/// index.
 struct PackedShard {
   ProteinDatabase db;
   CandidateIndex index;     ///< empty when the image carried none
   bool has_index = false;
   MassHistogram histogram;  ///< empty when the image carried none
   bool has_histogram = false;
+  FragmentIndex fragment;   ///< empty when the image carried none
+  bool has_fragment = false;
 };
 
 /// Inverse of either pack_database form. Throws IoError on malformed bytes.

@@ -85,6 +85,19 @@ ParallelRunResult run_query_transport(const sim::Runtime& runtime,
         CandidateIndex::build(local_db, engine.config());
     comm.clock().charge_compute(static_cast<double>(local_index.size()) *
                                 cost.seconds_per_mz);
+    // In open mode the static shard also gets a fragment index, built once
+    // and reused for all p query batches (it never ships — queries move).
+    const bool use_fragment =
+        config.open_search() &&
+        config.candidate_source != CandidateSourceKind::kMassWindow;
+    FragmentIndex local_fragment;
+    if (use_fragment) {
+      local_fragment =
+          FragmentIndex::build(local_db, local_index, config.bin_width);
+      comm.clock().charge_compute(
+          static_cast<double>(local_fragment.posting_count()) *
+          cost.seconds_per_mz);
+    }
 
     // Local query block, exposed for ring transport as packed bytes.
     const QueryRange block = query_block(queries.size(), rank, p);
@@ -117,11 +130,14 @@ ParallelRunResult run_query_transport(const sim::Runtime& runtime,
                                   cost.seconds_per_query_prep);
       std::vector<TopK<Hit>> tops = engine.make_tops(batch.size());
       const ShardSearchStats stats =
-          engine.search_shard(local_db, prepared, tops, nullptr, &local_index);
+          engine.search_shard(local_db, prepared, tops, nullptr, &local_index,
+                              use_fragment ? &local_fragment : nullptr);
       comm.clock().charge_compute(kernel_cost_seconds(stats, cost));
       comm.bump("candidates", stats.candidates_evaluated);
       comm.bump("prefiltered", stats.candidates_prefiltered);
       comm.bump("ions", stats.ions_built);
+      if (config.open_search())
+        comm.bump("postings", stats.postings_scanned);
       partial[static_cast<std::size_t>(j)] = engine.finalize(tops);
       if (options.fence_per_iteration) window.fence();
     }
@@ -149,6 +165,12 @@ ParallelRunResult run_query_transport(const sim::Runtime& runtime,
                                 static_cast<double>(config.tau));
 
     QueryHits final_hits = engine.finalize(merged);
+    if (config.open_search()) {
+      std::uint64_t misses = 0;
+      for (const std::vector<Hit>& hits : final_hits)
+        if (hits.empty()) ++misses;
+      comm.bump("open_index_miss_queries", misses);
+    }
     std::size_t reported = 0;
     for (std::size_t q = 0; q < final_hits.size(); ++q) {
       reported += final_hits[q].size();

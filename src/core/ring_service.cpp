@@ -84,11 +84,16 @@ RingService::RingService(sim::Comm& comm, const std::string& fasta_image,
       }
     }
   }
+  // Envelope widening: in open/PTM mode a hypothesis accepts candidate
+  // masses in [m − window_below, m + window_above], so the band enumeration
+  // (and every routing decision below) must widen by the same amounts or
+  // a modified match could be provably-"skipped" into nonexistence. Narrow
+  // mode degenerates to ±tolerance_da exactly as before.
   std::vector<CandidateRecord> records =
       stream_lo <= stream_hi
           ? enumerate_candidate_records(local_db, config,
-                                        stream_lo - config.tolerance_da,
-                                        stream_hi + config.tolerance_da)
+                                        stream_lo - config.window_below(),
+                                        stream_hi + config.window_above())
           : std::vector<CandidateRecord>{};
   local_db = ProteinDatabase{};
   // Same per-candidate charge as CandidateIndex::build — the enumeration
@@ -235,7 +240,8 @@ void RingService::admit(const ServiceBatch& batch) {
   // nothing in that shard at the engine's tolerance.
   flight.my_routed.assign(static_cast<std::size_t>(p_), 1);
   if (routing_ && shard_map_.routes()) {
-    const double tolerance = engine_.config().tolerance_da;
+    const double below = engine_.config().window_below();
+    const double above = engine_.config().window_above();
     std::vector<double> member_masses;
     for (std::size_t m = 0; m < flight.ranks.size(); ++m) {
       const QueryRange member_block =
@@ -251,7 +257,8 @@ void RingService::admit(const ServiceBatch& batch) {
           member_masses.push_back(mass);
       }
       for (int shard = 0; shard < p_; ++shard) {
-        const bool need = shard_map_.needed(shard, member_masses, tolerance);
+        const bool need =
+            shard_map_.needed(shard, member_masses, below, above);
         if (flight.ranks[m] == rank_)
           flight.my_routed[static_cast<std::size_t>(shard)] = need ? 1 : 0;
         if (need)
@@ -297,9 +304,9 @@ void RingService::admit(const ServiceBatch& batch) {
       // clipped to it (the scoring merge-join re-applies the exact
       // per-query predicates, so over-fetch is only a time cost).
       flight.fetch_lo =
-          flight.prepared.min_mass() - engine_.config().tolerance_da;
+          flight.prepared.min_mass() - engine_.config().window_below();
       flight.fetch_hi =
-          flight.prepared.max_mass() + engine_.config().tolerance_da;
+          flight.prepared.max_mass() + engine_.config().window_above();
       flight.tops.reserve(flight.block.count());
       for (std::size_t q = 0; q < flight.block.count(); ++q)
         flight.tops.emplace_back(engine_.config().tau,

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <exception>
 #include <numeric>
+#include <optional>
 #include <thread>
 
+#include "core/candidate_source.hpp"
 #include "mass/digest.hpp"
 #include "scoring/hyperscore.hpp"
 #include "scoring/shared_peak.hpp"
@@ -27,6 +29,12 @@ SearchEngine::SearchEngine(SearchConfig config) : config_(config) {
                 "candidates must have >= 2 residues (fragmentable)");
   MSP_CHECK_MSG(config_.max_candidate_length >= config_.min_candidate_length,
                 "candidate length bounds inverted");
+  MSP_CHECK_MSG(config_.open_window_da >= 0.0,
+                "open window must be non-negative");
+  if (config_.open_search())
+    MSP_CHECK_MSG(config_.min_fragment_votes >= 1,
+                  "open search requires a vote gate of at least 1 (a "
+                  "zero-vote candidate is invisible to the fragment index)");
 }
 
 PreparedQueries SearchEngine::prepare(std::span<const Spectrum> queries) const {
@@ -216,12 +224,105 @@ void search_index_block(const SearchEngine& engine,
   }
 }
 
+/// Score hypothesis entries [first, last) through a CandidateSource — the
+/// query-centric open-search inner loop one thread runs. Each hypothesis
+/// windows [m − window_below, m + window_above] of the index (one contiguous
+/// ordinal range, since entries are mass-ascending), the source gates the
+/// window down to candidates with enough matched ions, and only survivors
+/// are fully scored. Writes (tops, stats, per_query_candidates) are private
+/// to the thread, as in search_index_block.
+void search_open_block(
+    const SearchEngine& engine, const ProteinDatabase& shard,
+    const CandidateIndex& index, const FragmentIndex* fragment,
+    const PreparedQueries& queries,
+    const std::vector<std::vector<std::uint32_t>>* occupied,
+    std::size_t first, std::size_t last, std::span<TopK<Hit>> tops,
+    ShardSearchStats& stats,
+    std::vector<std::uint64_t>* per_query_candidates) {
+  const SearchConfig& config = engine.config();
+  const double below = config.window_below();
+  const double above = config.window_above();
+  const std::vector<IndexedCandidate>& entries = index.entries();
+  const std::vector<double>& sorted = queries.sorted_masses;
+
+  // Per-thread source scratch: vote accumulators must not be shared.
+  MassWindowCandidateSource window_source(shard, index, config.vote_gate());
+  std::optional<FragmentIndexCandidateSource> index_source;
+  if (fragment != nullptr) index_source.emplace(*fragment, config.vote_gate());
+  CandidateSource& source =
+      fragment != nullptr ? static_cast<CandidateSource&>(*index_source)
+                          : static_cast<CandidateSource&>(window_source);
+  const bool prebuilt = source.ions_prebuilt();
+
+  FragmentIonWorkspace workspace;
+  const TheoreticalOptions ion_options;  // same defaults as every kernel
+  std::vector<std::uint32_t> survivors;
+  const auto entry_below = [](const IndexedCandidate& entry, double mass) {
+    return entry.mass < mass;
+  };
+  const auto entry_above = [](double mass, const IndexedCandidate& entry) {
+    return mass < entry.mass;
+  };
+
+  for (std::size_t k = first; k < last; ++k) {
+    const double mass = sorted[k];
+    const std::uint32_t q = queries.order[k];
+    const std::size_t lo = static_cast<std::size_t>(
+        std::lower_bound(entries.begin(), entries.end(), mass - below,
+                         entry_below) -
+        entries.begin());
+    const std::size_t hi = static_cast<std::size_t>(
+        std::upper_bound(entries.begin() + static_cast<std::ptrdiff_t>(lo),
+                         entries.end(), mass + above, entry_above) -
+        entries.begin());
+    // The Fig. 1b measurement stays "candidates in the precursor window" —
+    // identical for both sources (it is a property of the window alone).
+    if (per_query_candidates) (*per_query_candidates)[q] += hi - lo;
+    if (lo == hi) continue;
+
+    source.collect(queries.contexts[q],
+                   occupied != nullptr
+                       ? std::span<const std::uint32_t>((*occupied)[q])
+                       : std::span<const std::uint32_t>(),
+                   lo, hi, survivors, stats);
+
+    for (const std::uint32_t c : survivors) {
+      const IndexedCandidate& entry = entries[c];
+      const Protein& protein = shard.proteins[entry.protein];
+      const std::string_view peptide =
+          std::string_view(protein.residues).substr(entry.offset,
+                                                    entry.length);
+      const std::vector<FragmentIon>& ions =
+          fragment_ions_into(peptide, ion_options, workspace);
+      // The exhaustive source already built (and charged) every inspected
+      // candidate's ions; the indexed source only ever builds survivors'.
+      if (!prebuilt) ++stats.ions_built;
+      const double score =
+          engine.score_candidate(queries.contexts[q], peptide, ions);
+      ++stats.candidates_evaluated;
+      if (score < config.score_cutoff) continue;
+      ++stats.hits_offered;
+      TopK<Hit>& top = tops[q];
+      if (top.full() && score < top.cutoff()) continue;
+      Hit hit;
+      hit.score = score;
+      hit.protein_id = protein.id;
+      hit.offset = entry.offset;
+      hit.length = entry.length;
+      hit.end = entry.end;
+      hit.mass = entry.mass;
+      hit.peptide = std::string(peptide);
+      top.offer(hit);
+    }
+  }
+}
+
 }  // namespace
 
 ShardSearchStats SearchEngine::search_shard(
     const ProteinDatabase& shard, const PreparedQueries& queries,
     std::span<TopK<Hit>> tops, std::vector<std::uint64_t>* per_query_candidates,
-    const CandidateIndex* index) const {
+    const CandidateIndex* index, const FragmentIndex* fragment) const {
   MSP_CHECK_MSG(tops.size() == queries.size(),
                 "tops arity must match query arity");
   ShardSearchStats stats;
@@ -236,6 +337,10 @@ ShardSearchStats SearchEngine::search_shard(
                   "candidate index was built under different enumeration "
                   "parameters than this engine's config");
   }
+
+  if (config_.open_search())
+    return search_shard_open(shard, queries, tops, per_query_candidates,
+                             *index, fragment);
 
   const std::vector<IndexedCandidate>& entries = index->entries();
   const double delta = config_.tolerance_da;
@@ -307,6 +412,100 @@ ShardSearchStats SearchEngine::search_shard(
   return stats;
 }
 
+ShardSearchStats SearchEngine::search_shard_open(
+    const ProteinDatabase& shard, const PreparedQueries& queries,
+    std::span<TopK<Hit>> tops, std::vector<std::uint64_t>* per_query_candidates,
+    const CandidateIndex& index, const FragmentIndex* fragment) const {
+  ShardSearchStats stats;
+
+  // Source selection: kAuto uses the shipped fragment index when present
+  // (legacy images carry none — exhaustive fallback); kFragmentIndex builds
+  // one in place when absent; kMassWindow forces exhaustive enumeration.
+  FragmentIndex local_fragment;
+  if (config_.candidate_source == CandidateSourceKind::kMassWindow) {
+    fragment = nullptr;
+  } else if (fragment == nullptr &&
+             config_.candidate_source == CandidateSourceKind::kFragmentIndex) {
+    local_fragment = FragmentIndex::build(shard, index, config_.bin_width);
+    fragment = &local_fragment;
+  }
+  if (fragment != nullptr) {
+    MSP_CHECK_MSG(
+        fragment->params() ==
+            (FragmentIndexParams{index.params(), config_.bin_width}),
+        "fragment index was built under different parameters than this "
+        "engine's config");
+    MSP_CHECK_MSG(fragment->candidate_count() == index.size(),
+                  "fragment index does not cover this candidate index");
+  }
+
+  const std::size_t hypotheses = queries.sorted_masses.size();
+  if (hypotheses == 0 || index.empty()) return stats;
+
+  // The query-side half of the inverted lookup, shared read-only across the
+  // fan-out. Skipped entirely on the exhaustive path.
+  std::vector<std::vector<std::uint32_t>> occupied;
+  if (fragment != nullptr) {
+    occupied.reserve(queries.contexts.size());
+    for (const QueryContext& context : queries.contexts)
+      occupied.push_back(occupied_bins(context.binned()));
+  }
+  const std::vector<std::vector<std::uint32_t>>* occupied_ptr =
+      fragment != nullptr ? &occupied : nullptr;
+
+  const std::size_t threads =
+      std::clamp<std::size_t>(config_.kernel_threads, 1, hypotheses);
+  if (threads <= 1) {
+    search_open_block(*this, shard, index, fragment, queries, occupied_ptr, 0,
+                      hypotheses, tops, stats, per_query_candidates);
+    return stats;
+  }
+
+  // Fan the hypothesis range over contiguous blocks — the open analog of
+  // the narrow kernel's entry-range fan-out, with the same merge argument:
+  // every hypothesis is processed independently, counters are sums over
+  // per-hypothesis work, and TopK depends only on the offer multiset.
+  struct ThreadState {
+    std::vector<TopK<Hit>> tops;
+    ShardSearchStats stats;
+    std::vector<std::uint64_t> per_query;
+    std::exception_ptr error;
+  };
+  std::vector<ThreadState> states(threads);
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    ThreadState& state = states[t];
+    state.tops = make_tops(queries.size());
+    if (per_query_candidates) state.per_query.assign(queries.size(), 0);
+    const std::size_t block_first = hypotheses * t / threads;
+    const std::size_t block_last = hypotheses * (t + 1) / threads;
+    pool.emplace_back([&, block_first, block_last, t] {
+      ThreadState& mine = states[t];
+      try {
+        search_open_block(*this, shard, index, fragment, queries, occupied_ptr,
+                          block_first, block_last, mine.tops, mine.stats,
+                          per_query_candidates ? &mine.per_query : nullptr);
+      } catch (...) {
+        mine.error = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& worker : pool) worker.join();
+  for (ThreadState& state : states)
+    if (state.error) std::rethrow_exception(state.error);
+
+  for (std::size_t t = 0; t < threads; ++t) {
+    const ThreadState& state = states[t];
+    for (std::size_t q = 0; q < tops.size(); ++q) tops[q].merge(state.tops[q]);
+    stats += state.stats;
+    if (per_query_candidates)
+      for (std::size_t q = 0; q < state.per_query.size(); ++q)
+        (*per_query_candidates)[q] += state.per_query[q];
+  }
+  return stats;
+}
+
 ShardSearchStats SearchEngine::search_records(
     std::span<const CandidateRecord> records, const PreparedQueries& queries,
     std::span<TopK<Hit>> tops) const {
@@ -315,13 +514,18 @@ ShardSearchStats SearchEngine::search_records(
   ShardSearchStats stats;
   if (queries.size() == 0 || records.empty()) return stats;
 
-  const double delta = config_.tolerance_da;
+  // A hypothesis m accepts candidate masses [m − below, m + above], so from
+  // the candidate side a record of mass M matches hypotheses in
+  // [M − above, M + below] — below/above swap direction. Narrow mode has
+  // below == above == tolerance_da, leaving this loop exactly as it was.
+  const double below = config_.window_below();
+  const double above = config_.window_above();
   const std::vector<double>& sorted = queries.sorted_masses;
 
   // Trim the record span to the query envelope, then merge-join — the same
   // forward-sliding window and boundary predicates as search_index_block.
-  const double query_mass_floor = queries.min_mass() - delta;
-  const double query_mass_ceil = queries.max_mass() + delta;
+  const double query_mass_floor = queries.min_mass() - below;
+  const double query_mass_ceil = queries.max_mass() + above;
   std::size_t first = static_cast<std::size_t>(
       std::lower_bound(records.begin(), records.end(), query_mass_floor,
                        [](const CandidateRecord& record, double mass) {
@@ -335,7 +539,7 @@ ShardSearchStats SearchEngine::search_records(
 
   std::size_t lo = static_cast<std::size_t>(
       std::lower_bound(sorted.begin(), sorted.end(),
-                       records[first].mass - delta) -
+                       records[first].mass - above) -
       sorted.begin());
   std::size_t hi = lo;
 
@@ -345,9 +549,9 @@ ShardSearchStats SearchEngine::search_records(
   for (std::size_t e = first; e < last; ++e) {
     const CandidateRecord& record = records[e];
     const double mass = record.mass;
-    while (lo < sorted.size() && sorted[lo] < mass - delta) ++lo;
+    while (lo < sorted.size() && sorted[lo] < mass - above) ++lo;
     if (hi < lo) hi = lo;
-    while (hi < sorted.size() && sorted[hi] <= mass + delta) ++hi;
+    while (hi < sorted.size() && sorted[hi] <= mass + below) ++hi;
     if (lo == hi) continue;
 
     const std::string_view peptide(record.peptide, record.length);
@@ -360,7 +564,17 @@ ShardSearchStats SearchEngine::search_records(
         ++stats.ions_built;
       }
       double score;
-      if (config_.prefilter) {
+      if (config_.open_search()) {
+        // The same gate the CandidateSource paths apply — the record-band
+        // form of open search stays hit-identical to search_shard().
+        const std::size_t votes =
+            shared_peak_count(queries.contexts[q].binned(), *ions);
+        if (votes < config_.vote_gate()) {
+          ++stats.candidates_prefiltered;
+          continue;
+        }
+        score = score_candidate(queries.contexts[q], peptide, *ions);
+      } else if (config_.prefilter) {
         const std::size_t shared =
             shared_peak_count(queries.contexts[q].binned(), *ions);
         if (shared < config_.prefilter_min_shared_peaks) {
@@ -401,18 +615,22 @@ ShardSearchStats SearchEngine::search_shard_reference(
   ShardSearchStats stats;
   if (queries.size() == 0 || shard.proteins.empty()) return stats;
 
-  const double delta = config_.tolerance_da;
-  const double query_mass_floor = queries.min_mass() - delta;
-  const double query_mass_ceil = queries.max_mass() + delta;
+  // Candidate-major direction: a candidate of mass M matches hypotheses in
+  // [M − window_above, M + window_below] (the below/above swap — see
+  // search_records). Narrow mode keeps below == above == tolerance_da.
+  const double below = config_.window_below();
+  const double above = config_.window_above();
+  const double query_mass_floor = queries.min_mass() - below;
+  const double query_mass_ceil = queries.max_mass() + above;
 
   // For one fragment mass, visit all queries whose window contains it.
   auto visit_matches = [&](double mass, std::uint32_t protein_index,
                            std::uint32_t offset, std::uint32_t length,
                            FragmentEnd end) {
     const auto lo = std::lower_bound(queries.sorted_masses.begin(),
-                                     queries.sorted_masses.end(), mass - delta);
+                                     queries.sorted_masses.end(), mass - above);
     const auto hi = std::upper_bound(lo, queries.sorted_masses.end(),
-                                     mass + delta);
+                                     mass + below);
     if (lo == hi) return;
 
     const Protein& protein = shard.proteins[protein_index];
@@ -427,7 +645,16 @@ ShardSearchStats SearchEngine::search_shard_reference(
       // Each string-overload scoring call regenerates the candidate's ions
       // from scratch — count those rebuilds so benches can show what the
       // candidate-centric kernel saves.
-      if (config_.prefilter) {
+      if (config_.open_search()) {
+        // The identical vote gate both CandidateSource implementations
+        // apply — this walk is the oracle for open search too.
+        ++stats.ions_built;
+        if (shared_peak_count(queries.contexts[q].binned(), peptide) <
+            config_.vote_gate()) {
+          ++stats.candidates_prefiltered;
+          continue;
+        }
+      } else if (config_.prefilter) {
         ++stats.ions_built;
         if (shared_peak_count(queries.contexts[q].binned(), peptide) <
             config_.prefilter_min_shared_peaks) {

@@ -26,6 +26,7 @@
 #include "core/candidate_index.hpp"
 #include "core/candidate_record.hpp"
 #include "core/config.hpp"
+#include "core/fragment_index.hpp"
 #include "core/hit.hpp"
 #include "mass/peptide.hpp"
 #include "scoring/likelihood.hpp"
@@ -63,12 +64,17 @@ struct ShardSearchStats {
   /// strict inequality whenever candidates match several hypotheses); the
   /// reference kernel regenerates per scoring call.
   std::uint64_t ions_built = 0;
+  /// Fragment-index postings visited during open-search lookups (the
+  /// indexed source's whole per-candidate cost; always 0 in narrow-window
+  /// search and for the exhaustive source).
+  std::uint64_t postings_scanned = 0;
 
   ShardSearchStats& operator+=(const ShardSearchStats& other) {
     candidates_evaluated += other.candidates_evaluated;
     candidates_prefiltered += other.candidates_prefiltered;
     hits_offered += other.hits_offered;
     ions_built += other.ions_built;
+    postings_scanned += other.postings_scanned;
     return *this;
   }
 };
@@ -90,7 +96,10 @@ inline double kernel_cost_seconds(const ShardSearchStats& stats,
          static_cast<double>(stats.candidates_evaluated) * evaluation +
          static_cast<double>(stats.candidates_prefiltered) *
              model.seconds_per_prefilter +
-         static_cast<double>(stats.hits_offered) * model.seconds_per_hit_update;
+         static_cast<double>(stats.hits_offered) *
+             model.seconds_per_hit_update +
+         static_cast<double>(stats.postings_scanned) *
+             model.seconds_per_posting;
 }
 
 class SearchEngine {
@@ -123,11 +132,21 @@ class SearchEngine {
   /// config().kernel_threads > 1 the index range fans out over that many
   /// threads with per-thread top-τ lists merged under the total hit order —
   /// hits and counters are identical for every thread count.
+  ///
+  /// When config().open_search() the kernel switches to the query-centric
+  /// open form: each hypothesis windows [m − window_below, m + window_above]
+  /// of the index, a CandidateSource gates the window down to candidates
+  /// with ≥ vote_gate() matched ions, and only survivors are fully scored.
+  /// `fragment` selects the indexed source (per candidate_source; a null
+  /// fragment with kAuto falls back to exhaustive enumeration — the
+  /// legacy-pack path); hits are bit-identical across sources, thread
+  /// counts, and fault schedules. Narrow-window search ignores `fragment`.
   ShardSearchStats search_shard(
       const ProteinDatabase& shard, const PreparedQueries& queries,
       std::span<TopK<Hit>> tops,
       std::vector<std::uint64_t>* per_query_candidates = nullptr,
-      const CandidateIndex* index = nullptr) const;
+      const CandidateIndex* index = nullptr,
+      const FragmentIndex* fragment = nullptr) const;
 
   /// The record-array form of the candidate-centric kernel: merge-joins a
   /// mass-ascending CandidateRecord span (a band of the serving ring's
@@ -143,7 +162,9 @@ class SearchEngine {
 
   /// The original database-walking kernel (re-enumerates candidates and
   /// regenerates ions per scoring call). Kept as the ground truth the
-  /// kernel-equivalence tests compare search_shard() against.
+  /// kernel-equivalence tests compare search_shard() against. In open mode
+  /// it applies the identical widened window and vote gate, so it is also
+  /// the oracle for both open-search candidate sources.
   ShardSearchStats search_shard_reference(
       const ProteinDatabase& shard, const PreparedQueries& queries,
       std::span<TopK<Hit>> tops,
@@ -172,6 +193,14 @@ class SearchEngine {
   std::vector<TopK<Hit>> make_tops(std::size_t query_count) const;
 
  private:
+  /// The query-centric open-search kernel behind search_shard(); `index`
+  /// has already been validated (or built) by the caller.
+  ShardSearchStats search_shard_open(
+      const ProteinDatabase& shard, const PreparedQueries& queries,
+      std::span<TopK<Hit>> tops,
+      std::vector<std::uint64_t>* per_query_candidates,
+      const CandidateIndex& index, const FragmentIndex* fragment) const;
+
   SearchConfig config_;
 };
 

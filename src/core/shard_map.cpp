@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/wire.hpp"
+#include "io/wire_record.hpp"
 #include "simmpi/comm.hpp"
 #include "util/error.hpp"
 
@@ -134,8 +135,7 @@ std::pair<std::uint64_t, std::uint64_t> MassHistogram::record_range(
 }
 
 void put_histogram(wire::Writer& writer, const MassHistogram& histogram) {
-  writer.put_u64(kHistogramMagic);
-  writer.put_u32(kHistogramVersion);
+  wire::put_record_header(writer, kHistogramMagic, kHistogramVersion);
   writer.put_double(histogram.bucket_width);
   writer.put_double(histogram.min_mass);
   writer.put_u64(histogram.bucket_count);
@@ -148,17 +148,12 @@ void put_histogram(wire::Writer& writer, const MassHistogram& histogram) {
 }
 
 bool peek_histogram(wire::Reader& reader) {
-  return reader.remaining() >= sizeof(std::uint64_t) &&
-         reader.peek_u64() == kHistogramMagic;
+  return wire::peek_record(reader, kHistogramMagic);
 }
 
 MassHistogram get_histogram(wire::Reader& reader) {
-  if (reader.get_u64() != kHistogramMagic)
-    throw IoError("shard mass histogram: bad magic");
-  const std::uint32_t version = reader.get_u32();
-  if (version != kHistogramVersion)
-    throw IoError("shard mass histogram: unsupported version " +
-                  std::to_string(version));
+  wire::get_record_header(reader, kHistogramMagic, kHistogramVersion,
+                          "shard mass histogram");
   MassHistogram histogram;
   histogram.bucket_width = reader.get_double();
   histogram.min_mass = reader.get_double();
@@ -233,10 +228,16 @@ bool ShardMassMap::routes() const {
 bool ShardMassMap::needed(int shard,
                           std::span<const double> hypothesis_masses,
                           double tolerance_da) const {
+  return needed(shard, hypothesis_masses, tolerance_da, tolerance_da);
+}
+
+bool ShardMassMap::needed(int shard,
+                          std::span<const double> hypothesis_masses,
+                          double below_da, double above_da) const {
   const MassHistogram* hist = histogram(shard);
   if (hist == nullptr) return true;  // unknown: visiting is always safe
   for (const double mass : hypothesis_masses)
-    if (hist->occupied(mass - tolerance_da, mass + tolerance_da)) return true;
+    if (hist->occupied(mass - below_da, mass + above_da)) return true;
   return false;
 }
 

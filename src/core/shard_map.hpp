@@ -135,6 +135,16 @@ class ShardMassMap {
   bool needed(int shard, std::span<const double> hypothesis_masses,
               double tolerance_da) const;
 
+  /// Asymmetric window form, for open/PTM search: a candidate of mass M
+  /// matches hypothesis mass m iff M ∈ [m − below, m + above] (a variant
+  /// carrying +Δ of modification mass is observed Δ *above* its base
+  /// peptide, so the window below m widens by the maximum positive Δ and
+  /// the window above by the maximum negative one). Routing must widen by
+  /// exactly the kernel's SearchConfig::window_below()/window_above() or
+  /// the PR-6 skip proof no longer covers modified precursors.
+  bool needed(int shard, std::span<const double> hypothesis_masses,
+              double below_da, double above_da) const;
+
  private:
   std::vector<std::optional<MassHistogram>> shards_;
 };

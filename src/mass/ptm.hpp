@@ -8,6 +8,7 @@
 // `max_mods_per_peptide`.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -53,5 +54,31 @@ std::uint64_t count_variants(std::string_view peptide,
 /// Human-readable form, e.g. "PEPS[+79.97]TIDE".
 std::string annotate(std::string_view peptide, const PtmVariant& variant,
                      const std::vector<Ptm>& rules);
+
+/// Extreme total mass deltas any variant under `rules` can carry with at
+/// most `max_mods` modified sites: min_total ≤ 0 ≤ max_total always (the
+/// unmodified variant contributes zero). This is the one definition both
+/// the open-search kernels and mass routing widen their precursor windows
+/// by, so a skip decision and a scoring decision can never disagree.
+struct PtmDeltaRange {
+  double min_total = 0.0;
+  double max_total = 0.0;
+};
+
+inline PtmDeltaRange ptm_delta_range(const std::vector<Ptm>& rules,
+                                     std::size_t max_mods) {
+  PtmDeltaRange range;
+  if (rules.empty() || max_mods == 0) return range;
+  double min_delta = 0.0;
+  double max_delta = 0.0;
+  for (const Ptm& rule : rules) {
+    min_delta = std::min(min_delta, rule.mass_delta);
+    max_delta = std::max(max_delta, rule.mass_delta);
+  }
+  const double mods = static_cast<double>(max_mods);
+  range.min_total = min_delta * mods;
+  range.max_total = max_delta * mods;
+  return range;
+}
 
 }  // namespace msp

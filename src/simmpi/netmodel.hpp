@@ -104,6 +104,10 @@ struct ComputeModel {
   double seconds_per_route_check = 1e-6;
   /// Writing one hit record to the (NFS) output file.
   double seconds_per_hit_output = 2e-6;
+  /// Scanning one fragment-ion-index posting during an open-search lookup
+  /// (an in-cache array walk plus a counter increment — memory-bound, far
+  /// below a prefilter screen, which is the whole point of the index).
+  double seconds_per_posting = 25e-9;
   /// Fraction of ρ spent *generating* a candidate (fragment masses + model
   /// spectrum) as opposed to comparing it. The paper's Discussion: "a
   /// dominant fraction of the query processing time is spent on generating
