@@ -1,19 +1,29 @@
-// Kernel ablation: the database-walking reference kernel vs. the
-// candidate-centric indexed kernel on identical shards, measured in real
-// (host) wall-clock time — unlike the table benches this is about the
-// implementation, not the simulated cluster. Reports ions built per
-// candidate evaluated (the amortization the shared fragment-ion workspace
-// buys) and the wall-clock speedup, sweeping kernel_threads on top. Results
-// land in a JSON file (BENCH_kernel.json) for CI trend tracking.
+// Kernel ablation and wall-clock regression harness: the database-walking
+// reference kernel vs. the candidate-centric indexed kernel, each under the
+// scalar and (when compiled) vectorized scoring backends, on identical
+// shards, measured in real (host) wall-clock time — unlike the table benches
+// this is about the implementation, not the simulated cluster. Every run
+// must agree hit-for-hit across kernels and backends (the bit-identity
+// contract of scoring/kernel.hpp); a disagreement makes the ablation
+// invalid and the bench fails.
+//
+// Results append to a trajectory file (BENCH_kernel.json, a JSON array with
+// one entry per run). CI replays the bench and gates on the RATIOS — the
+// indexed-vs-reference speedup and the simd-vs-scalar backend ratio — which
+// transfer across machines, unlike absolute wall-clock; see
+// tools/check_kernel_bench.py and EXPERIMENTS.md.
 #include <chrono>
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <vector>
 
 #include "bench/common.hpp"
 #include "core/candidate_index.hpp"
 #include "core/search_engine.hpp"
+#include "scoring/kernel.hpp"
+#include "spectra/theoretical.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
 
@@ -50,18 +60,54 @@ TimedRun best_of(int repeats, const msp::SearchEngine& engine,
   return best;
 }
 
+/// Append `entry` (a JSON object) to the JSON array at `path`, creating the
+/// array on first write. Textual append — strip the closing bracket, add the
+/// entry — so prior entries pass through byte-identical and the file stays a
+/// valid array after every run (the committed baseline entry is entry 0).
+void append_trajectory(const std::string& path, const std::string& entry) {
+  if (path.empty()) return;
+  std::string existing;
+  {
+    std::ifstream in(path, std::ios::binary);
+    if (in)
+      existing.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  }
+  while (!existing.empty() &&
+         (existing.back() == '\n' || existing.back() == ' '))
+    existing.pop_back();
+  std::ofstream out(path, std::ios::binary);
+  MSP_CHECK_MSG(out.good(), "cannot open JSON output " << path);
+  if (existing.empty()) {
+    out << "[\n" << entry << "\n]\n";
+  } else {
+    MSP_CHECK_MSG(existing.back() == ']',
+                  "trajectory file " << path << " is not a JSON array");
+    existing.pop_back();
+    while (!existing.empty() &&
+           (existing.back() == '\n' || existing.back() == ' '))
+      existing.pop_back();
+    out << existing << ",\n" << entry << "\n]\n";
+  }
+  std::cout << "appended to " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   msp::Cli cli("bench_kernel_ablation",
-               "reference vs candidate-centric scoring kernel (host time)");
+               "reference vs indexed kernel, scalar vs simd backend "
+               "(host wall-clock)");
   cli.add_int("sequences", 2500, "database size");
   cli.add_int("queries", 150, "query spectra (searched with 3 charge "
                               "hypotheses each — the multi-hypothesis regime)");
   cli.add_int("repeats", 5, "timing repeats (best-of)");
   cli.add_int("seed", 2009, "workload seed");
   cli.add_string("threads", "1,2,4,8", "kernel_threads sweep");
-  cli.add_string("out", "BENCH_kernel.json", "JSON output path");
+  cli.add_string("label", "local",
+                 "trajectory entry label (CI uses the commit hash)");
+  cli.add_string("out", "BENCH_kernel.json",
+                 "trajectory JSON array to append to (empty = skip)");
   if (!cli.parse(argc, argv)) return 0;
 
   const auto sequences = static_cast<std::size_t>(cli.get_int("sequences"));
@@ -83,21 +129,40 @@ int main(int argc, char** argv) {
       msp::CandidateIndex::build(workload.db, config);
   const double index_seconds = seconds_since(index_start);
 
+  // The reference kernel under the scalar backend is the baseline every
+  // speedup in this bench is measured against.
+  msp::set_scoring_backend(msp::ScoringBackend::kScalar);
   const TimedRun reference =
       best_of(repeats, engine, workload.queries.size(), [&](auto& tops) {
         return engine.search_shard_reference(workload.db, prepared, tops);
       });
-  const TimedRun indexed =
+  const TimedRun indexed_scalar =
       best_of(repeats, engine, workload.queries.size(), [&](auto& tops) {
         return engine.search_shard(workload.db, prepared, tops, nullptr,
                                    &index);
       });
 
-  // The ablation is only meaningful if the two kernels agree hit-for-hit.
-  if (indexed.hits != reference.hits ||
-      indexed.stats.candidates_evaluated !=
+  TimedRun indexed_simd;
+  if (msp::simd_compiled()) {
+    msp::set_scoring_backend(msp::ScoringBackend::kSimd);
+    indexed_simd =
+        best_of(repeats, engine, workload.queries.size(), [&](auto& tops) {
+          return engine.search_shard(workload.db, prepared, tops, nullptr,
+                                     &index);
+        });
+  }
+
+  // The ablation is only meaningful if every kernel/backend combination
+  // agrees hit-for-hit (DESIGN.md §5j's bit-identity contract).
+  if (indexed_scalar.hits != reference.hits ||
+      indexed_scalar.stats.candidates_evaluated !=
           reference.stats.candidates_evaluated) {
     std::cerr << "FATAL: kernels disagree — ablation invalid\n";
+    return 1;
+  }
+  if (msp::simd_compiled() && indexed_simd.hits != reference.hits) {
+    std::cerr << "FATAL: simd backend disagrees with scalar — ablation "
+                 "invalid\n";
     return 1;
   }
 
@@ -107,18 +172,31 @@ int main(int argc, char** argv) {
     return scored == 0.0 ? 0.0
                          : static_cast<double>(stats.ions_built) / scored;
   };
-  const double speedup = reference.seconds / indexed.seconds;
+  const double fastest_indexed = msp::simd_compiled()
+                                     ? indexed_simd.seconds
+                                     : indexed_scalar.seconds;
+  const double speedup = reference.seconds / fastest_indexed;
 
-  msp::Table table({"kernel", "threads", "wall (ms)", "speedup",
+  msp::Table table({"kernel", "backend", "threads", "wall (ms)", "speedup",
                     "ions built", "ions/candidate"});
-  table.add_row({"reference", "1", msp::Table::cell(reference.seconds * 1e3),
-                 "1.00", std::to_string(reference.stats.ions_built),
+  table.add_row({"reference", "scalar", "1",
+                 msp::Table::cell(reference.seconds * 1e3), "1.00",
+                 std::to_string(reference.stats.ions_built),
                  msp::Table::cell(per_candidate(reference.stats))});
-  table.add_row({"indexed", "1", msp::Table::cell(indexed.seconds * 1e3),
-                 msp::Table::cell(speedup),
-                 std::to_string(indexed.stats.ions_built),
-                 msp::Table::cell(per_candidate(indexed.stats))});
+  table.add_row({"indexed", "scalar", "1",
+                 msp::Table::cell(indexed_scalar.seconds * 1e3),
+                 msp::Table::cell(reference.seconds / indexed_scalar.seconds),
+                 std::to_string(indexed_scalar.stats.ions_built),
+                 msp::Table::cell(per_candidate(indexed_scalar.stats))});
+  if (msp::simd_compiled())
+    table.add_row({"indexed", "simd", "1",
+                   msp::Table::cell(indexed_simd.seconds * 1e3),
+                   msp::Table::cell(reference.seconds / indexed_simd.seconds),
+                   std::to_string(indexed_simd.stats.ions_built),
+                   msp::Table::cell(per_candidate(indexed_simd.stats))});
 
+  // Threads sweep under the fastest backend (auto = simd when compiled).
+  msp::set_scoring_backend(msp::ScoringBackend::kAuto);
   std::vector<std::pair<std::int64_t, double>> threaded;
   for (const std::int64_t threads : cli.get_int_list("threads")) {
     if (threads <= 1) continue;
@@ -135,40 +213,163 @@ int main(int argc, char** argv) {
       return 1;
     }
     threaded.emplace_back(threads, run.seconds);
-    table.add_row({"indexed", std::to_string(threads),
+    table.add_row({"indexed", "auto", std::to_string(threads),
                    msp::Table::cell(run.seconds * 1e3),
                    msp::Table::cell(reference.seconds / run.seconds),
                    std::to_string(run.stats.ions_built),
                    msp::Table::cell(per_candidate(run.stats))});
   }
 
+  // Kernel-level throughput: the SIMD-vs-scalar claim measured on the match
+  // kernel itself (the end-to-end rows above dilute it with the scalar ion
+  // enumeration and model arithmetic around the kernel). The sample is
+  // mass-matched (query, ladder) pairs — the pairs the engine actually
+  // scores, whose ladder span tracks the query grid — drawn by striding the
+  // prepared contexts and each precursor window, and small enough to stay
+  // cache-resident (the engine scores each ladder right after building it,
+  // so the kernel always runs on warm ladders; sweeping every ladder here
+  // would measure DRAM bandwidth instead). The accumulated stats must agree
+  // exactly across backends (bit-identity).
+  constexpr std::size_t kKernelPairSample = 4096;
+  std::vector<std::pair<std::size_t, msp::IonLadder>> pairs;
+  pairs.reserve(kKernelPairSample);
+  {
+    msp::FragmentIonWorkspace workspace;
+    const msp::TheoreticalOptions ion_options;
+    const std::vector<msp::IndexedCandidate>& entries = index.entries();
+    const auto first_at_or_above = [&](double mass) {
+      return static_cast<std::size_t>(
+          std::lower_bound(entries.begin(), entries.end(), mass,
+                           [](const msp::IndexedCandidate& e, double m) {
+                             return e.mass < m;
+                           }) -
+          entries.begin());
+    };
+    for (std::size_t qi = 0;
+         qi < prepared.contexts.size() && pairs.size() < kKernelPairSample;
+         qi += 7) {
+      const double parent = prepared.contexts[qi].parent_mass();
+      const std::size_t lo = first_at_or_above(parent - config.tolerance_da);
+      const std::size_t hi = first_at_or_above(parent + config.tolerance_da);
+      for (std::size_t c = lo; c < hi && pairs.size() < kKernelPairSample;
+           c += 3) {
+        const msp::IndexedCandidate& entry = entries[c];
+        const msp::Protein& protein = workload.db.proteins[entry.protein];
+        const std::string_view peptide =
+            std::string_view(protein.residues)
+                .substr(entry.offset, entry.length);
+        pairs.emplace_back(qi, msp::IonLadder{});
+        msp::build_ion_ladder(
+            msp::fragment_ions_into(peptide, ion_options, workspace),
+            config.bin_width, pairs.back().second);
+      }
+    }
+  }
+  struct KernelPass {
+    double seconds = std::numeric_limits<double>::infinity();
+    double matched_intensity = 0.0;
+    std::uint64_t matched = 0;
+  };
+  const auto kernel_pass = [&](msp::ScoringBackend backend) {
+    msp::set_scoring_backend(backend);
+    constexpr int kSweeps = 40;  // sweeps per timed repeat (timing stability)
+    KernelPass best;
+    for (int r = 0; r < repeats; ++r) {
+      KernelPass pass;
+      pass.seconds = 0.0;
+      const Clock::time_point start = Clock::now();
+      for (int sweep = 0; sweep < kSweeps; ++sweep)
+        for (const auto& [qi, ladder] : pairs) {
+          const msp::PeakMatchStats stats =
+              msp::match_ladder(prepared.contexts[qi].binned(), ladder);
+          pass.matched += stats.matched_b + stats.matched_y;
+          pass.matched_intensity += stats.matched_intensity;
+        }
+      pass.seconds = seconds_since(start);
+      if (pass.seconds < best.seconds) best = pass;
+    }
+    return best;
+  };
+  const KernelPass kernel_scalar = kernel_pass(msp::ScoringBackend::kScalar);
+  KernelPass kernel_simd;
+  if (msp::simd_compiled()) {
+    kernel_simd = kernel_pass(msp::ScoringBackend::kSimd);
+    if (kernel_simd.matched != kernel_scalar.matched ||
+        kernel_simd.matched_intensity != kernel_scalar.matched_intensity) {
+      std::cerr << "FATAL: kernel backends disagree on match stats\n";
+      return 1;
+    }
+  }
+  msp::set_scoring_backend(msp::ScoringBackend::kAuto);
+  const double kernel_ratio =
+      msp::simd_compiled() ? kernel_scalar.seconds / kernel_simd.seconds : 1.0;
+
   std::cout << "== Kernel ablation (" << sequences << " sequences, "
             << query_count << " queries x " << config.charge_hypotheses.size()
-            << " charge hypotheses) ==\n";
+            << " charge hypotheses, simd "
+            << (msp::simd_compiled() ? "compiled" : "not compiled")
+            << ") ==\n";
   table.print(std::cout);
   std::cout << "index build: " << index_seconds * 1e3
             << " ms (paid once per shard at pack time)\n";
+  std::cout << "match kernel (" << pairs.size()
+            << " mass-matched query/ladder pairs): scalar "
+            << kernel_scalar.seconds * 1e3 << " ms";
+  if (msp::simd_compiled())
+    std::cout << ", simd " << kernel_simd.seconds * 1e3 << " ms ("
+              << kernel_ratio << "x)";
+  std::cout << "\n";
 
   msp::JsonWriter json;
   json.begin_object();
+  json.field("label", cli.get_string("label"));
   json.field("sequences", sequences);
   json.field("queries", query_count);
-  json.field("candidates_evaluated", indexed.stats.candidates_evaluated);
-  json.field("candidates_prefiltered", indexed.stats.candidates_prefiltered);
+  json.field("simd_compiled", msp::simd_compiled());
+  json.field("candidates_evaluated",
+             indexed_scalar.stats.candidates_evaluated);
+  json.field("candidates_prefiltered",
+             indexed_scalar.stats.candidates_prefiltered);
   json.field("ions_built_reference", reference.stats.ions_built);
-  json.field("ions_built_indexed", indexed.stats.ions_built);
+  json.field("ions_built_indexed", indexed_scalar.stats.ions_built);
   json.field("ions_per_candidate_reference", per_candidate(reference.stats));
-  json.field("ions_per_candidate_indexed", per_candidate(indexed.stats));
+  json.field("ions_per_candidate_indexed",
+             per_candidate(indexed_scalar.stats));
   json.field("index_build_seconds", index_seconds);
   json.field("reference_seconds", reference.seconds);
-  json.field("indexed_seconds", indexed.seconds);
+  json.field("indexed_scalar_seconds", indexed_scalar.seconds);
+  json.field("speedup_indexed_scalar",
+             reference.seconds / indexed_scalar.seconds);
+  if (msp::simd_compiled()) {
+    json.field("indexed_simd_seconds", indexed_simd.seconds);
+    json.field("speedup_indexed_simd",
+               reference.seconds / indexed_simd.seconds);
+    json.field("simd_over_scalar",
+               indexed_scalar.seconds / indexed_simd.seconds);
+  }
   json.field("speedup", speedup);
+  json.field("kernel_scalar_seconds", kernel_scalar.seconds);
+  if (msp::simd_compiled()) {
+    json.field("kernel_simd_seconds", kernel_simd.seconds);
+    json.field("kernel_simd_over_scalar", kernel_ratio);
+  }
   for (const auto& [threads, seconds] : threaded) {
     json.field("indexed_seconds_t" + std::to_string(threads), seconds);
     json.field("speedup_t" + std::to_string(threads),
                reference.seconds / seconds);
   }
   json.end_object();
-  msp::bench::write_json_summary(cli.get_string("out"), json.str());
+
+  // Indent the entry one level so the trajectory array reads naturally.
+  std::istringstream lines(json.str());
+  std::ostringstream indented;
+  std::string line;
+  bool first = true;
+  while (std::getline(lines, line)) {
+    if (!first) indented << "\n";
+    indented << "  " << line;
+    first = false;
+  }
+  append_trajectory(cli.get_string("out"), indented.str());
   return 0;
 }

@@ -25,6 +25,7 @@
 #include "io/mgf.hpp"
 #include "io/results_io.hpp"
 #include "mass/ptm.hpp"
+#include "scoring/kernel.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
 #include "util/str.hpp"
@@ -41,7 +42,14 @@ void add_input_options(msp::Cli& cli) {
   cli.add_string("out", "hits.tsv", "output TSV hit report");
   cli.add_int("tau", 10, "hits reported per query");
   cli.add_double("tolerance", 3.0, "parent mass tolerance (Da)");
-  cli.add_string("model", "likelihood", "likelihood|hyperscore|shared-peak");
+  cli.add_string("model", "likelihood",
+                 "likelihood|hyperscore|shared-peak|xcorr");
+  cli.add_string("score-model", "",
+                 "alias of --model (takes precedence when set)");
+  cli.add_string("scoring-backend", "auto",
+                 "scoring kernel backend: auto|scalar|simd (simd requires a "
+                 "build with -DMSPAR_SIMD=ON; results are bit-identical "
+                 "either way)");
   cli.add_double("open-window-da", 0.0,
                  "widen the precursor window by this many Da on each side "
                  "(open search; 0 = narrow)");
@@ -124,11 +132,27 @@ Inputs load_inputs(const msp::Cli& cli) {
 }
 
 msp::ScoreModel score_model_from_cli(const msp::Cli& cli) {
-  const std::string model = cli.get_string("model");
+  const std::string alias = cli.get_string("score-model");
+  const std::string model = alias.empty() ? cli.get_string("model") : alias;
   if (model == "likelihood") return msp::ScoreModel::kLikelihood;
   if (model == "hyperscore") return msp::ScoreModel::kHyperscore;
   if (model == "shared-peak") return msp::ScoreModel::kSharedPeak;
+  if (model == "xcorr") return msp::ScoreModel::kXcorr;
   throw msp::InvalidArgument("unknown --model " + model);
+}
+
+/// Apply --scoring-backend to the process-global kernel backend switch.
+void apply_scoring_backend(const msp::Cli& cli) {
+  const std::string backend = cli.get_string("scoring-backend");
+  if (backend == "auto") {
+    msp::set_scoring_backend(msp::ScoringBackend::kAuto);
+  } else if (backend == "scalar") {
+    msp::set_scoring_backend(msp::ScoringBackend::kScalar);
+  } else if (backend == "simd") {
+    msp::set_scoring_backend(msp::ScoringBackend::kSimd);
+  } else {
+    throw msp::InvalidArgument("unknown --scoring-backend " + backend);
+  }
 }
 
 int run_search(int argc, const char* const* argv) {
@@ -148,6 +172,7 @@ int run_search(int argc, const char* const* argv) {
   options.config.tau = static_cast<std::size_t>(cli.get_int("tau"));
   options.config.tolerance_da = cli.get_double("tolerance");
   options.config.model = score_model_from_cli(cli);
+  apply_scoring_backend(cli);
   apply_open_options(cli, options.config);
   const std::string candidates = cli.get_string("candidates");
   if (candidates == "tryptic")
@@ -198,6 +223,7 @@ int run_serve(int argc, const char* const* argv) {
   config.tau = static_cast<std::size_t>(cli.get_int("tau"));
   config.tolerance_da = cli.get_double("tolerance");
   config.model = score_model_from_cli(cli);
+  apply_scoring_backend(cli);
   apply_open_options(cli, config);
   // The banded serving ring stores candidates as fixed-width records
   // (core/candidate_record.hpp), which cap peptide length at 63 residues.

@@ -18,10 +18,11 @@ void MassWindowCandidateSource::collect(
     const Protein& protein = shard_.proteins[entry.protein];
     const std::string_view peptide =
         std::string_view(protein.residues).substr(entry.offset, entry.length);
-    const std::vector<FragmentIon>& ions =
-        fragment_ions_into(peptide, ion_options_, workspace_);
+    build_ion_ladder(fragment_ions_into(peptide, ion_options_, workspace_),
+                     context.binned().bin_width(), workspace_.ladder);
     ++stats.ions_built;
-    const std::size_t votes = shared_peak_count(context.binned(), ions);
+    const std::size_t votes =
+        shared_peak_count(context.binned(), workspace_.ladder);
     if (votes < vote_gate_) {
       ++stats.candidates_prefiltered;
       continue;

@@ -24,6 +24,7 @@ enum class ScoreModel : std::uint8_t {
   kLikelihood,  ///< MSPolygraph's accurate model (default; the paper's point)
   kHyperscore,  ///< X!Tandem-style fast baseline
   kSharedPeak,  ///< simplest; used by tests for hand-checkable scores
+  kXcorr,       ///< SEQUEST-style cross-correlation (fast formulation)
 };
 
 enum class CandidateSourceKind : std::uint8_t {

@@ -17,7 +17,11 @@ namespace {
 // Leads the fragment-ion-index record in a shard pack.
 // "MSPARFRG" in ASCII — distinct from the indexed-shard and histogram magics.
 constexpr std::uint64_t kFragmentIndexMagic = 0x4D53504152465247ull;
-constexpr std::uint32_t kFragmentIndexVersion = 1;
+// Version 2: postings are deduplicated per (candidate, bin) — strictly
+// ordinal-ascending within a bin — matching the deduplicated shared-peak
+// count (one query peak is one piece of evidence). Version-1 records carry
+// duplicate postings and are rejected by the shared version check.
+constexpr std::uint32_t kFragmentIndexVersion = 2;
 
 void validate_csr(const FragmentIndexParams& params,
                   std::uint64_t candidate_count,
@@ -37,8 +41,12 @@ void validate_csr(const FragmentIndexParams& params,
     for (std::size_t i = starts[b - 1]; i < starts[b]; ++i) {
       MSP_CHECK_MSG(postings[i] < candidate_count,
                     "fragment index posting outside the candidate range");
-      MSP_CHECK_MSG(i == starts[b - 1] || postings[i - 1] <= postings[i],
-                    "fragment index postings must be ordinal-ascending");
+      // Strictly ascending: a duplicate posting would make a candidate vote
+      // twice for one bin — the duplicate-bin double count the deduplicated
+      // shared-peak semantics forbid.
+      MSP_CHECK_MSG(i == starts[b - 1] || postings[i - 1] < postings[i],
+                    "fragment index postings must be strictly "
+                    "ordinal-ascending within a bin");
     }
 }
 
@@ -65,11 +73,12 @@ FragmentIndex FragmentIndex::build(const ProteinDatabase& shard,
   out.candidate_count_ = index.size();
   if (index.empty()) return out;
 
-  // One (bin, ordinal) pair per theoretical ion, candidate-major so each
-  // bin's postings come out ordinal-ascending under the stable counting
-  // sort below. The ion ladder is the exact one the kernels score (default
-  // TheoreticalOptions through the same fragment_ions_into), so index votes
-  // and shared_peak_count agree integer-for-integer.
+  // One (bin, ordinal) pair per *distinct* (candidate, bin) — the same
+  // first-hit-wins dedup the IonLadder applies — candidate-major so each
+  // bin's postings come out strictly ordinal-ascending under the stable
+  // counting sort below. Binning through build_ion_ladder (the exact ladder
+  // the kernels score) keeps index votes and the deduplicated
+  // shared_peak_count in lockstep, integer-for-integer.
   std::vector<std::pair<std::uint32_t, std::uint32_t>> pairs;
   FragmentIonWorkspace workspace;
   const TheoreticalOptions ion_options;
@@ -80,11 +89,10 @@ FragmentIndex FragmentIndex::build(const ProteinDatabase& shard,
     const Protein& protein = shard.proteins[entry.protein];
     const std::string_view peptide =
         std::string_view(protein.residues).substr(entry.offset, entry.length);
-    for (const FragmentIon& ion :
-         fragment_ions_into(peptide, ion_options, workspace)) {
-      // The same grid arithmetic as BinnedSpectrum: truncation of a
-      // positive mz / width is floor.
-      const auto bin = static_cast<std::uint32_t>(ion.mz / bin_width);
+    build_ion_ladder(fragment_ions_into(peptide, ion_options, workspace),
+                     bin_width, workspace.ladder);
+    for (std::size_t i = 0; i < workspace.ladder.size; ++i) {
+      const auto bin = static_cast<std::uint32_t>(workspace.ladder.bins[i]);
       max_bin = std::max(max_bin, bin);
       pairs.emplace_back(bin, static_cast<std::uint32_t>(e));
     }
@@ -173,9 +181,10 @@ FragmentIndex get_fragment_index(wire::Reader& reader) {
   }
   for (std::uint64_t b = 0; b < bins; ++b)
     for (std::uint64_t i = starts[b] + 1; i < starts[b + 1]; ++i)
-      if (postings[i - 1] > postings[i])
-        throw IoError("fragment index: postings must be ordinal-ascending "
-                      "within a bin");
+      if (postings[i - 1] >= postings[i])
+        throw IoError("fragment index: postings must be strictly "
+                      "ordinal-ascending within a bin (a duplicate posting "
+                      "is a duplicate-bin double vote)");
   return FragmentIndex(params, candidates, std::move(starts),
                        std::move(postings));
 }

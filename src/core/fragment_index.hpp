@@ -62,10 +62,10 @@ class FragmentIndex {
   /// Build from a shard and its CandidateIndex: every entry's theoretical
   /// ions (default TheoreticalOptions — the exact ladder the kernels score)
   /// binned at floor(mz / bin_width). Deterministic: entries are visited in
-  /// index order, so each bin's postings come out ordinal-ascending (which
-  /// is mass-ascending) with one posting per ion, duplicates included — a
-  /// candidate with two ions in one bin must vote twice there, exactly as
-  /// shared_peak_count counts it.
+  /// index order, so each bin's postings come out strictly ordinal-ascending
+  /// (which is mass-ascending) with one posting per *distinct* (candidate,
+  /// bin) — two ions of one candidate landing in one bin are a single vote,
+  /// exactly as the deduplicated shared_peak_count counts them.
   static FragmentIndex build(const ProteinDatabase& shard,
                              const CandidateIndex& index, double bin_width);
 
@@ -80,7 +80,8 @@ class FragmentIndex {
   bool empty() const { return postings_.empty(); }
 
   /// Candidate ordinals (into the CandidateIndex entries) owning an ion in
-  /// `bin`, ordinal-ascending with multiplicity. Empty for out-of-grid bins.
+  /// `bin`, strictly ordinal-ascending (deduplicated per candidate). Empty
+  /// for out-of-grid bins.
   std::span<const std::uint32_t> postings(std::uint32_t bin) const {
     if (bin >= bin_count()) return {};
     return std::span<const std::uint32_t>(postings_)
@@ -111,8 +112,9 @@ bool peek_fragment_index(wire::Reader& reader);
 
 /// Parse a fragment-index record, validating magic, version, and the CSR
 /// invariants (positive finite bin width, per-bin counts summing to the
-/// posting count, ordinals inside the candidate range, ordinal-ascending
-/// posting lists). Throws IoError with a specific message on any violation.
+/// posting count, ordinals inside the candidate range, strictly
+/// ordinal-ascending posting lists). Throws IoError with a specific message
+/// on any violation.
 FragmentIndex get_fragment_index(wire::Reader& reader);
 
 }  // namespace msp

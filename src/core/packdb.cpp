@@ -1,5 +1,8 @@
 #include "core/packdb.hpp"
 
+#include <cmath>
+#include <string>
+
 #include "core/wire.hpp"
 #include "io/wire_record.hpp"
 
@@ -187,18 +190,42 @@ std::vector<Spectrum> unpack_spectra(const std::vector<char>& bytes) {
   wire::Reader reader(bytes);
   std::vector<Spectrum> spectra;
   const std::uint64_t count = reader.get_u64();
+  // Every spectrum record is at least 24 bytes (empty title, zero peaks);
+  // bound the reserve by what the payload can actually hold.
+  if (count > reader.remaining() / 24)
+    throw IoError("packed spectra: spectrum count exceeds payload");
   spectra.reserve(count);
   for (std::uint64_t i = 0; i < count; ++i) {
     std::string title = reader.get_string();
     const double precursor = reader.get_double();
     const int charge = reader.get_i32();
     const std::uint32_t peak_count = reader.get_u32();
+    // The Spectrum constructor treats nonpositive/NaN peaks as filterable
+    // instrument noise, but a pack is machine-written: out-of-domain values
+    // here are corruption, and some (an infinite or absurd m/z with positive
+    // intensity) would survive the noise filter only to drive the binned
+    // grid allocation — floor(max_mz / bin_width) bins — out of memory.
+    // Reject at load with the IoError corruption path instead.
+    if (!std::isfinite(precursor) || precursor <= 0.0)
+      throw IoError("packed spectra: precursor m/z must be positive and "
+                    "finite");
+    if (charge < 1)
+      throw IoError("packed spectra: charge must be >= 1");
+    if (peak_count > reader.remaining() / (2 * sizeof(double)))
+      throw IoError("packed spectra: peak count exceeds payload");
     std::vector<Peak> peaks;
     peaks.reserve(peak_count);
     for (std::uint32_t k = 0; k < peak_count; ++k) {
       Peak peak;
       peak.mz = reader.get_double();
       peak.intensity = reader.get_double();
+      if (!std::isfinite(peak.mz) || peak.mz <= 0.0 ||
+          peak.mz > kMaxPackedPeakMz)
+        throw IoError("packed spectra: peak m/z outside (0, " +
+                      std::to_string(kMaxPackedPeakMz) + "]");
+      if (!std::isfinite(peak.intensity) || peak.intensity < 0.0)
+        throw IoError("packed spectra: peak intensity must be finite and "
+                      "non-negative");
       peaks.push_back(peak);
     }
     spectra.emplace_back(std::move(peaks), precursor, charge, std::move(title));

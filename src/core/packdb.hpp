@@ -72,6 +72,18 @@ PackedShard unpack_shard(const std::vector<char>& bytes);
 /// Serialize one spectrum (for p2p query batches in the baseline and the
 /// query-transport ablation).
 std::vector<char> pack_spectra(std::span<const Spectrum> spectra);
+
+/// Largest peak m/z a packed spectrum may carry. Real fragment m/z tops out
+/// around 10^4 Da; anything past this is corruption, and an unbounded m/z
+/// would size the binned-spectrum grid (floor(max_mz / bin_width) bins)
+/// from attacker-controlled bytes.
+inline constexpr double kMaxPackedPeakMz = 1.0e6;
+
+/// Inverse of pack_spectra. Throws IoError on malformed bytes, including
+/// out-of-domain values a trusting reader would crash or over-allocate on
+/// downstream: non-finite/nonpositive precursor m/z, charge < 1, peak or
+/// spectrum counts exceeding the payload, peak m/z outside
+/// (0, kMaxPackedPeakMz], or non-finite/negative intensity.
 std::vector<Spectrum> unpack_spectra(const std::vector<char>& bytes);
 
 }  // namespace msp

@@ -59,6 +59,11 @@ PreparedQueries SearchEngine::prepare(std::span<const Spectrum> queries) const {
       entries.emplace_back(cleaned.parent_mass(), i);
     }
     prepared.contexts.emplace_back(cleaned, config_.bin_width);
+    // Xcorr folds its 151-offset background into the query once, here, so
+    // every driver and the serve path (all of which funnel through
+    // prepare()) share one per-query build.
+    if (config_.model == ScoreModel::kXcorr)
+      prepared.contexts.back().enable_xcorr();
     prepared.spectra.push_back(std::move(cleaned));
   }
   std::sort(entries.begin(), entries.end());
@@ -88,9 +93,23 @@ std::vector<double> SearchEngine::hypothesis_masses(
 
 double SearchEngine::score_candidate(const QueryContext& context,
                                      std::string_view peptide) const {
+  return score_candidate(context, peptide, fragment_ions(peptide));
+}
+
+double SearchEngine::score_candidate(
+    const QueryContext& context, std::string_view peptide,
+    const std::vector<FragmentIon>& ions) const {
+  static thread_local IonLadder ladder;
+  build_ion_ladder(ions, config_.bin_width, ladder);
+  return score_candidate(context, peptide, ladder);
+}
+
+double SearchEngine::score_candidate(const QueryContext& context,
+                                     std::string_view peptide,
+                                     const IonLadder& ladder) const {
   switch (config_.model) {
     case ScoreModel::kLikelihood: {
-      const double model_score = likelihood_ratio(context, peptide);
+      const double model_score = likelihood_ratio(context, ladder);
       if (config_.library != nullptr) {
         if (const Spectrum* entry = config_.library->find(peptide)) {
           // Hybrid evidence: the candidate explains the query if EITHER its
@@ -103,31 +122,16 @@ double SearchEngine::score_candidate(const QueryContext& context,
       return model_score;
     }
     case ScoreModel::kHyperscore:
-      return hyperscore(context.binned(), peptide);
+      return hyperscore(context.binned(), ladder);
     case ScoreModel::kSharedPeak:
-      return static_cast<double>(shared_peak_count(context.binned(), peptide));
-  }
-  throw InvalidArgument("unknown score model");
-}
-
-double SearchEngine::score_candidate(
-    const QueryContext& context, std::string_view peptide,
-    const std::vector<FragmentIon>& ions) const {
-  switch (config_.model) {
-    case ScoreModel::kLikelihood: {
-      const double model_score = likelihood_ratio(context, ions);
-      if (config_.library != nullptr) {
-        if (const Spectrum* entry = config_.library->find(peptide)) {
-          return std::max(model_score,
-                          likelihood_ratio_library(context, *entry));
-        }
-      }
-      return model_score;
+      return static_cast<double>(shared_peak_count(context.binned(), ladder));
+    case ScoreModel::kXcorr: {
+      const XcorrContext* x = context.xcorr();
+      MSP_CHECK_MSG(x != nullptr,
+                    "xcorr scoring requires a query context prepared under "
+                    "ScoreModel::kXcorr (QueryContext::enable_xcorr)");
+      return xcorr(*x, ladder);
     }
-    case ScoreModel::kHyperscore:
-      return hyperscore(context.binned(), ions);
-    case ScoreModel::kSharedPeak:
-      return static_cast<double>(shared_peak_count(context.binned(), ions));
   }
   throw InvalidArgument("unknown score model");
 }
@@ -174,21 +178,24 @@ void search_index_block(const SearchEngine& engine,
     const std::string_view peptide =
         std::string_view(protein.residues).substr(entry.offset, entry.length);
 
-    // Built lazily on the first matching query, then shared by every query
-    // (and prefilter screen) this candidate reaches — the whole point.
-    const std::vector<FragmentIon>* ions = nullptr;
+    // Built lazily on the first matching query — ions plus their SoA bin
+    // ladder — then shared by every query (and prefilter screen) this
+    // candidate reaches. All scoring below runs on the ladder.
+    bool built = false;
 
     for (std::size_t pos = lo; pos < hi; ++pos) {
       const std::uint32_t q = queries.order[pos];
       if (per_query_candidates) ++(*per_query_candidates)[q];
-      if (ions == nullptr) {
-        ions = &fragment_ions_into(peptide, ion_options, workspace);
+      if (!built) {
+        build_ion_ladder(fragment_ions_into(peptide, ion_options, workspace),
+                         config.bin_width, workspace.ladder);
+        built = true;
         ++stats.ions_built;
       }
       double score;
       if (config.prefilter) {
         const std::size_t shared =
-            shared_peak_count(queries.contexts[q].binned(), *ions);
+            shared_peak_count(queries.contexts[q].binned(), workspace.ladder);
         if (shared < config.prefilter_min_shared_peaks) {
           ++stats.candidates_prefiltered;
           continue;  // the aggressive screen: never fully scored
@@ -198,9 +205,11 @@ void search_index_block(const SearchEngine& engine,
         score = config.model == ScoreModel::kSharedPeak
                     ? static_cast<double>(shared)
                     : engine.score_candidate(queries.contexts[q], peptide,
-                                             *ions);
+                                             workspace.ladder);
       } else {
-        score = engine.score_candidate(queries.contexts[q], peptide, *ions);
+        score =
+            engine.score_candidate(queries.contexts[q], peptide,
+                                   workspace.ladder);
       }
       ++stats.candidates_evaluated;
       if (score < config.score_cutoff) continue;
@@ -292,13 +301,14 @@ void search_open_block(
       const std::string_view peptide =
           std::string_view(protein.residues).substr(entry.offset,
                                                     entry.length);
-      const std::vector<FragmentIon>& ions =
-          fragment_ions_into(peptide, ion_options, workspace);
+      build_ion_ladder(fragment_ions_into(peptide, ion_options, workspace),
+                       config.bin_width, workspace.ladder);
       // The exhaustive source already built (and charged) every inspected
       // candidate's ions; the indexed source only ever builds survivors'.
       if (!prebuilt) ++stats.ions_built;
       const double score =
-          engine.score_candidate(queries.contexts[q], peptide, ions);
+          engine.score_candidate(queries.contexts[q], peptide,
+                                 workspace.ladder);
       ++stats.candidates_evaluated;
       if (score < config.score_cutoff) continue;
       ++stats.hits_offered;
@@ -555,12 +565,14 @@ ShardSearchStats SearchEngine::search_records(
     if (lo == hi) continue;
 
     const std::string_view peptide(record.peptide, record.length);
-    const std::vector<FragmentIon>* ions = nullptr;
+    bool built = false;
 
     for (std::size_t pos = lo; pos < hi; ++pos) {
       const std::uint32_t q = queries.order[pos];
-      if (ions == nullptr) {
-        ions = &fragment_ions_into(peptide, ion_options, workspace);
+      if (!built) {
+        build_ion_ladder(fragment_ions_into(peptide, ion_options, workspace),
+                         config_.bin_width, workspace.ladder);
+        built = true;
         ++stats.ions_built;
       }
       double score;
@@ -568,24 +580,25 @@ ShardSearchStats SearchEngine::search_records(
         // The same gate the CandidateSource paths apply — the record-band
         // form of open search stays hit-identical to search_shard().
         const std::size_t votes =
-            shared_peak_count(queries.contexts[q].binned(), *ions);
+            shared_peak_count(queries.contexts[q].binned(), workspace.ladder);
         if (votes < config_.vote_gate()) {
           ++stats.candidates_prefiltered;
           continue;
         }
-        score = score_candidate(queries.contexts[q], peptide, *ions);
+        score = score_candidate(queries.contexts[q], peptide, workspace.ladder);
       } else if (config_.prefilter) {
         const std::size_t shared =
-            shared_peak_count(queries.contexts[q].binned(), *ions);
+            shared_peak_count(queries.contexts[q].binned(), workspace.ladder);
         if (shared < config_.prefilter_min_shared_peaks) {
           ++stats.candidates_prefiltered;
           continue;  // the aggressive screen: never fully scored
         }
         score = config_.model == ScoreModel::kSharedPeak
                     ? static_cast<double>(shared)
-                    : score_candidate(queries.contexts[q], peptide, *ions);
+                    : score_candidate(queries.contexts[q], peptide,
+                                      workspace.ladder);
       } else {
-        score = score_candidate(queries.contexts[q], peptide, *ions);
+        score = score_candidate(queries.contexts[q], peptide, workspace.ladder);
       }
       ++stats.candidates_evaluated;
       if (score < config_.score_cutoff) continue;

@@ -174,12 +174,19 @@ class SearchEngine {
   double score_candidate(const QueryContext& context,
                          std::string_view peptide) const;
 
-  /// Same, over the candidate's precomputed fragment ions — the form the
-  /// kernel calls so ions are built once per candidate. `peptide` is still
-  /// needed for the spectral-library lookup in hybrid mode. Scores are
+  /// Same, over the candidate's precomputed fragment ions — builds the SoA
+  /// ladder and funnels through the ladder overload. Scores are
   /// bit-identical to the string overload.
   double score_candidate(const QueryContext& context, std::string_view peptide,
                          const std::vector<FragmentIon>& ions) const;
+
+  /// Same, over the candidate's prebuilt ion ladder — the form the blocked
+  /// kernel calls so the ladder is built once per candidate and reused
+  /// across every matching query. `peptide` is still needed for the
+  /// spectral-library lookup in hybrid mode. Every overload funnels here,
+  /// which is what keeps the reference oracle bit-identical to the kernels.
+  double score_candidate(const QueryContext& context, std::string_view peptide,
+                         const IonLadder& ladder) const;
 
   /// Serial end-to-end search — the p=1 reference every parallel variant is
   /// validated against.

@@ -90,24 +90,50 @@ std::uint64_t MassHistogram::total() const {
   return total;
 }
 
+namespace {
+
+/// Clamped integer bucket index of `mass` on the histogram grid: the floor
+/// of (mass − min_mass) / width as an int64, saturated just outside the
+/// representable bucket-index domain. All routing comparisons below are
+/// then pure integer arithmetic — the old float form compared unclamped
+/// doubles against bucket indices and cast them to uint32, which is
+/// undefined behavior for NaN and for quotients beyond the uint32 range.
+/// NaN saturates low (reject side): a NaN query mass must never claim a
+/// band visit, and masses are validated long before routing anyway.
+std::int64_t bucket_floor_clamped(double mass, double min_mass, double width) {
+  // One past any representable bucket index (indices are uint32 on wire).
+  constexpr std::int64_t kAboveGrid =
+      static_cast<std::int64_t>(UINT32_MAX) + 1;
+  constexpr std::int64_t kBelowGrid = -3;  // below any ±1-widened window
+  const double q = std::floor((mass - min_mass) / width);
+  if (!(q >= static_cast<double>(kBelowGrid))) return kBelowGrid;
+  if (q >= static_cast<double>(kAboveGrid)) return kAboveGrid;
+  return static_cast<std::int64_t>(q);
+}
+
+}  // namespace
+
 bool MassHistogram::occupied(double lo, double hi) const {
   if (buckets.empty() || hi < lo) return false;
   // Widen by one bucket per side before the grid test so boundary rounding
   // can only produce false positives, never a wrong skip.
-  const double lo_bucket = std::floor((lo - min_mass) / bucket_width) - 1.0;
-  const double hi_bucket = std::floor((hi - min_mass) / bucket_width) + 1.0;
-  if (hi_bucket < 0.0) return false;
-  const std::uint32_t last = buckets.back().index;
-  if (lo_bucket > static_cast<double>(last)) return false;
+  const std::int64_t lo_bucket =
+      bucket_floor_clamped(lo, min_mass, bucket_width) - 1;
+  const std::int64_t hi_bucket =
+      bucket_floor_clamped(hi, min_mass, bucket_width) + 1;
+  if (hi_bucket < 0) return false;
+  const auto last = static_cast<std::int64_t>(buckets.back().index);
+  if (lo_bucket > last) return false;
+  // lo_bucket ≤ last < 2^32 here, so the narrowing cast is exact.
   const std::uint32_t first_wanted =
-      lo_bucket <= 0.0 ? 0 : static_cast<std::uint32_t>(lo_bucket);
+      lo_bucket <= 0 ? 0u : static_cast<std::uint32_t>(lo_bucket);
   const auto it = std::lower_bound(
       buckets.begin(), buckets.end(), first_wanted,
       [](const MassBucket& bucket, std::uint32_t want) {
         return bucket.index < want;
       });
   return it != buckets.end() &&
-         static_cast<double>(it->index) <= hi_bucket;
+         static_cast<std::int64_t>(it->index) <= hi_bucket;
 }
 
 std::pair<std::uint64_t, std::uint64_t> MassHistogram::record_range(
@@ -115,18 +141,20 @@ std::pair<std::uint64_t, std::uint64_t> MassHistogram::record_range(
   if (buckets.empty() || hi < lo) return {0, 0};
   // The same ±1-bucket widening as occupied(): rounding at the window edges
   // can only widen the returned range, never drop a matching record.
-  const double lo_bucket = std::floor((lo - min_mass) / bucket_width) - 1.0;
-  const double hi_bucket = std::floor((hi - min_mass) / bucket_width) + 1.0;
-  if (hi_bucket < 0.0) return {0, 0};
+  const std::int64_t lo_bucket =
+      bucket_floor_clamped(lo, min_mass, bucket_width) - 1;
+  const std::int64_t hi_bucket =
+      bucket_floor_clamped(hi, min_mass, bucket_width) + 1;
+  if (hi_bucket < 0) return {0, 0};
   // Prefix sums over the sparse encoding: records are bucket-ascending in
   // the summarized array, so "count of records in buckets < b" is the index
   // of the first record at or above bucket b.
   std::uint64_t first = 0;
   std::uint64_t last = 0;
   for (const MassBucket& bucket : buckets) {
-    if (static_cast<double>(bucket.index) < lo_bucket)
-      first += bucket.count;
-    if (static_cast<double>(bucket.index) <= hi_bucket)
+    const auto index = static_cast<std::int64_t>(bucket.index);
+    if (index < lo_bucket) first += bucket.count;
+    if (index <= hi_bucket)
       last += bucket.count;
     else
       break;

@@ -1,27 +1,50 @@
 #include "scoring/hyperscore.hpp"
 
+#include <array>
 #include <cmath>
 #include <numbers>
+
+#include "scoring/kernel.hpp"
 
 namespace msp {
 namespace {
 
 /// log10(n!) via lgamma — exact enough for scores, no overflow. Uses the
 /// re-entrant lgamma_r: std::lgamma writes the global signgam on POSIX,
-/// which is a data race when the kernel fans out over threads.
-double log10_factorial(std::size_t n) {
+/// which is a data race when the kernel fans out over threads. Small n —
+/// every realistic matched-ion count — comes from a table initialized with
+/// the identical computation, so cached and uncached values are the same
+/// bits and the hot path pays one load instead of an lgamma call.
+double log10_factorial_uncached(std::size_t n) {
   int sign = 0;
   return ::lgamma_r(static_cast<double>(n) + 1.0, &sign) / std::numbers::ln10;
 }
 
-}  // namespace
+double log10_factorial(std::size_t n) {
+  static const auto table = [] {
+    std::array<double, 256> values{};
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = log10_factorial_uncached(i);
+    return values;
+  }();
+  return n < table.size() ? table[n] : log10_factorial_uncached(n);
+}
 
-double hyperscore(const BinnedSpectrum& query,
-                  const std::vector<FragmentIon>& ions) {
-  const PeakMatchStats stats = match_peaks(query, ions);
+double hyperscore_from_stats(const PeakMatchStats& stats) {
   if (stats.matched_intensity <= 0.0) return kHyperscoreFloor;
   return std::log10(stats.matched_intensity) +
          log10_factorial(stats.matched_b) + log10_factorial(stats.matched_y);
+}
+
+}  // namespace
+
+double hyperscore(const BinnedSpectrum& query, const IonLadder& ladder) {
+  return hyperscore_from_stats(match_ladder(query, ladder));
+}
+
+double hyperscore(const BinnedSpectrum& query,
+                  const std::vector<FragmentIon>& ions) {
+  return hyperscore_from_stats(match_peaks(query, ions));
 }
 
 double hyperscore(const BinnedSpectrum& query, std::string_view peptide) {

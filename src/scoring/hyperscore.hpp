@@ -14,10 +14,13 @@
 
 namespace msp {
 
-/// log10 hyperscore over precomputed ions — the primary form the engine's
-/// candidate-centric kernel calls (ions built once per candidate, reused
-/// across every matching query). Returns kHyperscoreFloor when nothing
-/// matches.
+/// log10 hyperscore over a prebuilt ion ladder — the form the engine's
+/// blocked kernel calls (ladder built once per candidate, reused across
+/// every matching query). Returns kHyperscoreFloor when nothing matches.
+double hyperscore(const BinnedSpectrum& query, const IonLadder& ladder);
+
+/// Over precomputed ions (builds a ladder on the query's bin grid; scores
+/// bit-identical to the ladder form).
 double hyperscore(const BinnedSpectrum& query,
                   const std::vector<FragmentIon>& ions);
 

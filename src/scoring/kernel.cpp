@@ -1,0 +1,321 @@
+#include "scoring/kernel.hpp"
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#endif
+
+#include "util/error.hpp"
+
+// The vectorized backend uses GNU vector extensions (GCC and Clang); a
+// scalar-only build (cmake -DMSPAR_SIMD=OFF, or a compiler without the
+// extension) simply never defines MSPAR_SIMD_COMPILED.
+#if defined(MSPAR_SIMD) && (defined(__GNUC__) || defined(__clang__))
+#define MSPAR_SIMD_COMPILED 1
+#endif
+
+namespace msp {
+
+namespace {
+
+std::atomic<ScoringBackend> g_backend{ScoringBackend::kAuto};
+
+/// Clamp the query's bin count to the int32 domain the ladder bins live in.
+std::int32_t bin_limit(std::size_t bins) {
+  constexpr auto kMax =
+      static_cast<std::size_t>(std::numeric_limits<std::int32_t>::max());
+  return static_cast<std::int32_t>(bins < kMax ? bins : kMax);
+}
+
+/// Fold one block's matched lanes into the stats — the single accumulation
+/// site both backends share, so the canonical order (ascending lanes, i.e.
+/// ascending bins) is identical by construction. `match_bits` has bit l set
+/// when lane l matched; `values[l]` is that lane's bin intensity.
+inline void fold_matches(std::uint32_t match_bits, const float* values,
+                         std::uint8_t y_bits, PeakMatchStats& stats,
+                         std::vector<float>* matched_out) {
+  const auto matched = static_cast<std::size_t>(std::popcount(match_bits));
+  const auto matched_y = static_cast<std::size_t>(
+      std::popcount(match_bits & static_cast<std::uint32_t>(y_bits)));
+  stats.matched_y += matched_y;
+  stats.matched_b += matched - matched_y;
+  for (std::uint32_t bits = match_bits; bits != 0; bits &= bits - 1) {
+    const int lane = std::countr_zero(bits);
+    stats.matched_intensity += values[lane];
+    if (matched_out != nullptr) matched_out->push_back(values[lane]);
+  }
+}
+
+}  // namespace
+
+bool simd_compiled() {
+#ifdef MSPAR_SIMD_COMPILED
+  return true;
+#else
+  return false;
+#endif
+}
+
+void set_scoring_backend(ScoringBackend backend) {
+  if (backend == ScoringBackend::kSimd && !simd_compiled())
+    throw InvalidArgument(
+        "simd scoring backend requested but not compiled in (MSPAR_SIMD=OFF)");
+  g_backend.store(backend, std::memory_order_relaxed);
+}
+
+ScoringBackend scoring_backend() {
+  return g_backend.load(std::memory_order_relaxed);
+}
+
+ScoringBackend active_scoring_backend() {
+  const ScoringBackend backend = scoring_backend();
+  if (backend != ScoringBackend::kAuto) return backend;
+  return simd_compiled() ? ScoringBackend::kSimd : ScoringBackend::kScalar;
+}
+
+PeakMatchStats match_ladder_scalar(const BinnedSpectrum& query,
+                                   const IonLadder& ladder,
+                                   std::vector<float>* matched_out) {
+  PeakMatchStats stats;
+  stats.total_ions = ladder.total_ions;
+  if (matched_out != nullptr) matched_out->clear();
+  const float* cells = query.intensities().data();
+  const std::int32_t limit = bin_limit(query.bins());
+  const std::int32_t* bins = ladder.bins.data();
+  for (std::size_t block = 0; block < ladder.block_count(); ++block) {
+    const std::int32_t* b = bins + block * kLadderBlock;
+    // Bins ascend (padding only trails), so the first lane at or above the
+    // grid limit means every remaining lane of every remaining block is out
+    // of range too — identical early exit in every backend.
+    if (b[0] >= limit) break;
+    float values[kLadderBlock];
+    std::uint32_t match_bits = 0;
+    for (std::size_t lane = 0; lane < kLadderBlock; ++lane) {
+      // Padding lanes carry kLadderPadBin (< 0) and fail the same test as
+      // below-grid bins — no tail loop, no separate padding branch.
+      const bool in_range = b[lane] >= 0 && b[lane] < limit;
+      const float value =
+          in_range ? cells[static_cast<std::uint32_t>(b[lane])] : 0.0f;
+      values[lane] = value;
+      if (value > 0.0f) match_bits |= 1u << lane;
+    }
+    if (match_bits == 0) continue;
+    fold_matches(match_bits, values, ladder.y_mask[block], stats, matched_out);
+  }
+  return stats;
+}
+
+double ladder_dot_scalar(std::span<const float> weights,
+                         const IonLadder& ladder) {
+  const float* cells = weights.data();
+  const std::int32_t limit = bin_limit(weights.size());
+  const std::int32_t* bins = ladder.bins.data();
+  double dot = 0.0;
+  for (std::size_t block = 0; block < ladder.block_count(); ++block) {
+    const std::int32_t* b = bins + block * kLadderBlock;
+    if (b[0] >= limit) break;  // ascending bins: the rest is out of range
+    for (std::size_t lane = 0; lane < kLadderBlock; ++lane) {
+      if (b[lane] >= 0 && b[lane] < limit)
+        dot += cells[static_cast<std::uint32_t>(b[lane])];
+    }
+  }
+  return dot;
+}
+
+#ifdef MSPAR_SIMD_COMPILED
+
+namespace {
+
+typedef std::int32_t Vi32 __attribute__((vector_size(32)));
+typedef std::uint32_t Vu32 __attribute__((vector_size(32)));
+typedef float Vf32 __attribute__((vector_size(32)));
+
+inline Vi32 load_bins(const std::int32_t* p) {
+  Vi32 v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+/// Lane mask (-1/0 per lane) → an 8-bit bitmask, via a log2(lanes) shuffle
+/// reduction (a per-lane scalar loop here would cost as much as the whole
+/// scalar backend's block loop).
+inline std::uint32_t movemask(Vi32 mask) {
+  constexpr Vu32 kLaneBit = {1, 2, 4, 8, 16, 32, 64, 128};
+  Vu32 m = reinterpret_cast<Vu32>(mask) & kLaneBit;
+#if defined(__clang__)
+  m |= __builtin_shufflevector(m, m, 4, 5, 6, 7, 0, 1, 2, 3);
+  m |= __builtin_shufflevector(m, m, 2, 3, 0, 1, 6, 7, 4, 5);
+  m |= __builtin_shufflevector(m, m, 1, 0, 3, 2, 5, 4, 7, 6);
+#else
+  m |= __builtin_shuffle(m, Vu32{4, 5, 6, 7, 0, 1, 2, 3});
+  m |= __builtin_shuffle(m, Vu32{2, 3, 0, 1, 6, 7, 4, 5});
+  m |= __builtin_shuffle(m, Vu32{1, 0, 3, 2, 5, 4, 7, 6});
+#endif
+  return m[0];
+}
+
+#if defined(__x86_64__)
+
+/// Hardware-gather fast path: AVX2 gives a real 8-lane gather and a
+/// one-instruction movemask, which is where the vector win actually lives
+/// (the generic-vector path must gather lane-by-lane). Compiled via the
+/// target attribute — the rest of the translation unit stays baseline — and
+/// entered only when cpuid reports AVX2 at runtime, so the binary stays
+/// portable. The fold is the same fold_matches as every other backend:
+/// identical values, ascending lanes, bit-identical accumulation.
+__attribute__((target("avx2"))) PeakMatchStats match_ladder_avx2(
+    const BinnedSpectrum& query, const IonLadder& ladder,
+    std::vector<float>* matched_out) {
+  PeakMatchStats stats;
+  stats.total_ions = ladder.total_ions;
+  if (matched_out != nullptr) matched_out->clear();
+  const float* cells = query.intensities().data();
+  const __m256i zero = _mm256_setzero_si256();
+  const __m256i limit = _mm256_set1_epi32(bin_limit(query.bins()));
+  const __m256 zerof = _mm256_setzero_ps();
+  const std::int32_t scalar_limit = bin_limit(query.bins());
+  const std::int32_t* bins = ladder.bins.data();
+  for (std::size_t block = 0; block < ladder.block_count(); ++block) {
+    // Ascending bins: the same early exit as every other backend.
+    if (bins[block * kLadderBlock] >= scalar_limit) break;
+    const __m256i b = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(bins + block * kLadderBlock));
+    // in_range = b >= 0 && b < limit, as lane masks. There is no signed
+    // compare-less-than, so express both sides with compare-greater-than.
+    const __m256i in_range =
+        _mm256_andnot_si256(_mm256_cmpgt_epi32(zero, b),
+                            _mm256_cmpgt_epi32(limit, b));
+    // Unmasked gather off a masked index: out-of-range lanes are redirected
+    // to cell 0 (b & in_range) and their value is masked back to +0.0f — a
+    // guaranteed miss. An unmasked gather beats the masked form here: the
+    // mask register adds a dependency the gather has to wait on.
+    const __m256 gathered = _mm256_i32gather_ps(
+        cells, _mm256_and_si256(b, in_range), sizeof(float));
+    const __m256 values =
+        _mm256_and_ps(gathered, _mm256_castsi256_ps(in_range));
+    const auto match_bits = static_cast<std::uint32_t>(
+        _mm256_movemask_ps(_mm256_cmp_ps(values, zerof, _CMP_GT_OQ)));
+    if (match_bits == 0) continue;
+    float lanes[kLadderBlock];
+    _mm256_storeu_ps(lanes, values);
+    fold_matches(match_bits, lanes, ladder.y_mask[block], stats, matched_out);
+  }
+  return stats;
+}
+
+bool cpu_has_avx2() {
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+}
+
+#endif  // __x86_64__
+
+}  // namespace
+
+PeakMatchStats match_ladder_simd(const BinnedSpectrum& query,
+                                 const IonLadder& ladder,
+                                 std::vector<float>* matched_out) {
+#if defined(__x86_64__)
+  if (cpu_has_avx2()) return match_ladder_avx2(query, ladder, matched_out);
+#endif
+  PeakMatchStats stats;
+  stats.total_ions = ladder.total_ions;
+  if (matched_out != nullptr) matched_out->clear();
+  if (query.bins() == 0) return stats;  // no cells: the gather needs cell 0
+  const float* cells = query.intensities().data();
+  const std::int32_t scalar_limit = bin_limit(query.bins());
+  const Vi32 zero = {};
+  const Vi32 limit = zero + scalar_limit;
+  const Vf32 zerof = {};
+  const std::int32_t* bins = ladder.bins.data();
+  for (std::size_t block = 0; block < ladder.block_count(); ++block) {
+    if (bins[block * kLadderBlock] >= scalar_limit)
+      break;  // ascending bins: the rest is out of range
+    const Vi32 b = load_bins(bins + block * kLadderBlock);
+    // One vector compare rejects padding and below-grid lanes (< 0) and
+    // beyond-grid lanes (>= limit) together.
+    const Vi32 in_range = (b >= zero) & (b < limit);
+    // Branchless gather (generic vectors have no portable gather): every
+    // lane reads a cell — out-of-range lanes are redirected to cell 0 by
+    // the mask and their value is then masked back to +0.0f, so they can
+    // never match regardless of what cell 0 holds. The lane loop runs over
+    // plain arrays (vector element inserts round-trip through memory on
+    // most targets anyway, so make that explicit and cheap).
+    const Vi32 safe = b & in_range;
+    std::int32_t safe_lanes[kLadderBlock];
+    std::memcpy(safe_lanes, &safe, sizeof(safe_lanes));
+    float gathered[kLadderBlock];
+    for (std::size_t lane = 0; lane < kLadderBlock; ++lane)
+      gathered[lane] = cells[static_cast<std::uint32_t>(safe_lanes[lane])];
+    Vf32 values;
+    std::memcpy(&values, gathered, sizeof(values));
+    values = reinterpret_cast<Vf32>(reinterpret_cast<Vi32>(values) & in_range);
+    const std::uint32_t match_bits = movemask(values > zerof);
+    if (match_bits == 0) continue;
+    // Same canonical fold as the scalar backend: ascending lanes, identical
+    // values — bit-identical accumulation by construction.
+    float lanes[kLadderBlock];
+    std::memcpy(lanes, &values, sizeof(lanes));
+    fold_matches(match_bits, lanes, ladder.y_mask[block], stats, matched_out);
+  }
+  return stats;
+}
+
+double ladder_dot_simd(std::span<const float> weights, const IonLadder& ladder) {
+  if (weights.empty()) return 0.0;
+  const float* cells = weights.data();
+  const std::int32_t scalar_limit = bin_limit(weights.size());
+  const Vi32 zero = {};
+  const Vi32 limit = zero + scalar_limit;
+  const std::int32_t* bins = ladder.bins.data();
+  double dot = 0.0;
+  for (std::size_t block = 0; block < ladder.block_count(); ++block) {
+    if (bins[block * kLadderBlock] >= scalar_limit)
+      break;  // ascending bins: the rest is out of range
+    const Vi32 b = load_bins(bins + block * kLadderBlock);
+    const std::uint32_t range_bits = movemask((b >= zero) & (b < limit));
+    // In-grid lanes accumulate in ascending-lane order — the identical
+    // sequence of additions the scalar backend performs (skipped lanes add
+    // nothing there either), so the dot is bit-identical. The accumulation
+    // itself stays scalar: a lane-parallel sum would reassociate the
+    // doubles and break bit-identity with the scalar backend.
+    for (std::uint32_t bits = range_bits; bits != 0; bits &= bits - 1) {
+      const int lane = std::countr_zero(bits);
+      dot += cells[static_cast<std::uint32_t>(b[lane])];
+    }
+  }
+  return dot;
+}
+
+#else  // !MSPAR_SIMD_COMPILED
+
+PeakMatchStats match_ladder_simd(const BinnedSpectrum&, const IonLadder&,
+                                 std::vector<float>*) {
+  throw InvalidArgument("simd scoring backend not compiled in");
+}
+
+double ladder_dot_simd(std::span<const float>, const IonLadder&) {
+  throw InvalidArgument("simd scoring backend not compiled in");
+}
+
+#endif  // MSPAR_SIMD_COMPILED
+
+PeakMatchStats match_ladder(const BinnedSpectrum& query, const IonLadder& ladder,
+                            std::vector<float>* matched_out) {
+  if (active_scoring_backend() == ScoringBackend::kSimd)
+    return match_ladder_simd(query, ladder, matched_out);
+  return match_ladder_scalar(query, ladder, matched_out);
+}
+
+double ladder_dot(std::span<const float> weights, const IonLadder& ladder) {
+  if (active_scoring_backend() == ScoringBackend::kSimd)
+    return ladder_dot_simd(weights, ladder);
+  return ladder_dot_scalar(weights, ladder);
+}
+
+}  // namespace msp

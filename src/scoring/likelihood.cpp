@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "scoring/kernel.hpp"
 #include "util/error.hpp"
 
 namespace msp {
@@ -36,8 +37,7 @@ QueryContext::QueryContext(const Spectrum& spectrum, double bin_width,
   mean_intensity_ = occupied == 0 ? 1.0 : total / static_cast<double>(occupied);
 }
 
-double likelihood_ratio(const QueryContext& query,
-                        const std::vector<FragmentIon>& ions) {
+double likelihood_ratio(const QueryContext& query, const IonLadder& ladder) {
   const LikelihoodModel& model = query.model();
   const double p1 = model.detection_rate;
   const double p0 = query.background_rate();
@@ -45,16 +45,25 @@ double likelihood_ratio(const QueryContext& query,
   const double log_miss = std::log((1.0 - p1) / (1.0 - p0));
   const double inv_mean = 1.0 / query.mean_intensity();
 
+  // One Bernoulli trial per *distinct* ion bin: the blocked kernel returns
+  // the matched bins' intensities in ascending-bin order (the canonical
+  // accumulation order — identical for the scalar and SIMD backends), and
+  // the unmatched trials collapse into one multiply.
+  static thread_local std::vector<float> matched;
+  const PeakMatchStats stats = match_ladder(query.binned(), ladder, &matched);
   double llr = 0.0;
-  for (const FragmentIon& ion : ions) {
-    const double intensity = query.binned().intensity_at(ion.mz);
-    if (intensity > 0.0) {
-      llr += log_match + std::log1p(intensity * inv_mean);
-    } else {
-      llr += log_miss;
-    }
-  }
+  for (const float intensity : matched)
+    llr += log_match + std::log1p(static_cast<double>(intensity) * inv_mean);
+  const std::size_t matches = stats.matched_b + stats.matched_y;
+  llr += static_cast<double>(ladder.size - matches) * log_miss;
   return llr;
+}
+
+double likelihood_ratio(const QueryContext& query,
+                        const std::vector<FragmentIon>& ions) {
+  static thread_local IonLadder ladder;
+  build_ion_ladder(ions, query.binned().bin_width(), ladder);
+  return likelihood_ratio(query, ladder);
 }
 
 double likelihood_ratio(const QueryContext& query, std::string_view peptide) {

@@ -23,9 +23,11 @@
 // therefore *needs* the parallel machinery.
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "scoring/shared_peak.hpp"
+#include "scoring/xcorr.hpp"
 #include "spectra/spectrum.hpp"
 
 namespace msp {
@@ -50,18 +52,32 @@ class QueryContext {
   double parent_mass() const { return parent_mass_; }
   const LikelihoodModel& model() const { return model_; }
 
+  /// Build the Xcorr preprocessing (idempotent). The engine calls this in
+  /// prepare() when its config runs ScoreModel::kXcorr, so every driver and
+  /// the serve path share one per-query build.
+  void enable_xcorr() {
+    if (!xcorr_) xcorr_.emplace(binned_);
+  }
+  /// Null until enable_xcorr(); scoring under kXcorr requires it.
+  const XcorrContext* xcorr() const { return xcorr_ ? &*xcorr_ : nullptr; }
+
  private:
   BinnedSpectrum binned_;
   LikelihoodModel model_;
   double background_ = 0.0;
   double mean_intensity_ = 0.0;
   double parent_mass_ = 0.0;
+  std::optional<XcorrContext> xcorr_;
 };
 
-/// Log-likelihood ratio of the candidate vs. the random-peptide null, over
-/// precomputed ions — the primary form (the engine builds each candidate's
-/// ions once and reuses them across every matching query). The string
-/// convenience overload builds the ions afresh.
+/// Log-likelihood ratio of the candidate vs. the random-peptide null. The
+/// ladder form is primary (the engine builds each candidate's ladder once
+/// and reuses it across every matching query); evidence is counted per
+/// *distinct* ion bin — matched bins contribute the match term plus the
+/// intensity evidence in ascending-bin order, unmatched bins the miss term
+/// — so a duplicate-bin ladder cannot double-count one query peak. The ions
+/// and string overloads funnel through the same kernel (bit-identical).
+double likelihood_ratio(const QueryContext& query, const IonLadder& ladder);
 double likelihood_ratio(const QueryContext& query,
                         const std::vector<FragmentIon>& ions);
 double likelihood_ratio(const QueryContext& query, std::string_view peptide);

@@ -1,21 +1,31 @@
 #include "scoring/shared_peak.hpp"
 
+#include "scoring/kernel.hpp"
+
 namespace msp {
+
+namespace {
+
+/// Scratch ladder for the ions/string conveniences, so they score through
+/// the exact kernel the engine's prebuilt-ladder path uses (bit-identity
+/// between the overloads) without a heap allocation per call.
+IonLadder& scratch_ladder(const std::vector<FragmentIon>& ions,
+                          double bin_width) {
+  static thread_local IonLadder ladder;
+  build_ion_ladder(ions, bin_width, ladder);
+  return ladder;
+}
+
+}  // namespace
+
+PeakMatchStats match_peaks(const BinnedSpectrum& query,
+                           const IonLadder& ladder) {
+  return match_ladder(query, ladder);
+}
 
 PeakMatchStats match_peaks(const BinnedSpectrum& query,
                            const std::vector<FragmentIon>& ions) {
-  PeakMatchStats stats;
-  stats.total_ions = ions.size();
-  for (const FragmentIon& ion : ions) {
-    const double intensity = query.intensity_at(ion.mz);
-    if (intensity <= 0.0) continue;
-    if (ion.type == FragmentIon::Type::kB)
-      ++stats.matched_b;
-    else
-      ++stats.matched_y;
-    stats.matched_intensity += intensity;
-  }
-  return stats;
+  return match_ladder(query, scratch_ladder(ions, query.bin_width()));
 }
 
 PeakMatchStats match_peptide(const BinnedSpectrum& query,
@@ -24,9 +34,14 @@ PeakMatchStats match_peptide(const BinnedSpectrum& query,
 }
 
 std::size_t shared_peak_count(const BinnedSpectrum& query,
-                              const std::vector<FragmentIon>& ions) {
-  const PeakMatchStats stats = match_peaks(query, ions);
+                              const IonLadder& ladder) {
+  const PeakMatchStats stats = match_ladder(query, ladder);
   return stats.matched_b + stats.matched_y;
+}
+
+std::size_t shared_peak_count(const BinnedSpectrum& query,
+                              const std::vector<FragmentIon>& ions) {
+  return shared_peak_count(query, scratch_ladder(ions, query.bin_width()));
 }
 
 std::size_t shared_peak_count(const BinnedSpectrum& query,

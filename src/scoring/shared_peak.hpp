@@ -12,25 +12,37 @@
 namespace msp {
 
 struct PeakMatchStats {
-  std::size_t matched_b = 0;       ///< b-ions with a query peak in their bin
+  std::size_t matched_b = 0;       ///< distinct matched bins claimed by b-ions
   std::size_t matched_y = 0;
-  std::size_t total_ions = 0;      ///< theoretical ions considered
+  std::size_t total_ions = 0;      ///< theoretical ions considered (pre-dedup)
   double matched_intensity = 0.0;  ///< sum of matched query-bin intensities
 };
 
-/// Count theoretical ions of `ions` that land in occupied bins of `query`.
-/// Two ions falling in one bin both count (standard practice; the bin width
-/// already encodes the tolerance).
+/// Count the *distinct* occupied bins of `query` that `ions` land in. Two
+/// ions falling in one bin are a single match — one query peak is one piece
+/// of evidence — with the first ion on the m/z-sorted ladder claiming the
+/// bin (first-hit wins; see IonLadder). Every overload funnels through the
+/// blocked ladder kernel (scoring/kernel.hpp), so stats are bit-identical
+/// whether the caller passes a peptide, its ions, or a prebuilt ladder.
 PeakMatchStats match_peaks(const BinnedSpectrum& query,
                            const std::vector<FragmentIon>& ions);
+
+/// The ladder form the engine's hot loops call (ladder built once per
+/// candidate in the fragment workspace, reused across queries).
+PeakMatchStats match_peaks(const BinnedSpectrum& query,
+                           const IonLadder& ladder);
 
 /// Convenience: match `peptide`'s ions (no PTM deltas) against `query`.
 PeakMatchStats match_peptide(const BinnedSpectrum& query,
                              std::string_view peptide);
 
-/// Plain shared-peak count over precomputed ions — the primary form: the
-/// engine builds each candidate's ions once (fragment_ions_into) and reuses
-/// them across every matching query and across prefilter + final score.
+/// Plain shared-peak count (= matched_b + matched_y) over a prebuilt ladder
+/// — the primary form: the engine builds each candidate's ladder once and
+/// reuses it across every matching query, prefilter screen, and vote gate.
+std::size_t shared_peak_count(const BinnedSpectrum& query,
+                              const IonLadder& ladder);
+
+/// Over precomputed ions (builds a ladder on the query's bin grid).
 std::size_t shared_peak_count(const BinnedSpectrum& query,
                               const std::vector<FragmentIon>& ions);
 

@@ -1,0 +1,65 @@
+// SEQUEST-style Xcorr scoring, in the fast single-pass formulation.
+//
+// Classic Xcorr is the cross-correlation of the query against the model
+// spectrum at offset zero, minus the mean correlation over offsets
+// τ = −75..+75 — the background term that made SEQUEST robust to broad
+// noise. Computing 151 shifted dot products per candidate is hopeless in a
+// kernel that scores millions of candidates; the standard fast formulation
+// (Eng et al. 2008) folds the background into the *query* instead:
+//
+//   x'[i] = x[i] − (1/150) · Σ_{τ=−75..+75, τ≠0} x[i+τ]
+//
+// computed once per query with a sliding window (O(bins), blocked prefix
+// accumulation — no per-offset pass), after which each candidate's score is
+// a single dot product of x' against its unit-magnitude ion ladder — the
+// same blocked gather kernel (ladder_dot) the match loop uses, so the SIMD
+// and scalar backends stay bit-identical here too.
+//
+// Simplifications relative to SEQUEST's preprocessing (documented, not
+// accidental): intensities are the binned per-bin maxima as-is (no sqrt or
+// region normalization), and all theoretical ions carry unit weight. The
+// score is a ranking statistic on the same footing as the hyperscore.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "spectra/spectrum.hpp"
+#include "spectra/theoretical.hpp"
+
+namespace msp {
+
+/// The ±bin half-window of the background mean (SEQUEST's 75).
+inline constexpr int kXcorrHalfWindow = 75;
+
+/// Per-query Xcorr preprocessing: the background-corrected weight vector
+/// x' over the query's bin grid. Built once per query (QueryContext owns
+/// one when the engine runs under ScoreModel::kXcorr); scoring a candidate
+/// is then ladder_dot(weights(), ladder).
+class XcorrContext {
+ public:
+  XcorrContext() = default;
+  explicit XcorrContext(const BinnedSpectrum& binned,
+                        int half_window = kXcorrHalfWindow);
+
+  std::span<const float> weights() const { return weights_; }
+  int half_window() const { return half_window_; }
+
+ private:
+  std::vector<float> weights_;
+  int half_window_ = kXcorrHalfWindow;
+};
+
+/// The Xcorr score of a candidate's ladder against a preprocessed query.
+/// Funnels through the blocked ladder_dot kernel: bit-identical between the
+/// scalar and SIMD backends and between the engine and the oracle.
+double xcorr(const XcorrContext& context, const IonLadder& ladder);
+
+/// Naive reference: the explicit 151-offset correlation over the same
+/// grid, quadratic per query. For tests only — xcorr() must agree with it
+/// to floating-point tolerance on any input.
+double xcorr_reference(const BinnedSpectrum& binned,
+                       const std::vector<FragmentIon>& ions,
+                       int half_window = kXcorrHalfWindow);
+
+}  // namespace msp

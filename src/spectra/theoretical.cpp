@@ -1,11 +1,47 @@
 #include "spectra/theoretical.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 
 #include "mass/amino_acid.hpp"
 #include "util/error.hpp"
 
 namespace msp {
+
+void build_ion_ladder(const std::vector<FragmentIon>& ions, double bin_width,
+                      IonLadder& out) {
+  MSP_CHECK_MSG(bin_width > 0.0, "ladder bin width must be positive");
+  out.clear();
+  out.total_ions = ions.size();
+  out.bins.reserve((ions.size() + kLadderBlock - 1) & ~(kLadderBlock - 1));
+  std::int32_t last_bin = kLadderPadBin;
+  for (const FragmentIon& ion : ions) {
+    // The exact grid arithmetic BinnedSpectrum and FragmentIndex use:
+    // truncation of a positive mz / width is floor.
+    const double q = ion.mz / bin_width;
+    const std::int32_t bin =
+        q >= static_cast<double>(std::numeric_limits<std::int32_t>::max())
+            ? std::numeric_limits<std::int32_t>::max()
+            : static_cast<std::int32_t>(q);
+    // Ions are m/z-ascending, so same-bin duplicates are adjacent: the first
+    // ion claims the bin (first-hit wins), later ones are the duplicate-bin
+    // double count the kernel must not re-add.
+    if (bin == last_bin) continue;
+    last_bin = bin;
+    if (ion.type == FragmentIon::Type::kY) {
+      const std::size_t entry = out.bins.size();
+      while (out.y_mask.size() <= entry / kLadderBlock) out.y_mask.push_back(0);
+      out.y_mask[entry / kLadderBlock] |=
+          static_cast<std::uint8_t>(1u << (entry % kLadderBlock));
+    }
+    out.bins.push_back(bin);
+  }
+  out.size = out.bins.size();
+  while (out.bins.size() % kLadderBlock != 0) out.bins.push_back(kLadderPadBin);
+  while (out.y_mask.size() < out.bins.size() / kLadderBlock)
+    out.y_mask.push_back(0);
+}
 
 const std::vector<FragmentIon>& fragment_ions_into(
     std::string_view peptide, const TheoreticalOptions& options,
@@ -32,20 +68,55 @@ const std::vector<FragmentIon>& fragment_ions_into(
   ions.clear();
   ions.reserve(2 * (peptide.size() - 1) *
                static_cast<std::size_t>(options.max_fragment_charge));
-  for (unsigned cut = 1; cut < peptide.size(); ++cut) {
-    // b-ion: residues [0, cut); neutral mass = prefix - water is *not*
-    // subtracted — a b-ion is the acylium fragment: sum(residues).
+  // b-ion: residues [0, cut); neutral mass = prefix — water is *not*
+  // subtracted: a b-ion is the acylium fragment, sum(residues).
+  // y-ion: residues [cut, n) plus water.
+  //
+  // In the default configuration (singly-charged b and y) the b series
+  // ascends with cut and the y series descends, so walking the y series
+  // from the last cut backward gives two ascending streams and a two-pointer
+  // merge produces the sorted output in O(n) — this replaces a per-candidate
+  // std::sort that dominated the scoring hot loop. Ties order b before y
+  // (deterministic, where the sort's tie order was unspecified).
+  const auto n = static_cast<unsigned>(peptide.size());
+  // site_deltas could in principle be negative enough to break the series'
+  // monotonicity, so modified candidates take the sort path below.
+  if (options.max_fragment_charge == 1 && options.include_b &&
+      options.include_y && options.site_deltas.empty()) {
+    unsigned bcut = 1;
+    unsigned ycut = n - 1;
+    double b_mz = mz_from_mass(prefix[bcut], 1);
+    double y_mz = mz_from_mass(total - prefix[ycut] + kWaterMass, 1);
+    while (bcut < n && ycut >= 1) {
+      if (b_mz <= y_mz) {
+        ions.push_back(FragmentIon{b_mz, FragmentIon::Type::kB, bcut});
+        if (++bcut < n) b_mz = mz_from_mass(prefix[bcut], 1);
+      } else {
+        ions.push_back(FragmentIon{y_mz, FragmentIon::Type::kY, n - ycut});
+        if (--ycut >= 1)
+          y_mz = mz_from_mass(total - prefix[ycut] + kWaterMass, 1);
+      }
+    }
+    for (; bcut < n; ++bcut)
+      ions.push_back(
+          FragmentIon{mz_from_mass(prefix[bcut], 1), FragmentIon::Type::kB,
+                      bcut});
+    for (; ycut >= 1; --ycut)
+      ions.push_back(
+          FragmentIon{mz_from_mass(total - prefix[ycut] + kWaterMass, 1),
+                      FragmentIon::Type::kY, n - ycut});
+    return ions;
+  }
+  for (unsigned cut = 1; cut < n; ++cut) {
     const double b_neutral = prefix[cut];
-    // y-ion: residues [cut, n) plus water.
     const double y_neutral = total - prefix[cut] + kWaterMass;
     for (int z = 1; z <= options.max_fragment_charge; ++z) {
       if (options.include_b)
         ions.push_back(FragmentIon{mz_from_mass(b_neutral, z),
                                    FragmentIon::Type::kB, cut});
       if (options.include_y)
-        ions.push_back(FragmentIon{
-            mz_from_mass(y_neutral, z), FragmentIon::Type::kY,
-            static_cast<unsigned>(peptide.size()) - cut});
+        ions.push_back(FragmentIon{mz_from_mass(y_neutral, z),
+                                   FragmentIon::Type::kY, n - cut});
     }
   }
   std::sort(ions.begin(), ions.end(), [](const FragmentIon& a,

@@ -7,6 +7,8 @@
 // (first i residues) and a C-terminal y-ion (remaining residues + water).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string_view>
 #include <vector>
 
@@ -28,6 +30,48 @@ struct TheoreticalOptions {
   std::vector<double> site_deltas;
 };
 
+/// Lane width of the blocked scoring kernel (scoring/kernel.hpp): IonLadder
+/// bin arrays are padded to a multiple of this so the kernel can process
+/// whole blocks without a tail loop.
+inline constexpr std::size_t kLadderBlock = 8;
+
+/// Sentinel bin padding entries carry: negative, so the kernel's in-range
+/// test rejects padding lanes along with below-grid bins in one compare.
+inline constexpr std::int32_t kLadderPadBin = -1;
+
+/// The SoA form of a candidate's fragment-ion ladder the scoring kernel
+/// consumes: the ions' spectrum-bin indices (the same floor(mz / bin_width)
+/// grid BinnedSpectrum and FragmentIndex use), **deduplicated per bin** and
+/// ascending. Two ions landing in one spectrum bin are a single piece of
+/// evidence — one query peak cannot be matched twice — so the first ion on
+/// the m/z-sorted ladder claims the bin and later ions in the same bin are
+/// dropped (first-hit wins). `total_ions` preserves the pre-dedup count for
+/// PeakMatchStats::total_ions. `bins` is padded to a kLadderBlock multiple
+/// with kLadderPadBin; `y_mask` holds one bit per lane (bit l of block b set
+/// when entry b*kLadderBlock+l is a y-ion; padding lanes are zero).
+struct IonLadder {
+  std::vector<std::int32_t> bins;    ///< deduped, ascending, padded
+  std::vector<std::uint8_t> y_mask;  ///< per-block y-ion lane bitmask
+  std::size_t size = 0;              ///< distinct bins (before padding)
+  std::size_t total_ions = 0;        ///< ions before per-bin dedup
+
+  std::size_t block_count() const { return bins.size() / kLadderBlock; }
+  void clear() {
+    bins.clear();
+    y_mask.clear();
+    size = 0;
+    total_ions = 0;
+  }
+};
+
+/// Build the SoA ladder of `ions` (which must be m/z-ascending, as
+/// fragment_ions emits them) on the floor(mz / bin_width) grid, into `out`
+/// (reusing its buffers). Bins beyond int32 range are clamped to INT32_MAX —
+/// unmatchable in practice, since a binned spectrum that large cannot be
+/// allocated.
+void build_ion_ladder(const std::vector<FragmentIon>& ions, double bin_width,
+                      IonLadder& out);
+
 /// Reusable buffers for fragment-ion generation. The search kernel scores
 /// millions of candidates; building each candidate's ions into a workspace
 /// instead of a fresh vector removes two heap allocations per candidate and
@@ -35,6 +79,7 @@ struct TheoreticalOptions {
 struct FragmentIonWorkspace {
   std::vector<double> prefix;    ///< running residue-mass prefix (scratch)
   std::vector<FragmentIon> ions; ///< output of the last fragment_ions_into
+  IonLadder ladder;              ///< SoA bin form for the blocked kernel
 };
 
 /// Enumerate the fragment ions of `peptide` into `workspace.ions` (sorted by

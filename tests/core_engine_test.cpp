@@ -4,12 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <functional>
+#include <limits>
 #include <map>
 #include <set>
 
 #include "core/packdb.hpp"
 #include "core/partition.hpp"
+#include "core/wire.hpp"
 #include "core/protein_inference.hpp"
 #include "core/refinement.hpp"
 #include "core/search_engine.hpp"
@@ -747,6 +750,80 @@ TEST(PackSpectra, RoundTrip) {
     for (std::size_t k = 0; k < back[i].size(); ++k)
       EXPECT_DOUBLE_EQ(back[i].peaks()[k].mz, queries[i].peaks()[k].mz);
   }
+}
+
+// Pack images are machine-written: out-of-domain values are wire corruption
+// and must be rejected at load with IoError, never "filtered as noise" the
+// way the Spectrum constructor treats instrument data. The +Inf / absurd
+// m/z cases are the load-bearing ones — they would survive the noise filter
+// and drive the binned-grid allocation out of memory downstream.
+TEST(PackSpectra, RejectsOutOfDomainValues) {
+  struct Corruption {
+    const char* label;
+    double precursor;
+    int charge;
+    double mz;
+    double intensity;
+  };
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  const Corruption cases[] = {
+      {"non-finite precursor", kNan, 2, 500.0, 1.0},
+      {"infinite precursor", kInf, 2, 500.0, 1.0},
+      {"non-positive precursor", -3.0, 2, 500.0, 1.0},
+      {"zero charge", 700.0, 0, 500.0, 1.0},
+      {"negative charge", 700.0, -2, 500.0, 1.0},
+      {"NaN peak m/z", 700.0, 2, kNan, 1.0},
+      {"infinite peak m/z", 700.0, 2, kInf, 1.0},
+      {"absurd peak m/z", 700.0, 2, kMaxPackedPeakMz * 2, 1.0},
+      {"non-positive peak m/z", 700.0, 2, -1.0, 1.0},
+      {"NaN intensity", 700.0, 2, 500.0, kNan},
+      {"infinite intensity", 700.0, 2, 500.0, kInf},
+      {"negative intensity", 700.0, 2, 500.0, -1.0},
+  };
+  for (const Corruption& corruption : cases) {
+    wire::Writer writer;
+    writer.put_u64(1);
+    writer.put_string("q");
+    writer.put_double(corruption.precursor);
+    writer.put_i32(corruption.charge);
+    writer.put_u32(1);
+    writer.put_double(corruption.mz);
+    writer.put_double(corruption.intensity);
+    EXPECT_THROW(unpack_spectra(writer.take()), IoError) << corruption.label;
+  }
+}
+
+TEST(PackSpectra, RejectsCountsExceedingPayload) {
+  // A huge spectrum count with a tiny payload must fail the bound check,
+  // not reserve() terabytes; same for a huge per-spectrum peak count.
+  {
+    wire::Writer writer;
+    writer.put_u64(std::numeric_limits<std::uint64_t>::max());
+    EXPECT_THROW(unpack_spectra(writer.take()), IoError);
+  }
+  {
+    wire::Writer writer;
+    writer.put_u64(1);
+    writer.put_string("q");
+    writer.put_double(700.0);
+    writer.put_i32(2);
+    writer.put_u32(std::numeric_limits<std::uint32_t>::max());
+    writer.put_double(500.0);
+    writer.put_double(1.0);
+    EXPECT_THROW(unpack_spectra(writer.take()), IoError);
+  }
+}
+
+TEST(PackSpectra, BoundaryValuesSurviveTheLoadChecks) {
+  // Legal extremes must round-trip: the validation rejects corruption, not
+  // unusual-but-valid data.
+  const Spectrum edge({{kMaxPackedPeakMz, 0.5}, {1e-3, 1e-42}}, 1e-6, 1,
+                      "edge");
+  const auto back = unpack_spectra(pack_spectra(std::vector{edge}));
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].charge(), 1);
+  EXPECT_DOUBLE_EQ(back[0].precursor_mz(), 1e-6);
 }
 
 TEST(Partition, QueryBlocksCoverExactly) {

@@ -133,7 +133,7 @@ TEST(KernelEquivalence, IndexedMatchesReferenceAcrossConfigs) {
       for (const bool alternate : {false, true}) {
         for (const ScoreModel model :
              {ScoreModel::kLikelihood, ScoreModel::kHyperscore,
-              ScoreModel::kSharedPeak}) {
+              ScoreModel::kSharedPeak, ScoreModel::kXcorr}) {
           SearchConfig config = base_config();
           config.candidate_mode = mode;
           config.prefilter = prefilter;

@@ -73,7 +73,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(0.5, 3.0, 10.0),
                        ::testing::Values(1, 5, 50),
                        ::testing::Values(ScoreModel::kLikelihood,
-                                         ScoreModel::kHyperscore)));
+                                         ScoreModel::kHyperscore,
+                                         ScoreModel::kXcorr)));
 
 // ---------- digestion invariants over random sequences ----------
 

@@ -10,7 +10,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -408,6 +410,72 @@ TEST(RoutingWire, HistogramRecordRoundTripFuzz) {
       EXPECT_EQ(parsed.record_range(lo, hi), histogram.record_range(lo, hi));
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bucket-math boundaries: occupied()/record_range() are integer math over
+// clamped bucket ordinals (no float compare against the grid), so masses
+// exactly on bucket edges, windows far outside the grid, infinities and
+// NaN all take defined paths — edges err occupied (the ±1-bucket widening),
+// out-of-grid windows are provably empty, NaN never routes a visit.
+
+TEST(RoutingBucketMath, ExactBucketEdgesAreOccupied) {
+  const double width = 0.25;
+  std::vector<double> masses = {500.0, 500.5, 501.0};
+  const MassHistogram histogram = MassHistogram::build(masses, width);
+  for (const double mass : masses) {
+    // A zero-width window exactly on a stored mass (a bucket's floor edge,
+    // since these masses are multiples of the width).
+    EXPECT_TRUE(histogram.occupied(mass, mass)) << mass;
+    const auto [first, last] = histogram.record_range(mass, mass);
+    EXPECT_LT(first, last) << mass;
+  }
+  // The grid edges themselves: one bucket-width below the first mass and
+  // at/above the last stored bucket are inside the ±1 widening → occupied;
+  // two widths out is provably empty.
+  EXPECT_TRUE(histogram.occupied(500.0 - width, 500.0 - width));
+  EXPECT_FALSE(histogram.occupied(500.0 - 2 * width, 500.0 - 2 * width));
+  EXPECT_TRUE(histogram.occupied(501.0 + width, 501.0 + width));
+  EXPECT_FALSE(histogram.occupied(501.25 + width, 501.25 + width));
+}
+
+TEST(RoutingBucketMath, WindowsOutsideTheGridAreEmpty) {
+  std::vector<double> masses = {800.0, 900.0, 1000.0};
+  const MassHistogram histogram = MassHistogram::build(masses, 0.01);
+  // Far below, far above, and astronomically outside — including values
+  // whose float bucket ordinal overflows int32/uint32 if computed naively.
+  EXPECT_FALSE(histogram.occupied(1.0, 2.0));
+  EXPECT_FALSE(histogram.occupied(5000.0, 6000.0));
+  EXPECT_FALSE(histogram.occupied(1e30, 1e30));
+  EXPECT_FALSE(histogram.occupied(-1e30, -1e30));
+  EXPECT_EQ(histogram.record_range(1.0, 2.0), (std::pair<std::uint64_t,
+                                               std::uint64_t>{0, 0}));
+  EXPECT_EQ(histogram.record_range(1e30, 1e30).first,
+            histogram.record_range(1e30, 1e30).second);
+  // An envelope that swallows the whole grid (±inf) routes a visit and
+  // covers every record.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(histogram.occupied(-kInf, kInf));
+  EXPECT_EQ(histogram.record_range(-kInf, kInf),
+            (std::pair<std::uint64_t, std::uint64_t>{0, masses.size()}));
+  // Inverted and empty-intersection windows are empty, not UB.
+  EXPECT_FALSE(histogram.occupied(900.0, 800.0));
+}
+
+TEST(RoutingBucketMath, NanWindowsNeverRoute) {
+  std::vector<double> masses = {700.0, 701.0};
+  const MassHistogram histogram = MassHistogram::build(masses, 0.01);
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  // Every NaN comparison is false, so a NaN bound lands on the below-grid
+  // sentinel and the window is treated as empty — deterministically, on
+  // every rank (a NaN that routed "visit" on some ranks and "skip" on
+  // others would desynchronize the replicated controllers).
+  EXPECT_FALSE(histogram.occupied(kNan, kNan));
+  // A NaN lower bound alone degrades to "from below the grid": with a real
+  // upper bound the window still conservatively routes a visit.
+  EXPECT_TRUE(histogram.occupied(kNan, 701.0));
+  EXPECT_EQ(histogram.record_range(kNan, kNan),
+            (std::pair<std::uint64_t, std::uint64_t>{0, 0}));
 }
 
 // Corrupt records must be rejected loudly, each with a specific IoError —

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Wall-clock regression gate over BENCH_kernel.json (see bench/kernel_ablation.cpp).
+
+BENCH_kernel.json is a JSON array of trajectory entries; entry 0 is the
+committed baseline, the last entry is the run under test (the bench appends
+its entry on every run). The gate checks RATIOS, not absolute seconds, so it
+transfers across machines and shared CI runners:
+
+  * kernel_simd_over_scalar >= --min-kernel-ratio (default 2.0) whenever the
+    run was built with SIMD — the acceptance floor for the blocked kernel.
+  * speedup_indexed_scalar (indexed engine vs reference re-sort engine) and
+    kernel_simd_over_scalar must not drop more than --max-regression
+    (default 10%) relative to the baseline entry.
+
+Exit code 0 = pass, 1 = regression, 2 = malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str, code: int = 1) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trajectory", help="path to BENCH_kernel.json")
+    parser.add_argument("--min-kernel-ratio", type=float, default=2.0,
+                        help="floor for kernel_simd_over_scalar (SIMD builds)")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="max relative drop vs the baseline entry")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trajectory, encoding="utf-8") as handle:
+            entries = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {args.trajectory}: {err}", code=2)
+    if not isinstance(entries, list) or not entries:
+        fail(f"{args.trajectory} is not a non-empty JSON array", code=2)
+
+    baseline, current = entries[0], entries[-1]
+    print(f"baseline entry: {baseline.get('label', '?')}  "
+          f"current entry: {current.get('label', '?')}  "
+          f"({len(entries)} entries)")
+
+    checked = []
+    if current.get("simd_compiled"):
+        ratio = current.get("kernel_simd_over_scalar")
+        if ratio is None:
+            fail("simd build but no kernel_simd_over_scalar in entry", code=2)
+        checked.append(("kernel_simd_over_scalar floor",
+                        f"{ratio:.3f} >= {args.min_kernel_ratio:.3f}",
+                        ratio >= args.min_kernel_ratio))
+
+    # Relative-drop checks only compare like with like: a scalar-only run
+    # has no SIMD ratios, and comparing its end-to-end speedup against a
+    # SIMD baseline is still valid because speedup_indexed_scalar is
+    # measured under the forced-scalar backend in every build.
+    for key in ("speedup_indexed_scalar", "kernel_simd_over_scalar"):
+        base, cur = baseline.get(key), current.get(key)
+        if base is None or cur is None:
+            continue
+        floor = base * (1.0 - args.max_regression)
+        checked.append((f"{key} vs baseline",
+                        f"{cur:.3f} >= {floor:.3f} ({base:.3f} - "
+                        f"{args.max_regression:.0%})",
+                        cur >= floor))
+
+    ok = True
+    for name, detail, passed in checked:
+        print(f"{'PASS' if passed else 'FAIL'}: {name}: {detail}")
+        ok &= passed
+    if not checked:
+        fail("no gateable metrics found in trajectory entries", code=2)
+    if not ok:
+        sys.exit(1)
+    print("kernel bench gate: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
