@@ -12,7 +12,6 @@
 // indexed-vs-reference speedup and the simd-vs-scalar backend ratio — which
 // transfer across machines, unlike absolute wall-clock; see
 // tools/check_kernel_bench.py and EXPERIMENTS.md.
-#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -20,6 +19,7 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "bench/wall_timer.hpp"
 #include "core/candidate_index.hpp"
 #include "core/search_engine.hpp"
 #include "scoring/kernel.hpp"
@@ -28,12 +28,6 @@
 #include "util/table.hpp"
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
 
 struct TimedRun {
   double seconds = 0.0;
@@ -48,9 +42,9 @@ TimedRun best_of(int repeats, const msp::SearchEngine& engine,
   best.seconds = std::numeric_limits<double>::infinity();
   for (int r = 0; r < repeats; ++r) {
     std::vector<msp::TopK<msp::Hit>> tops = engine.make_tops(query_count);
-    const Clock::time_point start = Clock::now();
+    const msp::WallTimer timer;
     const msp::ShardSearchStats stats = search(tops);
-    const double elapsed = seconds_since(start);
+    const double elapsed = timer.seconds();
     if (elapsed < best.seconds) {
       best.seconds = elapsed;
       best.stats = stats;
@@ -124,10 +118,10 @@ int main(int argc, char** argv) {
   const msp::SearchEngine engine(config);
   const msp::PreparedQueries prepared = engine.prepare(workload.queries);
 
-  const Clock::time_point index_start = Clock::now();
+  const msp::WallTimer index_timer;
   const msp::CandidateIndex index =
       msp::CandidateIndex::build(workload.db, config);
-  const double index_seconds = seconds_since(index_start);
+  const double index_seconds = index_timer.seconds();
 
   // The reference kernel under the scalar backend is the baseline every
   // speedup in this bench is measured against.
@@ -277,7 +271,7 @@ int main(int argc, char** argv) {
     for (int r = 0; r < repeats; ++r) {
       KernelPass pass;
       pass.seconds = 0.0;
-      const Clock::time_point start = Clock::now();
+      const msp::WallTimer timer;
       for (int sweep = 0; sweep < kSweeps; ++sweep)
         for (const auto& [qi, ladder] : pairs) {
           const msp::PeakMatchStats stats =
@@ -285,7 +279,7 @@ int main(int argc, char** argv) {
           pass.matched += stats.matched_b + stats.matched_y;
           pass.matched_intensity += stats.matched_intensity;
         }
-      pass.seconds = seconds_since(start);
+      pass.seconds = timer.seconds();
       if (pass.seconds < best.seconds) best = pass;
     }
     return best;

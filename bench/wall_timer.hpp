@@ -1,7 +1,7 @@
-// Wall-clock timer for host-side measurements (build/bench bookkeeping).
-// Algorithm timing in the parallel engine uses simmpi's VirtualClock instead,
-// which is deterministic; this timer is only for "how long did the bench
-// binary itself take" style reporting.
+// Wall-clock timer for host-side bench measurements. Algorithm timing in
+// the parallel engine uses simmpi's VirtualClock instead, which is
+// deterministic; this timer lives under bench/ (not src/) because the
+// mspar-no-wall-clock tidy check bans host clocks from engine code.
 #pragma once
 
 #include <chrono>

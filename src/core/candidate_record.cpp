@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 
+#include "io/wire_record.hpp"
 #include "simmpi/comm.hpp"
 #include "util/error.hpp"
 
@@ -110,13 +111,11 @@ std::vector<CandidateRecord> sort_candidate_records_by_mass(
   const auto received = comm.alltoallv(send);
 
   std::vector<CandidateRecord> sorted;
+  std::vector<CandidateRecord> decoded;
   for (const auto& payload : received) {
-    MSP_CHECK_MSG(payload.size() % sizeof(CandidateRecord) == 0,
-                  "candidate payload misaligned");
-    const std::size_t count = payload.size() / sizeof(CandidateRecord);
-    const std::size_t base = sorted.size();
-    sorted.resize(base + count);
-    std::memcpy(sorted.data() + base, payload.data(), payload.size());
+    wire::checked_array_copy(std::span<const char>(payload), decoded,
+                             "exchanged candidate payload");
+    sorted.insert(sorted.end(), decoded.begin(), decoded.end());
   }
   std::sort(sorted.begin(), sorted.end(), candidate_record_less);
   return sorted;

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <array>
-#include <cstring>
 
 #include "core/partition.hpp"
 #include "core/search_engine.hpp"
+#include "io/wire_record.hpp"
 #include "mass/amino_acid.hpp"
 #include "scoring/top_hits.hpp"
 #include "simmpi/comm.hpp"
@@ -148,6 +148,7 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
     const double eval_cost = cost.seconds_per_candidate *
                              (1.0 - cost.candidate_generation_fraction);
     std::vector<char> fetched;
+    std::vector<CandidateRecord> decoded;
     std::uint64_t evaluated = 0;
     std::uint64_t offered = 0;
     std::uint64_t fetches = 0;
@@ -167,11 +168,8 @@ CandidateStoreResult run_candidate_store(const sim::Runtime& runtime,
             (last - first) * sizeof(CandidateRecord), fetched, 1);
         window.wait(fetch);
         ++fetches;
-        const std::size_t count = fetched.size() / sizeof(CandidateRecord);
-        for (std::size_t i = 0; i < count; ++i) {
-          CandidateRecord record;
-          std::memcpy(&record, fetched.data() + i * sizeof(CandidateRecord),
-                      sizeof(CandidateRecord));
+        for (const CandidateRecord& record : wire::checked_array_copy(
+                 std::span<const char>(fetched), decoded, "store range")) {
           if (record.mass < lo) continue;
           if (record.mass > hi) break;  // records sorted by mass
           const std::string_view peptide(record.peptide, record.length);

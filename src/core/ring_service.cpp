@@ -1,8 +1,8 @@
 #include "core/ring_service.hpp"
 
 #include <algorithm>
-#include <cstring>
 
+#include "io/wire_record.hpp"
 #include "util/error.hpp"
 
 namespace msp {
@@ -15,15 +15,13 @@ std::size_t query_bytes(const Spectrum& spectrum) {
 }
 
 /// Reinterpret fetched band bytes as records. The transport moves raw
-/// record bytes, so a fetched range is decoded by one memcpy into typed
-/// storage (the simulator's virtual clock never sees this host-side copy).
+/// record bytes, so a fetched range is decoded through the wire layer's
+/// checked copy (the simulator's virtual clock never sees this host-side
+/// copy; a torn fetch throws IoError instead of misparsing the band).
 std::span<const CandidateRecord> decode_records(
     const std::vector<char>& bytes, std::vector<CandidateRecord>& out) {
-  MSP_CHECK_MSG(bytes.size() % sizeof(CandidateRecord) == 0,
-                "band bytes are not a whole number of candidate records");
-  out.resize(bytes.size() / sizeof(CandidateRecord));
-  if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
-  return {out.data(), out.size()};
+  return wire::checked_array_copy(std::span<const char>(bytes), out,
+                                  "ring band");
 }
 
 }  // namespace

@@ -11,6 +11,10 @@
 #pragma once
 
 #include <cstdint>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <vector>
 
 #include "core/wire.hpp"
 
@@ -37,5 +41,26 @@ void get_record_magic(Reader& reader, std::uint64_t magic, const char* what);
 /// with "<what>: bad magic" / "<what>: unsupported version N".
 void get_record_header(Reader& reader, std::uint64_t magic,
                        std::uint32_t version, const char* what);
+
+/// Decode a fetched byte payload into typed records: the payload must be a
+/// whole number of `T`s (IoError otherwise — a short RMA fetch or corrupted
+/// band would misparse every following record), and the bytes land in `out`
+/// via one memcpy. This is the single sanctioned bytes→typed decode path;
+/// the mspar-unchecked-wire-read tidy check flags raw memcpy/
+/// reinterpret_cast decodes that bypass it.
+template <typename T>
+std::span<const T> checked_array_copy(std::span<const char> bytes,
+                                      std::vector<T>& out, const char* what) {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "wire records must be trivially copyable");
+  if (bytes.size() % sizeof(T) != 0)
+    throw IoError(std::string(what) + ": payload of " +
+                  std::to_string(bytes.size()) +
+                  " bytes is not a whole number of " +
+                  std::to_string(sizeof(T)) + "-byte records");
+  out.resize(bytes.size() / sizeof(T));
+  if (!out.empty()) std::memcpy(out.data(), bytes.data(), bytes.size());
+  return {out.data(), out.size()};
+}
 
 }  // namespace msp::wire

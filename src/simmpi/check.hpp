@@ -156,6 +156,11 @@ class Checker {
   std::mutex mutex_;
   std::vector<VectorClock> clocks_;  ///< per global rank
   std::vector<VectorClock> posted_;  ///< collective-entry snapshots
+  /// Shadow state per shard buffer, keyed by address. Determinism audit:
+  /// the map is only ever probed by key (operator[]/find) — never iterated —
+  /// so neither hash-table order nor the ASLR-dependent pointer keys can
+  /// leak into violation reports; ordering of reported violations comes
+  /// from the (deterministic) event sequence that detects them.
   std::unordered_map<const void*, ShardShadow> shards_;
 };
 

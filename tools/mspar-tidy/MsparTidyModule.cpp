@@ -1,0 +1,54 @@
+// mspar-tidy: the repo's determinism invariant, enforced at compile time.
+//
+// The whole optimization story — SIMD kernels, mass-aware routing, the
+// continuous serving ring — rests on one invariant: hits, stats, traces and
+// wire records are bit-identical across threads, backends, transports and
+// fault schedules. The runtime enforcement (oracle test matrices, TSan,
+// simcheck) only catches a violation a test happens to tickle; this plugin
+// makes the known violation *classes* unrepresentable in a clean tree:
+//
+//   mspar-no-wall-clock         host time/entropy outside simmpi + bench
+//   mspar-no-unordered-iteration  hash-order traversals in src/
+//   mspar-no-pointer-ordering   address-keyed orderings (ASLR-dependent)
+//   mspar-thread-unsafe-libm    global-state libc/libm (the signgam class)
+//   mspar-unchecked-wire-read   raw decodes bypassing the wire helpers
+//
+// Build: a clang-tidy plugin module, loaded into the stock clang-tidy via
+//   clang-tidy --load=libmspar-tidy.so --checks='mspar-*' ...
+// (see tools/mspar-tidy/CMakeLists.txt for the MSPAR_TIDY_PLUGIN tri-state
+// and tools/mspar-tidy/mspar_tidy.py for the fixture suite and tree gate).
+// Suppression: // NOLINT(mspar-<check>): <justification> — the tree gate
+// rejects NOLINTs without one.
+#include "NoPointerOrderingCheck.h"
+#include "NoUnorderedIterationCheck.h"
+#include "NoWallClockCheck.h"
+#include "ThreadUnsafeLibmCheck.h"
+#include "UncheckedWireReadCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang::tidy {
+namespace mspar {
+
+class MsparTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<NoWallClockCheck>("mspar-no-wall-clock");
+    CheckFactories.registerCheck<NoUnorderedIterationCheck>(
+        "mspar-no-unordered-iteration");
+    CheckFactories.registerCheck<NoPointerOrderingCheck>(
+        "mspar-no-pointer-ordering");
+    CheckFactories.registerCheck<ThreadUnsafeLibmCheck>(
+        "mspar-thread-unsafe-libm");
+    CheckFactories.registerCheck<UncheckedWireReadCheck>(
+        "mspar-unchecked-wire-read");
+  }
+};
+
+}  // namespace mspar
+
+// Register with the stock clang-tidy's module registry at plugin load.
+static ClangTidyModuleRegistry::Add<mspar::MsparTidyModule> X(
+    "mspar-module", "Determinism-invariant checks for the mspar engine.");
+
+}  // namespace clang::tidy

@@ -1,0 +1,60 @@
+// Shared helpers for the mspar-tidy checks (tools/mspar-tidy/).
+//
+// Every check scopes its diagnostics by file path: the determinism rules it
+// enforces apply to the deterministic engine (src/) but not, e.g., to the
+// simulator's own clock (src/simmpi/) or the wall-clock benches (bench/).
+// The path filters are check options (see each check's header) so the
+// fixture suite can re-point them at the fixture tree, and so a future
+// directory move is a one-line .clang-tidy edit, not a plugin rebuild.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::mspar {
+
+/// Spelling-location file path of `Loc` with separators normalized to '/',
+/// or "" when the location has no file (builtins, command line).
+inline std::string locationPath(const SourceManager &SM, SourceLocation Loc) {
+  std::string Path = SM.getFilename(SM.getSpellingLoc(Loc)).str();
+  std::replace(Path.begin(), Path.end(), '\\', '/');
+  return Path;
+}
+
+/// A compiled path filter built from a check option. Empty pattern = never
+/// matches (so an empty allowlist allows nothing and an empty restriction
+/// restricts everything away explicitly, never accidentally).
+class PathFilter {
+ public:
+  explicit PathFilter(std::string Pattern)
+      : Pattern_(std::move(Pattern)), Regex_(Pattern_) {}
+
+  /// True when `Loc` spells inside a file whose path matches the pattern.
+  bool matches(const SourceManager &SM, SourceLocation Loc) const {
+    if (Pattern_.empty()) return false;
+    std::string Error;
+    if (!Regex_.isValid(Error)) return false;
+    const std::string Path = locationPath(SM, Loc);
+    return !Path.empty() && Regex_.match(Path);
+  }
+
+  const std::string &pattern() const { return Pattern_; }
+
+ private:
+  std::string Pattern_;
+  llvm::Regex Regex_;
+};
+
+/// Common "should this location diagnose at all" guard: skip invalid
+/// locations and system headers (matchers fire inside libstdc++'s own
+/// <chrono>/<unordered_map> internals; those are not ours to lint).
+inline bool diagnosable(const SourceManager &SM, SourceLocation Loc) {
+  if (Loc.isInvalid()) return false;
+  return !SM.isInSystemHeader(SM.getSpellingLoc(Loc));
+}
+
+}  // namespace clang::tidy::mspar

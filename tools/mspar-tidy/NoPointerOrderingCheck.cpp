@@ -1,0 +1,76 @@
+#include "NoPointerOrderingCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mspar {
+
+NoPointerOrderingCheck::NoPointerOrderingCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      Paths_(Options.get("Paths", "(^|/)src/")) {}
+
+void NoPointerOrderingCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "Paths", Paths_.pattern());
+}
+
+void NoPointerOrderingCheck::registerMatchers(MatchFinder *Finder) {
+  const auto PointerKey = hasTemplateArgument(0, refersToType(pointerType()));
+  const auto ComparatorDecl = classTemplateSpecializationDecl(
+      hasAnyName("::std::less", "::std::greater", "::std::less_equal",
+                 "::std::greater_equal"),
+      PointerKey);
+  const auto ContainerDecl = classTemplateSpecializationDecl(
+      hasAnyName("::std::map", "::std::set", "::std::multimap",
+                 "::std::multiset", "::std::priority_queue"),
+      PointerKey);
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(ComparatorDecl)))).bind("cmp"),
+      this);
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(ContainerDecl)))).bind("cont"),
+      this);
+  // The hand-written comparator: a relational pointer comparison inside a
+  // lambda. Plain `p != end` / `p < end` iterator loops outside lambdas are
+  // same-allocation and don't match.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("<", ">", "<=", ">="),
+                     hasLHS(expr(hasType(isAnyPointer()))),
+                     hasRHS(expr(hasType(isAnyPointer()))),
+                     hasAncestor(lambdaExpr()))
+          .bind("relop"),
+      this);
+}
+
+void NoPointerOrderingCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  std::string What;
+  const char *Form = "";
+  if (const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("cmp")) {
+    Loc = TL->getBeginLoc();
+    What = TL->getType().getAsString();
+    Form = "comparator over pointers";
+  } else if (const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("cont")) {
+    Loc = TL->getBeginLoc();
+    What = TL->getType().getAsString();
+    Form = "ordered container keyed on a pointer";
+  } else if (const auto *Op = Result.Nodes.getNodeAs<BinaryOperator>(
+                 "relop")) {
+    Loc = Op->getOperatorLoc();
+    What = Op->getOpcodeStr().str();
+    Form = "relational pointer comparison in a lambda";
+  }
+  if (!diagnosable(SM, Loc) || !Paths_.matches(SM, Loc)) return;
+  if (!Reported_.insert(SM.getSpellingLoc(Loc).getRawEncoding()).second)
+    return;
+  diag(Loc,
+       "'%0' orders by pointer value (%1): addresses change run-to-run "
+       "under ASLR, so the order is nondeterministic; key on a stable id "
+       "(ordinal, mass, name) instead")
+      << What << Form;
+}
+
+}  // namespace clang::tidy::mspar

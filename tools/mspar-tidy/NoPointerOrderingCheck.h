@@ -1,0 +1,43 @@
+// mspar-no-pointer-ordering — flag orderings keyed on pointer values.
+//
+// Pointer values differ run-to-run under ASLR (and rank-to-rank in a real
+// deployment), so any sort order, comparator or ordered-container key that
+// involves an address is nondeterministic across executions even when each
+// single run looks stable. This check flags:
+//
+//   * std::less / std::greater / std::less_equal / std::greater_equal
+//     specializations over pointer types (the comparator behind every
+//     default-ordered container and sort),
+//   * std::map/set/multimap/multiset/priority_queue keyed on a pointer
+//     type (their default comparator is std::less<T*>), and
+//   * relational comparisons (< > <= >=) of two pointer-typed operands
+//     inside a lambda — the hand-written-comparator idiom.
+//
+// Equality (== !=) and hashing of pointers are fine (unordered_map keyed by
+// pointer is deterministic as long as it is never iterated — that's
+// mspar-no-unordered-iteration's turf). Same-array relational comparisons
+// outside comparator lambdas (e.g. `ptr != end` loops) don't match. Scope:
+// paths matching `Paths` (default src/). Escape hatch: justified NOLINT
+// (e.g. a lambda ordering pointers *into one contiguous buffer*, which is a
+// stable ordinal order).
+#pragma once
+
+#include "MsparTidyUtil.h"
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang::tidy::mspar {
+
+class NoPointerOrderingCheck : public ClangTidyCheck {
+ public:
+  NoPointerOrderingCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  PathFilter Paths_;
+  llvm::DenseSet<unsigned> Reported_;
+};
+
+}  // namespace clang::tidy::mspar

@@ -1,0 +1,62 @@
+#include "NoUnorderedIterationCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mspar {
+
+NoUnorderedIterationCheck::NoUnorderedIterationCheck(StringRef Name,
+                                                     ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      Paths_(Options.get("Paths", "(^|/)src/")) {}
+
+void NoUnorderedIterationCheck::storeOptions(
+    ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "Paths", Paths_.pattern());
+}
+
+void NoUnorderedIterationCheck::registerMatchers(MatchFinder *Finder) {
+  const auto UnorderedDecl = classTemplateSpecializationDecl(
+      hasAnyName("::std::unordered_map", "::std::unordered_set",
+                 "::std::unordered_multimap", "::std::unordered_multiset"));
+  // See through references, typedefs and cv: what matters is the canonical
+  // record the expression ultimately denotes.
+  const auto UnorderedExpr = expr(hasType(
+      hasUnqualifiedDesugaredType(recordType(hasDeclaration(UnorderedDecl)))));
+
+  Finder->addMatcher(
+      cxxForRangeStmt(hasRangeInit(UnorderedExpr)).bind("range"), this);
+  Finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("begin", "end",
+                                                        "cbegin", "cend"))),
+                        on(UnorderedExpr))
+          .bind("iter"),
+      this);
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName("::std::begin", "::std::end",
+                                              "::std::cbegin",
+                                              "::std::cend"))),
+               hasArgument(0, UnorderedExpr))
+          .bind("iter"),
+      this);
+}
+
+void NoUnorderedIterationCheck::check(
+    const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  if (const auto *Range = Result.Nodes.getNodeAs<CXXForRangeStmt>("range"))
+    Loc = Range->getBeginLoc();
+  else if (const auto *Iter = Result.Nodes.getNodeAs<CallExpr>("iter"))
+    Loc = Iter->getBeginLoc();
+  if (!diagnosable(SM, Loc) || !Paths_.matches(SM, Loc)) return;
+  diag(Loc,
+       "iterating an unordered container leaks hash-table order into the "
+       "result; traverse a sorted copy (or an ordered container), or NOLINT "
+       "with a justification that the order cannot reach hits, traces, or "
+       "wire records");
+}
+
+}  // namespace clang::tidy::mspar

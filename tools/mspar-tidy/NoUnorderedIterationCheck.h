@@ -1,0 +1,38 @@
+// mspar-no-unordered-iteration — flag traversals of std::unordered_{map,
+// set,multimap,multiset} in engine code.
+//
+// Hash-table iteration order depends on the allocator, the insertion
+// history and the libstdc++ version; any traversal that feeds hits, traces
+// or wire records makes the output machine-dependent. simcheck's shard
+// shadow map (src/simmpi/check.hpp) is the canonical *allowed* usage: it is
+// only ever probed by key (find / operator[]), never iterated, so its order
+// can't leak. This check flags the traversal forms:
+//
+//   * range-for over an unordered container,
+//   * member begin()/end()/cbegin()/cend() calls (iterator loops and
+//     std::accumulate/std::for_each-style traversals both start here), and
+//   * std::begin/std::end/std::cbegin/std::cend on an unordered container.
+//
+// Keyed lookups (find, count, contains, at, operator[]) never match. Scope
+// is limited to paths matching `Paths` (default: src/). A justified NOLINT
+// is the escape hatch for a traversal whose order provably cannot reach any
+// deterministic output (e.g. draining a map into a sorted vector).
+#pragma once
+
+#include "MsparTidyUtil.h"
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::mspar {
+
+class NoUnorderedIterationCheck : public ClangTidyCheck {
+ public:
+  NoUnorderedIterationCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  PathFilter Paths_;
+};
+
+}  // namespace clang::tidy::mspar

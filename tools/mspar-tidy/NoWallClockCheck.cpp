@@ -1,0 +1,65 @@
+#include "NoWallClockCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mspar {
+
+NoWallClockCheck::NoWallClockCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedPaths_(Options.get("AllowedPaths", "(^|/)(src/simmpi|bench)/")) {}
+
+void NoWallClockCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedPaths", AllowedPaths_.pattern());
+}
+
+void NoWallClockCheck::registerMatchers(MatchFinder *Finder) {
+  // Type-level surface: naming one of the wall clocks (or random_device)
+  // anywhere — a variable, an alias, a template argument, a ::now() call's
+  // nested-name-specifier — is already a determinism leak in engine code.
+  const auto BannedRecord = cxxRecordDecl(hasAnyName(
+      "::std::chrono::system_clock", "::std::chrono::steady_clock",
+      "::std::chrono::high_resolution_clock", "::std::random_device"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(BannedRecord)))).bind("type"), this);
+
+  // C surface: direct calls. rand()-family is banned here (not just in
+  // mspar-thread-unsafe-libm) because even a single-threaded rand() draws
+  // from unseeded process-global state.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::time", "::clock", "::gettimeofday", "::clock_gettime",
+                   "::timespec_get", "::rand", "::srand", "::random",
+                   "::srandom", "::rand_r", "::drand48", "::lrand48",
+                   "::mrand48"))))
+          .bind("call"),
+      this);
+}
+
+void NoWallClockCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc;
+  std::string What;
+  if (const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("type")) {
+    Loc = TL->getBeginLoc();
+    What = TL->getType().getAsString();
+  } else if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call")) {
+    Loc = Call->getBeginLoc();
+    if (const FunctionDecl *FD = Call->getDirectCallee())
+      What = FD->getQualifiedNameAsString();
+  }
+  if (!diagnosable(SM, Loc) || AllowedPaths_.matches(SM, Loc)) return;
+  // The same source position can re-match through type sugar (elaborated
+  // type + underlying record); report each spelling once.
+  if (!Reported_.insert(SM.getSpellingLoc(Loc).getRawEncoding()).second)
+    return;
+  diag(Loc,
+       "'%0' is a host wall-clock/entropy source; engine code must charge "
+       "the simulated VirtualClock and draw randomness from seeded msp::rng "
+       "streams (allowed only under %1)")
+      << What << AllowedPaths_.pattern();
+}
+
+}  // namespace clang::tidy::mspar

@@ -1,0 +1,41 @@
+// mspar-no-wall-clock — ban host time and entropy sources outside the
+// simulator and the wall-clock benches.
+//
+// The repo's core invariant (ROADMAP "Trajectory") is that hits, stats and
+// traces are bit-identical across threads, backends, transports and fault
+// schedules; all time is charged to simmpi's deterministic VirtualClock and
+// all randomness flows from seeded msp::rng streams. A single
+// std::chrono::steady_clock::now() or rand() in engine code silently breaks
+// that contract. This check flags:
+//
+//   * any mention of std::chrono::{system,steady,high_resolution}_clock or
+//     std::random_device (type uses, aliases, ::now() calls), and
+//   * calls to the C time/entropy surface: time, clock, gettimeofday,
+//     clock_gettime, timespec_get, rand, srand, random, srandom, rand_r,
+//     drand48, lrand48, mrand48.
+//
+// Locations under `AllowedPaths` (default: src/simmpi/ and bench/ — the
+// virtual clock's implementation and the host-side wall-clock harnesses)
+// are exempt. Anything else needs a `// NOLINT(mspar-no-wall-clock): why`
+// with a justification (the tree gate rejects bare NOLINTs).
+#pragma once
+
+#include "MsparTidyUtil.h"
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/ADT/DenseSet.h"
+
+namespace clang::tidy::mspar {
+
+class NoWallClockCheck : public ClangTidyCheck {
+ public:
+  NoWallClockCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  PathFilter AllowedPaths_;
+  llvm::DenseSet<unsigned> Reported_;  ///< dedupe sugar/elaborated re-matches
+};
+
+}  // namespace clang::tidy::mspar

@@ -1,0 +1,72 @@
+#include "ThreadUnsafeLibmCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/StringSwitch.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mspar {
+
+namespace {
+
+/// The sanctioned re-entrant replacement, or "" when there is none to name.
+llvm::StringRef replacementFor(llvm::StringRef Name) {
+  return llvm::StringSwitch<llvm::StringRef>(Name)
+      .Case("lgamma", "lgamma_r")
+      .Case("lgammaf", "lgammaf_r")
+      .Case("lgammal", "lgammal_r")
+      .Case("gamma", "lgamma_r")
+      .Case("strtok", "strtok_r")
+      .Case("localtime", "localtime_r")
+      .Case("gmtime", "gmtime_r")
+      .Case("ctime", "ctime_r")
+      .Case("asctime", "asctime_r")
+      .Default("");
+}
+
+}  // namespace
+
+ThreadUnsafeLibmCheck::ThreadUnsafeLibmCheck(StringRef Name,
+                                             ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context) {}
+
+void ThreadUnsafeLibmCheck::registerMatchers(MatchFinder *Finder) {
+  // Both the C names and their std:: re-exports resolve to the same
+  // global-namespace declarations on glibc; list both spellings anyway so
+  // a stdlib that declares std::lgamma as its own function still matches.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(hasAnyName(
+                   "::lgamma", "::lgammaf", "::lgammal", "::std::lgamma",
+                   "::gamma", "::strtok", "::localtime", "::gmtime",
+                   "::ctime", "::asctime"))))
+          .bind("call"),
+      this);
+  Finder->addMatcher(
+      declRefExpr(to(varDecl(hasName("::signgam")))).bind("signgam"), this);
+}
+
+void ThreadUnsafeLibmCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+  if (const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("signgam")) {
+    if (!diagnosable(SM, Ref->getBeginLoc())) return;
+    diag(Ref->getBeginLoc(),
+         "'signgam' is process-global state written by every lgamma call; "
+         "use lgamma_r and its sign out-parameter instead");
+    return;
+  }
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (!Call || !diagnosable(SM, Call->getBeginLoc())) return;
+  const FunctionDecl *FD = Call->getDirectCallee();
+  if (!FD) return;
+  const std::string Name = FD->getNameAsString();
+  const llvm::StringRef Replacement = replacementFor(Name);
+  diag(Call->getBeginLoc(),
+       "'%0' mutates process-global libc state and races across kernel "
+       "threads; use the re-entrant '%1' (cf. the PR-3 signgam race in "
+       "scoring/hyperscore.cpp)")
+      << Name << (Replacement.empty() ? llvm::StringRef("_r variant")
+                                      : Replacement);
+}
+
+}  // namespace clang::tidy::mspar

@@ -1,0 +1,33 @@
+// mspar-thread-unsafe-libm — ban libc/libm calls that mutate process
+// globals, in favor of their _r variants.
+//
+// PR 3's TSan find is the motivating bug: std::lgamma writes the POSIX
+// global `signgam` on every call, so two kernel threads scoring
+// concurrently raced on it even though neither read it. The fix
+// (::lgamma_r in scoring/hyperscore.cpp) generalizes to a family of
+// functions whose results or side state live in process globals:
+//
+//   lgamma/lgammaf/lgammal, gamma (all write signgam)  -> lgamma_r family
+//   strtok (static scan pointer)                       -> strtok_r
+//   localtime/gmtime/ctime/asctime (static tm/buffer)  -> *_r variants
+//   any direct read or write of signgam itself
+//
+// Unlike the other checks this one has no default path scope: these
+// functions are wrong in a deterministic multithreaded engine anywhere,
+// including tests and benches (a racing test is a flaky test). The _r
+// variants never match.
+#pragma once
+
+#include "MsparTidyUtil.h"
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::mspar {
+
+class ThreadUnsafeLibmCheck : public ClangTidyCheck {
+ public:
+  ThreadUnsafeLibmCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::mspar

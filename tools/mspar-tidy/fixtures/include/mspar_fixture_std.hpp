@@ -1,0 +1,195 @@
+// Hermetic miniature of the std/libc surface the mspar-tidy fixtures
+// exercise. The fixtures compile with `-nostdinc++` against this header
+// only, so the suite never depends on the host's standard library headers
+// (clang-tidy's AST matchers key on *names* like ::std::unordered_map and
+// ::lgamma, which these stubs reproduce exactly). Keep declarations minimal:
+// just enough shape for the fixtures to type-check.
+#pragma once
+
+typedef unsigned long mspar_size_t;
+
+extern "C" {
+// --- wall clock / entropy (mspar-no-wall-clock) ---
+long time(long*);
+long clock(void);
+int gettimeofday(void*, void*);
+int clock_gettime(int, void*);
+int rand(void);
+void srand(unsigned);
+long random(void);
+double drand48(void);
+
+// --- global-state libc/libm and their _r variants (thread-unsafe-libm) ---
+double lgamma(double);
+double lgamma_r(double, int*);
+extern int signgam;
+char* strtok(char*, const char*);
+char* strtok_r(char*, const char*, char**);
+struct tm;
+struct tm* localtime(const long*);
+struct tm* localtime_r(const long*, struct tm*);
+
+// --- raw memory (unchecked-wire-read) ---
+void* memcpy(void*, const void*, mspar_size_t);
+}
+
+namespace std {
+
+using size_t = mspar_size_t;
+
+enum class byte : unsigned char {};
+
+// --- chrono clocks and random_device (mspar-no-wall-clock) ---
+namespace chrono {
+struct system_clock {
+  struct time_point {};
+  static time_point now();
+};
+struct steady_clock {
+  struct time_point {};
+  static time_point now();
+};
+struct high_resolution_clock {
+  struct time_point {};
+  static time_point now();
+};
+}  // namespace chrono
+
+struct random_device {
+  unsigned operator()();
+};
+
+struct mt19937 {
+  explicit mt19937(unsigned seed);
+  unsigned operator()();
+};
+
+// --- comparators (mspar-no-pointer-ordering) ---
+template <typename T = void>
+struct less {
+  bool operator()(const T& a, const T& b) const;
+};
+template <typename T = void>
+struct greater {
+  bool operator()(const T& a, const T& b) const;
+};
+
+// --- containers ---
+template <typename T>
+struct vector {
+  using iterator = T*;
+  using const_iterator = const T*;
+  vector();
+  void resize(size_t n);
+  void push_back(const T& value);
+  T* data();
+  const T* data() const;
+  size_t size() const;
+  bool empty() const;
+  iterator begin();
+  iterator end();
+  const_iterator begin() const;
+  const_iterator end() const;
+  T& operator[](size_t i);
+};
+
+struct string {
+  const char* data() const;
+  size_t size() const;
+};
+
+template <typename K, typename V, typename Compare = less<K>>
+struct map {
+  struct iterator {
+    bool operator!=(const iterator& other) const;
+    iterator& operator++();
+    V& operator*();
+  };
+  iterator begin();
+  iterator end();
+  iterator find(const K& key);
+  V& operator[](const K& key);
+  size_t count(const K& key) const;
+};
+
+template <typename K, typename Compare = less<K>>
+struct set {
+  struct iterator {
+    bool operator!=(const iterator& other) const;
+    iterator& operator++();
+    const K& operator*();
+  };
+  iterator begin();
+  iterator end();
+  size_t count(const K& key) const;
+};
+
+template <typename T, typename Container = vector<T>,
+          typename Compare = less<T>>
+struct priority_queue {
+  void push(const T& value);
+  const T& top() const;
+  void pop();
+  bool empty() const;
+};
+
+template <typename K, typename V>
+struct unordered_map {
+  struct value_type {
+    K first;
+    V second;
+  };
+  struct iterator {
+    bool operator!=(const iterator& other) const;
+    iterator& operator++();
+    value_type& operator*();
+    value_type* operator->();
+  };
+  using const_iterator = iterator;
+  iterator begin();
+  iterator end();
+  const_iterator cbegin() const;
+  const_iterator cend() const;
+  iterator find(const K& key);
+  V& operator[](const K& key);
+  V& at(const K& key);
+  size_t count(const K& key) const;
+  bool contains(const K& key) const;
+};
+
+template <typename K>
+struct unordered_set {
+  struct iterator {
+    bool operator!=(const iterator& other) const;
+    iterator& operator++();
+    const K& operator*();
+  };
+  using const_iterator = iterator;
+  iterator begin();
+  iterator end();
+  const_iterator cbegin() const;
+  const_iterator cend() const;
+  iterator find(const K& key);
+  size_t count(const K& key) const;
+  bool contains(const K& key) const;
+};
+
+// --- iteration/algorithm surface the checks look through ---
+template <typename C>
+auto begin(C& c) -> decltype(c.begin()) {
+  return c.begin();
+}
+template <typename C>
+auto end(C& c) -> decltype(c.end()) {
+  return c.end();
+}
+
+template <typename It, typename T>
+T accumulate(It first, It last, T init);
+
+template <typename It, typename Compare>
+void sort(It first, It last, Compare cmp);
+template <typename It>
+void sort(It first, It last);
+
+}  // namespace std

@@ -1,0 +1,34 @@
+// Rejection fixture for mspar-no-pointer-ordering.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+struct Candidate {
+  int ordinal;
+  double mass;
+};
+
+void address_keyed_containers() {
+  std::set<Candidate*> by_address;  // MSPAR: mspar-no-pointer-ordering
+  std::map<Candidate*, int>  // MSPAR: mspar-no-pointer-ordering
+      votes;
+  std::priority_queue<Candidate*>  // MSPAR: mspar-no-pointer-ordering
+      queue;
+  (void)by_address;
+  (void)votes;
+  (void)queue;
+}
+
+void address_comparator() {
+  std::less<const Candidate*> cmp;  // MSPAR: mspar-no-pointer-ordering
+  (void)cmp;
+}
+
+void address_sort(std::vector<Candidate*>& candidates) {
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate* a, const Candidate* b) {
+              return a < b;  // MSPAR: mspar-no-pointer-ordering
+            });
+}
+
+}  // namespace engine

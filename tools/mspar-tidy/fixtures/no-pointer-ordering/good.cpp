@@ -1,0 +1,51 @@
+// Acceptance fixture for mspar-no-pointer-ordering: ordering by stable
+// value keys, pointer equality, and iterator-style != walks are all fine.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+struct Candidate {
+  int ordinal;
+  double mass;
+};
+
+void value_keyed_containers() {
+  std::set<int> by_ordinal;
+  std::map<int, Candidate*> by_id;  // pointer VALUES are fine; keys order
+  std::less<int> cmp;
+  (void)by_ordinal;
+  (void)by_id;
+  (void)cmp;
+}
+
+void stable_sort_through_pointers(std::vector<Candidate*>& candidates) {
+  // Ordering *through* pointers by a stable field is deterministic.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate* a, const Candidate* b) {
+              return a->ordinal < b->ordinal;
+            });
+}
+
+bool identity(const Candidate* a, const Candidate* b) {
+  return a == b;  // equality does not depend on address order
+}
+
+int pointer_walk(const Candidate* first, const Candidate* last) {
+  int count = 0;
+  for (const Candidate* it = first; it != last; ++it) ++count;
+  return count;
+}
+
+bool justified_buffer_order(const Candidate* a, const Candidate* b,
+                            std::vector<Candidate*>& scratch) {
+  std::sort(scratch.begin(), scratch.end(),
+            [](const Candidate* x, const Candidate* y) {
+              // Both point into one contiguous arena, so < is the stable
+              // ordinal order.
+              // NOLINTNEXTLINE(mspar-no-pointer-ordering): same-arena order
+              return x < y;
+            });
+  return a == b;
+}
+
+}  // namespace engine

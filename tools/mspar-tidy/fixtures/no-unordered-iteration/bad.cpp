@@ -1,0 +1,34 @@
+// Rejection fixture for mspar-no-unordered-iteration.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+double drain_counters(std::unordered_map<int, double>& counters) {
+  double total = 0.0;
+  for (auto& entry : counters) {  // MSPAR: mspar-no-unordered-iteration
+    total += entry.second;
+  }
+  return total;
+}
+
+int iterator_walk(std::unordered_map<int, int>& table) {
+  int sum = 0;
+  // Both begin() and end() fire; one marked line covers the pair.
+  for (auto it = table.begin();  // MSPAR: mspar-no-unordered-iteration
+       it != table.end(); ++it) {  // MSPAR: mspar-no-unordered-iteration
+    sum += (*it).second;
+  }
+  return sum;
+}
+
+int accumulate_set(std::unordered_set<int>& seen) {
+  return std::accumulate(
+      seen.cbegin(),  // MSPAR: mspar-no-unordered-iteration
+      seen.cend(), 0);  // MSPAR: mspar-no-unordered-iteration
+}
+
+auto free_begin(std::unordered_set<int>& seen) {
+  return std::begin(seen);  // MSPAR: mspar-no-unordered-iteration
+}
+
+}  // namespace engine

@@ -1,0 +1,38 @@
+// Acceptance fixture for mspar-no-unordered-iteration: keyed lookups into
+// unordered containers are deterministic (simcheck's shard shadow map is
+// the in-tree exemplar), ordered containers may be traversed freely, and a
+// justified NOLINT covers the one sanctioned traversal shape.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+double keyed_lookups(std::unordered_map<int, double>& shadows, int key) {
+  double total = 0.0;
+  auto it = shadows.find(key);
+  if (it != shadows.end()) total += (*it).second;
+  if (shadows.contains(key)) total += shadows.at(key);
+  total += static_cast<double>(shadows.count(key));
+  shadows[key] = total;
+  return total;
+}
+
+double ordered_traversal(std::map<int, double>& ordered) {
+  double total = 0.0;
+  for (auto it = ordered.begin(); it != ordered.end(); ++it) total += *it;
+  return total;
+}
+
+int vector_accumulate(std::vector<int>& values) {
+  return std::accumulate(values.begin(), values.end(), 0);
+}
+
+long justified_drain(std::unordered_map<int, long>& counters) {
+  long total = 0;
+  // Integer addition commutes, so this total is order-invariant (a double
+  // sum would NOT be — FP addition is non-associative).
+  // NOLINTNEXTLINE(mspar-no-unordered-iteration): integer sum commutes
+  for (auto& entry : counters) total += entry.second;
+  return total;
+}
+
+}  // namespace engine

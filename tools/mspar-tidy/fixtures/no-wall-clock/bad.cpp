@@ -1,0 +1,29 @@
+// Rejection fixture for mspar-no-wall-clock: every `// MSPAR:` line must
+// produce exactly that diagnostic; any other line must stay silent.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+double sample_latency() {
+  using Clock = std::chrono::steady_clock;  // MSPAR: mspar-no-wall-clock
+  Clock::time_point start = Clock::now();
+  (void)start;
+  std::chrono::system_clock::now();  // MSPAR: mspar-no-wall-clock
+  std::chrono::high_resolution_clock::now();  // MSPAR: mspar-no-wall-clock
+  return 0.0;
+}
+
+unsigned unseeded_entropy() {
+  std::random_device device;  // MSPAR: mspar-no-wall-clock
+  unsigned seed = device();
+  long now = time(nullptr);  // MSPAR: mspar-no-wall-clock
+  gettimeofday(nullptr, nullptr);  // MSPAR: mspar-no-wall-clock
+  clock_gettime(0, nullptr);  // MSPAR: mspar-no-wall-clock
+  srand(seed);  // MSPAR: mspar-no-wall-clock
+  int draw = rand();  // MSPAR: mspar-no-wall-clock
+  double wide = drand48();  // MSPAR: mspar-no-wall-clock
+  return seed + static_cast<unsigned>(draw + now) +
+         static_cast<unsigned>(wide);
+}
+
+}  // namespace engine

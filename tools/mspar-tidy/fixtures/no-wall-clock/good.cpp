@@ -1,0 +1,32 @@
+// Acceptance fixture for mspar-no-wall-clock: deterministic time and
+// randomness — a virtual clock owned by the caller and a seeded generator —
+// plus one justified NOLINT. Must produce zero diagnostics.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+// The sanctioned shape: time is a value the (simulated) runtime advances.
+struct VirtualClock {
+  double now_seconds = 0.0;
+  void charge_compute(double seconds) { now_seconds += seconds; }
+};
+
+double charge(VirtualClock& clock) {
+  clock.charge_compute(1.5e-9);
+  return clock.now_seconds;
+}
+
+unsigned seeded_draw(unsigned seed) {
+  std::mt19937 generator(seed);  // seeded stream: reproducible by design
+  return generator();
+}
+
+double bench_only_timing() {
+  // Host timing is allowed when the determinism argument is documented:
+  // NOLINTNEXTLINE(mspar-no-wall-clock): fixture for justified suppression;
+  using Clock = std::chrono::steady_clock;
+  Clock::now();
+  return 0.0;
+}
+
+}  // namespace engine

@@ -1,0 +1,21 @@
+// Rejection fixture for mspar-thread-unsafe-libm.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+double log_factorial(int n) {
+  double value = lgamma(  // MSPAR: mspar-thread-unsafe-libm
+      static_cast<double>(n) + 1.0);
+  int sign = signgam;  // MSPAR: mspar-thread-unsafe-libm
+  return value * sign;
+}
+
+char* first_token(char* text) {
+  return strtok(text, " ");  // MSPAR: mspar-thread-unsafe-libm
+}
+
+const tm* static_calendar(const long* stamp) {
+  return localtime(stamp);  // MSPAR: mspar-thread-unsafe-libm
+}
+
+}  // namespace engine

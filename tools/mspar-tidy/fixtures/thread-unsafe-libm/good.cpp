@@ -1,0 +1,26 @@
+// Acceptance fixture for mspar-thread-unsafe-libm: the re-entrant variants
+// carry their state in caller-owned out-parameters and never race.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+double log_factorial(int n) {
+  int sign = 0;
+  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
+}
+
+char* first_token(char* text) {
+  char* state = nullptr;
+  return strtok_r(text, " ", &state);
+}
+
+const tm* reentrant_calendar(const long* stamp, tm* out) {
+  return localtime_r(stamp, out);
+}
+
+double justified_single_threaded(int n) {
+  // NOLINTNEXTLINE(mspar-thread-unsafe-libm): single-threaded CLI startup
+  return lgamma(static_cast<double>(n) + 1.0);
+}
+
+}  // namespace engine

@@ -1,0 +1,36 @@
+// Rejection fixture for mspar-unchecked-wire-read: materializing typed
+// records from raw payload bytes without the checked wire helpers.
+#include <mspar_fixture_std.hpp>
+
+namespace engine {
+
+struct Record {
+  double mass;
+  int length;
+};
+
+Record decode_one(const std::vector<char>& payload) {
+  Record record;
+  memcpy(&record,  // MSPAR: mspar-unchecked-wire-read
+         payload.data(), sizeof(Record));
+  return record;
+}
+
+void decode_array(const std::vector<char>& payload,
+                  std::vector<Record>& out) {
+  out.resize(payload.size() / sizeof(Record));
+  memcpy(out.data(),  // MSPAR: mspar-unchecked-wire-read
+         payload.data(), payload.size());
+}
+
+const Record* view_cast(const std::vector<char>& payload) {
+  return reinterpret_cast<  // MSPAR: mspar-unchecked-wire-read
+      const Record*>(payload.data());
+}
+
+const Record* byte_cast(const std::byte* raw) {
+  return reinterpret_cast<  // MSPAR: mspar-unchecked-wire-read
+      const Record*>(raw);
+}
+
+}  // namespace engine

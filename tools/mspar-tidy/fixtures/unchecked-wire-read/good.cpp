@@ -1,0 +1,51 @@
+// Acceptance fixture for mspar-unchecked-wire-read: the encode direction,
+// byte-to-byte copies, and decodes routed through namespace wire helpers
+// are all sanctioned.
+#include <mspar_fixture_std.hpp>
+
+namespace msp {
+namespace wire {
+
+// The one sanctioned raw copy: a checked helper that validates the payload
+// size before touching memory (mirrors io/wire_record.hpp).
+template <typename T>
+void checked_array_copy(const std::vector<char>& bytes,
+                        std::vector<T>& out) {
+  out.resize(bytes.size() / sizeof(T));
+  if (!out.empty()) memcpy(out.data(), bytes.data(), bytes.size());
+}
+
+}  // namespace wire
+}  // namespace msp
+
+namespace engine {
+
+struct Record {
+  double mass;
+  int length;
+};
+
+// Encode direction: exposing typed records as bytes for the transport.
+const char* expose_as_bytes(const std::vector<Record>& records) {
+  return reinterpret_cast<const char*>(records.data());
+}
+
+// Byte-to-byte staging copies never materialize typed state.
+void stage(const std::vector<char>& in, std::vector<char>& out) {
+  out.resize(in.size());
+  if (!in.empty()) memcpy(out.data(), in.data(), in.size());
+}
+
+void checked_decode(const std::vector<char>& payload,
+                    std::vector<Record>& out) {
+  msp::wire::checked_array_copy(payload, out);
+}
+
+Record justified_raw_decode(const std::vector<char>& payload) {
+  Record record;
+  // NOLINTNEXTLINE(mspar-unchecked-wire-read): size proven by caller
+  memcpy(&record, payload.data(), sizeof(Record));
+  return record;
+}
+
+}  // namespace engine

@@ -1,0 +1,357 @@
+#!/usr/bin/env python3
+"""Driver for the mspar-tidy clang-tidy plugin (tools/mspar-tidy/).
+
+Three subcommands, shared by ctest and CI:
+
+  fixtures      Run each mspar-* check over its bad/good fixture pair and
+                assert the exact firing matrix: every line marked
+                `// MSPAR: <check>` must produce that diagnostic, every
+                unmarked line must stay silent, NOLINT suppressions must be
+                honored, and fixtures must compile clean.
+
+  tree          Run `clang-tidy --checks='-*,mspar-*'` over every
+                translation unit in compile_commands.json and fail on any
+                mspar diagnostic: the tree-wide clean gate. Also runs the
+                NOLINT audit.
+
+  audit-nolint  Scan the tree for undocumented suppressions: any
+                NOLINT/NOLINTNEXTLINE naming an mspar check must carry a
+                `: <justification>` tail, and bare NOLINTs (which would
+                silently swallow mspar diagnostics too) are rejected under
+                src/.
+
+Exit codes: 0 clean, 1 findings, 2 environment/usage error.
+"""
+
+import argparse
+import concurrent.futures
+import json
+import os
+import re
+import subprocess
+import sys
+
+# clang-tidy diagnostic line: "path:line:col: level: message [check]".
+DIAG_RE = re.compile(
+    r"^(?P<path>[^\s:][^:]*):(?P<line>\d+):(?P<col>\d+): "
+    r"(?P<level>warning|error|fatal error): (?P<msg>.*?)"
+    r"(?: \[(?P<check>[^\[\]]+)\])?$"
+)
+
+# Fixture expectation marker: the line must fire exactly this check.
+MARKER_RE = re.compile(r"//\s*MSPAR:\s*(?P<check>mspar-[a-z-]+)")
+
+# A NOLINT comment; group "checks" is None for the bare (suppress-all) form.
+NOLINT_RE = re.compile(
+    r"NOLINT(?:NEXTLINE|BEGIN|END)?(?:\((?P<checks>[^)]*)\))?"
+)
+
+# A justified suppression carries a non-trivial reason after the list.
+JUSTIFIED_RE = re.compile(r"NOLINT(?:NEXTLINE)?\([^)]*\)\s*:\s*\S.{3,}")
+
+CHECKS = [
+    "mspar-no-wall-clock",
+    "mspar-no-unordered-iteration",
+    "mspar-no-pointer-ordering",
+    "mspar-thread-unsafe-libm",
+    "mspar-unchecked-wire-read",
+]
+
+# Fixture runs re-point the path-scoped checks at the fixture tree (their
+# defaults only fire under src/); mspar-no-wall-clock keeps its default
+# allowlist, which the fixture paths don't match, so it stays active.
+FIXTURE_CONFIG = json.dumps({
+    "CheckOptions": {
+        "mspar-no-unordered-iteration.Paths": ".*",
+        "mspar-no-pointer-ordering.Paths": ".*",
+        "mspar-unchecked-wire-read.Paths": ".*",
+    }
+})
+
+SOURCE_EXTS = (".cpp", ".hpp", ".h", ".cc", ".cxx")
+SKIP_DIRS = {".git", ".cache", "__pycache__"}
+
+
+def parse_diagnostics(text):
+    """Yield dicts for every clang-tidy diagnostic line in `text`."""
+    for line in text.splitlines():
+        match = DIAG_RE.match(line)
+        if match:
+            diag = match.groupdict()
+            diag["line"] = int(diag["line"])
+            diag["col"] = int(diag["col"])
+            yield diag
+
+
+def expected_lines(fixture_path):
+    """Map line number -> expected check name from // MSPAR: markers."""
+    expected = {}
+    with open(fixture_path, encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            match = MARKER_RE.search(line)
+            if match:
+                expected[number] = match.group("check")
+    return expected
+
+
+def run_clang_tidy(args, extra):
+    command = list(args) + list(extra)
+    proc = subprocess.run(
+        command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True
+    )
+    return proc.returncode, proc.stdout
+
+
+def cmd_fixtures(options):
+    fixtures_dir = os.path.abspath(options.fixtures_dir)
+    include_dir = os.path.join(fixtures_dir, "include")
+    failures = []
+    ran = 0
+    for name in sorted(os.listdir(fixtures_dir)):
+        check_dir = os.path.join(fixtures_dir, name)
+        if not os.path.isdir(check_dir) or name == "include":
+            continue
+        check = "mspar-" + name
+        if check not in CHECKS:
+            failures.append(f"{check_dir}: no such check '{check}'")
+            continue
+        for fixture in sorted(os.listdir(check_dir)):
+            if not fixture.endswith(".cpp"):
+                continue
+            path = os.path.join(check_dir, fixture)
+            ran += 1
+            failures.extend(run_one_fixture(options, check, path,
+                                            include_dir))
+    if not ran:
+        failures.append(f"no fixtures found under {fixtures_dir}")
+    return report(failures, f"fixtures: {ran} fixture files clean")
+
+
+def run_one_fixture(options, check, path, include_dir):
+    _, output = run_clang_tidy(
+        [
+            options.clang_tidy,
+            f"--load={options.plugin}",
+            f"--checks=-*,{check}",
+            f"--config={FIXTURE_CONFIG}",
+            path,
+            "--",
+            "-std=c++17",
+            "-nostdinc++",
+            f"-isystem{include_dir}",
+        ],
+        [],
+    )
+    failures = []
+    fired = {}  # line -> set of checks
+    for diag in parse_diagnostics(output):
+        if diag["level"] != "warning":
+            failures.append(
+                f"{path}: fixture does not compile clean:\n{output}"
+            )
+            return failures
+        if not (diag["check"] or "").startswith("mspar-"):
+            continue
+        if os.path.basename(diag["path"]) != os.path.basename(path):
+            failures.append(
+                f"{path}: diagnostic escaped the fixture file: "
+                f"{diag['path']}:{diag['line']}"
+            )
+            continue
+        fired.setdefault(diag["line"], set()).add(diag["check"])
+    expected = expected_lines(path)
+    for line, want in sorted(expected.items()):
+        got = fired.pop(line, set())
+        if want not in got:
+            failures.append(
+                f"{path}:{line}: expected [{want}] did not fire"
+            )
+        got.discard(want)
+        for stray in sorted(got):
+            failures.append(
+                f"{path}:{line}: unexpected extra diagnostic [{stray}]"
+            )
+    for line, checks in sorted(fired.items()):
+        for stray in sorted(checks):
+            failures.append(
+                f"{path}:{line}: unmarked line fired [{stray}]"
+            )
+    return failures
+
+
+def compile_commands_files(build_dir, repo_root):
+    """Translation units to gate: everything in the compilation database
+    that lives inside the repo and outside any build directory."""
+    database = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(database):
+        print(f"error: {database} not found (configure with CMake first)",
+              file=sys.stderr)
+        sys.exit(2)
+    with open(database, encoding="utf-8") as handle:
+        entries = json.load(handle)
+    files = set()
+    for entry in entries:
+        path = os.path.abspath(
+            os.path.join(entry.get("directory", "."), entry["file"])
+        )
+        rel = os.path.relpath(path, repo_root)
+        if rel.startswith(".."):
+            continue
+        if rel.split(os.sep, 1)[0].startswith("build"):
+            continue
+        files.add(path)
+    return sorted(files)
+
+
+def cmd_tree(options):
+    repo_root = os.path.abspath(options.repo)
+    files = compile_commands_files(os.path.abspath(options.build), repo_root)
+    if not files:
+        print("error: compile_commands.json lists no repo files",
+              file=sys.stderr)
+        sys.exit(2)
+
+    def gate_one(path):
+        _, output = run_clang_tidy(
+            [
+                options.clang_tidy,
+                f"--load={options.plugin}",
+                "--checks=-*,mspar-*",
+                f"--header-filter={re.escape(repo_root)}/.*",
+                "-p",
+                options.build,
+                path,
+            ],
+            [],
+        )
+        return output
+
+    findings = set()
+    errors = []
+    with concurrent.futures.ThreadPoolExecutor(options.jobs) as pool:
+        for output in pool.map(gate_one, files):
+            for diag in parse_diagnostics(output):
+                # .clang-tidy lists mspar-* in WarningsAsErrors, so tree
+                # findings arrive at error level — classify by check name,
+                # and keep only check-less errors as hard compile failures.
+                if (diag["check"] or "").startswith("mspar-"):
+                    findings.add(
+                        (
+                            diag["path"],
+                            diag["line"],
+                            diag["col"],
+                            diag["check"],
+                            diag["msg"],
+                        )
+                    )
+                elif diag["level"] != "warning" and (
+                    diag["check"] is None
+                    or diag["check"].startswith("clang-diagnostic")
+                ):
+                    errors.append(
+                        f"{diag['path']}:{diag['line']}: {diag['level']}: "
+                        f"{diag['msg']}"
+                    )
+    failures = [
+        f"{path}:{line}:{col}: [{check}] {msg}"
+        for path, line, col, check, msg in sorted(findings)
+    ]
+    # Hard compile errors make the gate meaningless — surface them first.
+    failures = errors + failures
+    failures.extend(audit_nolint(repo_root))
+    return report(
+        failures, f"tree gate: {len(files)} translation units clean"
+    )
+
+
+def audit_nolint(root):
+    """Every mspar suppression must be justified; bare NOLINTs are banned
+    under src/ because they swallow mspar diagnostics anonymously."""
+    failures = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d
+            for d in dirnames
+            if d not in SKIP_DIRS and not d.startswith("build")
+        ]
+        for filename in filenames:
+            if not filename.endswith(SOURCE_EXTS):
+                continue
+            path = os.path.join(dirpath, filename)
+            rel = os.path.relpath(path, root)
+            try:
+                with open(path, encoding="utf-8") as handle:
+                    lines = handle.readlines()
+            except (OSError, UnicodeDecodeError):
+                continue
+            for number, line in enumerate(lines, start=1):
+                for match in NOLINT_RE.finditer(line):
+                    checks = match.group("checks")
+                    if checks is None:
+                        if rel.startswith("src" + os.sep):
+                            failures.append(
+                                f"{rel}:{number}: bare NOLINT suppresses "
+                                "mspar checks anonymously; name the checks "
+                                "and justify"
+                            )
+                        continue
+                    if "mspar" not in checks:
+                        continue
+                    if not JUSTIFIED_RE.search(line):
+                        failures.append(
+                            f"{rel}:{number}: NOLINT({checks.strip()}) "
+                            "has no justification — write "
+                            "'NOLINT(<check>): <why this is safe>'"
+                        )
+    return failures
+
+
+def cmd_audit(options):
+    return report(
+        audit_nolint(os.path.abspath(options.root)), "NOLINT audit clean"
+    )
+
+
+def report(failures, clean_message):
+    if failures:
+        for failure in failures:
+            print(failure)
+        print(f"mspar-tidy: {len(failures)} finding(s)", file=sys.stderr)
+        return 1
+    print(f"mspar-tidy: {clean_message}")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fixtures = sub.add_parser("fixtures", help="run the fixture matrix")
+    fixtures.add_argument("--clang-tidy", required=True)
+    fixtures.add_argument("--plugin", required=True)
+    fixtures.add_argument(
+        "--fixtures-dir",
+        default=os.path.join(os.path.dirname(__file__), "fixtures"),
+    )
+    fixtures.set_defaults(func=cmd_fixtures)
+
+    tree = sub.add_parser("tree", help="tree-wide clean gate")
+    tree.add_argument("--clang-tidy", required=True)
+    tree.add_argument("--plugin", required=True)
+    tree.add_argument("--build", required=True)
+    tree.add_argument("--repo", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(os.path.dirname(__file__)))))
+    tree.add_argument("--jobs", type=int, default=os.cpu_count() or 4)
+    tree.set_defaults(func=cmd_tree)
+
+    audit = sub.add_parser("audit-nolint", help="justified-NOLINT audit")
+    audit.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(os.path.dirname(__file__)))))
+    audit.set_defaults(func=cmd_audit)
+
+    options = parser.parse_args(argv)
+    return options.func(options)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

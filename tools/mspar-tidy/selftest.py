@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Self-test for mspar_tidy.py that needs no clang-tidy binary.
+
+The plugin itself only builds where LLVM dev headers exist (CI), but the
+driver's logic — diagnostic parsing, the fixture expectation matrix, the
+NOLINT audit — is what decides pass/fail, so it gets tested everywhere via
+canned clang-tidy output and a synthetic tree. Registered as the
+`mspar_tidy_selftest` ctest leg unconditionally.
+"""
+
+import importlib.util
+import os
+import sys
+import tempfile
+import unittest
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_SPEC = importlib.util.spec_from_file_location(
+    "mspar_tidy", os.path.join(_HERE, "mspar_tidy.py")
+)
+mspar_tidy = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(mspar_tidy)
+
+
+CANNED = """\
+/repo/src/core/foo.cpp:12:3: warning: 'rand' is a host wall-clock/entropy \
+source; engine code must charge the simulated VirtualClock \
+[mspar-no-wall-clock]
+  rand();
+  ^
+/repo/src/core/foo.cpp:40:7: warning: iterating an unordered container \
+leaks hash-table order into the result [mspar-no-unordered-iteration]
+/repo/src/core/foo.cpp:44:7: warning: unused variable 'x' \
+[clang-diagnostic-unused-variable]
+12 warnings generated.
+Suppressed 11 warnings (11 in non-user code).
+"""
+
+
+class ParseDiagnostics(unittest.TestCase):
+    def test_extracts_checks_lines_and_levels(self):
+        diags = list(mspar_tidy.parse_diagnostics(CANNED))
+        self.assertEqual(len(diags), 3)
+        self.assertEqual(diags[0]["check"], "mspar-no-wall-clock")
+        self.assertEqual(diags[0]["line"], 12)
+        self.assertEqual(diags[0]["col"], 3)
+        self.assertEqual(diags[1]["check"], "mspar-no-unordered-iteration")
+        self.assertEqual(diags[2]["check"],
+                         "clang-diagnostic-unused-variable")
+        self.assertTrue(all(d["level"] == "warning" for d in diags))
+
+    def test_detects_compile_errors(self):
+        text = "/repo/a.cpp:3:1: error: unknown type name 'Recrd'\n"
+        diags = list(mspar_tidy.parse_diagnostics(text))
+        self.assertEqual(len(diags), 1)
+        self.assertEqual(diags[0]["level"], "error")
+        self.assertIsNone(diags[0]["check"])
+
+    def test_ignores_context_and_summary_lines(self):
+        text = "  rand();\n  ^\n12 warnings generated.\n"
+        self.assertEqual(list(mspar_tidy.parse_diagnostics(text)), [])
+
+
+class ExpectedLines(unittest.TestCase):
+    def test_marker_map(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bad.cpp")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(
+                    "int a;\n"
+                    "rand();  // MSPAR: mspar-no-wall-clock\n"
+                    "int b;  // unrelated comment\n"
+                    "lgamma(x);  // MSPAR: mspar-thread-unsafe-libm\n"
+                )
+            self.assertEqual(
+                mspar_tidy.expected_lines(path),
+                {2: "mspar-no-wall-clock",
+                 4: "mspar-thread-unsafe-libm"},
+            )
+
+
+class FixtureMatrix(unittest.TestCase):
+    """run_one_fixture against canned clang-tidy output."""
+
+    def run_fixture(self, fixture_text, tidy_output):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "bad.cpp")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(fixture_text)
+            original = mspar_tidy.run_clang_tidy
+            mspar_tidy.run_clang_tidy = lambda *a, **k: (
+                0,
+                tidy_output.replace("@FIXTURE@", path),
+            )
+            try:
+                options = type(
+                    "Options",
+                    (),
+                    {"clang_tidy": "ct", "plugin": "so"},
+                )()
+                return mspar_tidy.run_one_fixture(
+                    options, "mspar-no-wall-clock", path, "inc"
+                )
+            finally:
+                mspar_tidy.run_clang_tidy = original
+
+    def test_expected_firing_passes(self):
+        failures = self.run_fixture(
+            "rand();  // MSPAR: mspar-no-wall-clock\n",
+            "@FIXTURE@:1:1: warning: banned [mspar-no-wall-clock]\n",
+        )
+        self.assertEqual(failures, [])
+
+    def test_missing_diagnostic_fails(self):
+        failures = self.run_fixture(
+            "rand();  // MSPAR: mspar-no-wall-clock\n", ""
+        )
+        self.assertEqual(len(failures), 1)
+        self.assertIn("did not fire", failures[0])
+
+    def test_unmarked_line_firing_fails(self):
+        failures = self.run_fixture(
+            "int ok;\n",
+            "@FIXTURE@:1:1: warning: banned [mspar-no-wall-clock]\n",
+        )
+        self.assertEqual(len(failures), 1)
+        self.assertIn("unmarked line fired", failures[0])
+
+    def test_compile_error_fails(self):
+        failures = self.run_fixture(
+            "int ok;\n", "@FIXTURE@:1:1: error: broken fixture\n"
+        )
+        self.assertEqual(len(failures), 1)
+        self.assertIn("does not compile clean", failures[0])
+
+
+class NolintAudit(unittest.TestCase):
+    def write_tree(self, tmp, rel, text):
+        path = os.path.join(tmp, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+
+    def test_justified_passes_unjustified_fails(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_tree(
+                tmp,
+                "src/core/a.cpp",
+                "x();  // NOLINT(mspar-no-wall-clock): bench-only path\n"
+                "y();  // NOLINT(mspar-no-wall-clock)\n",
+            )
+            failures = mspar_tidy.audit_nolint(tmp)
+            self.assertEqual(len(failures), 1)
+            self.assertIn("a.cpp:2", failures[0])
+            self.assertIn("no justification", failures[0])
+
+    def test_bare_nolint_rejected_only_under_src(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_tree(tmp, "src/b.cpp", "z();  // NOLINT\n")
+            self.write_tree(tmp, "tests/c.cpp", "z();  // NOLINT\n")
+            failures = mspar_tidy.audit_nolint(tmp)
+            self.assertEqual(len(failures), 1)
+            self.assertIn("src", failures[0])
+            self.assertIn("bare NOLINT", failures[0])
+
+    def test_non_mspar_nolint_ignored(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_tree(
+                tmp, "src/d.cpp",
+                "w();  // NOLINT(bugprone-branch-clone)\n"
+            )
+            self.assertEqual(mspar_tidy.audit_nolint(tmp), [])
+
+    def test_build_dirs_skipped(self):
+        with tempfile.TemporaryDirectory() as tmp:
+            self.write_tree(
+                tmp, "build/src/e.cpp",
+                "v();  // NOLINT(mspar-no-wall-clock)\n"
+            )
+            self.assertEqual(mspar_tidy.audit_nolint(tmp), [])
+
+
+class RepoFixturesWellFormed(unittest.TestCase):
+    """The committed fixture tree itself: markers name real checks, every
+    bad fixture has at least one marker, every check has a bad/good pair."""
+
+    def test_fixture_tree(self):
+        fixtures = os.path.join(_HERE, "fixtures")
+        dirs = sorted(
+            d
+            for d in os.listdir(fixtures)
+            if os.path.isdir(os.path.join(fixtures, d)) and d != "include"
+        )
+        self.assertEqual(
+            ["mspar-" + d for d in dirs], sorted(mspar_tidy.CHECKS)
+        )
+        for d in dirs:
+            check = "mspar-" + d
+            files = sorted(os.listdir(os.path.join(fixtures, d)))
+            self.assertIn("bad.cpp", files, d)
+            self.assertIn("good.cpp", files, d)
+            bad = mspar_tidy.expected_lines(
+                os.path.join(fixtures, d, "bad.cpp")
+            )
+            self.assertTrue(bad, f"{d}/bad.cpp has no MSPAR markers")
+            self.assertEqual(set(bad.values()), {check}, d)
+            good = mspar_tidy.expected_lines(
+                os.path.join(fixtures, d, "good.cpp")
+            )
+            self.assertEqual(good, {}, f"{d}/good.cpp must be silent")
+
+    def test_repo_nolint_audit_is_clean(self):
+        repo = os.path.dirname(os.path.dirname(_HERE))
+        self.assertEqual(mspar_tidy.audit_nolint(repo), [])
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
