@@ -90,9 +90,11 @@ inline sim::NetworkModel bench_network() {
 
 inline sim::ComputeModel bench_compute() { return sim::ComputeModel{}; }
 
-/// Standard CLI options shared by the sweep benches.
-inline void add_common_options(Cli& cli) {
-  cli.add_int("queries", 120, "number of synthetic query spectra");
+/// Standard CLI options shared by the sweep benches. Benches whose headline
+/// metric needs a different amount of work (e.g. enough batch queries to
+/// saturate backfill) can override the --queries default.
+inline void add_common_options(Cli& cli, std::int64_t default_queries = 120) {
+  cli.add_int("queries", default_queries, "number of synthetic query spectra");
   cli.add_string("procs", "1,2,4,8,16,32,64,128",
                  "comma-separated processor counts");
   cli.add_int("seed", 2009, "workload seed");

@@ -4,18 +4,25 @@
 //             --out hits.tsv --algorithm a --p 16 --tau 10 --tolerance 3.0
 //   mspar_cli serve --synth-db 4000 --synth-queries 120 --rate 200
 //             --mode multi --out hits.tsv
+//   mspar_cli sched --synth-db 4000 --synth-queries 360 --p 16
+//             --serve-queries 48 --out hits.tsv
 //
 // `search` (the default subcommand) answers the whole query set at once
 // through one of the batch drivers; `serve` plays the queries as an online
 // arrival stream through the continuous-ring service and reports virtual
-// completion-latency percentiles. With --synth-db N and/or --synth-queries M
-// either subcommand generates synthetic inputs instead of reading files.
+// completion-latency percentiles; `sched` runs a two-tenant job mix (one
+// serve session plus one backfilled batch job) through the cluster
+// scheduler and reports per-tenant accounting. With --synth-db N and/or
+// --synth-queries M any subcommand generates synthetic inputs instead of
+// reading files.
 //
 // Exit codes: 0 on success (including --help), 2 for unknown subcommands,
 // unknown flags, or malformed values (usage goes to stderr), 1 for runtime
 // failures (unreadable inputs, unrecoverable fault schedules, ...).
+#include <algorithm>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "core/candidate_record.hpp"
 #include "core/pipeline.hpp"
@@ -25,6 +32,7 @@
 #include "io/mgf.hpp"
 #include "io/results_io.hpp"
 #include "mass/ptm.hpp"
+#include "sched/scheduler.hpp"
 #include "scoring/kernel.hpp"
 #include "serve/service.hpp"
 #include "util/cli.hpp"
@@ -278,11 +286,150 @@ int run_serve(int argc, const char* const* argv) {
   return 0;
 }
 
+int run_sched(int argc, const char* const* argv) {
+  msp::Cli cli("mspar_cli sched",
+               "multi-tenant scheduler: serve session + backfilled batch job");
+  add_input_options(cli);
+  cli.add_int("p", 8, "simulated processor count");
+  cli.add_int("serve-queries", 0,
+              "queries owned by the serve tenant (0 = one third)");
+  cli.add_string("arrival", "burst", "uniform|poisson|burst");
+  cli.add_double("rate", 200.0, "arrival rate (queries per virtual second)");
+  cli.add_int("burst", 8, "serve arrivals per burst");
+  cli.add_double("burst-gap-ms", 200.0, "virtual ms between serve bursts");
+  cli.add_int("chunk", 8, "batch queries per backfill chunk");
+  cli.add_int("inflight-chunks", 2, "max batch chunks in flight");
+  cli.add_flag("no-backfill",
+               "strict partition: batch waits until serve drains");
+  cli.add_flag("no-preempt", "never evict batch chunks for serve batches");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const Inputs inputs = load_inputs(cli);
+
+  msp::SearchConfig config;
+  config.tau = static_cast<std::size_t>(cli.get_int("tau"));
+  config.tolerance_da = cli.get_double("tolerance");
+  config.model = score_model_from_cli(cli);
+  apply_scoring_backend(cli);
+  apply_open_options(cli, config);
+  const std::size_t record_cap = sizeof(msp::CandidateRecord{}.peptide) - 1;
+  if (config.max_candidate_length > record_cap)
+    config.max_candidate_length = record_cap;
+
+  const std::size_t total = inputs.queries.size();
+  std::size_t serve_count =
+      static_cast<std::size_t>(cli.get_int("serve-queries"));
+  if (serve_count == 0) serve_count = total / 3;
+  if (serve_count == 0 || serve_count >= total)
+    throw msp::InvalidArgument(
+        "--serve-queries must leave queries for both tenants");
+
+  msp::sched::SchedOptions options;
+  options.tenants = {{"frontend", 2.0, 0}, {"analytics", 1.0, 0}};
+  options.backfill = !cli.flag("no-backfill");
+  options.preempt = !cli.flag("no-preempt");
+  options.chunk_queries = static_cast<std::size_t>(cli.get_int("chunk"));
+  options.max_inflight_chunks =
+      static_cast<std::size_t>(cli.get_int("inflight-chunks"));
+
+  msp::sched::JobSpec serve_job;
+  serve_job.name = "stream";
+  serve_job.tenant = "frontend";
+  serve_job.kind = msp::sched::JobKind::kServe;
+  serve_job.priority = msp::sched::Priority::kHigh;
+  serve_job.submit_s = 0.0;
+  serve_job.query_begin = 0;
+  serve_job.query_end = serve_count;
+  serve_job.arrivals.kind =
+      msp::serve::arrival_kind_from_name(cli.get_string("arrival"));
+  serve_job.arrivals.rate_qps = cli.get_double("rate");
+  serve_job.arrivals.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  serve_job.arrivals.burst_size = static_cast<std::size_t>(cli.get_int("burst"));
+  serve_job.arrivals.burst_gap_s = cli.get_double("burst-gap-ms") * 1e-3;
+  serve_job.batch.max_batch = serve_job.arrivals.burst_size;
+  options.jobs.push_back(serve_job);
+
+  msp::sched::JobSpec batch_job;
+  batch_job.name = "scan";
+  batch_job.tenant = "analytics";
+  batch_job.kind = msp::sched::JobKind::kBatch;
+  batch_job.priority = msp::sched::Priority::kLow;
+  batch_job.submit_s = 0.0;
+  batch_job.query_begin = serve_count;
+  batch_job.query_end = total;
+  options.jobs.push_back(batch_job);
+
+  std::cout << "scheduling " << serve_count << " serve + "
+            << total - serve_count << " batch queries against "
+            << msp::group_digits(inputs.db.sequence_count()) << " proteins (p="
+            << cli.get_int("p") << ", backfill "
+            << (options.backfill ? "on" : "off") << ", preempt "
+            << (options.preempt ? "on" : "off") << ")...\n";
+  const msp::sim::Runtime runtime(static_cast<int>(cli.get_int("p")));
+  const msp::sched::SchedResult result = msp::sched::run_sched(
+      runtime, inputs.fasta_image, inputs.queries, config, options);
+
+  const auto records = msp::to_hit_records(inputs.queries, result.hits);
+  msp::write_hits_file(cli.get_string("out"), records);
+  std::cout << "wrote " << records.size() << " hits to "
+            << cli.get_string("out") << '\n';
+  std::cout << "completed " << result.completed << "/" << total
+            << " queries (" << result.shed << " shed) in " << result.batches
+            << " ring flights, " << result.ring_steps << " steps; "
+            << result.backfill_chunks << " backfill chunks, "
+            << result.preemptions << " preemptions\n";
+  std::cout << "makespan " << msp::Table::cell(result.makespan_s)
+            << " s (virtual); backfill busy "
+            << msp::Table::cell(result.backfill_busy_s) << " s\n";
+
+  msp::Table table({"tenant", "jobs", "done", "shed", "chunks", "preempt",
+                    "usage", "q/s", "p99 (s)"});
+  for (const msp::sched::TenantAccounting& tenant : result.tenants) {
+    table.add_row({tenant.name, msp::Table::cell(tenant.jobs_completed),
+                   msp::Table::cell(tenant.queries_completed),
+                   msp::Table::cell(tenant.queries_shed),
+                   msp::Table::cell(tenant.backfill_chunks),
+                   msp::Table::cell(tenant.preemptions),
+                   msp::Table::cell(tenant.usage_end, 1),
+                   msp::Table::cell(tenant.throughput_qps, 1),
+                   tenant.serve_latency.count == 0
+                       ? std::string("-")
+                       : msp::Table::cell(tenant.serve_latency.p99)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+/// The subcommand registry: the single source of truth main() dispatches
+/// from and print_usage() renders, so the usage text can never drift from
+/// the set of subcommands that actually parse.
+struct Subcommand {
+  const char* name;
+  const char* summary;
+  int (*run)(int argc, const char* const* argv);
+};
+
+constexpr Subcommand kSubcommands[] = {
+    {"search", "one-shot batch identification (default subcommand)",
+     run_search},
+    {"serve", "online arrival-stream service with latency accounting",
+     run_serve},
+    {"sched", "multi-tenant job mix through the cluster scheduler", run_sched},
+};
+
 void print_usage(std::ostream& os) {
-  os << "usage: mspar_cli [search|serve] [--options]\n"
-        "  search   one-shot batch identification (default subcommand)\n"
-        "  serve    online arrival-stream service with latency accounting\n"
-        "run 'mspar_cli <subcommand> --help' for the subcommand's options\n";
+  os << "usage: mspar_cli [";
+  std::size_t width = 0;
+  for (const Subcommand& sub : kSubcommands) {
+    if (&sub != kSubcommands) os << '|';
+    os << sub.name;
+    width = std::max(width, std::string_view(sub.name).size());
+  }
+  os << "] [--options]\n";
+  for (const Subcommand& sub : kSubcommands)
+    os << "  " << sub.name << std::string(width - std::string_view(sub.name).size(), ' ')
+       << "   " << sub.summary << '\n';
+  os << "run 'mspar_cli <subcommand> --help' for the subcommand's options\n";
 }
 
 }  // namespace
@@ -303,8 +450,8 @@ int main(int argc, char** argv) {
   const int sub_argc = static_cast<int>(args.size());
 
   try {
-    if (command == "search") return run_search(sub_argc, args.data());
-    if (command == "serve") return run_serve(sub_argc, args.data());
+    for (const Subcommand& sub : kSubcommands)
+      if (command == sub.name) return sub.run(sub_argc, args.data());
     std::cerr << "error: unknown subcommand '" << command << "'\n";
     print_usage(std::cerr);
     return kUsageError;

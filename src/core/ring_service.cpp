@@ -519,6 +519,28 @@ ServiceStepOutcome RingService::step(bool prefetch_next) {
   return out;
 }
 
+std::vector<std::size_t> RingService::preempt(std::size_t batch_id) {
+  const auto it =
+      std::find_if(flights_.begin(), flights_.end(), [&](const Flight& f) {
+        return f.batch_id == batch_id;
+      });
+  MSP_CHECK_MSG(it != flights_.end(), "preempting a batch not in flight");
+  Flight& flight = *it;
+  // Everything not already orphaned by a crash goes back to the caller;
+  // crash orphans were returned from step() and re-queued there — returning
+  // them again would score them twice.
+  std::vector<std::size_t> requeue;
+  requeue.reserve(flight.ids.size());
+  for (const std::size_t id : flight.ids)
+    if (std::find(flight.orphaned.begin(), flight.orphaned.end(), id) ==
+        flight.orphaned.end())
+      requeue.push_back(id);
+  const bool dead = my_crash_step_ >= 0 && step_ > my_crash_step_;
+  if (!dead && flight.block.count() > 0) comm_.release_alloc(flight.alloc_bytes);
+  flights_.erase(it);
+  return requeue;
+}
+
 void RingService::finish() {
   MSP_CHECK_MSG(flights_.empty(), "service finished with batches in flight");
   window_->fence();

@@ -149,6 +149,17 @@ class RingService {
   /// likely; a wrong hint affects time, never results.
   ServiceStepOutcome step(bool prefetch_next);
 
+  /// Remove an in-flight batch at the current boundary (before the next
+  /// step()) and return its not-yet-orphaned query ids so the caller can
+  /// re-queue them — an *induced recoverable fault* riding the same
+  /// orphan/re-admit contract as a crash, so re-scoring from scratch keeps
+  /// hits serial-exact by construction (the scheduler's preemption path).
+  /// Must be invoked with identical arguments on every rank; the returned
+  /// ids are a pure function of replicated flight state, so every rank
+  /// computes the same list with no communication. Partial per-shard top-τ
+  /// state is discarded; members release their block allocations.
+  std::vector<std::size_t> preempt(std::size_t batch_id);
+
   std::size_t in_flight() const { return flights_.size(); }
   int steps_done() const { return step_; }
 

@@ -389,6 +389,13 @@ void Comm::trace_serve(SpanKind kind, const std::string& label) {
   state_.spans.push_back({kind, state_.clock.now(), state_.clock.now(), label});
 }
 
+void Comm::trace_sched(SpanKind kind, const std::string& label) {
+  if (!state_.clock.tracing()) return;
+  MSP_CHECK_MSG(span_lane(kind) == 4,
+                "trace_sched requires a sched-lane span kind");
+  state_.spans.push_back({kind, state_.clock.now(), state_.clock.now(), label});
+}
+
 RankStats Comm::stats() const {
   RankStats stats;
   stats.rank = global_rank_;

@@ -151,6 +151,11 @@ class Comm {
   /// kinds (admit/shed/dispatch/publish). No-op when tracing is disabled;
   /// never advances the clock.
   void trace_serve(SpanKind kind, const std::string& label);
+  /// Drop an instant scheduler-decision event on this rank's sched lane
+  /// (lane 4) at the current virtual time. `kind` must be one of the
+  /// kSched* marker kinds (submit/start/backfill/preempt/complete/slice).
+  /// No-op when tracing is disabled; never advances the clock.
+  void trace_sched(SpanKind kind, const std::string& label);
 
   // ---- fault bookkeeping (called by the algorithms' recovery paths) ----
 

@@ -22,6 +22,10 @@
 //                   shedding, batch dispatch/publication): instant markers
 //                   dropped by the serving layer at step boundaries, plus
 //                   queue-depth detail. Only populated by serving runs.
+//   4 "sched"     — cluster-scheduler decisions (job submit/start/complete,
+//                   backfill admissions, preemptions): instant markers
+//                   dropped by the sched controller at fence boundaries.
+//                   Only populated by scheduled (multi-job) runs.
 #pragma once
 
 #include <string>
@@ -50,11 +54,19 @@ enum class SpanKind {
   kServeDispatch,  ///< batch dispatched into the service ring
   kServePublish,   ///< batch's last shard scored; results published
   kServeRouteSkip, ///< ring step skipped by the shard mass map router
+  // ---- sched lane (instant scheduler decisions; see sched/scheduler.hpp) --
+  kSchedSubmit,    ///< job entered the scheduler queue (virtual arrival)
+  kSchedStart,     ///< job's first chunk admitted to the ring
+  kSchedBackfill,  ///< batch chunk backfilled into a measured serve gap
+  kSchedPreempt,   ///< batch flight preempted; queries re-queued
+  kSchedComplete,  ///< job's last query published
+  kSchedSlice,     ///< pack/index-build compute slice executed
 };
 
 const char* span_kind_name(SpanKind kind);
 
-/// Trace lane a kind renders on (0 clock, 1 transfers, 2 faults, 3 serve).
+/// Trace lane a kind renders on (0 clock, 1 transfers, 2 faults, 3 serve,
+/// 4 sched).
 int span_lane(SpanKind kind);
 
 struct Span {

@@ -56,6 +56,7 @@ const char* lane_name(int lane) {
     case 1: return "transfers";
     case 2: return "faults";
     case 3: return "serve";
+    case 4: return "sched";
   }
   return "?";
 }
@@ -80,6 +81,12 @@ const char* span_kind_name(SpanKind kind) {
     case SpanKind::kServeDispatch: return "serve-dispatch";
     case SpanKind::kServePublish: return "serve-publish";
     case SpanKind::kServeRouteSkip: return "serve-route-skip";
+    case SpanKind::kSchedSubmit: return "sched-submit";
+    case SpanKind::kSchedStart: return "sched-start";
+    case SpanKind::kSchedBackfill: return "sched-backfill";
+    case SpanKind::kSchedPreempt: return "sched-preempt";
+    case SpanKind::kSchedComplete: return "sched-complete";
+    case SpanKind::kSchedSlice: return "sched-slice";
   }
   return "?";
 }
@@ -98,6 +105,13 @@ int span_lane(SpanKind kind) {
     case SpanKind::kServePublish:
     case SpanKind::kServeRouteSkip:
       return 3;
+    case SpanKind::kSchedSubmit:
+    case SpanKind::kSchedStart:
+    case SpanKind::kSchedBackfill:
+    case SpanKind::kSchedPreempt:
+    case SpanKind::kSchedComplete:
+    case SpanKind::kSchedSlice:
+      return 4;
     default:
       return 0;
   }
@@ -186,6 +200,12 @@ std::size_t RunReport::max_peak_memory() const {
   return peak;
 }
 
+double RunReport::serve_idle_seconds() const {
+  double total = 0.0;
+  for (const RankStats& r : ranks) total += r.idle_seconds;
+  return total;
+}
+
 const char* fault_kind_name(FaultKind kind) {
   switch (kind) {
     case FaultKind::kRetry: return "retry";
@@ -241,7 +261,7 @@ std::string RunReport::to_csv(CsvFaultColumns fault_columns) const {
                        has_fault_activity());
 
   std::ostringstream os;
-  os << "rank,total_s,compute_s,io_s,comm_issued_s,residual_s,sync_s,"
+  os << "rank,total_s,compute_s,io_s,comm_issued_s,residual_s,sync_s,idle_s,"
         "rget_issued_s,rget_overlap_s,bytes_sent,bytes_received,peak_memory";
   if (faults) os << ",retries,recovery_s,crashed";
   for (const auto& name : names) os << ',' << csv_escape(name);
@@ -251,6 +271,7 @@ std::string RunReport::to_csv(CsvFaultColumns fault_columns) const {
     os << r.rank << ',' << r.total_time << ',' << r.compute_seconds << ','
        << r.io_seconds << ',' << r.comm_issued_seconds << ','
        << r.residual_comm_seconds << ',' << r.sync_wait_seconds << ','
+       << r.idle_seconds << ','
        << r.rget_issued_seconds << ',' << r.rget_overlapped_seconds << ','
        << r.bytes_sent << ',' << r.bytes_received << ',' << r.peak_memory_bytes;
     if (faults)
@@ -275,6 +296,7 @@ std::string RunReport::to_json() const {
   json.field("mean_residual_over_compute", mean_residual_over_compute());
   json.field("masking_efficiency", masking_efficiency());
   json.field("masking_saving_estimate", masking_saving_estimate());
+  json.field("serve_idle_s", serve_idle_seconds());
   json.field("max_peak_memory_bytes", max_peak_memory());
 
   // Counter sums, name-sorted (the union the CSV columns carry).
@@ -335,7 +357,7 @@ std::string RunReport::to_chrome_trace() const {
 
   for (const RankStats& r : ranks) {
     // Process/thread metadata: one pid per rank, one tid per populated lane.
-    bool lane_used[4] = {false, false, false, false};
+    bool lane_used[5] = {false, false, false, false, false};
     for (const Span& span : r.spans) lane_used[span_lane(span.kind)] = true;
     lane_used[0] = true;  // the clock lane always exists
     {
@@ -345,7 +367,7 @@ std::string RunReport::to_chrome_trace() const {
            << r.rank << "\"}}";
       emit(meta.str());
     }
-    for (int lane = 0; lane < 4; ++lane) {
+    for (int lane = 0; lane < 5; ++lane) {
       if (!lane_used[lane]) continue;
       std::ostringstream meta;
       meta << "{\"ph\":\"M\",\"pid\":" << r.rank << ",\"tid\":" << lane
@@ -362,10 +384,10 @@ std::string RunReport::to_chrome_trace() const {
       // args.i is the span's index on the rank's timeline — the stable id
       // that simcheck violation reports cite as `trace#N`, so a report
       // links directly to the event in the viewer.
-      // Serve-lane control events are instants too (begin == end), so they
-      // render like markers rather than zero-duration slices.
+      // Serve- and sched-lane control events are instants too (begin ==
+      // end), so they render like markers rather than zero-duration slices.
       std::ostringstream event;
-      if (span.kind == SpanKind::kMarker || lane == 3) {
+      if (span.kind == SpanKind::kMarker || lane == 3 || lane == 4) {
         event << "{\"ph\":\"i\",\"s\":\"t\",\"pid\":" << r.rank
               << ",\"tid\":" << lane << ",\"ts\":" << micros(span.begin)
               << ",\"cat\":\"" << span_kind_name(span.kind) << "\",\"name\":\""

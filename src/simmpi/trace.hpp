@@ -79,6 +79,12 @@ struct RunReport {
   double mean_residual_over_compute() const;
   std::uint64_t sum_counter(const std::string& name) const;
   std::size_t max_peak_memory() const;
+  /// Aggregate service idle: the sum over ranks of the kServeIdle lane's
+  /// total (clock time spent parked waiting for the next arrival). First-
+  /// class here — rendered as the `idle_s` CSV column and the `serve_idle_s`
+  /// JSON field — so backfill efficiency is measurable from the report, not
+  /// just the trace.
+  double serve_idle_seconds() const;
 
   // ---- masking metric (see DESIGN.md §5e for the overlap algebra) ----
 
@@ -105,7 +111,7 @@ struct RunReport {
   std::string to_string() const;
 
   /// Machine-readable per-rank dump (one row per rank) for external
-  /// plotting: rank, total, compute, io, comm_issued, residual, sync,
+  /// plotting: rank, total, compute, io, comm_issued, residual, sync, idle,
   /// rget_issued, rget_overlap, bytes_sent, bytes_received, peak_memory,
   /// then user counters as extra columns (names CSV-escaped; a comma or
   /// quote in a counter name cannot corrupt the row). Fault columns

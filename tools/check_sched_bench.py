@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Scheduler regression gate over BENCH_sched.json (see bench/sched_mix.cpp).
+
+BENCH_sched.json is a JSON array of trajectory entries; entry 0 is the
+committed baseline, the last entry is the run under test (the bench appends
+its entry on every run). The gate checks RATIOS, not absolute seconds, so it
+transfers across machines and shared CI runners:
+
+  * reclaimed_idle_ratio >= --min-reclaim (default 0.30) — backfilled batch
+    ring time must reclaim at least 30% of the measured per-rank serve idle.
+  * serve_p99_ratio <= --max-p99-ratio (default 1.10) — sharing the ring may
+    degrade serve tail latency by at most 10% over the serve-only cell.
+  * reclaimed_idle_ratio must not drop, and serve_p99_ratio must not rise,
+    more than --max-regression (default 10%) relative to the baseline entry.
+
+Exit code 0 = pass, 1 = regression, 2 = malformed input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg: str, code: int = 1) -> None:
+    print(f"FAIL: {msg}", file=sys.stderr)
+    sys.exit(code)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trajectory", help="path to BENCH_sched.json")
+    parser.add_argument("--min-reclaim", type=float, default=0.30,
+                        help="floor for reclaimed_idle_ratio")
+    parser.add_argument("--max-p99-ratio", type=float, default=1.10,
+                        help="ceiling for serve_p99_ratio (mixed / serve-only)")
+    parser.add_argument("--max-regression", type=float, default=0.10,
+                        help="max relative drift vs the baseline entry")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trajectory, encoding="utf-8") as handle:
+            entries = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(f"cannot read {args.trajectory}: {err}", code=2)
+    if not isinstance(entries, list) or not entries:
+        fail(f"{args.trajectory} is not a non-empty JSON array", code=2)
+
+    baseline, current = entries[0], entries[-1]
+    print(f"baseline entry: {baseline.get('label', '?')}  "
+          f"current entry: {current.get('label', '?')}  "
+          f"({len(entries)} entries)")
+
+    reclaim = current.get("reclaimed_idle_ratio")
+    p99_ratio = current.get("serve_p99_ratio")
+    if reclaim is None or p99_ratio is None:
+        fail("entry lacks reclaimed_idle_ratio / serve_p99_ratio", code=2)
+
+    checked = [
+        ("reclaimed_idle_ratio floor",
+         f"{reclaim:.3f} >= {args.min_reclaim:.3f}",
+         reclaim >= args.min_reclaim),
+        ("serve_p99_ratio ceiling",
+         f"{p99_ratio:.3f} <= {args.max_p99_ratio:.3f}",
+         p99_ratio <= args.max_p99_ratio),
+    ]
+
+    base_reclaim = baseline.get("reclaimed_idle_ratio")
+    if base_reclaim is not None:
+        floor = base_reclaim * (1.0 - args.max_regression)
+        checked.append(("reclaimed_idle_ratio vs baseline",
+                        f"{reclaim:.3f} >= {floor:.3f} ({base_reclaim:.3f} - "
+                        f"{args.max_regression:.0%})",
+                        reclaim >= floor))
+    base_p99 = baseline.get("serve_p99_ratio")
+    if base_p99 is not None:
+        ceiling = base_p99 * (1.0 + args.max_regression)
+        checked.append(("serve_p99_ratio vs baseline",
+                        f"{p99_ratio:.3f} <= {ceiling:.3f} ({base_p99:.3f} + "
+                        f"{args.max_regression:.0%})",
+                        p99_ratio <= ceiling))
+
+    ok = True
+    for name, detail, passed in checked:
+        print(f"{'PASS' if passed else 'FAIL'}: {name}: {detail}")
+        ok &= passed
+    if not ok:
+        sys.exit(1)
+    print("sched bench gate: all checks passed")
+
+
+if __name__ == "__main__":
+    main()
